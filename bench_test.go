@@ -1,0 +1,383 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// benchmark per experiment of DESIGN.md §3) plus micro-benchmarks of
+// the substrates. Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/fd"
+	"repro/internal/graph"
+	"repro/internal/mpd"
+	"repro/internal/reduction"
+	"repro/internal/schema"
+	"repro/internal/srepair"
+	"repro/internal/table"
+	"repro/internal/urepair"
+	"repro/internal/workload"
+)
+
+var benchSink interface{}
+
+// ---- E1: Figure 1 / running example ----
+
+func BenchmarkFig1RunningExample(b *testing.B) {
+	_, ds, t := workload.Office()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := srepair.OptSRepair(ds, t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = s
+	}
+}
+
+// ---- E2: Table 1 — exact vs 2-approx per hard FD set ----
+
+func BenchmarkTable1HardSets(b *testing.B) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	sets := map[string]*fd.Set{
+		"ΔA→B→C":    fd.MustParseSet(sc, "A -> B", "B -> C"),
+		"ΔA→C←B":    fd.MustParseSet(sc, "A -> C", "B -> C"),
+		"ΔAB→C→B":   fd.MustParseSet(sc, "A B -> C", "C -> B"),
+		"ΔAB↔AC↔BC": fd.MustParseSet(sc, "A B -> C", "A C -> B", "B C -> A"),
+	}
+	for name, ds := range sets {
+		tab := workload.RandomTable(sc, 28, 3, rand.New(rand.NewSource(2)))
+		b.Run(name+"/exact", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := srepair.Exact(ds, tab)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = s
+			}
+		})
+		b.Run(name+"/approx2", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := srepair.Approx2(ds, tab)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = s
+			}
+		})
+	}
+}
+
+// ---- E3: dichotomy classification over the paper's catalogue ----
+
+func BenchmarkDichotomyClassification(b *testing.B) {
+	entries := workload.Catalogue()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, e := range entries {
+			benchSink = srepair.OSRSucceeds(e.Set)
+		}
+	}
+}
+
+// ---- E4: Figure 2 five-class classification ----
+
+func BenchmarkFig2Classification(b *testing.B) {
+	sc := schema.MustNew("R", "A", "B", "C", "D", "E")
+	sets := []*fd.Set{
+		fd.MustParseSet(sc, "A -> B", "C -> D"),
+		fd.MustParseSet(sc, "A -> C D", "B -> C E"),
+		fd.MustParseSet(sc, "A -> B C", "B -> D"),
+		fd.MustParseSet(sc, "A B -> C", "A C -> B", "B C -> A"),
+		fd.MustParseSet(sc, "A B -> C", "C -> A D"),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, ds := range sets {
+			cl, err := ds.ClassifyNonSimplifiable()
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = cl
+		}
+	}
+}
+
+// ---- E5: MPD via the Theorem 3.10 reduction ----
+
+func BenchmarkMPDReduction(b *testing.B) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "A -> C")
+	rng := rand.New(rand.NewSource(5))
+	base := workload.RandomTable(sc, 200, 12, rng)
+	tab := table.New(sc)
+	for _, r := range base.Rows() {
+		tab.MustInsert(r.ID, r.Tuple, 0.05+0.9*rng.Float64())
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := mpd.Solve(ds, tab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = s
+	}
+}
+
+// ---- E6: Theorem 4.10 vertex-cover gadget ----
+
+func BenchmarkVCGadget(b *testing.B) {
+	g := workload.RandomBoundedDegree(40, 3, 400, rand.New(rand.NewSource(7)))
+	cover, err := coverOf(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, tab := reduction.VCUpdateGadget(g)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u, err := reduction.VCUpdateFromCover(g, tab, cover)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = u
+	}
+}
+
+func coverOf(g *workload.SimpleGraph) (map[int]bool, error) {
+	weights := make([]float64, g.N)
+	for i := range weights {
+		weights[i] = 1
+	}
+	wg, err := graph.NewGraph(weights)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range g.Edges {
+		if err := wg.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return wg.ApproxVertexCoverBE(), nil
+}
+
+// ---- E7: Section 4.4 ratio table ----
+
+func BenchmarkApproxRatioTable(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for k := 1; k <= 6; k++ {
+			dk := workload.DeltaK(k)
+			if _, err := dk.MCI(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := dk.MLC(); err != nil {
+				b.Fatal(err)
+			}
+			dpk := workload.DeltaPrimeK(k)
+			if _, err := dpk.MCI(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ---- E8: Corollary 4.5 S↔U transfer ----
+
+func BenchmarkSURelation(b *testing.B) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> C")
+	tab := workload.RandomTable(sc, 120, 6, rand.New(rand.NewSource(9)))
+	cover, _, ok := ds.MinLHSCover()
+	if !ok {
+		b.Fatal("no cover")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := srepair.Approx2(ds, tab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u := urepair.SubsetToUpdate(tab, s, cover)
+		benchSink = urepair.UpdateToSubset(tab, u)
+	}
+}
+
+// ---- E9: OptSRepair scaling (Theorem 3.2) ----
+
+func BenchmarkOptSRepairScaling(b *testing.B) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	cases := map[string]*fd.Set{
+		"chain":    fd.MustParseSet(sc, "A -> B", "A B -> C"),
+		"marriage": fd.MustParseSet(sc, "A -> B", "B -> A", "B -> C"),
+	}
+	for name, ds := range cases {
+		for _, n := range []int{100, 400, 1600, 6400} {
+			tab := workload.RandomTable(sc, n, n/10+2, rand.New(rand.NewSource(int64(n))))
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					s, err := srepair.OptSRepair(ds, tab)
+					if err != nil {
+						b.Fatal(err)
+					}
+					benchSink = s
+				}
+			})
+		}
+	}
+}
+
+// ---- E10: tractable U-repairs ----
+
+func BenchmarkTractableURepair(b *testing.B) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	cases := map[string]*fd.Set{
+		"common-lhs": fd.MustParseSet(sc, "A -> B", "A -> C"),
+		"chain":      fd.MustParseSet(sc, "A -> B", "A B -> C"),
+		"key-swap":   fd.MustParseSet(sc, "A -> B", "B -> A"),
+		"consensus":  fd.MustParseSet(sc, "-> C", "A -> B"),
+	}
+	for name, ds := range cases {
+		tab := workload.RandomTable(sc, 300, 8, rand.New(rand.NewSource(11)))
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := urepair.Repair(ds, tab)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Exact {
+					b.Fatalf("%s must be exact", name)
+				}
+				benchSink = res
+			}
+		})
+	}
+}
+
+// ---- E11: hardness gadgets ----
+
+func BenchmarkHardnessGadgets(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	f := workload.RandomNonMixedCNF(5, 6, 2, rng)
+	ti := workload.RandomTriangles(3, 3, 3, 9, rng)
+	g := workload.RandomGNP(5, 0.5, rng)
+	b.Run("nonmixed-sat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ds, tab, err := reduction.NonMixedSATGadget(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := srepair.Exact(ds, tab)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = s
+		}
+	})
+	b.Run("triangles", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ds, tab := reduction.TriangleGadget(ti)
+			s, err := srepair.Exact(ds, tab)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = s
+		}
+	})
+	b.Run("vc-subset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ds, tab := reduction.VCSubsetGadget(g)
+			s, err := srepair.Exact(ds, tab)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = s
+		}
+	})
+}
+
+// ---- Full experiment reports (paperbench parity) ----
+
+func BenchmarkPaperReports(b *testing.B) {
+	for _, r := range experiments.All() {
+		// E9 runs multi-second scaling sweeps; too slow for a bench loop.
+		if r.ID == "E9" {
+			continue
+		}
+		r := r
+		b.Run(r.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := r.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = out
+			}
+		})
+	}
+}
+
+// ---- Substrate micro-benchmarks ----
+
+func BenchmarkClosure(b *testing.B) {
+	ds := workload.DeltaK(6)
+	x := ds.Schema().MustSet("A0", "A1", "A2", "A3", "A4", "A5", "A6")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = ds.Closure(x)
+	}
+}
+
+func BenchmarkConflictGraph(b *testing.B) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> C")
+	tab := workload.RandomTable(sc, 400, 20, rand.New(rand.NewSource(15)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = tab.ConflictGraph(ds)
+	}
+}
+
+func BenchmarkHungarianMatching(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	const n = 60
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			w[i][j] = float64(rng.Intn(1000))
+		}
+	}
+	weight := func(i, j int) float64 { return w[i][j] }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, total, err := graph.MaxWeightBipartiteMatching(n, n, weight)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = total
+	}
+}
+
+func BenchmarkVertexCoverBE(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	weights := make([]float64, 500)
+	for i := range weights {
+		weights[i] = 1 + float64(rng.Intn(9))
+	}
+	g := graph.MustNewGraph(weights)
+	for i := 0; i < 2000; i++ {
+		u, v := rng.Intn(500), rng.Intn(500)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = g.ApproxVertexCoverBE()
+	}
+}

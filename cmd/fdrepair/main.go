@@ -1,0 +1,28 @@
+// Command fdrepair computes optimal and approximate repairs of a CSV
+// table under functional dependencies, and explains the complexity of
+// an FD set under the dichotomy of Livshits, Kimelfeld & Roy (PODS'18).
+//
+// The CSV header names the attributes; optional columns "id" and "w"
+// carry tuple identifiers and weights.
+//
+// Usage:
+//
+//	fdrepair classify -fd "A -> B" -fd "B -> C" -attrs A,B,C
+//	fdrepair srepair  -in table.csv -fd "facility -> city" [-mode auto|exact|approx] [-out repaired.csv]
+//	fdrepair urepair  -in table.csv -fd "A -> B" [-out repaired.csv]
+//	fdrepair mpd      -in table.csv -fd "A -> B" [-out mpd.csv]
+//	fdrepair count    -in table.csv -fd "A -> B" [-list 5]
+//	fdrepair demo                      # the paper's running example
+//
+// See internal/cli for the implementation.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Run(os.Args[1:], os.Stdout, os.Stderr))
+}

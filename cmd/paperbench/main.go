@@ -1,0 +1,64 @@
+// Command paperbench regenerates every table, figure and worked example
+// of "Computing Optimal Repairs for Functional Dependencies" (PODS
+// 2018). Each experiment prints a report comparing the paper's claim
+// with the measured outcome; ✓/✗ marks per row indicate agreement.
+//
+// Usage:
+//
+//	paperbench all          # run every experiment in paper order
+//	paperbench E1 E7        # run selected experiments
+//	paperbench -list        # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-5s %s\n", r.ID, r.Artifact)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: paperbench [-list] all | %s\n",
+			strings.Join(experiments.IDs(), " | "))
+		os.Exit(2)
+	}
+	runners := experiments.All()
+	want := map[string]bool{}
+	runAll := false
+	for _, a := range args {
+		if strings.EqualFold(a, "all") {
+			runAll = true
+			continue
+		}
+		want[strings.ToUpper(a)] = true
+	}
+	matched := 0
+	for _, r := range runners {
+		if !runAll && !want[r.ID] {
+			continue
+		}
+		matched++
+		out, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %v; try -list\n", args)
+		os.Exit(2)
+	}
+}

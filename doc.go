@@ -1,0 +1,33 @@
+// Package repro is the root of the reproduction of "Computing Optimal
+// Repairs for Functional Dependencies" (Livshits, Kimelfeld, Roy,
+// PODS 2018).
+//
+// Layout:
+//
+//	fdrepair/              public API (start here)
+//	internal/schema        relation schemas, bitset attribute sets
+//	internal/fd            FDs: closures, simplifications, classification,
+//	                       keys/normal forms, Armstrong derivations
+//	internal/table         weighted identified tables, distances, conflicts,
+//	                       CSV I/O, repair diffs
+//	internal/graph         bipartite matching, weighted vertex cover
+//	internal/srepair       OptSRepair, OSRSucceeds, exact + 2-approx
+//	internal/urepair       U-repair planner, transfers, approximations,
+//	                       restricted & mixed variants
+//	internal/mpd           most probable database (Theorem 3.10)
+//	internal/reduction     fact-wise reductions and hardness gadgets
+//	internal/enumerate     subset-repair enumeration + chain counting
+//	internal/priority      prioritized repairing (Staworko et al.)
+//	internal/denial        binary denial constraints
+//	internal/cfd           conditional FDs (pattern tableaux)
+//	internal/cqa           consistent query answering over repairs
+//	internal/workload      synthetic tables, graphs, formulas, catalogue
+//	internal/experiments   the paper-reproduction harness (E1–E12)
+//	internal/cli           testable CLI implementation
+//	cmd/fdrepair           repair/classify/count/gen/entails CLI
+//	cmd/paperbench         regenerate every paper table and figure
+//	examples/              runnable walk-throughs of the public API
+//
+// See DESIGN.md for the system inventory and the experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

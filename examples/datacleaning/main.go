@@ -1,0 +1,63 @@
+// Data cleaning: the paper's second motivation — use the optimal-repair
+// cost as an educated estimate of how dirty a database is and how much
+// cleaning effort remains (human-in-the-loop cleaning, Section 1).
+//
+// We synthesize an employee directory that starts consistent with its
+// FDs and corrupt a controlled fraction of cells, then compare the
+// estimated cleaning effort (optimal S-repair cost, 2-approx cost, and
+// the U-repair cost) across dirtiness levels.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"repro/fdrepair"
+	"repro/internal/workload"
+)
+
+func main() {
+	sc := fdrepair.MustSchema("Employee", "emp", "dept", "building", "manager")
+	// Each employee sits in one department; a department sits in one
+	// building and has one manager — a chain-free but common-lhs-free
+	// mix: {emp → dept, dept → building, dept → manager} has no common
+	// lhs, so the optimal S-repair problem is APX-hard (dichotomy), and
+	// the library falls back to guaranteed approximations.
+	ds := fdrepair.MustFDs(sc,
+		"emp -> dept",
+		"dept -> building",
+		"dept -> manager",
+	)
+	info := fdrepair.Classify(ds)
+	fmt.Printf("FD set %v\n  S-repair poly: %v (%s)\n  U-repair exact: %v\n\n",
+		ds, info.SRepairPolyTime, info.HardClass, info.URepairExact)
+
+	rng := rand.New(rand.NewSource(2026))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dirty frac\ttuples\tviolating pairs\test. deletions (2-approx)\texact deletions\tU-repair cells (≤ratio)")
+	for _, frac := range []float64{0.0, 0.05, 0.1, 0.2, 0.4} {
+		t := workload.DirtyTable(sc, nil, 40, 6, frac, rng)
+		pairs := len(t.ConflictGraph(ds))
+
+		_, approxCost, err := fdrepair.ApproxSRepair(ds, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, exactCost, err := fdrepair.ExactSRepair(ds, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ures, err := fdrepair.OptimalURepair(ds, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%.2f\t%d\t%d\t%.0f\t%.0f\t%.0f (ratio ≤ %g)\n",
+			frac, t.Len(), pairs, approxCost, exactCost, ures.Cost, ures.RatioBound)
+	}
+	tw.Flush()
+	fmt.Println("\nreading: the optimal-repair cost estimates the residual cleaning effort;")
+	fmt.Println("the 2-approximation tracks it at a fraction of the cost on hard FD sets.")
+}

@@ -1,0 +1,52 @@
+// Quickstart: the paper's running example (Figure 1) end to end with
+// the public API — build the Office table, check the dichotomy, and
+// compute optimal subset and update repairs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/fdrepair"
+)
+
+func main() {
+	// Office(facility, room, floor, city) with the FDs of Example 2.2:
+	// a facility is in one city; a room in a facility is on one floor.
+	sc := fdrepair.MustSchema("Office", "facility", "room", "floor", "city")
+	ds := fdrepair.MustFDs(sc,
+		"facility -> city",
+		"facility room -> floor",
+	)
+
+	// Table T of Figure 1(a). Weights express trust in each tuple.
+	t := fdrepair.NewTable(sc)
+	t.MustInsert(1, fdrepair.Tuple{"HQ", "322", "3", "Paris"}, 2)
+	t.MustInsert(2, fdrepair.Tuple{"HQ", "322", "30", "Madrid"}, 1)
+	t.MustInsert(3, fdrepair.Tuple{"HQ", "122", "1", "Madrid"}, 1)
+	t.MustInsert(4, fdrepair.Tuple{"Lab1", "B35", "3", "London"}, 2)
+
+	fmt.Println("input table:")
+	fmt.Print(t.String())
+
+	// The dichotomy: is this FD set repairable in polynomial time?
+	info := fdrepair.Classify(ds)
+	fmt.Printf("\ndichotomy: S-repair poly=%v, U-repair exact=%v\n",
+		info.SRepairPolyTime, info.URepairExact)
+	fmt.Printf("simplification chain: %s\n\n", fdrepair.ExplainTrace(info))
+
+	// Optimal subset repair: delete the cheapest set of tuples.
+	s, cost, err := fdrepair.OptimalSRepair(ds, t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal S-repair deletes weight %g:\n%s\n", cost, s.String())
+
+	// Optimal update repair: change the cheapest set of cells.
+	res, err := fdrepair.OptimalURepair(ds, t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal U-repair changes cost %g (%s):\n%s",
+		res.Cost, res.Method, res.Update.String())
+}

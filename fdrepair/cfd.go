@@ -1,0 +1,44 @@
+package fdrepair
+
+import (
+	"repro/internal/cfd"
+)
+
+// ConditionalFD is a conditional functional dependency (X → A, tp):
+// an FD scoped by a pattern of constants and wildcards (Bohannon et
+// al.; §5 future work). Unlike plain FDs, CFDs admit single-tuple
+// violations, which become forced deletions in subset repairs.
+type ConditionalFD = cfd.CFD
+
+// CFDResult is a subset repair under CFDs with its forced-deletion
+// accounting.
+type CFDResult = cfd.Result
+
+// CFDWildcard is the pattern entry matching any value.
+const CFDWildcard = cfd.Wildcard
+
+// NewConditionalFD builds a CFD from an embedded FD spec such as
+// "country areaCode -> city", an lhs pattern (one entry per lhs
+// attribute, constants or CFDWildcard) and an rhs pattern entry.
+func NewConditionalFD(sc *Schema, spec string, lhsPattern []string, rhsPattern string) (*ConditionalFD, error) {
+	f, err := parseSingleFD(sc, spec)
+	if err != nil {
+		return nil, err
+	}
+	return cfd.New(sc, f, lhsPattern, rhsPattern)
+}
+
+// CFDSatisfies reports whether the table satisfies every CFD.
+func CFDSatisfies(cs []*ConditionalFD, t *Table) bool { return cfd.Satisfies(cs, t) }
+
+// ExactCFDSRepair computes an optimal subset repair under CFDs: unary
+// violators are deleted outright, the remaining pairwise conflicts are
+// resolved by exact minimum-weight vertex cover (size-guarded).
+func ExactCFDSRepair(cs []*ConditionalFD, t *Table) (CFDResult, error) {
+	return cfd.ExactSRepair(cs, t)
+}
+
+// ApproxCFDSRepair is the polynomial 2-approximation under CFDs.
+func ApproxCFDSRepair(cs []*ConditionalFD, t *Table) (CFDResult, error) {
+	return cfd.Approx2SRepair(cs, t)
+}

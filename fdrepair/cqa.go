@@ -1,0 +1,33 @@
+package fdrepair
+
+import (
+	"repro/internal/cqa"
+)
+
+// CQAFilter is an equality selection for consistent query answering.
+type CQAFilter = cqa.Filter
+
+// CQAQuery is a selection–projection query evaluated under repair
+// semantics.
+type CQAQuery = cqa.Query
+
+// CQAAnswers holds the certain and possible answers of a query.
+type CQAAnswers = cqa.Answers
+
+// NewCQAQuery builds a selection–projection query: project names the
+// output attributes; filters are attribute = value selections.
+func NewCQAQuery(sc *Schema, project []string, filters ...CQAFilter) (*CQAQuery, error) {
+	set, err := sc.Set(project...)
+	if err != nil {
+		return nil, err
+	}
+	return cqa.NewQuery(sc, set, filters...)
+}
+
+// ConsistentAnswers computes the certain answers (true in every subset
+// repair) and possible answers (true in some subset repair) of the
+// query — the consistent-query-answering semantics of Arenas et al.
+// that motivates the paper. Enumeration-bounded; small instances only.
+func ConsistentAnswers(ds *FDSet, t *Table, q *CQAQuery) (*CQAAnswers, error) {
+	return cqa.ConsistentAnswers(ds, t, q)
+}

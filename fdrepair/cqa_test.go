@@ -1,0 +1,26 @@
+package fdrepair
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestConsistentAnswersFacade(t *testing.T) {
+	sc, ds, tab := workload.Office()
+	fac, _ := sc.AttrIndex("facility")
+	q, err := NewCQAQuery(sc, []string{"city"}, CQAFilter{Attr: fac, Value: "HQ"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := ConsistentAnswers(ds, tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Certain) != 0 || len(ans.Possible) != 2 || ans.Repairs != 2 {
+		t.Fatalf("answers = %+v", ans)
+	}
+	if _, err := NewCQAQuery(sc, []string{"bogus"}); err == nil {
+		t.Error("unknown projection attribute must fail")
+	}
+}

@@ -1,0 +1,133 @@
+package fdrepair_test
+
+import (
+	"fmt"
+
+	"repro/fdrepair"
+)
+
+// The running example of the paper (Figure 1): classify the FD set and
+// compute an optimal subset repair.
+func ExampleOptimalSRepair() {
+	sc := fdrepair.MustSchema("Office", "facility", "room", "floor", "city")
+	ds := fdrepair.MustFDs(sc, "facility -> city", "facility room -> floor")
+	t := fdrepair.NewTable(sc)
+	t.MustInsert(1, fdrepair.Tuple{"HQ", "322", "3", "Paris"}, 2)
+	t.MustInsert(2, fdrepair.Tuple{"HQ", "322", "30", "Madrid"}, 1)
+	t.MustInsert(3, fdrepair.Tuple{"HQ", "122", "1", "Madrid"}, 1)
+	t.MustInsert(4, fdrepair.Tuple{"Lab1", "B35", "3", "London"}, 2)
+
+	s, cost, err := fdrepair.OptimalSRepair(ds, t)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("deleted weight %g, kept tuples %v\n", cost, s.IDs())
+	// Output: deleted weight 2, kept tuples [1 4]
+}
+
+// Classify runs the dichotomy of Theorem 3.4 on an FD set.
+func ExampleClassify() {
+	sc := fdrepair.MustSchema("R", "A", "B", "C")
+	hard := fdrepair.MustFDs(sc, "A -> B", "B -> C")
+	info := fdrepair.Classify(hard)
+	fmt.Printf("poly=%v hard class: %s\n", info.SRepairPolyTime, info.HardClass)
+
+	easy := fdrepair.MustFDs(sc, "A -> B", "B -> A", "B -> C")
+	fmt.Printf("poly=%v trace: %s\n", fdrepair.Classify(easy).SRepairPolyTime,
+		fdrepair.ExplainTrace(fdrepair.Classify(easy)))
+	// Output:
+	// poly=false hard class: class 3 (reduce from ∆A→B→C)
+	// poly=true trace: lhs marriage (A, B) ⇛ consensus ∅ → C ⇛ {}
+}
+
+// OptimalURepair repairs by updating cells instead of deleting tuples.
+func ExampleOptimalURepair() {
+	sc := fdrepair.MustSchema("R", "emp", "dept")
+	ds := fdrepair.MustFDs(sc, "emp -> dept")
+	t := fdrepair.NewTable(sc)
+	t.MustInsert(1, fdrepair.Tuple{"ann", "sales"}, 2)
+	t.MustInsert(2, fdrepair.Tuple{"ann", "hr"}, 1)
+
+	res, err := fdrepair.OptimalURepair(ds, t)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cost %g, exact %v\n", res.Cost, res.Exact)
+	// Output: cost 1, exact true
+}
+
+// MostProbableDatabase cleans a probabilistic table (Theorem 3.10).
+func ExampleMostProbableDatabase() {
+	sc := fdrepair.MustSchema("R", "sensor", "status")
+	ds := fdrepair.MustFDs(sc, "sensor -> status")
+	t := fdrepair.NewTable(sc)
+	t.MustInsert(1, fdrepair.Tuple{"s1", "ok"}, 0.9)
+	t.MustInsert(2, fdrepair.Tuple{"s1", "fault"}, 0.6)
+
+	world, _, err := fdrepair.MostProbableDatabase(ds, t)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("kept:", world.IDs())
+	// Output: kept: [1]
+}
+
+// CountSRepairs counts subset repairs — polynomial for chain FD sets.
+func ExampleCountSRepairs() {
+	sc := fdrepair.MustSchema("R", "A", "B")
+	ds := fdrepair.MustFDs(sc, "A -> B")
+	t := fdrepair.NewTable(sc)
+	t.MustInsert(1, fdrepair.Tuple{"a", "x"}, 1)
+	t.MustInsert(2, fdrepair.Tuple{"a", "y"}, 1)
+	t.MustInsert(3, fdrepair.Tuple{"b", "z"}, 1)
+
+	c, err := fdrepair.CountSRepairs(ds, t)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("repairs:", c)
+	// Output: repairs: 2
+}
+
+// PrioritizedRepair breaks ties between repairs using trust priorities.
+func ExamplePrioritizedRepair() {
+	sc := fdrepair.MustSchema("R", "A", "B")
+	ds := fdrepair.MustFDs(sc, "A -> B")
+	t := fdrepair.NewTable(sc)
+	t.MustInsert(1, fdrepair.Tuple{"a", "x"}, 1)
+	t.MustInsert(2, fdrepair.Tuple{"a", "y"}, 1)
+
+	r := fdrepair.NewPriority()
+	r.Add(2, 1) // tuple 2 is more trusted
+	rep, err := fdrepair.PrioritizedRepair(ds, t, r)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("kept:", rep.IDs())
+	// Output: kept: [2]
+}
+
+// ConsistentAnswers evaluates a query under repair semantics.
+func ExampleConsistentAnswers() {
+	sc := fdrepair.MustSchema("Office", "facility", "room", "floor", "city")
+	ds := fdrepair.MustFDs(sc, "facility -> city", "facility room -> floor")
+	t := fdrepair.NewTable(sc)
+	t.MustInsert(1, fdrepair.Tuple{"HQ", "322", "3", "Paris"}, 2)
+	t.MustInsert(2, fdrepair.Tuple{"HQ", "322", "30", "Madrid"}, 1)
+	t.MustInsert(3, fdrepair.Tuple{"HQ", "122", "1", "Madrid"}, 1)
+	t.MustInsert(4, fdrepair.Tuple{"Lab1", "B35", "3", "London"}, 2)
+
+	fac, _ := sc.AttrIndex("facility")
+	q, err := fdrepair.NewCQAQuery(sc, []string{"city"},
+		fdrepair.CQAFilter{Attr: fac, Value: "HQ"})
+	if err != nil {
+		panic(err)
+	}
+	ans, err := fdrepair.ConsistentAnswers(ds, t, q)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("certain %d, possible %d over %d repairs\n",
+		len(ans.Certain), len(ans.Possible), ans.Repairs)
+	// Output: certain 0, possible 2 over 2 repairs
+}

@@ -1,0 +1,50 @@
+package fdrepair
+
+import (
+	"math/big"
+
+	"repro/internal/enumerate"
+	"repro/internal/table"
+	"repro/internal/urepair"
+)
+
+// This file exposes the library's extensions beyond the paper's core
+// results: repair counting/enumeration (the chain-FD-set counting
+// connection of Section 2.2) and the Section-5 repair-model variations
+// (active-domain-restricted updates and mixed deletion/update repairs).
+
+// CountSRepairs counts the subset repairs (maximal consistent subsets)
+// of t under ds. For chain FD sets — exactly the polynomial-time
+// countable class (Livshits & Kimelfeld 2017, cited in Section 2.2) —
+// counting is polynomial; otherwise the count is obtained by bounded
+// enumeration.
+func CountSRepairs(ds *FDSet, t *Table) (*big.Int, error) {
+	return enumerate.Count(ds, t)
+}
+
+// SubsetRepairs enumerates subset repairs, returning at most limit of
+// them (limit ≤ 0: all) together with the total count.
+func SubsetRepairs(ds *FDSet, t *Table, limit int) ([]*Table, int, error) {
+	return enumerate.SubsetRepairs(ds, t, limit)
+}
+
+// RestrictedURepair computes an optimal U-repair under the Section-5
+// restriction that updates may only use values from the active domain
+// (no fresh constants). Exhaustive; tiny instances only.
+func RestrictedURepair(ds *FDSet, t *Table) (*Table, float64, error) {
+	return urepair.ExactActiveDomain(ds, t)
+}
+
+// MixedRepair computes an optimal mixed repair (Section 5): tuples may
+// be deleted at deleteFactor × weight or have cells updated at weight
+// per cell. Returns the updated table, the set of deleted tuple ids,
+// and the total cost. Exhaustive; tiny instances only.
+func MixedRepair(ds *FDSet, t *Table, deleteFactor float64) (*Table, map[int]bool, float64, error) {
+	return urepair.ExactMixed(ds, t, deleteFactor)
+}
+
+// DiffRepair summarizes how a repair differs from the original table:
+// deleted tuples and changed cells, renderable for human review.
+func DiffRepair(original, repaired *Table) (*table.Diff, error) {
+	return table.DiffTables(original, repaired)
+}

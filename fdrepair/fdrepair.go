@@ -1,0 +1,237 @@
+// Package fdrepair is the public API of the library: computing optimal
+// and approximate repairs of an inconsistent single-relation database
+// under functional dependencies, after Livshits, Kimelfeld and Roy,
+// "Computing Optimal Repairs for Functional Dependencies" (PODS 2018).
+//
+// The package exposes the underlying machinery through type aliases and
+// a small set of high-level entry points:
+//
+//	sc := fdrepair.MustSchema("Office", "facility", "room", "floor", "city")
+//	ds := fdrepair.MustFDs(sc, "facility -> city", "facility room -> floor")
+//	t := fdrepair.NewTable(sc)
+//	t.MustInsert(1, fdrepair.Tuple{"HQ", "322", "3", "Paris"}, 2)
+//	...
+//	info := fdrepair.Classify(ds)            // dichotomy (Theorem 3.4)
+//	s, cost, _ := fdrepair.OptimalSRepair(ds, t)  // Algorithm 1
+//	u, _ := fdrepair.OptimalURepair(ds, t)        // Section 4 planner
+//	m, _ := fdrepair.MostProbableDatabase(ds, pt) // Theorem 3.10
+//
+// Deletion repairs: OptimalSRepair runs the paper's polynomial
+// algorithm OptSRepair and succeeds exactly when the FD set is on the
+// tractable side of the dichotomy; ExactSRepair is an exponential
+// baseline for any FD set; ApproxSRepair is the polynomial
+// 2-approximation of Proposition 3.3.
+//
+// Update repairs: OptimalURepair composes the paper's tractable cases
+// (consensus elimination, attribute-disjoint decomposition, common-lhs
+// sets, chains, key swaps) and falls back to the combined approximation
+// of Section 4.4, reporting exactness and the guaranteed ratio.
+package fdrepair
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fd"
+	"repro/internal/mpd"
+	"repro/internal/schema"
+	"repro/internal/srepair"
+	"repro/internal/table"
+	"repro/internal/urepair"
+)
+
+// Schema is a relation schema R(A1, ..., Ak).
+type Schema = schema.Schema
+
+// AttrSet is a set of attribute positions of a schema.
+type AttrSet = schema.AttrSet
+
+// FD is a functional dependency X → Y.
+type FD = fd.FD
+
+// FDSet is a set of functional dependencies over a schema.
+type FDSet = fd.Set
+
+// Table is a weighted table with tuple identifiers.
+type Table = table.Table
+
+// Tuple is a sequence of attribute values.
+type Tuple = table.Tuple
+
+// URepairResult reports an update repair, its cost, and its guarantee.
+type URepairResult = urepair.Result
+
+// NewSchema constructs a schema; see schema.New.
+func NewSchema(name string, attrs ...string) (*Schema, error) { return schema.New(name, attrs...) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(name string, attrs ...string) *Schema { return schema.MustNew(name, attrs...) }
+
+// ParseFDs parses FD specs of the form "A B -> C" into an FD set.
+func ParseFDs(sc *Schema, specs ...string) (*FDSet, error) { return fd.ParseSet(sc, specs...) }
+
+// MustFDs is ParseFDs that panics on error.
+func MustFDs(sc *Schema, specs ...string) *FDSet { return fd.MustParseSet(sc, specs...) }
+
+// NewTable returns an empty table over the schema.
+func NewTable(sc *Schema) *Table { return table.New(sc) }
+
+// DistSub is dist_sub(s, t): the weight of tuples of t missing from s.
+func DistSub(s, t *Table) float64 { return table.DistSub(s, t) }
+
+// DistUpd is dist_upd(u, t): the weighted Hamming distance.
+func DistUpd(u, t *Table) float64 { return table.DistUpd(u, t) }
+
+// Classification summarizes what the dichotomy of Theorem 3.4 (and the
+// U-repair results of Section 4) say about an FD set.
+type Classification struct {
+	// SRepairPolyTime reports whether OptSRepair succeeds (Algorithm 2);
+	// equivalently, whether computing an optimal S-repair — and solving
+	// MPD (Theorem 3.10) — is polynomial-time. When false, the problem
+	// is APX-complete.
+	SRepairPolyTime bool
+	// Trace is the chain of simplifications in the style of Example 3.5.
+	Trace []string
+	// HardClass names the Figure-2 class and Table-1 base set witnessing
+	// APX-hardness (empty when SRepairPolyTime).
+	HardClass string
+	// URepairExact reports whether the U-repair planner solves the set
+	// exactly (a sufficient condition per Section 4; the full U-repair
+	// dichotomy is open).
+	URepairExact bool
+}
+
+// Classify runs the dichotomy test and the U-repair planner's case
+// analysis on the FD set.
+func Classify(ds *FDSet) Classification {
+	steps, ok := srepair.Trace(ds)
+	out := Classification{SRepairPolyTime: ok}
+	for _, st := range steps {
+		out.Trace = append(out.Trace, st.Describe())
+	}
+	if !ok {
+		// Re-run the simplifications to reach the stuck set, classify it.
+		cur := ds
+		for {
+			st, more := cur.NextSimplification()
+			if !more {
+				break
+			}
+			cur = st.After
+		}
+		if cl, err := cur.Canonical().ClassifyNonSimplifiable(); err == nil {
+			out.HardClass = fmt.Sprintf("%v (reduce from %s)", cl.Class, cl.Class.BaseSet())
+		}
+	}
+	out.URepairExact = urepairExact(ds)
+	return out
+}
+
+// urepairExact mirrors the planner's case analysis without touching
+// data: consensus attributes are removable (Theorem 4.3), components
+// are independent (Theorem 4.1), and a component is exact when it is a
+// key swap (Proposition 4.9) or has a common lhs and passes
+// OSRSucceeds (Corollary 4.6).
+func urepairExact(ds *FDSet) bool {
+	rest := ds.Minus(ds.ConsensusAttrs())
+	for _, comp := range rest.Components() {
+		if comp.IsTrivialSet() {
+			continue
+		}
+		can := comp.Canonical()
+		isSwap := func() bool {
+			if can.Len() != 2 {
+				return false
+			}
+			f1, f2 := can.FDs()[0], can.FDs()[1]
+			return f1.LHS.Len() == 1 && f2.LHS.Len() == 1 &&
+				f1.LHS == f2.RHS && f2.LHS == f1.RHS && f1.LHS != f2.LHS
+		}
+		if isSwap() {
+			continue
+		}
+		if !comp.CommonLHS().IsEmpty() && srepair.OSRSucceeds(comp) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// OptimalSRepair computes an optimal S-repair with the paper's
+// polynomial algorithm (Algorithm 1). It fails with an error wrapping
+// srepair.ErrNoSimplification when the FD set is on the hard side of
+// the dichotomy; use ExactSRepair or ApproxSRepair then.
+func OptimalSRepair(ds *FDSet, t *Table) (*Table, float64, error) {
+	s, err := srepair.OptSRepair(ds, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, table.DistSub(s, t), nil
+}
+
+// ExactSRepair computes an optimal S-repair for any FD set via exact
+// minimum-weight vertex cover on the conflict graph. Exponential in the
+// worst case and size-limited; intended for baselines and validation.
+func ExactSRepair(ds *FDSet, t *Table) (*Table, float64, error) {
+	s, err := srepair.Exact(ds, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, table.DistSub(s, t), nil
+}
+
+// ApproxSRepair computes a 2-optimal S-repair in polynomial time for
+// any FD set (Proposition 3.3).
+func ApproxSRepair(ds *FDSet, t *Table) (*Table, float64, error) {
+	s, err := srepair.Approx2(ds, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, table.DistSub(s, t), nil
+}
+
+// OptimalURepair runs the Section-4 planner: exact on the paper's
+// tractable cases, combined approximation otherwise. Inspect
+// Result.Exact and Result.RatioBound.
+func OptimalURepair(ds *FDSet, t *Table) (URepairResult, error) {
+	return urepair.Repair(ds, t)
+}
+
+// ExactURepair computes an optimal U-repair by exhaustive search on
+// tiny instances (validation only).
+func ExactURepair(ds *FDSet, t *Table) (*Table, float64, error) {
+	return urepair.Exact(ds, t)
+}
+
+// MostProbableDatabase solves MPD (Section 3.4): tuple weights are read
+// as independent probabilities in (0,1], and the most probable
+// consistent subset is returned with its probability.
+func MostProbableDatabase(ds *FDSet, t *Table) (*Table, float64, error) {
+	s, err := mpd.Solve(ds, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, mpd.Probability(t, s), nil
+}
+
+// ExplainTrace renders a Classification's simplification chain like
+// Example 3.5: "common lhs facility ⇛ consensus ∅ → city ⇛ ...".
+func ExplainTrace(c Classification) string {
+	if len(c.Trace) == 0 {
+		if c.SRepairPolyTime {
+			return "(already trivial)"
+		}
+		return "(no simplification applies)"
+	}
+	s := strings.Join(c.Trace, " ⇛ ")
+	if c.SRepairPolyTime {
+		return s + " ⇛ {}"
+	}
+	return s + " ⇛ STUCK"
+}
+
+// parseSingleFD parses one FD spec (helper shared by the CFD facade).
+func parseSingleFD(sc *Schema, spec string) (FD, error) {
+	return fd.Parse(sc, spec)
+}

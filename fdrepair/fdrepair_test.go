@@ -1,0 +1,171 @@
+package fdrepair
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/srepair"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func TestEndToEndRunningExample(t *testing.T) {
+	_, ds, tab := workload.Office()
+	info := Classify(ds)
+	if !info.SRepairPolyTime || !info.URepairExact {
+		t.Fatalf("running example should be fully tractable: %+v", info)
+	}
+	if len(info.Trace) != 4 {
+		t.Fatalf("trace = %v", info.Trace)
+	}
+	s, cost, err := OptimalSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.WeightEq(cost, 2) || !s.Satisfies(ds) {
+		t.Fatalf("S-repair cost = %v", cost)
+	}
+	u, err := OptimalURepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Exact || !table.WeightEq(u.Cost, 2) {
+		t.Fatalf("U-repair cost = %v exact=%v", u.Cost, u.Exact)
+	}
+}
+
+func TestClassifyHardSet(t *testing.T) {
+	sc := MustSchema("R", "A", "B", "C")
+	ds := MustFDs(sc, "A -> B", "B -> C")
+	info := Classify(ds)
+	if info.SRepairPolyTime {
+		t.Fatal("{A→B, B→C} is APX-complete")
+	}
+	if !strings.Contains(info.HardClass, "class 3") {
+		t.Errorf("HardClass = %q, want class 3", info.HardClass)
+	}
+	if info.URepairExact {
+		t.Error("U-repair must not claim exactness")
+	}
+	if got := ExplainTrace(info); got != "(no simplification applies)" {
+		t.Errorf("trace = %q", got)
+	}
+	// A set that simplifies partway renders a STUCK chain: ∆2 (zip) of
+	// Example 4.7 applies common lhs "state" and then gets stuck.
+	z := MustSchema("Z", "state", "city", "zip", "country")
+	zinfo := Classify(MustFDs(z, "state city -> zip", "state zip -> country"))
+	if zinfo.SRepairPolyTime {
+		t.Fatal("∆2 (zip) is APX-complete")
+	}
+	if got := ExplainTrace(zinfo); !strings.Contains(got, "STUCK") || !strings.Contains(got, "common lhs state") {
+		t.Errorf("zip trace = %q", got)
+	}
+}
+
+func TestClassifyURepairOnlyTractable(t *testing.T) {
+	// ∆0 = {product→price, buyer→email}: hard for S-repairs, poly for
+	// U-repairs (Corollary 4.11(2)).
+	sc := MustSchema("Purchase", "product", "price", "buyer", "email")
+	ds := MustFDs(sc, "product -> price", "buyer -> email")
+	info := Classify(ds)
+	if info.SRepairPolyTime {
+		t.Fatal("∆0 is hard for S-repairs")
+	}
+	if !info.URepairExact {
+		t.Fatal("∆0 is tractable for U-repairs")
+	}
+	// And the reverse direction: ∆A↔B→C (Corollary 4.11(1)).
+	abc := MustSchema("R", "A", "B", "C")
+	swap := MustFDs(abc, "A -> B", "B -> A", "B -> C")
+	info2 := Classify(swap)
+	if !info2.SRepairPolyTime {
+		t.Fatal("∆A↔B→C is tractable for S-repairs")
+	}
+	if info2.URepairExact {
+		t.Fatal("∆A↔B→C is APX-complete for U-repairs (Thm 4.10)")
+	}
+}
+
+func TestOptimalSRepairFailsCleanly(t *testing.T) {
+	sc := MustSchema("R", "A", "B", "C")
+	ds := MustFDs(sc, "A -> B", "B -> C")
+	tab := NewTable(sc)
+	tab.MustInsert(1, Tuple{"a", "b", "c"}, 1)
+	if _, _, err := OptimalSRepair(ds, tab); !errors.Is(err, srepair.ErrNoSimplification) {
+		t.Fatalf("err = %v", err)
+	}
+	// The exact and approximate fallbacks work.
+	if _, _, err := ExactSRepair(ds, tab); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ApproxSRepair(ds, tab); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMostProbableDatabaseFacade(t *testing.T) {
+	sc := MustSchema("R", "A", "B")
+	ds := MustFDs(sc, "A -> B")
+	tab := NewTable(sc)
+	tab.MustInsert(1, Tuple{"a", "x"}, 0.9)
+	tab.MustInsert(2, Tuple{"a", "y"}, 0.7)
+	s, p, err := MostProbableDatabase(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(1) || s.Has(2) {
+		t.Fatalf("MPD = %v", s.IDs())
+	}
+	if p <= 0 || p > 1 {
+		t.Fatalf("probability = %v", p)
+	}
+}
+
+func TestExactURepairFacade(t *testing.T) {
+	sc := MustSchema("R", "A", "B")
+	ds := MustFDs(sc, "A -> B")
+	tab := NewTable(sc)
+	tab.MustInsert(1, Tuple{"a", "x"}, 1)
+	tab.MustInsert(2, Tuple{"a", "y"}, 1)
+	_, cost, err := ExactURepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.WeightEq(cost, 1) {
+		t.Fatalf("cost = %v", cost)
+	}
+}
+
+func TestExplainTraceEdgeCases(t *testing.T) {
+	sc := MustSchema("R", "A", "B")
+	triv := Classify(MustFDs(sc, "A -> A"))
+	if got := ExplainTrace(triv); got != "(already trivial)" {
+		t.Errorf("trivial trace = %q", got)
+	}
+	stuck := Classify(MustFDs(MustSchema("S", "A", "B", "C"), "A -> B", "B -> C"))
+	if got := ExplainTrace(stuck); got != "(no simplification applies)" {
+		t.Errorf("stuck trace = %q", got)
+	}
+}
+
+// TestCatalogueAgreement: the facade's Classify agrees with the paper's
+// catalogue on every named FD set.
+func TestCatalogueAgreement(t *testing.T) {
+	for _, entry := range workload.Catalogue() {
+		info := Classify(entry.Set)
+		if info.SRepairPolyTime != entry.SRepairPoly {
+			t.Errorf("%s: SRepairPolyTime = %v, paper says %v", entry.Name, info.SRepairPolyTime, entry.SRepairPoly)
+		}
+		if entry.URepairKnownPoly && !info.URepairExact {
+			// The planner's sufficient conditions must cover every case
+			// the paper proves polynomial... except ones needing
+			// decompositions the planner applies at repair time. All
+			// catalogued poly cases are covered.
+			t.Errorf("%s: paper proves U-repair poly but planner is approximate", entry.Name)
+		}
+		if entry.URepairKnownHard && info.URepairExact {
+			t.Errorf("%s: paper proves U-repair APX-hard but planner claims exact", entry.Name)
+		}
+	}
+}

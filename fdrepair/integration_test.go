@@ -1,0 +1,206 @@
+package fdrepair
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/srepair"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// TestFlightsEndToEnd runs the whole pipeline on the embedded dirty
+// flight-status dataset: classification, both repair kinds, counting,
+// MPD, and consistent query answering — the way a downstream user would
+// chain the API.
+func TestFlightsEndToEnd(t *testing.T) {
+	sc, ds, tab := workload.Flights()
+
+	// The FD set has common lhs {flight, date}: tractable on both sides.
+	info := Classify(ds)
+	if !info.SRepairPolyTime || !info.URepairExact {
+		t.Fatalf("flights FDs should be fully tractable: %+v", info)
+	}
+
+	// S-repair: Algorithm 1 equals the exponential baseline.
+	s, sCost, err := OptimalSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Satisfies(ds) {
+		t.Fatal("S-repair inconsistent")
+	}
+	exact, exactCost, err := ExactSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.WeightEq(sCost, exactCost) {
+		t.Fatalf("OptSRepair cost %v != exact %v", sCost, exactCost)
+	}
+	_ = exact
+
+	// UA100 on 2026-06-01: the trusted G12/09:15 report (weight 3+1)
+	// must survive; the two conflicting single-source reports go.
+	if !s.Has(1) || !s.Has(2) || s.Has(3) || s.Has(4) {
+		t.Fatalf("UA100 resolution wrong: kept %v", s.IDs())
+	}
+	// The duplicate WN400 rows both survive (duplicates never conflict).
+	if !s.Has(11) || !s.Has(12) {
+		t.Fatal("duplicate rows should survive")
+	}
+
+	// U-repair: exact (common lhs), same cost as the S-repair
+	// (Corollary 4.6 with mlc = 1).
+	u, err := OptimalURepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Exact || !table.WeightEq(u.Cost, sCost) {
+		t.Fatalf("U-repair cost %v (exact=%v), want %v", u.Cost, u.Exact, sCost)
+	}
+
+	// Counting: the FD set is not literally a chain but the repairs are
+	// still enumerable; count must match the enumeration.
+	c, err := CountSRepairs(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, total, err := SubsetRepairs(ds, tab, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Int64() != int64(total) || len(reps) != total {
+		t.Fatalf("count %v vs enumeration %d", c, total)
+	}
+
+	// CQA: the gate of DL200 on 2026-06-01 is uncertain (B03 at 11:00
+	// vs 11:10 are departure conflicts; gate B03 is shared so gate IS
+	// certain). Query the departure instead: it must be uncertain.
+	fIdx, _ := sc.AttrIndex("flight")
+	dIdx, _ := sc.AttrIndex("date")
+	q, err := NewCQAQuery(sc, []string{"departure"},
+		CQAFilter{Attr: fIdx, Value: "DL200"},
+		CQAFilter{Attr: dIdx, Value: "2026-06-01"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := ConsistentAnswers(ds, tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Certain) != 0 || len(ans.Possible) != 2 {
+		t.Fatalf("DL200 departure: certain %v possible %v", ans.Certain, ans.Possible)
+	}
+
+	// Gate query: B03 is reported by both sources, so it is certain.
+	qg, err := NewCQAQuery(sc, []string{"gate"},
+		CQAFilter{Attr: fIdx, Value: "DL200"},
+		CQAFilter{Attr: dIdx, Value: "2026-06-01"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ansG, err := ConsistentAnswers(ds, tab, qg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ansG.Certain) != 1 || ansG.Certain[0][0] != "B03" {
+		t.Fatalf("DL200 gate certain = %v, want [B03]", ansG.Certain)
+	}
+}
+
+// TestSoakCrossValidation is a randomized end-to-end consistency sweep:
+// for a spread of FD sets and random tables, every algorithm respects
+// its contract against the oracles. It complements the per-package
+// tests with fresh seeds at the integration level.
+func TestSoakCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped with -short")
+	}
+	rng := rand.New(rand.NewSource(20260612))
+	sc := MustSchema("R", "A", "B", "C")
+	sets := []*FDSet{
+		MustFDs(sc, "A -> B"),
+		MustFDs(sc, "A -> B C"),
+		MustFDs(sc, "A -> B", "A B -> C"),
+		MustFDs(sc, "A -> B", "B -> A"),
+		MustFDs(sc, "A -> B", "B -> A", "B -> C"),
+		MustFDs(sc, "A -> B", "B -> C"),
+		MustFDs(sc, "A -> C", "B -> C"),
+		MustFDs(sc, "-> A", "B -> C"),
+	}
+	for round := 0; round < 6; round++ {
+		for _, ds := range sets {
+			tab := workload.RandomWeightedTable(sc, 4+rng.Intn(5), 2, 3, rng)
+			info := Classify(ds)
+
+			// S-repair contract.
+			exact, exactCost, err := ExactSRepair(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !exact.Satisfies(ds) {
+				t.Fatal("exact S-repair inconsistent")
+			}
+			if info.SRepairPolyTime {
+				s, cost, err := OptimalSRepair(ds, tab)
+				if err != nil {
+					t.Fatalf("%v: OptSRepair failed on tractable set: %v", ds, err)
+				}
+				if !s.Satisfies(ds) || !table.WeightEq(cost, exactCost) {
+					t.Fatalf("%v: OptSRepair cost %v vs exact %v", ds, cost, exactCost)
+				}
+			} else if _, _, err := OptimalSRepair(ds, tab); err == nil {
+				t.Fatalf("%v: OptSRepair should fail on hard set", ds)
+			}
+			ap, apCost, err := ApproxSRepair(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ap.Satisfies(ds) || apCost > 2*exactCost+1e-9 {
+				t.Fatalf("%v: approx violates guarantee (%v vs %v)", ds, apCost, exactCost)
+			}
+
+			// U-repair contract.
+			res, err := OptimalURepair(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Update.Satisfies(ds) {
+				t.Fatal("U-repair inconsistent")
+			}
+			if res.Exact != info.URepairExact {
+				t.Fatalf("%v: planner exactness %v disagrees with Classify %v", ds, res.Exact, info.URepairExact)
+			}
+			if tab.Len() <= 4 {
+				_, opt, err := ExactURepair(ds, tab)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Exact && !table.WeightEq(res.Cost, opt) {
+					t.Fatalf("%v: exact planner cost %v vs oracle %v", ds, res.Cost, opt)
+				}
+				if res.Cost > res.RatioBound*opt+1e-9 {
+					t.Fatalf("%v: cost %v exceeds ratio bound", ds, res.Cost)
+				}
+			}
+
+			// MPD on a probabilistic version.
+			prob := NewTable(sc)
+			for _, r := range tab.Rows() {
+				prob.MustInsert(r.ID, r.Tuple, 0.5+0.5*rng.Float64())
+			}
+			world, p, err := MostProbableDatabase(ds, prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !world.Satisfies(ds) || p < 0 || p > 1 {
+				t.Fatalf("%v: bad MPD result (p=%v)", ds, p)
+			}
+
+			// Trace sanity: OSRSucceeds agrees with Classify.
+			if _, ok := srepair.Trace(ds); ok != info.SRepairPolyTime {
+				t.Fatalf("%v: trace and Classify disagree", ds)
+			}
+		}
+	}
+}

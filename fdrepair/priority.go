@@ -1,0 +1,39 @@
+package fdrepair
+
+import (
+	"repro/internal/priority"
+)
+
+// PriorityRelation is an acyclic preference relation between
+// conflicting tuples (a ≻ b: tuple a is more trusted than b), in the
+// prioritized-repairing framework of Staworko et al. raised as future
+// work in Section 5 of the paper.
+type PriorityRelation = priority.Relation
+
+// NewPriority returns an empty priority relation; declare preferences
+// with Add(a, b) for tuple identifiers a ≻ b.
+func NewPriority() *PriorityRelation { return priority.NewRelation() }
+
+// PrioritizedRepair computes a completion-optimal repair: tuples enter
+// greedily along a topological completion of the priorities. Runs in
+// polynomial time.
+func PrioritizedRepair(ds *FDSet, t *Table, r *PriorityRelation) (*Table, error) {
+	return priority.CRepair(ds, t, r)
+}
+
+// PrioritizedOptimal enumerates all subset repairs and classifies them
+// into Pareto-optimal and globally-optimal ones under the priorities.
+// Enumeration-bounded; small instances only.
+type PrioritizedOptimal = priority.Optimal
+
+// ClassifyPrioritized computes the optimal-repair classification.
+func ClassifyPrioritized(ds *FDSet, t *Table, r *PriorityRelation) (*PrioritizedOptimal, error) {
+	return priority.Compute(ds, t, r)
+}
+
+// UnambiguousUnder reports whether the priorities determine the repair
+// uniquely (exactly one Pareto-optimal repair remains) — the cleaning
+// question posed at the end of Section 5.
+func UnambiguousUnder(ds *FDSet, t *Table, r *PriorityRelation) (bool, error) {
+	return priority.Unambiguous(ds, t, r)
+}

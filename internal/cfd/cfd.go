@@ -1,0 +1,229 @@
+// Package cfd implements conditional functional dependencies (CFDs,
+// Bohannon et al., cited as [10] and raised as future work in Section 5
+// of the paper) and optimal subset repairs under them.
+//
+// A CFD (X → A, tp) is an FD that applies only to tuples matching a
+// pattern: tp assigns to each attribute of X and to A either a constant
+// or the wildcard "_". Two tuples violate the CFD when they agree on X,
+// match the X-pattern, and disagree on A or fail the A-pattern. Unlike
+// plain FDs, CFDs also have single-tuple violations: when tp[A] is a
+// constant, a tuple matching the X-pattern must carry that constant.
+//
+// For subset repairs this changes the picture only slightly: tuples
+// with a unary violation are forced deletions (they violate the CFD on
+// their own and belong to no consistent subset), and the remaining
+// conflicts are pairwise, so the vertex-cover machinery of Proposition
+// 3.3 — exact branch and bound and the Bar-Yehuda–Even 2-approximation
+// — carries over on the residual table. The FD dichotomy itself does
+// not transfer (the paper leaves richer constraint classes open).
+package cfd
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fd"
+	"repro/internal/graph"
+	"repro/internal/schema"
+	"repro/internal/table"
+)
+
+// Wildcard is the pattern entry matching any value.
+const Wildcard = "_"
+
+// CFD is a conditional functional dependency (X → A, tp).
+type CFD struct {
+	sc *schema.Schema
+	// lhs attribute positions in schema order, rhs position.
+	lhs []int
+	rhs int
+	// lhsPat[i] conditions lhs[i]; rhsPat conditions rhs. Entries are
+	// constants or Wildcard.
+	lhsPat []table.Value
+	rhsPat table.Value
+}
+
+// New builds a CFD from an embedded FD X → A (single-attribute rhs),
+// the lhs pattern (one entry per attribute of X in schema order) and
+// the rhs pattern entry.
+func New(sc *schema.Schema, embedded fd.FD, lhsPattern []table.Value, rhsPattern table.Value) (*CFD, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("cfd: nil schema")
+	}
+	if embedded.RHS.Len() != 1 {
+		return nil, fmt.Errorf("cfd: embedded FD must have a single rhs attribute")
+	}
+	if !embedded.LHS.IsSubsetOf(sc.AllAttrs()) || !embedded.RHS.IsSubsetOf(sc.AllAttrs()) {
+		return nil, fmt.Errorf("cfd: embedded FD outside schema %s", sc)
+	}
+	lhs := embedded.LHS.Positions()
+	if len(lhsPattern) != len(lhs) {
+		return nil, fmt.Errorf("cfd: lhs pattern has %d entries for %d attributes", len(lhsPattern), len(lhs))
+	}
+	return &CFD{
+		sc:     sc,
+		lhs:    lhs,
+		rhs:    embedded.RHS.First(),
+		lhsPat: append([]table.Value(nil), lhsPattern...),
+		rhsPat: rhsPattern,
+	}, nil
+}
+
+// FromFD embeds a plain FD X → A as the CFD with all-wildcard pattern.
+func FromFD(sc *schema.Schema, embedded fd.FD) (*CFD, error) {
+	pat := make([]table.Value, embedded.LHS.Len())
+	for i := range pat {
+		pat[i] = Wildcard
+	}
+	return New(sc, embedded, pat, Wildcard)
+}
+
+// String renders the CFD as "X → A | (p1, ..., pk ‖ pA)".
+func (c *CFD) String() string {
+	names := make([]string, len(c.lhs))
+	for i, p := range c.lhs {
+		names[i] = c.sc.AttrName(p)
+	}
+	return fmt.Sprintf("%s → %s | (%s ‖ %s)",
+		strings.Join(names, " "), c.sc.AttrName(c.rhs),
+		strings.Join(c.lhsPat, ", "), c.rhsPat)
+}
+
+// matchesLHS reports whether the tuple matches every constant of the
+// lhs pattern.
+func (c *CFD) matchesLHS(t table.Tuple) bool {
+	for i, p := range c.lhs {
+		if c.lhsPat[i] != Wildcard && t[p] != c.lhsPat[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UnaryViolation reports whether the tuple violates the CFD on its own:
+// it matches the lhs pattern but fails a constant rhs pattern.
+func (c *CFD) UnaryViolation(t table.Tuple) bool {
+	return c.rhsPat != Wildcard && c.matchesLHS(t) && t[c.rhs] != c.rhsPat
+}
+
+// BinaryViolation reports whether two tuples jointly violate the CFD:
+// both match the lhs pattern, agree on X, and disagree on A. (Failing
+// rhs patterns are unary violations, reported separately.)
+func (c *CFD) BinaryViolation(t1, t2 table.Tuple) bool {
+	if !c.matchesLHS(t1) || !c.matchesLHS(t2) {
+		return false
+	}
+	for _, p := range c.lhs {
+		if t1[p] != t2[p] {
+			return false
+		}
+	}
+	return t1[c.rhs] != t2[c.rhs]
+}
+
+// Satisfies reports whether the table satisfies every CFD.
+func Satisfies(cs []*CFD, t *table.Table) bool {
+	rows := t.Rows()
+	for _, c := range cs {
+		for i := range rows {
+			if c.UnaryViolation(rows[i].Tuple) {
+				return false
+			}
+			for j := i + 1; j < len(rows); j++ {
+				if c.BinaryViolation(rows[i].Tuple, rows[j].Tuple) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// repairProblem splits the instance: forced deletions (unary violators)
+// and the vertex-cover instance over the survivors.
+func repairProblem(cs []*CFD, t *table.Table) (forced []int, g *graph.Graph, ids []int) {
+	forcedSet := map[int]bool{}
+	for _, r := range t.Rows() {
+		for _, c := range cs {
+			if c.UnaryViolation(r.Tuple) {
+				forcedSet[r.ID] = true
+				forced = append(forced, r.ID)
+				break
+			}
+		}
+	}
+	for _, r := range t.Rows() {
+		if !forcedSet[r.ID] {
+			ids = append(ids, r.ID)
+		}
+	}
+	weights := make([]float64, len(ids))
+	index := map[int]int{}
+	for i, id := range ids {
+		index[id] = i
+		weights[i] = t.Weight(id)
+	}
+	g = graph.MustNewGraph(weights)
+	for i := 0; i < len(ids); i++ {
+		ri, _ := t.Row(ids[i])
+		for j := i + 1; j < len(ids); j++ {
+			rj, _ := t.Row(ids[j])
+			for _, c := range cs {
+				if c.BinaryViolation(ri.Tuple, rj.Tuple) {
+					if err := g.AddEdge(i, j); err != nil {
+						panic(err)
+					}
+					break
+				}
+			}
+		}
+	}
+	return forced, g, ids
+}
+
+// Result is a subset repair under CFDs with its cost split into forced
+// deletions (unary violations) and chosen deletions (conflict cover).
+type Result struct {
+	Repair     *table.Table
+	Forced     []int
+	ForcedCost float64
+	TotalCost  float64
+}
+
+func assemble(t *table.Table, forced, ids []int, cover map[int]bool) Result {
+	var keep []int
+	for i, id := range ids {
+		if !cover[i] {
+			keep = append(keep, id)
+		}
+	}
+	rep := t.MustSubsetByIDs(keep)
+	res := Result{Repair: rep, Forced: forced}
+	for _, id := range forced {
+		res.ForcedCost += t.Weight(id)
+	}
+	res.TotalCost = table.DistSub(rep, t)
+	return res
+}
+
+// ExactSRepair computes an optimal subset repair under the CFDs:
+// unary violators are deleted outright (no consistent subset contains
+// them), and a minimum-weight vertex cover resolves the remaining
+// pairwise conflicts. Exponential in the worst case; size-guarded.
+func ExactSRepair(cs []*CFD, t *table.Table) (Result, error) {
+	forced, g, ids := repairProblem(cs, t)
+	cover, err := g.ExactMinVertexCover()
+	if err != nil {
+		return Result{}, err
+	}
+	return assemble(t, forced, ids, cover), nil
+}
+
+// Approx2SRepair is the polynomial counterpart: forced deletions plus
+// the Bar-Yehuda–Even cover. Because forced deletions belong to every
+// consistent subset, the overall cost is still within twice the
+// optimum.
+func Approx2SRepair(cs []*CFD, t *table.Table) (Result, error) {
+	forced, g, ids := repairProblem(cs, t)
+	return assemble(t, forced, ids, g.ApproxVertexCoverBE()), nil
+}

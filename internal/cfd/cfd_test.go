@@ -1,0 +1,213 @@
+package cfd
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/srepair"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+var cust = schema.MustNew("Cust", "country", "areaCode", "city")
+
+func mustCFD(t testing.TB, sc *schema.Schema, spec string, lhsPat []table.Value, rhsPat table.Value) *CFD {
+	t.Helper()
+	f, err := fd.Parse(sc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(sc, f, lhsPat, rhsPat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	f, _ := fd.Parse(cust, "country areaCode -> city")
+	if _, err := New(nil, f, []table.Value{"_", "_"}, "_"); err == nil {
+		t.Error("nil schema must be rejected")
+	}
+	if _, err := New(cust, f, []table.Value{"_"}, "_"); err == nil {
+		t.Error("pattern arity mismatch must be rejected")
+	}
+	wide, _ := fd.Parse(cust, "country -> areaCode city")
+	if _, err := New(cust, wide, []table.Value{"_"}, "_"); err == nil {
+		t.Error("multi-attribute rhs must be rejected")
+	}
+}
+
+// TestClassicCFD: the textbook example — within country 44 (UK), area
+// code 131 determines city Edinburgh. The constant rhs creates unary
+// violations; the wildcard-free lhs limits scope.
+func TestClassicCFD(t *testing.T) {
+	c := mustCFD(t, cust, "country areaCode -> city", []table.Value{"44", "131"}, "EDI")
+	if !strings.Contains(c.String(), "44, 131 ‖ EDI") {
+		t.Errorf("String = %q", c.String())
+	}
+	ok := table.Tuple{"44", "131", "EDI"}
+	bad := table.Tuple{"44", "131", "LON"}
+	other := table.Tuple{"01", "131", "NYC"} // different country: out of scope
+	if c.UnaryViolation(ok) || !c.UnaryViolation(bad) || c.UnaryViolation(other) {
+		t.Fatal("unary violation detection wrong")
+	}
+	tab := table.New(cust)
+	tab.MustInsert(1, ok, 1)
+	tab.MustInsert(2, bad, 1)
+	tab.MustInsert(3, other, 1)
+	if Satisfies([]*CFD{c}, tab) {
+		t.Fatal("table must violate the CFD")
+	}
+	res, err := ExactSRepair([]*CFD{c}, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Forced) != 1 || res.Forced[0] != 2 {
+		t.Fatalf("forced = %v, want [2]", res.Forced)
+	}
+	if !table.WeightEq(res.TotalCost, 1) || !res.Repair.Has(1) || !res.Repair.Has(3) {
+		t.Fatalf("repair = %v cost %v", res.Repair.IDs(), res.TotalCost)
+	}
+	if !Satisfies([]*CFD{c}, res.Repair) {
+		t.Fatal("repair still violates")
+	}
+}
+
+// TestWildcardCFDEqualsFD: a CFD with all-wildcard pattern behaves
+// exactly like its embedded FD — same optimal repair cost on random
+// tables.
+func TestWildcardCFDEqualsFD(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> C")
+	var cs []*CFD
+	for _, f := range ds.Canonical().FDs() {
+		c, err := FromFD(sc, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	rng := rand.New(rand.NewSource(151))
+	for iter := 0; iter < 12; iter++ {
+		tab := workload.RandomWeightedTable(sc, 8, 2, 3, rng)
+		if Satisfies(cs, tab) != tab.Satisfies(ds) {
+			t.Fatal("satisfaction disagrees with the embedded FDs")
+		}
+		res, err := ExactSRepair(cs, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Forced) != 0 {
+			t.Fatal("wildcard CFDs cannot force deletions")
+		}
+		viaFD, err := srepair.Exact(ds, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !table.WeightEq(res.TotalCost, table.DistSub(viaFD, tab)) {
+			t.Fatalf("CFD cost %v != FD cost %v", res.TotalCost, table.DistSub(viaFD, tab))
+		}
+	}
+}
+
+// TestBinaryViolationScoped: the lhs pattern restricts which pairs
+// conflict.
+func TestBinaryViolationScoped(t *testing.T) {
+	// Within country 44 only, areaCode determines city.
+	c := mustCFD(t, cust, "country areaCode -> city", []table.Value{"44", "_"}, "_")
+	inUK1 := table.Tuple{"44", "20", "LON"}
+	inUK2 := table.Tuple{"44", "20", "MAN"}
+	inUS1 := table.Tuple{"01", "20", "NYC"}
+	inUS2 := table.Tuple{"01", "20", "LAX"}
+	if !c.BinaryViolation(inUK1, inUK2) {
+		t.Fatal("UK pair must conflict")
+	}
+	if c.BinaryViolation(inUS1, inUS2) {
+		t.Fatal("US pair is out of the CFD's scope")
+	}
+}
+
+// TestExactAgainstBruteForce validates the forced+cover decomposition
+// against subset enumeration on tiny random instances with random
+// patterns.
+func TestExactAgainstBruteForce(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	rng := rand.New(rand.NewSource(153))
+	f, _ := fd.Parse(sc, "A -> B")
+	for iter := 0; iter < 20; iter++ {
+		lhsPat := table.Value(Wildcard)
+		if rng.Intn(2) == 0 {
+			lhsPat = "v0"
+		}
+		rhsPat := table.Value(Wildcard)
+		if rng.Intn(2) == 0 {
+			rhsPat = "v1"
+		}
+		c, err := New(sc, f, []table.Value{lhsPat}, rhsPat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := []*CFD{c}
+		tab := workload.RandomWeightedTable(sc, 6, 2, 2, rng)
+		res, err := ExactSRepair(cs, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Satisfies(cs, res.Repair) {
+			t.Fatal("exact repair violates")
+		}
+		// Brute force over all subsets.
+		ids := tab.IDs()
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<uint(len(ids)); mask++ {
+			var keep []int
+			for i := range ids {
+				if mask&(1<<uint(i)) != 0 {
+					keep = append(keep, ids[i])
+				}
+			}
+			sub := tab.MustSubsetByIDs(keep)
+			if Satisfies(cs, sub) {
+				if d := table.DistSub(sub, tab); d < best {
+					best = d
+				}
+			}
+		}
+		if !table.WeightEq(res.TotalCost, best) {
+			t.Fatalf("iter %d: exact %v, brute force %v (cfd %s)\n%s",
+				iter, res.TotalCost, best, c, tab)
+		}
+		// The 2-approximation respects its bound and forced deletions.
+		ap, err := Approx2SRepair(cs, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Satisfies(cs, ap.Repair) {
+			t.Fatal("approx repair violates")
+		}
+		if ap.TotalCost > 2*best+1e-9 {
+			t.Fatalf("approx %v > 2×opt %v", ap.TotalCost, best)
+		}
+	}
+}
+
+// TestForcedCostAccounting: ForcedCost sums the weights of unary
+// violators.
+func TestForcedCostAccounting(t *testing.T) {
+	c := mustCFD(t, cust, "country -> city", []table.Value{"44"}, "LON")
+	tab := table.New(cust)
+	tab.MustInsert(1, table.Tuple{"44", "20", "LON"}, 1)
+	tab.MustInsert(2, table.Tuple{"44", "131", "EDI"}, 3) // unary violation
+	res, err := ExactSRepair([]*CFD{c}, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.WeightEq(res.ForcedCost, 3) || !table.WeightEq(res.TotalCost, 3) {
+		t.Fatalf("forced %v total %v, want 3/3", res.ForcedCost, res.TotalCost)
+	}
+}

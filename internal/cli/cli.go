@@ -1,0 +1,368 @@
+// Package cli implements the fdrepair command line: computing optimal
+// and approximate repairs of a CSV table under functional dependencies,
+// and explaining the complexity of an FD set under the dichotomy of
+// Livshits, Kimelfeld & Roy (PODS'18). It lives in a package (rather
+// than in cmd/) so the flag plumbing and CSV round trips are testable;
+// cmd/fdrepair is a thin shim over Run.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/fdrepair"
+	"repro/internal/fd"
+	"repro/internal/srepair"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+type fdFlags []string
+
+func (f *fdFlags) String() string     { return strings.Join(*f, "; ") }
+func (f *fdFlags) Set(s string) error { *f = append(*f, s); return nil }
+
+// Run executes the CLI with the given arguments (excluding the program
+// name), writing to the supplied streams. It returns the process exit
+// code.
+func Run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "classify":
+		err = cmdClassify(args[1:], stdout, stderr)
+	case "srepair":
+		err = cmdSRepair(args[1:], stdout, stderr)
+	case "urepair":
+		err = cmdURepair(args[1:], stdout, stderr)
+	case "mpd":
+		err = cmdMPD(args[1:], stdout, stderr)
+	case "count":
+		err = cmdCount(args[1:], stdout, stderr)
+	case "gen":
+		err = cmdGen(args[1:], stdout, stderr)
+	case "entails":
+		err = cmdEntails(args[1:], stdout, stderr)
+	case "demo":
+		err = cmdDemo(stdout)
+	case "-h", "--help", "help":
+		usage(stdout)
+	default:
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "fdrepair:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: fdrepair <classify|srepair|urepair|mpd|count|gen|entails|demo> [flags]
+  classify -attrs A,B,C -fd "A -> B" [-fd ...]     explain the dichotomy for an FD set
+  srepair  -in t.csv -fd "A -> B" [-mode auto|exact|approx] [-out s.csv]
+  urepair  -in t.csv -fd "A -> B" [-out u.csv]
+  mpd      -in t.csv -fd "A -> B" [-out m.csv]     weights read as probabilities
+  count    -in t.csv -fd "A -> B" [-list N]        count/enumerate subset repairs
+  gen      [-kind dirty|uniform|zipf|flights|office] [-n 100] [-dirty 0.1] [-out t.csv]
+  entails  -attrs A,B,C -fd "A -> B" -fd "B -> C" -check "A -> C"   derivation proof
+  demo                                             run the paper's Figure-1 example`)
+}
+
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+func loadTable(path string) (*fdrepair.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return table.ReadCSV(f, "T")
+}
+
+func parseFDs(sc *fdrepair.Schema, specs fdFlags) (*fdrepair.FDSet, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("at least one -fd is required")
+	}
+	return fdrepair.ParseFDs(sc, specs...)
+}
+
+func writeOut(t *fdrepair.Table, path string, stdout io.Writer) error {
+	if path == "" {
+		fmt.Fprint(stdout, t.String())
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+// writeDiff prints the human-readable change summary of a repair.
+func writeDiff(orig, repaired *fdrepair.Table, stdout io.Writer) error {
+	d, err := table.DiffTables(orig, repaired)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, d.Render(orig.Schema()))
+	return nil
+}
+
+func cmdClassify(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("classify", stderr)
+	attrs := fs.String("attrs", "", "comma-separated attribute list")
+	var specs fdFlags
+	fs.Var(&specs, "fd", "functional dependency \"X -> Y\" (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *attrs == "" {
+		return errors.New("-attrs is required")
+	}
+	sc, err := fdrepair.NewSchema("R", strings.Split(*attrs, ",")...)
+	if err != nil {
+		return err
+	}
+	ds, err := parseFDs(sc, specs)
+	if err != nil {
+		return err
+	}
+	info := fdrepair.Classify(ds)
+	fmt.Fprintf(stdout, "FD set: %v\n", ds)
+	fmt.Fprintf(stdout, "simplification: %s\n", fdrepair.ExplainTrace(info))
+	if info.SRepairPolyTime {
+		fmt.Fprintln(stdout, "optimal S-repair: polynomial time (OptSRepair succeeds; Theorem 3.4)")
+		fmt.Fprintln(stdout, "most probable database: polynomial time (Theorem 3.10)")
+	} else {
+		fmt.Fprintf(stdout, "optimal S-repair: APX-complete (%s)\n", info.HardClass)
+		fmt.Fprintln(stdout, "most probable database: NP-hard (Theorem 3.10)")
+		fmt.Fprintln(stdout, "fallback: 2-approximation available (Proposition 3.3)")
+	}
+	if info.URepairExact {
+		fmt.Fprintln(stdout, "optimal U-repair: polynomial time (Section 4 cases)")
+	} else {
+		fmt.Fprintln(stdout, "optimal U-repair: not known tractable; combined approximation of Section 4.4 applies")
+	}
+	return nil
+}
+
+func cmdSRepair(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("srepair", stderr)
+	in := fs.String("in", "", "input CSV")
+	out := fs.String("out", "", "output CSV (default: print)")
+	mode := fs.String("mode", "auto", "auto | exact | approx")
+	diff := fs.Bool("diff", false, "print a change summary instead of the table")
+	var specs fdFlags
+	fs.Var(&specs, "fd", "functional dependency (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("-in is required")
+	}
+	t, err := loadTable(*in)
+	if err != nil {
+		return err
+	}
+	ds, err := parseFDs(t.Schema(), specs)
+	if err != nil {
+		return err
+	}
+	var rep *fdrepair.Table
+	var cost float64
+	switch *mode {
+	case "auto":
+		rep, cost, err = fdrepair.OptimalSRepair(ds, t)
+		if errors.Is(err, srepair.ErrNoSimplification) {
+			fmt.Fprintln(stderr, "note: FD set is APX-hard; using the 2-approximation (pass -mode exact for the exponential baseline)")
+			rep, cost, err = fdrepair.ApproxSRepair(ds, t)
+		}
+	case "exact":
+		rep, cost, err = fdrepair.ExactSRepair(ds, t)
+	case "approx":
+		rep, cost, err = fdrepair.ApproxSRepair(ds, t)
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "deleted weight (dist_sub): %g; kept %d of %d tuples\n", cost, rep.Len(), t.Len())
+	if *diff {
+		return writeDiff(t, rep, stdout)
+	}
+	return writeOut(rep, *out, stdout)
+}
+
+func cmdURepair(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("urepair", stderr)
+	in := fs.String("in", "", "input CSV")
+	out := fs.String("out", "", "output CSV (default: print)")
+	diff := fs.Bool("diff", false, "print a change summary instead of the table")
+	var specs fdFlags
+	fs.Var(&specs, "fd", "functional dependency (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("-in is required")
+	}
+	t, err := loadTable(*in)
+	if err != nil {
+		return err
+	}
+	ds, err := parseFDs(t.Schema(), specs)
+	if err != nil {
+		return err
+	}
+	res, err := fdrepair.OptimalURepair(ds, t)
+	if err != nil {
+		return err
+	}
+	status := "optimal"
+	if !res.Exact {
+		status = fmt.Sprintf("approximate (ratio ≤ %g)", res.RatioBound)
+	}
+	fmt.Fprintf(stderr, "updated-cell cost (dist_upd): %g; %s; method: %s\n", res.Cost, status, res.Method)
+	if *diff {
+		return writeDiff(t, res.Update, stdout)
+	}
+	return writeOut(res.Update, *out, stdout)
+}
+
+func cmdMPD(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("mpd", stderr)
+	in := fs.String("in", "", "input CSV (weights are probabilities in (0,1])")
+	out := fs.String("out", "", "output CSV (default: print)")
+	var specs fdFlags
+	fs.Var(&specs, "fd", "functional dependency (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("-in is required")
+	}
+	t, err := loadTable(*in)
+	if err != nil {
+		return err
+	}
+	ds, err := parseFDs(t.Schema(), specs)
+	if err != nil {
+		return err
+	}
+	s, p, err := fdrepair.MostProbableDatabase(ds, t)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "most probable database: %d of %d tuples, probability %.6g\n", s.Len(), t.Len(), p)
+	return writeOut(s, *out, stdout)
+}
+
+func cmdCount(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("count", stderr)
+	in := fs.String("in", "", "input CSV")
+	list := fs.Int("list", 0, "also print up to N repairs")
+	var specs fdFlags
+	fs.Var(&specs, "fd", "functional dependency (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("-in is required")
+	}
+	t, err := loadTable(*in)
+	if err != nil {
+		return err
+	}
+	ds, err := parseFDs(t.Schema(), specs)
+	if err != nil {
+		return err
+	}
+	c, err := fdrepair.CountSRepairs(ds, t)
+	if err != nil {
+		return err
+	}
+	chain := "chain FD set: polynomial counting"
+	if !ds.Canonical().IsChain() {
+		chain = "non-chain FD set: counted by bounded enumeration (#P-complete in general)"
+	}
+	fmt.Fprintf(stdout, "subset repairs: %v (%s)\n", c, chain)
+	if *list > 0 {
+		reps, _, err := fdrepair.SubsetRepairs(ds, t, *list)
+		if err != nil {
+			return err
+		}
+		for _, r := range reps {
+			fmt.Fprintf(stdout, "  keep %v (deleted weight %g)\n", r.IDs(), fdrepair.DistSub(r, t))
+		}
+	}
+	return nil
+}
+
+func cmdDemo(stdout io.Writer) error {
+	_, ds, t := workload.Office()
+	fmt.Fprintln(stdout, "Running example (Figure 1): table T over Office(facility, room, floor, city)")
+	fmt.Fprint(stdout, t.String())
+	info := fdrepair.Classify(ds)
+	fmt.Fprintf(stdout, "\nFD set: %v\nsimplification: %s\n\n", ds, fdrepair.ExplainTrace(info))
+	s, cost, err := fdrepair.OptimalSRepair(ds, t)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "optimal S-repair (dist_sub = %g):\n%s\n", cost, s.String())
+	res, err := fdrepair.OptimalURepair(ds, t)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "optimal U-repair (dist_upd = %g, method %s):\n%s", res.Cost, res.Method, res.Update.String())
+	return nil
+}
+
+// cmdEntails checks Δ ⊧ X → Y and prints an Armstrong-style derivation
+// when it holds.
+func cmdEntails(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("entails", stderr)
+	attrs := fs.String("attrs", "", "comma-separated attribute list")
+	check := fs.String("check", "", "the FD to prove, e.g. \"A -> C\"")
+	var specs fdFlags
+	fs.Var(&specs, "fd", "functional dependency (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *attrs == "" || *check == "" {
+		return errors.New("-attrs and -check are required")
+	}
+	sc, err := fdrepair.NewSchema("R", strings.Split(*attrs, ",")...)
+	if err != nil {
+		return err
+	}
+	ds, err := parseFDs(sc, specs)
+	if err != nil {
+		return err
+	}
+	target, err := fd.Parse(sc, *check)
+	if err != nil {
+		return err
+	}
+	steps, ok := ds.Explain(target)
+	if !ok {
+		fmt.Fprintf(stdout, "%s is NOT entailed by %v\n", ds.FDString(target), ds)
+		return nil
+	}
+	fmt.Fprint(stdout, ds.RenderDerivation(target, steps))
+	return nil
+}

@@ -1,0 +1,243 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run executes the CLI and returns (stdout, stderr, exit code).
+func run(args ...string) (string, string, int) {
+	var out, errOut bytes.Buffer
+	code := Run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+// writeCSV drops a CSV fixture into a temp dir.
+func writeCSV(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const officeCSV = `id,facility,room,floor,city,w
+1,HQ,322,3,Paris,2
+2,HQ,322,30,Madrid,1
+3,HQ,122,1,Madrid,1
+4,Lab1,B35,3,London,2
+`
+
+func TestUsageAndUnknown(t *testing.T) {
+	_, errOut, code := run()
+	if code != 2 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("no-args: code %d, stderr %q", code, errOut)
+	}
+	_, errOut, code = run("bogus")
+	if code != 2 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("unknown: code %d", code)
+	}
+	out, _, code := run("help")
+	if code != 0 || !strings.Contains(out, "usage:") {
+		t.Fatalf("help: code %d", code)
+	}
+}
+
+func TestDemo(t *testing.T) {
+	out, _, code := run("demo")
+	if code != 0 {
+		t.Fatalf("demo failed: %d", code)
+	}
+	for _, want := range []string{"optimal S-repair (dist_sub = 2)", "optimal U-repair (dist_upd = 2", "common lhs facility"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("demo output missing %q", want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	out, _, code := run("classify", "-attrs", "A,B,C", "-fd", "A -> B", "-fd", "B -> C")
+	if code != 0 {
+		t.Fatalf("classify failed: %d", code)
+	}
+	if !strings.Contains(out, "APX-complete") || !strings.Contains(out, "class 3") {
+		t.Errorf("classify output: %q", out)
+	}
+	out, _, code = run("classify", "-attrs", "A,B", "-fd", "A -> B")
+	if code != 0 || !strings.Contains(out, "polynomial time") {
+		t.Errorf("tractable classify: code %d, out %q", code, out)
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	if _, _, code := run("classify", "-fd", "A -> B"); code != 1 {
+		t.Error("missing -attrs must fail")
+	}
+	if _, _, code := run("classify", "-attrs", "A,B"); code != 1 {
+		t.Error("missing -fd must fail")
+	}
+	if _, _, code := run("classify", "-attrs", "A,B", "-fd", "A -> Z"); code != 1 {
+		t.Error("unknown attribute must fail")
+	}
+}
+
+func TestSRepairAuto(t *testing.T) {
+	in := writeCSV(t, "office.csv", officeCSV)
+	out, errOut, code := run("srepair", "-in", in,
+		"-fd", "facility -> city", "-fd", "facility room -> floor")
+	if code != 0 {
+		t.Fatalf("srepair failed: %d (%s)", code, errOut)
+	}
+	if !strings.Contains(errOut, "dist_sub): 2") {
+		t.Errorf("stderr = %q", errOut)
+	}
+	if !strings.Contains(out, "Lab1") {
+		t.Errorf("stdout = %q", out)
+	}
+}
+
+func TestSRepairHardFallsBack(t *testing.T) {
+	in := writeCSV(t, "abc.csv", "id,A,B,C,w\n1,a,b,c1,1\n2,a,b,c2,1\n")
+	_, errOut, code := run("srepair", "-in", in, "-fd", "A -> B", "-fd", "B -> C")
+	if code != 0 {
+		t.Fatalf("srepair failed: %d (%s)", code, errOut)
+	}
+	if !strings.Contains(errOut, "2-approximation") {
+		t.Errorf("expected fallback note, got %q", errOut)
+	}
+	// Exact and approx modes work explicitly.
+	if _, _, code := run("srepair", "-in", in, "-fd", "A -> B", "-mode", "exact"); code != 0 {
+		t.Error("exact mode failed")
+	}
+	if _, _, code := run("srepair", "-in", in, "-fd", "A -> B", "-mode", "approx"); code != 0 {
+		t.Error("approx mode failed")
+	}
+	if _, _, code := run("srepair", "-in", in, "-fd", "A -> B", "-mode", "zigzag"); code != 1 {
+		t.Error("bad mode must fail")
+	}
+}
+
+func TestSRepairOutFile(t *testing.T) {
+	in := writeCSV(t, "office.csv", officeCSV)
+	outPath := filepath.Join(t.TempDir(), "repaired.csv")
+	_, _, code := run("srepair", "-in", in, "-out", outPath,
+		"-fd", "facility -> city", "-fd", "facility room -> floor")
+	if code != 0 {
+		t.Fatal("srepair -out failed")
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "id,facility,room,floor,city,w") {
+		t.Errorf("output CSV malformed: %q", string(data))
+	}
+}
+
+func TestURepair(t *testing.T) {
+	in := writeCSV(t, "office.csv", officeCSV)
+	_, errOut, code := run("urepair", "-in", in,
+		"-fd", "facility -> city", "-fd", "facility room -> floor")
+	if code != 0 {
+		t.Fatalf("urepair failed: %d (%s)", code, errOut)
+	}
+	if !strings.Contains(errOut, "dist_upd): 2") || !strings.Contains(errOut, "optimal") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestMPD(t *testing.T) {
+	in := writeCSV(t, "prob.csv", "id,A,B,w\n1,a,x,0.9\n2,a,y,0.7\n")
+	out, errOut, code := run("mpd", "-in", in, "-fd", "A -> B")
+	if code != 0 {
+		t.Fatalf("mpd failed: %d (%s)", code, errOut)
+	}
+	if !strings.Contains(errOut, "most probable database: 1 of 2") {
+		t.Errorf("stderr = %q", errOut)
+	}
+	if !strings.Contains(out, "x") || strings.Contains(out, "y") {
+		t.Errorf("stdout = %q", out)
+	}
+	// Probabilities outside (0,1] are rejected.
+	bad := writeCSV(t, "bad.csv", "id,A,B,w\n1,a,x,2\n")
+	if _, _, code := run("mpd", "-in", bad, "-fd", "A -> B"); code != 1 {
+		t.Error("invalid probability must fail")
+	}
+}
+
+func TestCount(t *testing.T) {
+	in := writeCSV(t, "office.csv", officeCSV)
+	out, _, code := run("count", "-in", in, "-list", "5",
+		"-fd", "facility -> city", "-fd", "facility room -> floor")
+	if code != 0 {
+		t.Fatalf("count failed: %d", code)
+	}
+	if !strings.Contains(out, "subset repairs: 2") || !strings.Contains(out, "polynomial counting") {
+		t.Errorf("stdout = %q", out)
+	}
+	if strings.Count(out, "keep [") != 2 {
+		t.Errorf("expected 2 listed repairs: %q", out)
+	}
+	// Non-chain note.
+	abc := writeCSV(t, "abc.csv", "id,A,B,C,w\n1,a,b,c1,1\n2,a,b,c2,1\n")
+	out, _, code = run("count", "-in", abc, "-fd", "A -> B", "-fd", "B -> C")
+	if code != 0 || !strings.Contains(out, "bounded enumeration") {
+		t.Errorf("non-chain count: code %d, out %q", code, out)
+	}
+}
+
+func TestMissingInput(t *testing.T) {
+	for _, sub := range []string{"srepair", "urepair", "mpd", "count"} {
+		if _, _, code := run(sub, "-fd", "A -> B"); code != 1 {
+			t.Errorf("%s without -in must fail", sub)
+		}
+		if _, _, code := run(sub, "-in", "/nonexistent.csv", "-fd", "A -> B"); code != 1 {
+			t.Errorf("%s with missing file must fail", sub)
+		}
+	}
+}
+
+func TestDiffFlags(t *testing.T) {
+	in := writeCSV(t, "office.csv", officeCSV)
+	out, _, code := run("srepair", "-in", in, "-diff",
+		"-fd", "facility -> city", "-fd", "facility room -> floor")
+	if code != 0 {
+		t.Fatal("srepair -diff failed")
+	}
+	if !strings.Contains(out, "- delete tuple") {
+		t.Errorf("srepair diff = %q", out)
+	}
+	out, _, code = run("urepair", "-in", in, "-diff",
+		"-fd", "facility -> city", "-fd", "facility room -> floor")
+	if code != 0 {
+		t.Fatal("urepair -diff failed")
+	}
+	if !strings.Contains(out, "~ tuple") || !strings.Contains(out, "facility:") {
+		t.Errorf("urepair diff = %q", out)
+	}
+}
+
+func TestEntails(t *testing.T) {
+	out, _, code := run("entails", "-attrs", "A,B,C",
+		"-fd", "A -> B", "-fd", "B -> C", "-check", "A -> C")
+	if code != 0 {
+		t.Fatal("entails failed")
+	}
+	if !strings.Contains(out, "fire A → B") || !strings.Contains(out, "⊢ C reached") {
+		t.Errorf("derivation = %q", out)
+	}
+	out, _, code = run("entails", "-attrs", "A,B", "-fd", "A -> B", "-check", "B -> A")
+	if code != 0 || !strings.Contains(out, "NOT entailed") {
+		t.Errorf("non-entailment: code %d out %q", code, out)
+	}
+	if _, _, code := run("entails", "-attrs", "A,B", "-fd", "A -> B"); code != 1 {
+		t.Error("missing -check must fail")
+	}
+	if _, _, code := run("entails", "-attrs", "A,B", "-fd", "A -> B", "-check", "A -> Z"); code != 1 {
+		t.Error("bad -check must fail")
+	}
+}

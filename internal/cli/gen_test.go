@@ -1,0 +1,67 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenKinds(t *testing.T) {
+	for _, kind := range []string{"dirty", "uniform", "zipf", "flights", "office"} {
+		out, errOut, code := run("gen", "-kind", kind, "-n", "20", "-seed", "7")
+		if code != 0 {
+			t.Fatalf("gen -kind %s failed: %d (%s)", kind, code, errOut)
+		}
+		lines := strings.Count(out, "\n")
+		if lines < 2 {
+			t.Errorf("gen -kind %s produced %d lines", kind, lines)
+		}
+		if !strings.HasPrefix(out, "id,") {
+			t.Errorf("gen -kind %s missing id header: %q", kind, out[:20])
+		}
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	out1, _, _ := run("gen", "-kind", "dirty", "-n", "30", "-seed", "9", "-dirty", "0.2")
+	out2, _, _ := run("gen", "-kind", "dirty", "-n", "30", "-seed", "9", "-dirty", "0.2")
+	if out1 != out2 {
+		t.Fatal("same seed must reproduce the same table")
+	}
+	out3, _, _ := run("gen", "-kind", "dirty", "-n", "30", "-seed", "10", "-dirty", "0.2")
+	if out1 == out3 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenToFileAndPipeline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gen.csv")
+	_, errOut, code := run("gen", "-kind", "dirty", "-n", "25", "-dirty", "0.3", "-out", path)
+	if code != 0 {
+		t.Fatalf("gen -out failed: %s", errOut)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	// The generated file feeds straight into srepair.
+	_, errOut, code = run("srepair", "-in", path, "-fd", "A -> B", "-mode", "approx")
+	if code != 0 {
+		t.Fatalf("pipeline srepair failed: %s", errOut)
+	}
+	if !strings.Contains(errOut, "dist_sub") {
+		t.Errorf("pipeline stderr = %q", errOut)
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	if _, _, code := run("gen", "-kind", "bogus"); code != 1 {
+		t.Error("unknown kind must fail")
+	}
+	if _, _, code := run("gen", "-n", "0"); code != 1 {
+		t.Error("n=0 must fail")
+	}
+	if _, _, code := run("gen", "-attrs", "A,A"); code != 1 {
+		t.Error("duplicate attrs must fail")
+	}
+}

@@ -1,0 +1,173 @@
+package cqa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/enumerate"
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func TestQueryValidation(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	if _, err := NewQuery(nil, sc.MustSet("A")); err == nil {
+		t.Error("nil schema must be rejected")
+	}
+	if _, err := NewQuery(sc, schema.EmptySet); err == nil {
+		t.Error("empty projection must be rejected")
+	}
+	if _, err := NewQuery(sc, sc.MustSet("A"), Filter{Attr: 5}); err == nil {
+		t.Error("bad filter attribute must be rejected")
+	}
+}
+
+func TestEvalSelectionProjection(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"a", "x", "1"}, 1)
+	tab.MustInsert(2, table.Tuple{"a", "y", "2"}, 1)
+	tab.MustInsert(3, table.Tuple{"b", "x", "3"}, 1)
+	bIdx, _ := sc.AttrIndex("B")
+	q, err := NewQuery(sc, sc.MustSet("A"), Filter{Attr: bIdx, Value: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := q.Eval(tab)
+	if len(ans) != 2 { // projections "a" and "b"
+		t.Fatalf("answers = %v", ans)
+	}
+}
+
+// TestConsistentAnswersRunningExample: on Figure 1 under Δ, the query
+// "which city is HQ in?" has no certain answer (Paris in S2, Madrid in
+// S1) while "which city is Lab1 in?" certainly answers London.
+func TestConsistentAnswersRunningExample(t *testing.T) {
+	sc, ds, tab := workload.Office()
+	fac, _ := sc.AttrIndex("facility")
+	city := sc.MustSet("city")
+
+	qHQ, err := NewQuery(sc, city, Filter{Attr: fac, Value: "HQ"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := ConsistentAnswers(ds, tab, qHQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Certain) != 0 {
+		t.Fatalf("HQ city certain answers = %v, want none", ans.Certain)
+	}
+	if len(ans.Possible) != 2 {
+		t.Fatalf("HQ city possible answers = %v, want Paris and Madrid", ans.Possible)
+	}
+
+	qLab, err := NewQuery(sc, city, Filter{Attr: fac, Value: "Lab1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err = ConsistentAnswers(ds, tab, qLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Certain) != 1 || ans.Certain[0][0] != "London" {
+		t.Fatalf("Lab1 certain answers = %v, want [London]", ans.Certain)
+	}
+}
+
+// TestCertainSubsetOfPossible and both bounded by the dirty table's own
+// answers, on random instances.
+func TestCertainSubsetOfPossible(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> C")
+	rng := rand.New(rand.NewSource(121))
+	for iter := 0; iter < 15; iter++ {
+		tab := workload.RandomTable(sc, 7, 2, rng)
+		q, err := NewQuery(sc, sc.MustSet("A", "B"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := ConsistentAnswers(ds, tab, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Repairs < 1 {
+			t.Fatal("no repairs inspected")
+		}
+		if len(ans.Certain) > len(ans.Possible) {
+			t.Fatal("certain answers exceed possible answers")
+		}
+		possible := map[string]bool{}
+		for _, p := range ans.Possible {
+			possible[tupleKey(p)] = true
+		}
+		for _, c := range ans.Certain {
+			if !possible[tupleKey(c)] {
+				t.Fatal("certain answer not among possible answers")
+			}
+		}
+		// Direct verification: every certain answer appears in every
+		// repair; every possible answer appears in some repair.
+		reps, _, err := enumerate.SubsetRepairs(ds, tab, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perRepair := make([]map[string]bool, len(reps))
+		for i, rep := range reps {
+			perRepair[i] = map[string]bool{}
+			for _, v := range q.Eval(rep) {
+				perRepair[i][tupleKey(v)] = true
+			}
+		}
+		for _, c := range ans.Certain {
+			for i := range perRepair {
+				if !perRepair[i][tupleKey(c)] {
+					t.Fatalf("certain answer %v missing from repair %d", c, i)
+				}
+			}
+		}
+		for _, p := range ans.Possible {
+			found := false
+			for i := range perRepair {
+				if perRepair[i][tupleKey(p)] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("possible answer %v not in any repair", p)
+			}
+		}
+	}
+}
+
+func tupleKey(t table.Tuple) string {
+	k := ""
+	for _, v := range t {
+		k += v + "\x01"
+	}
+	return k
+}
+
+// TestConsistentTableAllCertain: on a consistent table the unique
+// repair is the table itself, so certain = possible = plain answers.
+func TestConsistentTableAllCertain(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	ds := fd.MustParseSet(sc, "A -> B")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"a", "x"}, 1)
+	tab.MustInsert(2, table.Tuple{"b", "y"}, 1)
+	q, err := NewQuery(sc, sc.MustSet("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := ConsistentAnswers(ds, tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Repairs != 1 || len(ans.Certain) != 2 || len(ans.Possible) != 2 {
+		t.Fatalf("answers = %+v", ans)
+	}
+}

@@ -1,0 +1,336 @@
+// Package denial extends subset repairing from FDs to binary denial
+// constraints — the first future-work direction of Section 5. A binary
+// denial constraint forbids the coexistence of two tuples matching a
+// conjunction of comparison atoms:
+//
+//	¬∃ t1, t2 : t1 ≠ t2 ∧ atom1 ∧ atom2 ∧ ...
+//
+// where each atom compares an attribute of t1 or t2 with an attribute
+// of the other (or the same) tuple under {=, ≠, <, ≤, >, ≥}. Every FD
+// X → A is the denial constraint ¬∃ t1,t2: t1[X]=t2[X] ∧ t1[A]≠t2[A],
+// and order atoms express constraints FDs cannot (e.g. "a higher rank
+// never earns less").
+//
+// Because the constraints are binary, a consistent subset is still an
+// independent set of a conflict graph, so the vertex-cover machinery of
+// Proposition 3.3 carries over verbatim: exact optimal S-repairs via
+// branch and bound and a 2-approximation via Bar-Yehuda–Even. (The
+// dichotomy of Theorem 3.4 does not: its simplifications are
+// FD-specific, and the paper leaves denial constraints open.)
+package denial
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/fd"
+	"repro/internal/graph"
+	"repro/internal/schema"
+	"repro/internal/table"
+)
+
+// Op is a comparison operator of an atom.
+type Op int
+
+const (
+	OpEq Op = iota
+	OpNeq
+	OpLt
+	OpLeq
+	OpGt
+	OpGeq
+)
+
+var opNames = map[Op]string{
+	OpEq: "=", OpNeq: "!=", OpLt: "<", OpLeq: "<=", OpGt: ">", OpGeq: ">=",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Ref addresses one side of an atom: attribute Attr of tuple variable
+// Var (0 for t1, 1 for t2).
+type Ref struct {
+	Var  int
+	Attr int
+}
+
+// Atom is a comparison Left op Right between tuple attributes.
+type Atom struct {
+	Left  Ref
+	Op    Op
+	Right Ref
+}
+
+// Constraint is a binary denial constraint: a conjunction of atoms that
+// no pair of distinct tuples may satisfy.
+type Constraint struct {
+	sc    *schema.Schema
+	atoms []Atom
+}
+
+// New builds a constraint over the schema, validating attribute
+// positions and tuple variables.
+func New(sc *schema.Schema, atoms ...Atom) (*Constraint, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("denial: nil schema")
+	}
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("denial: constraint needs at least one atom")
+	}
+	for i, a := range atoms {
+		for _, ref := range []Ref{a.Left, a.Right} {
+			if ref.Var != 0 && ref.Var != 1 {
+				return nil, fmt.Errorf("denial: atom %d uses tuple variable t%d", i, ref.Var+1)
+			}
+			if ref.Attr < 0 || ref.Attr >= sc.Arity() {
+				return nil, fmt.Errorf("denial: atom %d addresses attribute %d outside %s", i, ref.Attr, sc)
+			}
+		}
+		if _, ok := opNames[a.Op]; !ok {
+			return nil, fmt.Errorf("denial: atom %d has unknown operator", i)
+		}
+	}
+	return &Constraint{sc: sc, atoms: atoms}, nil
+}
+
+// Schema returns the constraint's schema.
+func (c *Constraint) Schema() *schema.Schema { return c.sc }
+
+// String renders the constraint in the parser's syntax.
+func (c *Constraint) String() string {
+	parts := make([]string, len(c.atoms))
+	for i, a := range c.atoms {
+		parts[i] = fmt.Sprintf("t%d.%s %s t%d.%s",
+			a.Left.Var+1, c.sc.AttrName(a.Left.Attr), a.Op,
+			a.Right.Var+1, c.sc.AttrName(a.Right.Attr))
+	}
+	return strings.Join(parts, " & ")
+}
+
+// compare orders two values numerically when both parse as floats,
+// lexicographically otherwise; returns -1, 0, or 1.
+func compare(a, b table.Value) int {
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA == nil && errB == nil {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// holds evaluates an atom against an assignment (t1, t2).
+func (a Atom) holds(t1, t2 table.Tuple) bool {
+	pick := func(r Ref) table.Value {
+		if r.Var == 0 {
+			return t1[r.Attr]
+		}
+		return t2[r.Attr]
+	}
+	cmp := compare(pick(a.Left), pick(a.Right))
+	switch a.Op {
+	case OpEq:
+		return cmp == 0
+	case OpNeq:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLeq:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGeq:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// Violates reports whether the (unordered) tuple pair violates the
+// constraint under either assignment of (t1, t2).
+func (c *Constraint) Violates(u, v table.Tuple) bool {
+	return c.violatesOrdered(u, v) || c.violatesOrdered(v, u)
+}
+
+func (c *Constraint) violatesOrdered(t1, t2 table.Tuple) bool {
+	for _, a := range c.atoms {
+		if !a.holds(t1, t2) {
+			return false
+		}
+	}
+	return true
+}
+
+// FromFD translates an FD X → Y into the equivalent set of denial
+// constraints (one per rhs attribute in canonical form):
+// ¬∃t1,t2: t1[X]=t2[X] ∧ t1[A]≠t2[A].
+func FromFD(sc *schema.Schema, f fd.FD) ([]*Constraint, error) {
+	var out []*Constraint
+	for _, rhs := range f.RHS.Diff(f.LHS).Positions() {
+		var atoms []Atom
+		for _, x := range f.LHS.Positions() {
+			atoms = append(atoms, Atom{Left: Ref{0, x}, Op: OpEq, Right: Ref{1, x}})
+		}
+		atoms = append(atoms, Atom{Left: Ref{0, rhs}, Op: OpNeq, Right: Ref{1, rhs}})
+		c, err := New(sc, atoms...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// FromFDSet translates a whole FD set.
+func FromFDSet(ds *fd.Set) ([]*Constraint, error) {
+	var out []*Constraint
+	for _, f := range ds.Canonical().FDs() {
+		cs, err := FromFD(ds.Schema(), f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs...)
+	}
+	return out, nil
+}
+
+// Parse reads a constraint from the textual form
+// "t1.A = t2.A & t1.B != t2.B" with operators =, !=, <, <=, >, >=.
+func Parse(sc *schema.Schema, spec string) (*Constraint, error) {
+	var atoms []Atom
+	for _, part := range strings.Split(spec, "&") {
+		fields := strings.Fields(strings.TrimSpace(part))
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("denial: atom %q is not of the form \"tI.Attr op tJ.Attr\"", part)
+		}
+		left, err := parseRef(sc, fields[0])
+		if err != nil {
+			return nil, err
+		}
+		op, err := parseOp(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		right, err := parseRef(sc, fields[2])
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, Atom{Left: left, Op: op, Right: right})
+	}
+	return New(sc, atoms...)
+}
+
+func parseRef(sc *schema.Schema, s string) (Ref, error) {
+	dot := strings.IndexByte(s, '.')
+	if dot < 0 {
+		return Ref{}, fmt.Errorf("denial: reference %q lacks a dot", s)
+	}
+	varPart, attrPart := s[:dot], s[dot+1:]
+	var v int
+	switch varPart {
+	case "t1":
+		v = 0
+	case "t2":
+		v = 1
+	default:
+		return Ref{}, fmt.Errorf("denial: unknown tuple variable %q", varPart)
+	}
+	i, ok := sc.AttrIndex(attrPart)
+	if !ok {
+		return Ref{}, fmt.Errorf("denial: unknown attribute %q", attrPart)
+	}
+	return Ref{Var: v, Attr: i}, nil
+}
+
+func parseOp(s string) (Op, error) {
+	for op, name := range opNames {
+		if s == name {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("denial: unknown operator %q", s)
+}
+
+// ConflictGraph returns the pairs of tuple ids violating at least one
+// constraint. Quadratic (denial constraints have no lhs to group by).
+func ConflictGraph(cs []*Constraint, t *table.Table) []table.ConflictEdge {
+	rows := t.Rows()
+	var out []table.ConflictEdge
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			for _, c := range cs {
+				if c.Violates(rows[i].Tuple, rows[j].Tuple) {
+					out = append(out, table.ConflictEdge{ID1: rows[i].ID, ID2: rows[j].ID})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Satisfies reports whether the table violates none of the constraints.
+func Satisfies(cs []*Constraint, t *table.Table) bool {
+	return len(ConflictGraph(cs, t)) == 0
+}
+
+// repairProblem builds the vertex-cover instance.
+func repairProblem(cs []*Constraint, t *table.Table) (*graph.Graph, []int) {
+	ids := t.IDs()
+	index := make(map[int]int, len(ids))
+	weights := make([]float64, len(ids))
+	for i, id := range ids {
+		index[id] = i
+		weights[i] = t.Weight(id)
+	}
+	g := graph.MustNewGraph(weights)
+	for _, e := range ConflictGraph(cs, t) {
+		if err := g.AddEdge(index[e.ID1], index[e.ID2]); err != nil {
+			panic(err)
+		}
+	}
+	return g, ids
+}
+
+func coverToSubset(t *table.Table, ids []int, cover map[int]bool) *table.Table {
+	var keep []int
+	for i, id := range ids {
+		if !cover[i] {
+			keep = append(keep, id)
+		}
+	}
+	return t.MustSubsetByIDs(keep)
+}
+
+// ExactSRepair computes an optimal S-repair under binary denial
+// constraints via exact minimum-weight vertex cover (exponential,
+// size-guarded — the problem is APX-hard already for FDs).
+func ExactSRepair(cs []*Constraint, t *table.Table) (*table.Table, error) {
+	g, ids := repairProblem(cs, t)
+	cover, err := g.ExactMinVertexCover()
+	if err != nil {
+		return nil, err
+	}
+	return coverToSubset(t, ids, cover), nil
+}
+
+// Approx2SRepair computes a 2-optimal S-repair in polynomial time
+// (Proposition 3.3 carries over to binary denial constraints).
+func Approx2SRepair(cs []*Constraint, t *table.Table) (*table.Table, error) {
+	g, ids := repairProblem(cs, t)
+	return coverToSubset(t, ids, g.ApproxVertexCoverBE()), nil
+}

@@ -1,0 +1,194 @@
+package denial
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/srepair"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+var emp = schema.MustNew("Emp", "name", "rank", "salary")
+
+func TestParseAndString(t *testing.T) {
+	c, err := Parse(emp, "t1.rank < t2.rank & t1.salary > t2.salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.String()
+	if !strings.Contains(s, "t1.rank < t2.rank") || !strings.Contains(s, "t1.salary > t2.salary") {
+		t.Errorf("String = %q", s)
+	}
+	for _, bad := range []string{
+		"", "t1.rank", "t3.rank < t2.rank", "t1.bogus < t2.rank",
+		"t1.rank ~ t2.rank", "t1rank < t2.rank",
+	} {
+		if _, err := Parse(emp, bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestOrderConstraint(t *testing.T) {
+	// "A higher rank never earns less": forbid rank1 < rank2 while
+	// salary1 > salary2.
+	c, err := Parse(emp, "t1.rank < t2.rank & t1.salary > t2.salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok1 := table.Tuple{"ann", "1", "100"}
+	ok2 := table.Tuple{"bob", "2", "150"}
+	bad := table.Tuple{"eve", "3", "120"} // outranks bob but earns less
+	if c.Violates(ok1, ok2) {
+		t.Error("monotone pair should not violate")
+	}
+	if !c.Violates(ok2, bad) || !c.Violates(bad, ok2) {
+		t.Error("inversion must violate in either argument order")
+	}
+}
+
+func TestNumericVsLexicographic(t *testing.T) {
+	c, err := Parse(emp, "t1.salary > t2.salary & t1.rank = t2.rank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric comparison: "9" < "10" numerically though "9" > "10"
+	// lexicographically.
+	low := table.Tuple{"a", "1", "9"}
+	high := table.Tuple{"b", "1", "10"}
+	if !c.Violates(low, high) {
+		t.Error("9 vs 10 must compare numerically (violation via t1=high)")
+	}
+	// Non-numeric falls back to lexicographic.
+	s1 := table.Tuple{"a", "1", "apple"}
+	s2 := table.Tuple{"b", "1", "banana"}
+	if !c.Violates(s2, s1) && !c.Violates(s1, s2) {
+		t.Error("lexicographic fallback should order apple < banana")
+	}
+}
+
+// TestFDTranslationAgrees: the FD→DC translation produces exactly the
+// FD conflict graph on random tables.
+func TestFDTranslationAgrees(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> C")
+	cs, err := FromFDSet(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(111))
+	for iter := 0; iter < 20; iter++ {
+		tab := workload.RandomTable(sc, 8, 2, rng)
+		want := map[table.ConflictEdge]bool{}
+		for _, e := range tab.ConflictGraph(ds) {
+			want[e] = true
+		}
+		got := ConflictGraph(cs, tab)
+		if len(got) != len(want) {
+			t.Fatalf("edge counts differ: %d vs %d", len(got), len(want))
+		}
+		for _, e := range got {
+			if !want[e] {
+				t.Fatalf("extra edge %v", e)
+			}
+		}
+		if Satisfies(cs, tab) != tab.Satisfies(ds) {
+			t.Fatal("satisfaction disagrees")
+		}
+	}
+}
+
+// TestExactMatchesFDExact: the DC exact repair agrees with the FD exact
+// repair cost on translated FD sets.
+func TestExactMatchesFDExact(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> C")
+	cs, err := FromFDSet(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(113))
+	for iter := 0; iter < 10; iter++ {
+		tab := workload.RandomWeightedTable(sc, 8, 2, 3, rng)
+		viaDC, err := ExactSRepair(cs, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaFD, err := srepair.Exact(ds, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !table.WeightEq(table.DistSub(viaDC, tab), table.DistSub(viaFD, tab)) {
+			t.Fatalf("costs differ: %v vs %v", table.DistSub(viaDC, tab), table.DistSub(viaFD, tab))
+		}
+	}
+}
+
+// TestApprox2Guarantee: the 2-approximation carries over to DCs.
+func TestApprox2Guarantee(t *testing.T) {
+	c, err := Parse(emp, "t1.rank < t2.rank & t1.salary > t2.salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := []*Constraint{c}
+	rng := rand.New(rand.NewSource(115))
+	for iter := 0; iter < 15; iter++ {
+		tab := table.New(emp)
+		for i := 1; i <= 10; i++ {
+			tab.MustInsert(i, table.Tuple{
+				"p" + string(rune('a'+i)),
+				itoa(rng.Intn(4)),
+				itoa(50 + rng.Intn(50)),
+			}, float64(1+rng.Intn(3)))
+		}
+		ap, err := Approx2SRepair(cs, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Satisfies(cs, ap) {
+			t.Fatal("approx repair violates the constraint")
+		}
+		ex, err := ExactSRepair(cs, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Satisfies(cs, ex) {
+			t.Fatal("exact repair violates the constraint")
+		}
+		ca, ce := table.DistSub(ap, tab), table.DistSub(ex, tab)
+		if ca > 2*ce+1e-9 {
+			t.Fatalf("approx %v exceeds 2×opt %v", ca, ce)
+		}
+	}
+}
+
+func TestConstraintValidation(t *testing.T) {
+	if _, err := New(emp); err == nil {
+		t.Error("empty constraint must be rejected")
+	}
+	if _, err := New(nil, Atom{}); err == nil {
+		t.Error("nil schema must be rejected")
+	}
+	if _, err := New(emp, Atom{Left: Ref{Var: 2}}); err == nil {
+		t.Error("bad variable must be rejected")
+	}
+	if _, err := New(emp, Atom{Left: Ref{Attr: 9}}); err == nil {
+		t.Error("bad attribute must be rejected")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	s := ""
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/fd"
+	"repro/internal/srepair"
+	"repro/internal/table"
+	"repro/internal/urepair"
+	"repro/internal/workload"
+)
+
+// RunCor45 regenerates Corollary 4.5: on random tables and
+// consensus-free FD sets, dist_sub(S*) ≤ dist_upd(U*) ≤
+// mlc(Δ)·dist_sub(S*), with both optima computed exactly (vertex-cover
+// baseline and brute-force update search on tiny instances).
+func RunCor45(seed int64) (string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	r := newReport("E8", "Corollary 4.5 — dist_sub(S*) ≤ dist_upd(U*) ≤ mlc·dist_sub(S*)")
+	r.rowf("FD set\tmlc\ttrials\tlower holds\tupper holds\tmax observed dUpd/dSub\tok")
+	sets := []struct {
+		name  string
+		specs []string
+	}{
+		{"{A→B}", []string{"A -> B"}},
+		{"{A→B, B→C}", []string{"A -> B", "B -> C"}},
+		{"{A→B, B→A}", []string{"A -> B", "B -> A"}},
+		{"{A→C, B→C}", []string{"A -> C", "B -> C"}},
+	}
+	const trials = 12
+	for _, s := range sets {
+		ds := fd.MustParseSet(abcSchema, s.specs...)
+		mlc, err := ds.MLC()
+		if err != nil {
+			return "", err
+		}
+		lower, upper := 0, 0
+		maxRatio := 0.0
+		for i := 0; i < trials; i++ {
+			tab := workload.RandomTable(abcSchema, 4, 2, rng)
+			sOpt, err := srepair.Exact(ds, tab)
+			if err != nil {
+				return "", err
+			}
+			dSub := table.DistSub(sOpt, tab)
+			_, dUpd, err := urepair.Exact(ds, tab)
+			if err != nil {
+				return "", err
+			}
+			if table.WeightLeq(dSub, dUpd) {
+				lower++
+			}
+			if dUpd <= float64(mlc)*dSub+1e-9 {
+				upper++
+			}
+			if dSub > 0 && dUpd/dSub > maxRatio {
+				maxRatio = dUpd / dSub
+			}
+		}
+		ok := lower == trials && upper == trials
+		r.rowf("%s\t%d\t%d\t%d\t%d\t%.3f\t%s", s.name, mlc, trials, lower, upper, maxRatio, boolMark(ok))
+	}
+	r.notef("paper: the sandwich holds for every consensus-free Δ; for common-lhs sets (mlc = 1) the two optima coincide (Corollary 4.6).")
+	return r.String(), nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/srepair"
+	"repro/internal/workload"
+)
+
+// RunEx35 regenerates Example 3.5 and the catalogue classifications:
+// the simplification trace of each named FD set of the paper and its
+// dichotomy side, compared with the paper's claims.
+func RunEx35() (string, error) {
+	r := newReport("E3", "Example 3.5 / Algorithm 2 — dichotomy traces for the paper's FD sets")
+	r.rowf("FD set\tsource\ttrace\tpoly (ours)\tpoly (paper)\tok")
+	for _, entry := range workload.Catalogue() {
+		steps, success := srepair.Trace(entry.Set)
+		var parts []string
+		for _, st := range steps {
+			parts = append(parts, st.Describe())
+		}
+		trace := strings.Join(parts, " ⇛ ")
+		if success {
+			trace += " ⇛ {}"
+		} else if trace == "" {
+			trace = "(stuck immediately)"
+		} else {
+			trace += " ⇛ STUCK"
+		}
+		ok := success == entry.SRepairPoly
+		r.rowf("%s\t%s\t%s\t%v\t%v\t%s", entry.Name, entry.Source, trace, success, entry.SRepairPoly, boolMark(ok))
+	}
+	r.notef("paper: OSRSucceeds(Δ) ⇔ optimal S-repairs are polynomial-time (Theorem 3.4).")
+	return r.String(), nil
+}
+
+// RunFig2 regenerates Figure 2 / Example 3.8: each ∆i of the example
+// lands in class i, and each class names its Table-1 base set.
+func RunFig2() (string, error) {
+	sc := schema.MustNew("R", "A", "B", "C", "D", "E")
+	r := newReport("E4", "Figure 2 / Example 3.8 — classes of non-simplifiable FD sets")
+	r.rowf("FD set\tpaper class\tmeasured class\tbase hard set\tok")
+	cases := []struct {
+		name  string
+		specs []string
+		want  fd.Class
+	}{
+		{"∆1 = {A→B, C→D}", []string{"A -> B", "C -> D"}, fd.Class1},
+		{"∆2 = {A→CD, B→CE}", []string{"A -> C D", "B -> C E"}, fd.Class2},
+		{"∆3 = {A→BC, B→D}", []string{"A -> B C", "B -> D"}, fd.Class3},
+		{"∆4 = {AB→C, AC→B, BC→A}", []string{"A B -> C", "A C -> B", "B C -> A"}, fd.Class4},
+		{"∆5 = {AB→C, C→AD}", []string{"A B -> C", "C -> A D"}, fd.Class5},
+	}
+	for _, c := range cases {
+		set := fd.MustParseSet(sc, c.specs...)
+		cl, err := set.ClassifyNonSimplifiable()
+		if err != nil {
+			return "", err
+		}
+		ok := cl.Class == c.want
+		r.rowf("%s\tclass %d\t%v\t%s\t%s", c.name, int(c.want), cl.Class, cl.Class.BaseSet(), boolMark(ok))
+	}
+	r.notef("paper: every non-simplifiable FD set falls into one of the five classes, each admitting a fact-wise reduction from a Table-1 set (Lemma A.22); the reductions themselves are property-tested in internal/reduction.")
+	return r.String(), nil
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs every experiment and asserts every check
+// line carries ✓ (the reports embed their own pass/fail marks).
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			out, err := r.Run()
+			if err != nil {
+				t.Fatalf("%s (%s): %v", r.ID, r.Artifact, err)
+			}
+			if strings.Contains(out, "✗") {
+				t.Errorf("%s report contains failures:\n%s", r.ID, out)
+			}
+			if !strings.Contains(out, "==") {
+				t.Errorf("%s report missing header:\n%s", r.ID, out)
+			}
+		})
+	}
+}
+
+func TestRunAllConcatenates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	out, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range All() {
+		if !strings.Contains(out, "== "+r.ID+":") {
+			t.Errorf("RunAll output missing %s", r.ID)
+		}
+	}
+}
+
+func TestIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 12 {
+		t.Fatalf("ids = %v", ids)
+	}
+}

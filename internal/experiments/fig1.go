@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"repro/internal/srepair"
+	"repro/internal/table"
+	"repro/internal/urepair"
+	"repro/internal/workload"
+)
+
+// RunFig1 regenerates Figure 1 and Example 2.3: the distances of the
+// consistent subsets S1–S3 and updates U1–U3 of the running example,
+// and the optimal S- and U-repair costs.
+func RunFig1() (string, error) {
+	sc, ds, t := workload.Office()
+	r := newReport("E1", "Figure 1 / Example 2.3 — running example")
+
+	r.rowf("object\tpaper dist\tmeasured\tconsistent\tok")
+	subsets := []struct {
+		name string
+		ids  []int
+		want float64
+	}{
+		{"S1", []int{2, 3, 4}, 2},
+		{"S2", []int{1, 4}, 2},
+		{"S3", []int{3, 4}, 3},
+	}
+	for _, s := range subsets {
+		sub := t.MustSubsetByIDs(s.ids)
+		got := table.DistSub(sub, t)
+		ok := table.WeightEq(got, s.want) && sub.Satisfies(ds)
+		r.rowf("%s\t%g\t%g\t%v\t%s", s.name, s.want, got, sub.Satisfies(ds), boolMark(ok))
+	}
+
+	facility, _ := sc.AttrIndex("facility")
+	floor, _ := sc.AttrIndex("floor")
+	city, _ := sc.AttrIndex("city")
+	u1 := t.Clone()
+	u1.SetCellInPlace(1, facility, "F01")
+	u2 := t.Clone()
+	u2.SetCellInPlace(2, floor, "3")
+	u2.SetCellInPlace(2, city, "Paris")
+	u2.SetCellInPlace(3, city, "Paris")
+	u3 := t.Clone()
+	u3.SetCellInPlace(1, floor, "30")
+	u3.SetCellInPlace(1, city, "Madrid")
+	updates := []struct {
+		name string
+		u    *table.Table
+		want float64
+	}{{"U1", u1, 2}, {"U2", u2, 3}, {"U3", u3, 4}}
+	for _, s := range updates {
+		got := table.DistUpd(s.u, t)
+		ok := table.WeightEq(got, s.want) && s.u.Satisfies(ds)
+		r.rowf("%s\t%g\t%g\t%v\t%s", s.name, s.want, got, s.u.Satisfies(ds), boolMark(ok))
+	}
+
+	sOpt, err := srepair.OptSRepair(ds, t)
+	if err != nil {
+		return "", err
+	}
+	r.rowf("optimal S-repair\t2\t%g\t%v\t%s",
+		table.DistSub(sOpt, t), sOpt.Satisfies(ds),
+		boolMark(table.WeightEq(table.DistSub(sOpt, t), 2)))
+	uOpt, err := urepair.Repair(ds, t)
+	if err != nil {
+		return "", err
+	}
+	r.rowf("optimal U-repair\t2\t%g\texact=%v\t%s",
+		uOpt.Cost, uOpt.Exact, boolMark(uOpt.Exact && table.WeightEq(uOpt.Cost, 2)))
+	r.notef("S3 is a 1.5-optimal S-repair: 3 / 2 = %.1f (paper: 1.5)", 3.0/2.0)
+	return r.String(), nil
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"repro/internal/fd"
+	"repro/internal/graph"
+	"repro/internal/reduction"
+	"repro/internal/srepair"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// newUnitGraph builds a weighted graph from an edge list.
+func newUnitGraph(weights []float64, edges [][2]int) (*graph.Graph, error) {
+	g, err := graph.NewGraph(weights)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// exactSubsetRepair wraps srepair.Exact for the experiment runners.
+func exactSubsetRepair(ds *fd.Set, t *table.Table) (*table.Table, error) {
+	return srepair.Exact(ds, t)
+}
+
+// Thin wrappers over internal/reduction keep the runners free of direct
+// gadget imports (and give this package a single seam to swap gadgets).
+func nonMixedGadget(f workload.CNF) (*fd.Set, *table.Table, error) {
+	return reduction.NonMixedSATGadget(f)
+}
+
+func triangleGadget(ti workload.TriangleInstance) (*fd.Set, *table.Table) {
+	return reduction.TriangleGadget(ti)
+}
+
+func liftDeltaK(k int, t *table.Table) (*fd.Set, *table.Table, error) {
+	return reduction.LiftToDeltaK(k, t)
+}
+
+func liftDeltaPrimeK(k int, t *table.Table) (*fd.Set, *table.Table, error) {
+	return reduction.LiftToDeltaPrimeK(k, t)
+}

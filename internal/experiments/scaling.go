@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/srepair"
+	"repro/internal/workload"
+)
+
+// RunScaling regenerates the quantitative content of Theorem 3.2:
+// OptSRepair runs in polynomial time, demonstrated by near-linear
+// scaling on a chain FD set and a marriage FD set as |T| grows, in
+// contrast with the exponential exact baseline, whose growth explodes
+// on conflict-dense instances.
+func RunScaling() (string, error) {
+	r := newReport("E9", "Theorem 3.2 — OptSRepair terminates in polynomial time")
+	r.rowf("FD set\t|T|\tOptSRepair time\ttime / |T| (µs)")
+	sc := schema.MustNew("R", "A", "B", "C")
+	sets := []struct {
+		name  string
+		specs []string
+	}{
+		{"chain {A→B, AB→C}", []string{"A -> B", "A B -> C"}},
+		{"marriage ∆A↔B→C", []string{"A -> B", "B -> A", "B -> C"}},
+	}
+	for _, s := range sets {
+		ds := fd.MustParseSet(sc, s.specs...)
+		for _, n := range []int{200, 800, 3200, 12800} {
+			tab := workload.RandomTable(sc, n, n/10+2, rand.New(rand.NewSource(int64(n))))
+			t0 := time.Now()
+			if _, err := srepair.OptSRepair(ds, tab); err != nil {
+				return "", err
+			}
+			dur := time.Since(t0)
+			r.rowf("%s\t%d\t%v\t%.2f", s.name, n, dur, float64(dur.Microseconds())/float64(n))
+		}
+	}
+	r.notef("paper: OptSRepair is polynomial in k, |Δ| and |T| even under combined complexity; a flat-ish time/|T| column is the observable signature.")
+	return r.String(), nil
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/fd"
+	"repro/internal/table"
+	"repro/internal/urepair"
+	"repro/internal/workload"
+)
+
+// RunURepair regenerates the tractable U-repair results (Corollary 4.6,
+// Corollary 4.8, Proposition 4.9, Theorem 4.1/4.3): the planner claims
+// exactness on each case and matches the brute-force optimum on tiny
+// random instances.
+func RunURepair(seed int64) (string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	r := newReport("E10", "Tractable U-repairs — planner vs brute force")
+	r.rowf("FD set\tcase\ttrials\texact claims\tmatches oracle\tok")
+	sets := []struct {
+		name  string
+		specs []string
+		which string
+	}{
+		{"{A→B}", []string{"A -> B"}, "single FD (Cor 4.6)"},
+		{"{A→B, A→C}", []string{"A -> B", "A -> C"}, "common lhs (Cor 4.6)"},
+		{"{A→B, AB→C}", []string{"A -> B", "A B -> C"}, "chain (Cor 4.8)"},
+		{"{A→B, B→A}", []string{"A -> B", "B -> A"}, "key swap (Prop 4.9)"},
+		{"{∅→C, A→B}", []string{"-> C", "A -> B"}, "consensus (Thm 4.3)"},
+	}
+	const trials = 10
+	for _, s := range sets {
+		ds := fd.MustParseSet(abcSchema, s.specs...)
+		exactClaims, matches := 0, 0
+		for i := 0; i < trials; i++ {
+			tab := workload.RandomTable(abcSchema, 4, 2, rng)
+			res, err := urepair.Repair(ds, tab)
+			if err != nil {
+				return "", err
+			}
+			if res.Exact {
+				exactClaims++
+			}
+			_, opt, err := urepair.Exact(ds, tab)
+			if err != nil {
+				return "", err
+			}
+			if table.WeightEq(res.Cost, opt) {
+				matches++
+			}
+		}
+		ok := exactClaims == trials && matches == trials
+		r.rowf("%s\t%s\t%d\t%d\t%d\t%s", s.name, s.which, trials, exactClaims, matches, boolMark(ok))
+	}
+	r.notef("paper: these FD-set families admit polynomial-time optimal U-repairs; the planner composes them per Theorems 4.1/4.3.")
+	return r.String(), nil
+}
+
+// RunGadgets regenerates the strict-reduction identities of the
+// appendix gadgets (Lemmas A.11 and A.13) and the lifting lemmas (B.6,
+// B.7): source optimum = gadget-table optimum on exhaustively solvable
+// instances.
+func RunGadgets(seed int64) (string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	r := newReport("E11", "Hardness gadgets — strict-reduction identities")
+	r.rowf("gadget\ttrials\tidentity holds\tok")
+
+	const trials = 12
+	// Lemma A.13: MAX-non-mixed-SAT ↔ ∆AB→C→B.
+	holds := 0
+	for i := 0; i < trials; i++ {
+		f := workload.RandomNonMixedCNF(4, 4+rng.Intn(3), 2, rng)
+		ds, tab, err := nonMixedGadget(f)
+		if err != nil {
+			return "", err
+		}
+		rep, err := exactSubsetRepair(ds, tab)
+		if err != nil {
+			return "", err
+		}
+		maxSat, err := f.MaxSat()
+		if err != nil {
+			return "", err
+		}
+		if rep.Len() == maxSat {
+			holds++
+		}
+	}
+	r.rowf("MAX-non-mixed-SAT → ∆AB→C→B (A.13)\t%d\t%d\t%s", trials, holds, boolMark(holds == trials))
+
+	// Lemma A.11: triangle packing ↔ ∆AB↔AC↔BC.
+	holds = 0
+	for i := 0; i < trials; i++ {
+		inst := workload.RandomTriangles(3, 3, 3, 5+rng.Intn(7), rng)
+		ds, tab := triangleGadget(inst)
+		rep, err := exactSubsetRepair(ds, tab)
+		if err != nil {
+			return "", err
+		}
+		want, err := inst.MaxEdgeDisjointTriangles()
+		if err != nil {
+			return "", err
+		}
+		if rep.Len() == want {
+			holds++
+		}
+	}
+	r.rowf("triangle packing → ∆AB↔AC↔BC (A.11)\t%d\t%d\t%s", trials, holds, boolMark(holds == trials))
+
+	// Lemma B.6 lifting: S-repair costs preserved into ∆k.
+	holds = 0
+	for i := 0; i < trials; i++ {
+		tab := workload.RandomTable(abcSchema, 5, 2, rng)
+		srcSet := fd.MustParseSet(abcSchema, "A -> B", "B -> C")
+		dsK, lifted, err := liftDeltaK(2, tab)
+		if err != nil {
+			return "", err
+		}
+		repS, err := exactSubsetRepair(srcSet, tab)
+		if err != nil {
+			return "", err
+		}
+		repK, err := exactSubsetRepair(dsK, lifted)
+		if err != nil {
+			return "", err
+		}
+		if table.WeightEq(table.DistSub(repS, tab), table.DistSub(repK, lifted)) {
+			holds++
+		}
+	}
+	r.rowf("{A→B,B→C} ↪ ∆2 lifting (B.6)\t%d\t%d\t%s", trials, holds, boolMark(holds == trials))
+
+	// Lemma B.7 lifting: S-repair costs preserved from ∆′1 into ∆′3.
+	holds = 0
+	ds1 := workload.DeltaPrimeK(1)
+	for i := 0; i < trials; i++ {
+		tab := workload.RandomTable(ds1.Schema(), 5, 2, rng)
+		dsK, lifted, err := liftDeltaPrimeK(3, tab)
+		if err != nil {
+			return "", err
+		}
+		rep1, err := exactSubsetRepair(ds1, tab)
+		if err != nil {
+			return "", err
+		}
+		repK, err := exactSubsetRepair(dsK, lifted)
+		if err != nil {
+			return "", err
+		}
+		if table.WeightEq(table.DistSub(rep1, tab), table.DistSub(repK, lifted)) {
+			holds++
+		}
+	}
+	r.rowf("∆′1 ↪ ∆′3 lifting (B.7)\t%d\t%d\t%s", trials, holds, boolMark(holds == trials))
+
+	r.notef("paper: each gadget is a strict reduction — the source optimum transfers to the repair optimum exactly; verified with exhaustive solvers on both sides.")
+	return r.String(), nil
+}

@@ -1,0 +1,302 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/schema"
+)
+
+// LocalMinima returns the distinct lhs sets X of nontrivial FDs in Δ
+// such that no FD Z → W in Δ has Z ⊂ X ("an FD with a set-minimal lhs",
+// Section 3.3). The result is sorted for determinism.
+func (s *Set) LocalMinima() []schema.AttrSet {
+	nt := s.RemoveTrivial()
+	lhss := nt.distinctLHS()
+	var out []schema.AttrSet
+	for _, x := range lhss {
+		minimal := true
+		for _, z := range lhss {
+			if z.IsStrictSubsetOf(x) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// LHSCover reports whether c hits the lhs of every nontrivial FD:
+// X ∩ c ≠ ∅ for every X → Y in Δ. A consensus FD (empty lhs) can never
+// be hit, so any set with a consensus FD has no lhs cover.
+func (s *Set) LHSCover(c schema.AttrSet) bool {
+	for _, f := range s.fds {
+		if f.IsTrivial() {
+			continue
+		}
+		if !f.LHS.Intersects(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinLHSCover returns an lhs cover of minimum cardinality mlc(Δ) and its
+// size. If Δ has no nontrivial FDs, the empty set (size 0) is returned.
+// If Δ contains a consensus FD, no lhs cover exists and ok is false.
+// The search is exponential in the number of attributes occurring in
+// lhs's, which is fixed under data complexity.
+func (s *Set) MinLHSCover() (cover schema.AttrSet, size int, ok bool) {
+	nt := s.RemoveTrivial()
+	if nt.Len() == 0 {
+		return schema.EmptySet, 0, true
+	}
+	for _, f := range nt.fds {
+		if f.IsConsensus() {
+			return 0, 0, false
+		}
+	}
+	universe := schema.EmptySet
+	for _, f := range nt.fds {
+		universe = universe.Union(f.LHS)
+	}
+	best := universe // the whole universe is always a cover
+	bestSize := best.Len()
+	// Branch and bound: branch on the attributes of the first uncovered
+	// lhs, which prunes far better than blind inclusion/exclusion.
+	var rec func(cur schema.AttrSet, curSize int)
+	rec = func(cur schema.AttrSet, curSize int) {
+		if curSize >= bestSize {
+			return
+		}
+		if nt.LHSCover(cur) {
+			best, bestSize = cur, curSize
+			return
+		}
+		var uncovered schema.AttrSet
+		for _, f := range nt.fds {
+			if !f.LHS.Intersects(cur) {
+				uncovered = f.LHS
+				break
+			}
+		}
+		for _, a := range uncovered.Positions() {
+			rec(cur.Add(a), curSize+1)
+		}
+	}
+	rec(schema.EmptySet, 0)
+	return best, bestSize, true
+}
+
+// MLC returns mlc(Δ): the minimum cardinality of an lhs cover, or an
+// error if Δ contains a consensus FD (no cover exists).
+func (s *Set) MLC() (int, error) {
+	_, size, ok := s.MinLHSCover()
+	if !ok {
+		return 0, fmt.Errorf("fd: set has a consensus FD; no lhs cover exists")
+	}
+	return size, nil
+}
+
+// MFS returns MFS(Δ): the maximum number of attributes in the lhs of any
+// FD, computed on the canonical (single-attribute rhs) form as in
+// Kolahi & Lakshmanan.
+func (s *Set) MFS() int {
+	max := 0
+	for _, f := range s.Canonical().fds {
+		if n := f.LHS.Len(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// MinimalImplicants returns the minimal nontrivial implicants of
+// attribute a: the inclusion-minimal sets X with a ∉ X and X → a
+// entailed by Δ. Results are sorted for determinism. The enumeration is
+// exponential in |attr(Δ)|, fixed under data complexity; it refuses to
+// run on more than MaxImplicantAttrs attributes.
+func (s *Set) MinimalImplicants(a int) ([]schema.AttrSet, error) {
+	universe := s.AttrsUsed().Remove(a)
+	if universe.Len() > MaxImplicantAttrs {
+		return nil, fmt.Errorf("fd: implicant enumeration over %d attributes exceeds limit %d",
+			universe.Len(), MaxImplicantAttrs)
+	}
+	// BFS by subset size; a set is skipped if it contains an already
+	// found (smaller) implicant, so only minimal ones are collected.
+	var minimal []schema.AttrSet
+	positions := universe.Positions()
+	n := len(positions)
+	for size := 0; size <= n; size++ {
+		combinations(n, size, func(idxs []int) {
+			x := schema.EmptySet
+			for _, i := range idxs {
+				x = x.Add(positions[i])
+			}
+			for _, m := range minimal {
+				if m.IsSubsetOf(x) {
+					return
+				}
+			}
+			if s.Closure(x).Contains(a) {
+				minimal = append(minimal, x)
+			}
+		})
+	}
+	sort.Slice(minimal, func(i, j int) bool { return minimal[i] < minimal[j] })
+	return minimal, nil
+}
+
+// MaxImplicantAttrs bounds the attribute universe for implicant
+// enumeration (2^22 closure calls in the worst case).
+const MaxImplicantAttrs = 22
+
+// combinations calls fn with each size-k index combination out of [0,n).
+func combinations(n, k int, fn func([]int)) {
+	if k > n {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		fn(idx)
+		// advance
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// MinCoreImplicant returns a minimum core implicant of attribute a: a
+// smallest set of attributes hitting every (nontrivial) implicant of a.
+// Since every implicant contains a minimal implicant, it suffices to hit
+// the minimal implicants. An attribute with no nontrivial implicants has
+// the empty set as its core implicant.
+func (s *Set) MinCoreImplicant(a int) (schema.AttrSet, error) {
+	implicants, err := s.MinimalImplicants(a)
+	if err != nil {
+		return 0, err
+	}
+	if len(implicants) == 0 {
+		return schema.EmptySet, nil
+	}
+	universe := schema.EmptySet
+	for _, im := range implicants {
+		universe = universe.Union(im)
+	}
+	best := universe
+	bestSize := best.Len()
+	var rec func(cur schema.AttrSet, curSize int)
+	rec = func(cur schema.AttrSet, curSize int) {
+		if curSize >= bestSize {
+			return
+		}
+		var unhit schema.AttrSet
+		hitAll := true
+		for _, im := range implicants {
+			if !im.Intersects(cur) {
+				unhit = im
+				hitAll = false
+				break
+			}
+		}
+		if hitAll {
+			best, bestSize = cur, curSize
+			return
+		}
+		for _, p := range unhit.Positions() {
+			rec(cur.Add(p), curSize+1)
+		}
+	}
+	rec(schema.EmptySet, 0)
+	return best, nil
+}
+
+// MCI returns MCI(Δ): the size of the largest minimum core implicant
+// over all attributes occurring in Δ (Kolahi & Lakshmanan; Section 4.4).
+func (s *Set) MCI() (int, error) {
+	max := 0
+	for _, a := range s.AttrsUsed().Positions() {
+		core, err := s.MinCoreImplicant(a)
+		if err != nil {
+			return 0, err
+		}
+		if n := core.Len(); n > max {
+			max = n
+		}
+	}
+	return max, nil
+}
+
+// KLRatio returns the Kolahi–Lakshmanan approximation ratio
+// (MCI(Δ) + 2) · (2·MFS(Δ) − 1) of Theorem 4.13.
+func (s *Set) KLRatio() (int, error) {
+	mci, err := s.MCI()
+	if err != nil {
+		return 0, err
+	}
+	return (mci + 2) * (2*s.MFS() - 1), nil
+}
+
+// Components partitions Δ into maximal attribute-disjoint sub-sets
+// (Theorem 4.1): two FDs are in the same component when their attribute
+// sets are connected through shared attributes. Trivial FDs are dropped.
+// The components are returned in a deterministic order.
+func (s *Set) Components() []*Set {
+	nt := s.RemoveTrivial()
+	n := nt.Len()
+	if n == 0 {
+		return nil
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(i, j int) { parent[find(i)] = find(j) }
+	attrs := make([]schema.AttrSet, n)
+	for i, f := range nt.fds {
+		attrs[i] = f.LHS.Union(f.RHS)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if attrs[i].Intersects(attrs[j]) {
+				union(i, j)
+			}
+		}
+	}
+	groups := make(map[int][]FD)
+	var order []int
+	for i, f := range nt.fds {
+		r := find(i)
+		if _, seen := groups[r]; !seen {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], f)
+	}
+	out := make([]*Set, 0, len(order))
+	for _, r := range order {
+		out = append(out, nt.with(groups[r]))
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package fd
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// Class identifies which of the five classes of Figure 2 a
+// non-simplifiable FD set belongs to. Each class comes with a fact-wise
+// reduction from one of the four hard FD sets of Table 1 (implemented in
+// internal/reduction), which is what makes computing an optimal S-repair
+// APX-hard for the set.
+type Class int
+
+const (
+	// ClassSimplifiable means the set is not classified because a
+	// simplification (common lhs / consensus / lhs marriage) applies,
+	// or the set is trivial.
+	ClassSimplifiable Class = iota
+	// Class1: X̂1 ∩ cl(X2) = ∅ and X̂2 ∩ cl(X1) = ∅ (reduce from ∆A→C←B).
+	Class1
+	// Class2: X̂1 ∩ X̂2 ≠ ∅, X̂1 ∩ X2 = ∅, X̂2 ∩ X1 = ∅ (reduce from ∆A→B→C).
+	Class2
+	// Class3: X̂1 ∩ X2 ≠ ∅ and X̂2 ∩ X1 = ∅ (reduce from ∆A→B→C).
+	Class3
+	// Class4: X̂1 ∩ X2 ≠ ∅, X̂2 ∩ X1 ≠ ∅, (X1∖X2) ⊆ X̂2 and (X2∖X1) ⊆ X̂1
+	// (three local minima; reduce from ∆AB↔AC↔BC).
+	Class4
+	// Class5: X̂1 ∩ X2 ≠ ∅, X̂2 ∩ X1 ≠ ∅ and (X2∖X1) ⊄ X̂1
+	// (reduce from ∆AB→C→B).
+	Class5
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassSimplifiable:
+		return "simplifiable"
+	case Class1, Class2, Class3, Class4, Class5:
+		return fmt.Sprintf("class %d", int(c))
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// BaseSet names the hard FD set of Table 1 that fact-wise reduces to a
+// set of this class.
+func (c Class) BaseSet() string {
+	switch c {
+	case Class1:
+		return "∆A→C←B"
+	case Class2, Class3:
+		return "∆A→B→C"
+	case Class4:
+		return "∆AB↔AC↔BC"
+	case Class5:
+		return "∆AB→C→B"
+	default:
+		return ""
+	}
+}
+
+// Classification is the outcome of classifying a non-simplifiable FD
+// set: the class and the witnessing local minima, ordered per the
+// convention of the corresponding lemma (X1 first).
+type Classification struct {
+	Class  Class
+	X1, X2 schema.AttrSet
+	// X3 is a third local minimum, set only for Class4.
+	X3 schema.AttrSet
+}
+
+// ClassifyNonSimplifiable assigns a non-simplifiable FD set to one of
+// the five classes of Figure 2, following the case analysis of Lemma
+// A.22. The set must be nontrivial and admit no simplification;
+// otherwise an error is returned. Per the lemma, classification is
+// always possible for such sets.
+func (s *Set) ClassifyNonSimplifiable() (Classification, error) {
+	nt := s.Canonical()
+	if nt.IsTrivialSet() {
+		return Classification{}, fmt.Errorf("fd: set is trivial; nothing to classify")
+	}
+	if _, ok := nt.NextSimplification(); ok {
+		return Classification{}, fmt.Errorf("fd: set is simplifiable; classification applies only to non-simplifiable sets")
+	}
+	minima := nt.LocalMinima()
+	if len(minima) < 2 {
+		// A non-simplifiable, nontrivial set is not a chain, hence has at
+		// least two local minima (Lemma A.22). Reaching here indicates a
+		// bug or an unexpected input.
+		return Classification{}, fmt.Errorf("fd: expected ≥2 local minima, found %d", len(minima))
+	}
+	for i := 0; i < len(minima); i++ {
+		for j := 0; j < len(minima); j++ {
+			if i == j {
+				continue
+			}
+			if cl, ok := nt.classifyPair(minima[i], minima[j]); ok {
+				if cl.Class == Class4 {
+					if len(minima) < 3 {
+						return Classification{}, fmt.Errorf("fd: class-4 conditions with only %d local minima; set should have been simplifiable", len(minima))
+					}
+					for _, m := range minima {
+						if m != cl.X1 && m != cl.X2 {
+							cl.X3 = m
+							break
+						}
+					}
+				}
+				return cl, nil
+			}
+		}
+	}
+	return Classification{}, fmt.Errorf("fd: no class matched; case analysis of Lemma A.22 should be exhaustive")
+}
+
+// classifyPair applies the case analysis to the ordered pair of local
+// minima (x1, x2).
+func (nt *Set) classifyPair(x1, x2 schema.AttrSet) (Classification, bool) {
+	cl1, cl2 := nt.Closure(x1), nt.Closure(x2)
+	h1, h2 := cl1.Diff(x1), cl2.Diff(x2) // X̂1, X̂2
+	if !h2.Intersects(x1) {
+		switch {
+		case !h1.Intersects(cl2):
+			return Classification{Class: Class1, X1: x1, X2: x2}, true
+		case h1.Intersects(h2) && !h1.Intersects(x2):
+			return Classification{Class: Class2, X1: x1, X2: x2}, true
+		case h1.Intersects(x2):
+			return Classification{Class: Class3, X1: x1, X2: x2}, true
+		}
+		return Classification{}, false
+	}
+	// X̂2 ∩ X1 ≠ ∅.
+	if !h1.Intersects(x2) {
+		// Symmetric to the first case with roles swapped; the caller
+		// iterates over ordered pairs, so the swapped order is tried too.
+		return Classification{}, false
+	}
+	// Both X̂1 ∩ X2 ≠ ∅ and X̂2 ∩ X1 ≠ ∅.
+	if x1.Diff(x2).IsSubsetOf(h2) && x2.Diff(x1).IsSubsetOf(h1) {
+		return Classification{Class: Class4, X1: x1, X2: x2}, true
+	}
+	if !x2.Diff(x1).IsSubsetOf(h1) {
+		return Classification{Class: Class5, X1: x1, X2: x2}, true
+	}
+	// (X2∖X1) ⊆ X̂1 but (X1∖X2) ⊄ X̂2: the swapped order matches Class 5.
+	return Classification{}, false
+}

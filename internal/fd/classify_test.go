@@ -1,0 +1,142 @@
+package fd
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// TestClassifyExample38 reproduces Example 3.8: each ∆i belongs to
+// class i.
+func TestClassifyExample38(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C", "D", "E")
+	cases := []struct {
+		name  string
+		specs []string
+		want  Class
+	}{
+		{"∆1={A→B,C→D}", []string{"A -> B", "C -> D"}, Class1},
+		{"∆2={A→CD,B→CE}", []string{"A -> C D", "B -> C E"}, Class2},
+		{"∆3={A→BC,B→D}", []string{"A -> B C", "B -> D"}, Class3},
+		{"∆4={AB→C,AC→B,BC→A}", []string{"A B -> C", "A C -> B", "B C -> A"}, Class4},
+		{"∆5={AB→C,C→AD}", []string{"A B -> C", "C -> A D"}, Class5},
+	}
+	for _, c := range cases {
+		set := MustParseSet(sc, c.specs...)
+		got, err := set.ClassifyNonSimplifiable()
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if got.Class != c.want {
+			t.Errorf("%s: class = %v, want %v", c.name, got.Class, c.want)
+		}
+		if got.Class == Class4 && got.X3.IsEmpty() {
+			t.Errorf("%s: class 4 must report a third local minimum", c.name)
+		}
+	}
+}
+
+// TestClassifyTable1 classifies the four hard base sets of Table 1.
+func TestClassifyTable1(t *testing.T) {
+	cases := []struct {
+		name  string
+		specs []string
+		want  Class
+	}{
+		{"∆A→B→C", []string{"A -> B", "B -> C"}, Class3},
+		{"∆A→C←B", []string{"A -> C", "B -> C"}, Class2},
+		{"∆AB→C→B", []string{"A B -> C", "C -> B"}, Class5},
+		{"∆AB↔AC↔BC", []string{"A B -> C", "A C -> B", "B C -> A"}, Class4},
+	}
+	for _, c := range cases {
+		set := MustParseSet(rABC, c.specs...)
+		got, err := set.ClassifyNonSimplifiable()
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if got.Class != c.want {
+			t.Errorf("%s: class = %v, want %v", c.name, got.Class, c.want)
+		}
+		if got.Class.BaseSet() == "" {
+			t.Errorf("%s: missing base set name", c.name)
+		}
+	}
+}
+
+func TestClassifyRejectsSimplifiable(t *testing.T) {
+	// The running example simplifies, so classification must refuse.
+	if _, err := officeFDs().ClassifyNonSimplifiable(); err == nil {
+		t.Error("simplifiable set must not classify")
+	}
+	// A trivial set must refuse too.
+	if _, err := MustParseSet(rABC, "A -> A").ClassifyNonSimplifiable(); err == nil {
+		t.Error("trivial set must not classify")
+	}
+	// ∆A↔B→C has an lhs marriage, hence simplifiable.
+	if _, err := MustParseSet(rABC, "A -> B", "B -> A", "B -> C").ClassifyNonSimplifiable(); err == nil {
+		t.Error("∆A↔B→C must not classify (it is simplifiable)")
+	}
+}
+
+// TestClassifyTotal checks, over a brute-force enumeration of small FD
+// sets, that every non-simplifiable set is classified (Lemma A.22's
+// exhaustiveness) and every simplifiable one is rejected.
+func TestClassifyTotal(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C", "D")
+	all := sc.AllAttrs()
+	// Enumerate all single-attribute-rhs FDs over 4 attributes.
+	var fds []FD
+	all.Subsets(func(lhs schema.AttrSet) bool {
+		for _, a := range all.Diff(lhs).Positions() {
+			fds = append(fds, FD{LHS: lhs, RHS: schema.Singleton(a)})
+		}
+		return true
+	})
+	// Check all 2- and 3-element FD sets.
+	checked, classified := 0, 0
+	try := func(set *Set) {
+		checked++
+		_, simplifiable := set.NextSimplification()
+		cl, err := set.ClassifyNonSimplifiable()
+		if set.IsTrivialSet() || simplifiable {
+			if err == nil {
+				t.Fatalf("set %v is simplifiable but classified as %v", set, cl.Class)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("non-simplifiable set %v failed to classify: %v", set, err)
+		}
+		classified++
+	}
+	for i := 0; i < len(fds); i++ {
+		for j := i + 1; j < len(fds); j++ {
+			try(MustNewSet(sc, fds[i], fds[j]))
+		}
+	}
+	for i := 0; i < len(fds); i += 3 {
+		for j := i + 1; j < len(fds); j += 5 {
+			for k := j + 1; k < len(fds); k += 7 {
+				try(MustNewSet(sc, fds[i], fds[j], fds[k]))
+			}
+		}
+	}
+	if classified == 0 {
+		t.Fatal("enumeration classified nothing; test is vacuous")
+	}
+	t.Logf("checked %d sets, classified %d as hard", checked, classified)
+}
+
+func TestClassStrings(t *testing.T) {
+	if Class3.String() != "class 3" {
+		t.Errorf("Class3.String() = %q", Class3.String())
+	}
+	if ClassSimplifiable.String() != "simplifiable" {
+		t.Errorf("ClassSimplifiable.String() = %q", ClassSimplifiable.String())
+	}
+	if ClassSimplifiable.BaseSet() != "" {
+		t.Error("simplifiable class has no base set")
+	}
+}

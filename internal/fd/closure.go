@@ -1,0 +1,140 @@
+package fd
+
+import "repro/internal/schema"
+
+// Closure returns cl_Δ(X): the set of all attributes A such that X → A
+// is entailed by Δ. Runs the standard fixpoint computation; with bitset
+// attribute sets each pass is O(|Δ|).
+func (s *Set) Closure(x schema.AttrSet) schema.AttrSet {
+	cl := x
+	for changed := true; changed; {
+		changed = false
+		for _, f := range s.fds {
+			if f.LHS.IsSubsetOf(cl) && !f.RHS.IsSubsetOf(cl) {
+				cl = cl.Union(f.RHS)
+				changed = true
+			}
+		}
+	}
+	return cl
+}
+
+// Entails reports whether Δ ⊧ X → Y.
+func (s *Set) Entails(f FD) bool {
+	return f.RHS.IsSubsetOf(s.Closure(f.LHS))
+}
+
+// EquivalentTo reports whether the two FD sets (over the same schema)
+// have the same closure: each FD of one is entailed by the other.
+func (s *Set) EquivalentTo(t *Set) bool {
+	if !s.sc.SameAs(t.sc) {
+		return false
+	}
+	for _, f := range s.fds {
+		if !t.Entails(f) {
+			return false
+		}
+	}
+	for _, f := range t.fds {
+		if !s.Entails(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConsensusAttrs returns cl_Δ(∅): the set of consensus attributes.
+func (s *Set) ConsensusAttrs() schema.AttrSet {
+	return s.Closure(schema.EmptySet)
+}
+
+// IsConsensusFree reports whether Δ has no consensus attributes.
+func (s *Set) IsConsensusFree() bool { return s.ConsensusAttrs().IsEmpty() }
+
+// RemoveTrivial returns the set with every trivial FD (RHS ⊆ LHS)
+// removed, as in line 3 of OptSRepair.
+func (s *Set) RemoveTrivial() *Set {
+	out := make([]FD, 0, len(s.fds))
+	for _, f := range s.fds {
+		if !f.IsTrivial() {
+			out = append(out, f)
+		}
+	}
+	return s.with(out)
+}
+
+// Canonical returns an equivalent FD set in which every FD has a single
+// attribute on the right-hand side, trivial FDs are removed, and exact
+// duplicates are merged. This is the normal form assumed throughout
+// Section 3 of the paper ("every FD has the form X → A").
+func (s *Set) Canonical() *Set {
+	seen := make(map[FD]bool)
+	out := make([]FD, 0, len(s.fds))
+	for _, f := range s.fds {
+		for _, a := range f.RHS.Diff(f.LHS).Positions() {
+			g := FD{LHS: f.LHS, RHS: schema.Singleton(a)}
+			if !seen[g] {
+				seen[g] = true
+				out = append(out, g)
+			}
+		}
+	}
+	return s.with(out)
+}
+
+// Minus returns Δ − X: the set obtained by removing every attribute of x
+// from the lhs and rhs of every FD. FDs whose projection becomes trivial
+// (including those whose rhs becomes empty) are dropped, matching the
+// trivial-FD removal that OptSRepair performs right after each
+// simplification step.
+func (s *Set) Minus(x schema.AttrSet) *Set {
+	out := make([]FD, 0, len(s.fds))
+	for _, f := range s.fds {
+		g := FD{LHS: f.LHS.Diff(x), RHS: f.RHS.Diff(x)}
+		if !g.IsTrivial() {
+			out = append(out, g)
+		}
+	}
+	return s.with(out)
+}
+
+// MinimalCover returns an equivalent canonical set with (a) redundant
+// FDs removed and (b) each lhs reduced to a set-minimal one. It is not
+// required by the repair algorithms (which work on any equivalent set)
+// but is exposed for analysis and the CLI's explain mode.
+func (s *Set) MinimalCover() *Set {
+	can := s.Canonical()
+	fds := can.FDs()
+	// Left-reduce each FD.
+	for i, f := range fds {
+		lhs := f.LHS
+		for _, a := range f.LHS.Positions() {
+			cand := lhs.Remove(a)
+			if f.RHS.IsSubsetOf(can.with(fds).Closure(cand)) {
+				lhs = cand
+			}
+		}
+		fds[i] = FD{LHS: lhs, RHS: f.RHS}
+	}
+	// Remove redundant FDs.
+	for i := 0; i < len(fds); {
+		rest := make([]FD, 0, len(fds)-1)
+		rest = append(rest, fds[:i]...)
+		rest = append(rest, fds[i+1:]...)
+		if can.with(rest).Entails(fds[i]) {
+			fds = rest
+		} else {
+			i++
+		}
+	}
+	// Deduplicate (left-reduction may have created duplicates).
+	seen := make(map[FD]bool, len(fds))
+	out := fds[:0]
+	for _, f := range fds {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return can.with(out)
+}

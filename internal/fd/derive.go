@@ -1,0 +1,70 @@
+package fd
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// DerivationStep is one application of an FD during a closure
+// computation: firing FD added the attributes Added to the closure.
+type DerivationStep struct {
+	FD    FD
+	Added schema.AttrSet
+}
+
+// Explain determines whether Δ ⊧ X → Y and, when it does, returns a
+// derivation: the sequence of FDs fired by the closure computation,
+// pruned to those actually needed to reach Y. An entailed trivial FD
+// yields an empty derivation.
+func (s *Set) Explain(target FD) ([]DerivationStep, bool) {
+	cl := target.LHS
+	var fired []DerivationStep
+	for changed := true; changed; {
+		changed = false
+		for _, f := range s.fds {
+			if f.LHS.IsSubsetOf(cl) && !f.RHS.IsSubsetOf(cl) {
+				added := f.RHS.Diff(cl)
+				cl = cl.Union(f.RHS)
+				fired = append(fired, DerivationStep{FD: f, Added: added})
+				changed = true
+			}
+		}
+	}
+	if !target.RHS.IsSubsetOf(cl) {
+		return nil, false
+	}
+	// Backward pruning: keep only the steps whose contributions are
+	// (transitively) needed for the target rhs.
+	needed := target.RHS.Diff(target.LHS)
+	keep := make([]bool, len(fired))
+	for i := len(fired) - 1; i >= 0; i-- {
+		if fired[i].Added.Intersects(needed) {
+			keep[i] = true
+			needed = needed.Diff(fired[i].Added).Union(fired[i].FD.LHS.Diff(target.LHS))
+		}
+	}
+	var out []DerivationStep
+	for i, st := range fired {
+		if keep[i] {
+			out = append(out, st)
+		}
+	}
+	return out, true
+}
+
+// RenderDerivation formats a derivation in the style of a textbook
+// Armstrong-axioms proof:
+//
+//	given facility; fire facility → city (adds city); ...
+func (s *Set) RenderDerivation(target FD, steps []DerivationStep) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "prove %s:\n", s.FDString(target))
+	fmt.Fprintf(&b, "  start with %s\n", s.sc.SetString(target.LHS))
+	for _, st := range steps {
+		fmt.Fprintf(&b, "  fire %s (adds %s)\n", s.FDString(st.FD), s.sc.SetString(st.Added))
+	}
+	fmt.Fprintf(&b, "  ⊢ %s reached\n", s.sc.SetString(target.RHS))
+	return b.String()
+}

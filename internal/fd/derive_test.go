@@ -1,0 +1,99 @@
+package fd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+)
+
+func mustFD(t testing.TB, spec string) FD {
+	t.Helper()
+	f, err := Parse(rABC, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestExplainTransitivity(t *testing.T) {
+	set := MustParseSet(rABC, "A -> B", "B -> C")
+	steps, ok := set.Explain(mustFD(t, "A -> C"))
+	if !ok {
+		t.Fatal("A → C is entailed")
+	}
+	if len(steps) != 2 {
+		t.Fatalf("derivation = %v, want 2 steps", steps)
+	}
+	out := set.RenderDerivation(mustFD(t, "A -> C"), steps)
+	if !strings.Contains(out, "fire A → B") || !strings.Contains(out, "fire B → C") {
+		t.Errorf("rendering = %q", out)
+	}
+}
+
+func TestExplainPrunesIrrelevant(t *testing.T) {
+	// D's derivation does not need B → C.
+	sc := schema.MustNew("R", "A", "B", "C", "D")
+	set := MustParseSet(sc, "A -> B", "B -> C", "A -> D")
+	f, err := Parse(sc, "A -> D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, ok := set.Explain(f)
+	if !ok {
+		t.Fatal("A → D is entailed")
+	}
+	if len(steps) != 1 {
+		t.Fatalf("derivation should be pruned to one step, got %v", steps)
+	}
+}
+
+func TestExplainNotEntailed(t *testing.T) {
+	set := MustParseSet(rABC, "A -> B")
+	if _, ok := set.Explain(mustFD(t, "B -> A")); ok {
+		t.Fatal("B → A is not entailed")
+	}
+}
+
+func TestExplainTrivial(t *testing.T) {
+	set := MustParseSet(rABC, "A -> B")
+	steps, ok := set.Explain(mustFD(t, "A B -> A"))
+	if !ok || len(steps) != 0 {
+		t.Fatalf("trivial FD: steps %v, ok %v", steps, ok)
+	}
+}
+
+// Property: Explain agrees with Entails, and replaying the derivation
+// from the target lhs reaches the target rhs.
+func TestQuickExplainSoundComplete(t *testing.T) {
+	f := func(seeds []uint64, lhsRaw, rhsRaw uint64) bool {
+		set := genSet(t, seeds)
+		all := set.Schema().AllAttrs()
+		target := FD{LHS: schema.AttrSet(lhsRaw) & all, RHS: schema.AttrSet(rhsRaw) & all}
+		if target.RHS.IsEmpty() {
+			return true
+		}
+		steps, ok := set.Explain(target)
+		if ok != set.Entails(target) {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		// Replay: every fired FD's lhs must already be available, and
+		// the rhs must be reached at the end.
+		have := target.LHS
+		for _, st := range steps {
+			if !st.FD.LHS.IsSubsetOf(have) {
+				return false
+			}
+			have = have.Union(st.FD.RHS)
+		}
+		return target.RHS.IsSubsetOf(have)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(108))}); err != nil {
+		t.Fatal(err)
+	}
+}

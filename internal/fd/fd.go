@@ -1,0 +1,174 @@
+// Package fd implements functional dependencies (FDs) and FD sets over a
+// relation schema, together with all of the structural analysis the
+// paper's algorithms need: attribute closures, entailment, equivalence,
+// canonicalization, the Δ−X projection, the three simplifications of
+// OptSRepair (common lhs, consensus FD, lhs marriage), chain detection,
+// local minima, the five-class taxonomy of non-simplifiable FD sets
+// (Fig. 2 of the paper), minimum lhs covers (mlc), and the
+// Kolahi–Lakshmanan measures MFS and MCI.
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// FD is a functional dependency X → Y over a schema, with X = LHS and
+// Y = RHS given as attribute sets. An FD with an empty LHS is a
+// consensus FD (written ∅ → Y in the paper).
+type FD struct {
+	LHS schema.AttrSet
+	RHS schema.AttrSet
+}
+
+// IsTrivial reports whether the FD is trivial, i.e. RHS ⊆ LHS.
+func (f FD) IsTrivial() bool { return f.RHS.IsSubsetOf(f.LHS) }
+
+// IsConsensus reports whether the FD has an empty left-hand side.
+func (f FD) IsConsensus() bool { return f.LHS.IsEmpty() }
+
+// Set is an FD set Δ over a fixed schema. Sets are immutable: all
+// operations return new sets. The zero value is not usable; construct
+// with NewSet or Parse.
+type Set struct {
+	sc  *schema.Schema
+	fds []FD
+}
+
+// NewSet builds an FD set over the given schema. Every FD must mention
+// only attributes of the schema.
+func NewSet(sc *schema.Schema, fds ...FD) (*Set, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("fd: nil schema")
+	}
+	all := sc.AllAttrs()
+	out := make([]FD, 0, len(fds))
+	for i, f := range fds {
+		if !f.LHS.IsSubsetOf(all) || !f.RHS.IsSubsetOf(all) {
+			return nil, fmt.Errorf("fd: FD #%d mentions attributes outside schema %s", i, sc)
+		}
+		out = append(out, f)
+	}
+	return &Set{sc: sc, fds: out}, nil
+}
+
+// MustNewSet is like NewSet but panics on error.
+func MustNewSet(sc *schema.Schema, fds ...FD) *Set {
+	s, err := NewSet(sc, fds...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Schema returns the schema the set is defined over.
+func (s *Set) Schema() *schema.Schema { return s.sc }
+
+// FDs returns a copy of the FDs in the set.
+func (s *Set) FDs() []FD { return append([]FD(nil), s.fds...) }
+
+// Len returns the number of FDs in the set.
+func (s *Set) Len() int { return len(s.fds) }
+
+// IsEmpty reports whether the set contains no FDs at all.
+func (s *Set) IsEmpty() bool { return len(s.fds) == 0 }
+
+// IsTrivialSet reports whether the set contains no nontrivial FD (the
+// paper's "Δ is trivial"); an empty set is trivial.
+func (s *Set) IsTrivialSet() bool {
+	for _, f := range s.fds {
+		if !f.IsTrivial() {
+			return false
+		}
+	}
+	return true
+}
+
+// AttrsUsed returns attr(Δ): the union of lhs and rhs over all FDs.
+func (s *Set) AttrsUsed() schema.AttrSet {
+	var out schema.AttrSet
+	for _, f := range s.fds {
+		out = out.Union(f.LHS).Union(f.RHS)
+	}
+	return out
+}
+
+// with returns a new set over the same schema with the given FDs
+// (no validation: internal use only, attribute sets already checked).
+func (s *Set) with(fds []FD) *Set { return &Set{sc: s.sc, fds: fds} }
+
+// FDString renders a single FD with the schema's attribute names,
+// e.g. "facility room → floor" or "∅ → city".
+func (s *Set) FDString(f FD) string {
+	return s.sc.SetString(f.LHS) + " → " + s.sc.SetString(f.RHS)
+}
+
+// String renders the set as {fd1, fd2, ...} with FDs in a deterministic
+// order (sorted by rendered text).
+func (s *Set) String() string {
+	parts := make([]string, len(s.fds))
+	for i, f := range s.fds {
+		parts[i] = s.FDString(f)
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Parse parses an FD of the form "A B -> C D" (or with the arrow "→").
+// The empty LHS can be written as "" or "∅" (e.g. "-> A").
+func Parse(sc *schema.Schema, spec string) (FD, error) {
+	arrow := "->"
+	if strings.Contains(spec, "→") {
+		arrow = "→"
+	}
+	parts := strings.SplitN(spec, arrow, 2)
+	if len(parts) != 2 {
+		return FD{}, fmt.Errorf("fd: %q is not of the form \"X -> Y\"", spec)
+	}
+	lhs, err := parseSide(sc, parts[0])
+	if err != nil {
+		return FD{}, fmt.Errorf("fd: bad lhs in %q: %w", spec, err)
+	}
+	rhs, err := parseSide(sc, parts[1])
+	if err != nil {
+		return FD{}, fmt.Errorf("fd: bad rhs in %q: %w", spec, err)
+	}
+	if rhs.IsEmpty() {
+		return FD{}, fmt.Errorf("fd: %q has an empty rhs", spec)
+	}
+	return FD{LHS: lhs, RHS: rhs}, nil
+}
+
+func parseSide(sc *schema.Schema, side string) (schema.AttrSet, error) {
+	side = strings.TrimSpace(side)
+	if side == "" || side == "∅" {
+		return schema.EmptySet, nil
+	}
+	return sc.Set(strings.Fields(side)...)
+}
+
+// ParseSet parses a set of FDs, one spec per argument.
+func ParseSet(sc *schema.Schema, specs ...string) (*Set, error) {
+	fds := make([]FD, 0, len(specs))
+	for _, spec := range specs {
+		f, err := Parse(sc, spec)
+		if err != nil {
+			return nil, err
+		}
+		fds = append(fds, f)
+	}
+	return NewSet(sc, fds...)
+}
+
+// MustParseSet is like ParseSet but panics on error. Intended for tests,
+// examples, and fixed benchmark catalogues.
+func MustParseSet(sc *schema.Schema, specs ...string) *Set {
+	s, err := ParseSet(sc, specs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,181 @@
+package fd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+var rABC = schema.MustNew("R", "A", "B", "C")
+
+func TestParse(t *testing.T) {
+	f, err := Parse(rABC, "A B -> C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.LHS != rABC.MustSet("A", "B") || f.RHS != rABC.MustSet("C") {
+		t.Fatalf("Parse gave %v", f)
+	}
+	// Unicode arrow and consensus lhs.
+	f, err = Parse(rABC, "∅ → C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsConsensus() {
+		t.Fatal("∅ → C should be consensus")
+	}
+	f, err = Parse(rABC, " -> B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsConsensus() {
+		t.Fatal("-> B should be consensus")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{"A B C", "A -> Z", "Z -> A", "A -> "} {
+		if _, err := Parse(rABC, spec); err == nil {
+			t.Errorf("Parse(%q) should fail", spec)
+		}
+	}
+}
+
+func TestNewSetValidation(t *testing.T) {
+	bad := FD{LHS: schema.Singleton(10), RHS: schema.Singleton(0)}
+	if _, err := NewSet(rABC, bad); err == nil {
+		t.Error("FD outside schema should be rejected")
+	}
+	if _, err := NewSet(nil); err == nil {
+		t.Error("nil schema should be rejected")
+	}
+}
+
+func TestTrivialAndConsensus(t *testing.T) {
+	set := MustParseSet(rABC, "A -> A", "A B -> B", "-> C", "A -> B")
+	if set.IsTrivialSet() {
+		t.Error("set has nontrivial FDs")
+	}
+	nt := set.RemoveTrivial()
+	if nt.Len() != 2 {
+		t.Fatalf("RemoveTrivial kept %d FDs, want 2", nt.Len())
+	}
+	cf, ok := nt.ConsensusFD()
+	if !ok || cf.RHS != rABC.MustSet("C") {
+		t.Fatalf("ConsensusFD = %v, %v", cf, ok)
+	}
+	triv := MustParseSet(rABC, "A -> A", "A B -> A")
+	if !triv.IsTrivialSet() {
+		t.Error("all-trivial set should be trivial")
+	}
+	if !MustParseSet(rABC).IsTrivialSet() {
+		t.Error("empty set should be trivial")
+	}
+}
+
+func TestClosure(t *testing.T) {
+	set := MustParseSet(rABC, "A -> B", "B -> C")
+	if got := set.Closure(rABC.MustSet("A")); got != rABC.AllAttrs() {
+		t.Errorf("cl(A) = %v, want all", rABC.SetString(got))
+	}
+	if got := set.Closure(rABC.MustSet("B")); got != rABC.MustSet("B", "C") {
+		t.Errorf("cl(B) = %v", rABC.SetString(got))
+	}
+	if got := set.Closure(rABC.MustSet("C")); got != rABC.MustSet("C") {
+		t.Errorf("cl(C) = %v", rABC.SetString(got))
+	}
+	if got := set.ConsensusAttrs(); !got.IsEmpty() {
+		t.Errorf("cl(∅) = %v, want ∅", rABC.SetString(got))
+	}
+	withCons := MustParseSet(rABC, "-> A", "A -> B")
+	if got := withCons.ConsensusAttrs(); got != rABC.MustSet("A", "B") {
+		t.Errorf("cl(∅) = %v, want A B", rABC.SetString(got))
+	}
+	if withCons.IsConsensusFree() {
+		t.Error("set with consensus FD is not consensus free")
+	}
+}
+
+func TestEntailsAndEquivalence(t *testing.T) {
+	set := MustParseSet(rABC, "A -> B", "B -> C")
+	mustFD := func(spec string) FD {
+		f, err := Parse(rABC, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	if !set.Entails(mustFD("A -> C")) {
+		t.Error("A → C should be entailed")
+	}
+	if set.Entails(mustFD("C -> A")) {
+		t.Error("C → A should not be entailed")
+	}
+	if !set.Entails(mustFD("A B -> A")) {
+		t.Error("trivial FDs are always entailed")
+	}
+	eq := MustParseSet(rABC, "A -> B C", "B -> C")
+	if !set.EquivalentTo(eq) {
+		t.Error("sets should be equivalent")
+	}
+	neq := MustParseSet(rABC, "A -> B")
+	if set.EquivalentTo(neq) {
+		t.Error("sets should differ")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	set := MustParseSet(rABC, "A -> B C", "A -> B", "A -> A", "B -> B C")
+	can := set.Canonical()
+	if can.Len() != 3 { // A→B, A→C, B→C
+		t.Fatalf("Canonical has %d FDs: %v", can.Len(), can)
+	}
+	for _, f := range can.FDs() {
+		if f.RHS.Len() != 1 {
+			t.Errorf("canonical FD has multi-attribute rhs: %v", can.FDString(f))
+		}
+		if f.IsTrivial() {
+			t.Errorf("canonical FD is trivial: %v", can.FDString(f))
+		}
+	}
+	if !can.EquivalentTo(set) {
+		t.Error("Canonical must preserve equivalence")
+	}
+}
+
+func TestMinus(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C", "D")
+	set := MustParseSet(sc, "A B -> C", "A -> D", "C -> A")
+	m := set.Minus(sc.MustSet("A"))
+	// A B -> C becomes B -> C; A -> D becomes ∅ -> D; C -> A becomes trivial.
+	if m.Len() != 2 {
+		t.Fatalf("Minus(A) = %v", m)
+	}
+	if m.AttrsUsed().Intersects(sc.MustSet("A")) {
+		t.Error("Minus(A) still mentions A")
+	}
+	cf, ok := m.ConsensusFD()
+	if !ok || cf.RHS != sc.MustSet("D") {
+		t.Errorf("expected consensus ∅ → D, got %v %v", cf, ok)
+	}
+}
+
+func TestMinimalCover(t *testing.T) {
+	set := MustParseSet(rABC, "A -> B", "B -> C", "A -> C", "A B -> C")
+	mc := set.MinimalCover()
+	if !mc.EquivalentTo(set) {
+		t.Fatal("minimal cover must be equivalent")
+	}
+	if mc.Len() != 2 {
+		t.Errorf("minimal cover has %d FDs (%v), want 2", mc.Len(), mc)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	set := MustParseSet(rABC, "A -> B", "-> C")
+	s := set.String()
+	if !strings.Contains(s, "A → B") || !strings.Contains(s, "∅ → C") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,41 @@
+package fd
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// FuzzParse checks that the FD parser never panics and that every
+// successfully parsed FD round-trips through the schema renderer.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"A -> B", "A B -> C", "-> C", "∅ → B", "A→B", " A  B ->  C ",
+		"Z -> A", "A -> ", "->", "A B C", "A -> B -> C", "",
+	} {
+		f.Add(seed)
+	}
+	sc := schema.MustNew("R", "A", "B", "C")
+	f.Fuzz(func(t *testing.T, spec string) {
+		fdd, err := Parse(sc, spec)
+		if err != nil {
+			return
+		}
+		if fdd.RHS.IsEmpty() {
+			t.Fatalf("parsed FD with empty rhs from %q", spec)
+		}
+		all := sc.AllAttrs()
+		if !fdd.LHS.IsSubsetOf(all) || !fdd.RHS.IsSubsetOf(all) {
+			t.Fatalf("parsed FD outside schema from %q", spec)
+		}
+		// Rendering and reparsing preserves the FD.
+		set := MustNewSet(sc, fdd)
+		back, err := Parse(sc, set.FDString(fdd))
+		if err != nil {
+			t.Fatalf("rendered FD %q did not reparse: %v", set.FDString(fdd), err)
+		}
+		if back != fdd {
+			t.Fatalf("round trip changed FD: %v vs %v", back, fdd)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/schema"
+)
+
+// IsSuperkey reports whether X determines every attribute of the
+// schema: cl(X) = all attributes.
+func (s *Set) IsSuperkey(x schema.AttrSet) bool {
+	return s.Closure(x) == s.sc.AllAttrs()
+}
+
+// IsCandidateKey reports whether X is a minimal superkey.
+func (s *Set) IsCandidateKey(x schema.AttrSet) bool {
+	if !s.IsSuperkey(x) {
+		return false
+	}
+	for _, a := range x.Positions() {
+		if s.IsSuperkey(x.Remove(a)) {
+			return false
+		}
+	}
+	return true
+}
+
+// CandidateKeys enumerates all candidate keys of the schema under Δ,
+// in increasing size then bitset order. The enumeration prunes
+// supersets of found keys; it starts from the attributes that can never
+// be derived (they belong to every key). Exponential in the schema
+// arity, which is fixed under data complexity; refuses schemas wider
+// than MaxImplicantAttrs.
+func (s *Set) CandidateKeys() ([]schema.AttrSet, error) {
+	all := s.sc.AllAttrs()
+	if all.Len() > MaxImplicantAttrs {
+		return nil, fmt.Errorf("fd: candidate-key enumeration over %d attributes exceeds limit %d",
+			all.Len(), MaxImplicantAttrs)
+	}
+	// Attributes not derivable from anything else must be in every key:
+	// those not occurring in any rhs of the canonical set.
+	can := s.Canonical()
+	derivable := schema.EmptySet
+	for _, f := range can.fds {
+		derivable = derivable.Union(f.RHS)
+	}
+	core := all.Diff(derivable)
+	free := all.Diff(core)
+	positions := free.Positions()
+	n := len(positions)
+	var keys []schema.AttrSet
+	for size := 0; size <= n; size++ {
+		combinations(n, size, func(idxs []int) {
+			x := core
+			for _, i := range idxs {
+				x = x.Add(positions[i])
+			}
+			for _, k := range keys {
+				if k.IsSubsetOf(x) {
+					return
+				}
+			}
+			if s.IsSuperkey(x) {
+				keys = append(keys, x)
+			}
+		})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Len() != keys[j].Len() {
+			return keys[i].Len() < keys[j].Len()
+		}
+		return keys[i] < keys[j]
+	})
+	return keys, nil
+}
+
+// PrimeAttrs returns the attributes occurring in some candidate key.
+func (s *Set) PrimeAttrs() (schema.AttrSet, error) {
+	keys, err := s.CandidateKeys()
+	if err != nil {
+		return 0, err
+	}
+	out := schema.EmptySet
+	for _, k := range keys {
+		out = out.Union(k)
+	}
+	return out, nil
+}
+
+// IsBCNF reports whether the schema is in Boyce–Codd normal form under
+// Δ: the lhs of every nontrivial FD in the closure is a superkey. It
+// suffices to check the given FDs.
+func (s *Set) IsBCNF() bool {
+	for _, f := range s.fds {
+		if f.IsTrivial() {
+			continue
+		}
+		if !s.IsSuperkey(f.LHS) {
+			return false
+		}
+	}
+	return true
+}
+
+// Is3NF reports whether the schema is in third normal form under Δ:
+// for every nontrivial FD X → A, X is a superkey or A is prime.
+func (s *Set) Is3NF() (bool, error) {
+	prime, err := s.PrimeAttrs()
+	if err != nil {
+		return false, err
+	}
+	for _, f := range s.Canonical().fds {
+		if s.IsSuperkey(f.LHS) {
+			continue
+		}
+		if !f.RHS.IsSubsetOf(prime) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,145 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+)
+
+func TestCandidateKeysClassic(t *testing.T) {
+	// R(A,B,C) with A→B, B→C: the only key is A.
+	set := MustParseSet(rABC, "A -> B", "B -> C")
+	keys, err := set.CandidateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != rABC.MustSet("A") {
+		t.Fatalf("keys = %v", keys)
+	}
+	if !set.IsCandidateKey(rABC.MustSet("A")) {
+		t.Error("A should be a candidate key")
+	}
+	if set.IsCandidateKey(rABC.MustSet("A", "B")) {
+		t.Error("AB is a superkey but not minimal")
+	}
+	if !set.IsSuperkey(rABC.MustSet("A", "B")) {
+		t.Error("AB is a superkey")
+	}
+}
+
+func TestCandidateKeysMultiple(t *testing.T) {
+	// A↔B: both A C and B C are keys (C underivable).
+	set := MustParseSet(rABC, "A -> B", "B -> A")
+	keys, err := set.CandidateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v, want 2", keys)
+	}
+	want := map[schema.AttrSet]bool{
+		rABC.MustSet("A", "C"): true,
+		rABC.MustSet("B", "C"): true,
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Errorf("unexpected key %v", rABC.SetString(k))
+		}
+	}
+}
+
+func TestCandidateKeysEmptySet(t *testing.T) {
+	set := MustParseSet(rABC)
+	keys, err := set.CandidateKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != rABC.AllAttrs() {
+		t.Fatalf("keys of the empty set = %v, want all attributes", keys)
+	}
+}
+
+func TestBCNFAnd3NF(t *testing.T) {
+	// A→B, B→C over R(A,B,C): not BCNF (B is not a superkey), not 3NF
+	// (C is not prime).
+	set := MustParseSet(rABC, "A -> B", "B -> C")
+	if set.IsBCNF() {
+		t.Error("should not be BCNF")
+	}
+	if ok, err := set.Is3NF(); err != nil || ok {
+		t.Errorf("should not be 3NF: %v %v", ok, err)
+	}
+	// A key-only schema is BCNF: A→BC.
+	bcnf := MustParseSet(rABC, "A -> B C")
+	if !bcnf.IsBCNF() {
+		t.Error("A→BC should be BCNF")
+	}
+	if ok, _ := bcnf.Is3NF(); !ok {
+		t.Error("BCNF implies 3NF")
+	}
+	// The classic 3NF-not-BCNF case: R(A,B,C), AB→C, C→B.
+	nf3 := MustParseSet(rABC, "A B -> C", "C -> B")
+	if nf3.IsBCNF() {
+		t.Error("AB→C, C→B is not BCNF")
+	}
+	if ok, err := nf3.Is3NF(); err != nil || !ok {
+		t.Errorf("AB→C, C→B is 3NF: %v %v", ok, err)
+	}
+}
+
+// Property: every enumerated key is a candidate key, keys are pairwise
+// incomparable, and every superkey contains some key.
+func TestQuickCandidateKeys(t *testing.T) {
+	f := func(seeds []uint64) bool {
+		sc := schema.MustNew("R", "A", "B", "C", "D", "E")
+		all := sc.AllAttrs()
+		var fds []FD
+		for i := 0; i+1 < len(seeds) && len(fds) < 4; i += 2 {
+			lhs := schema.AttrSet(seeds[i]) & all
+			rhs := schema.AttrSet(seeds[i+1]) & all
+			if rhs.IsEmpty() {
+				continue
+			}
+			fds = append(fds, FD{LHS: lhs, RHS: rhs})
+		}
+		set := MustNewSet(sc, fds...)
+		keys, err := set.CandidateKeys()
+		if err != nil || len(keys) == 0 {
+			return false
+		}
+		for i, k := range keys {
+			if !set.IsCandidateKey(k) {
+				return false
+			}
+			for j := i + 1; j < len(keys); j++ {
+				if k.IsSubsetOf(keys[j]) || keys[j].IsSubsetOf(k) {
+					return false
+				}
+			}
+		}
+		// Random superkey check: the full set contains a key.
+		contained := false
+		for _, k := range keys {
+			if k.IsSubsetOf(all) {
+				contained = true
+			}
+		}
+		return contained
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(107))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrimeAttrs(t *testing.T) {
+	set := MustParseSet(rABC, "A -> B", "B -> A")
+	prime, err := set.PrimeAttrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prime != rABC.AllAttrs() {
+		t.Fatalf("prime = %v, want all (keys AC and BC)", rABC.SetString(prime))
+	}
+}

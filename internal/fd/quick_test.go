@@ -1,0 +1,161 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+)
+
+// genSet draws a random FD set over a 6-attribute schema from raw
+// uint64 seeds (each FD: lhs/rhs masks within the 6 attributes).
+func genSet(t *testing.T, seeds []uint64) *Set {
+	t.Helper()
+	sc := schema.MustNew("R", "A", "B", "C", "D", "E", "F")
+	all := sc.AllAttrs()
+	var fds []FD
+	for i := 0; i+1 < len(seeds); i += 2 {
+		lhs := schema.AttrSet(seeds[i]) & all
+		rhs := schema.AttrSet(seeds[i+1]) & all
+		if rhs.IsEmpty() {
+			continue
+		}
+		fds = append(fds, FD{LHS: lhs, RHS: rhs})
+	}
+	return MustNewSet(sc, fds...)
+}
+
+// Property: the closure is extensive, monotone, and idempotent.
+func TestQuickClosureProperties(t *testing.T) {
+	f := func(seeds []uint64, xRaw uint64) bool {
+		set := genSet(t, seeds)
+		all := set.Schema().AllAttrs()
+		x := schema.AttrSet(xRaw) & all
+		cl := set.Closure(x)
+		if !x.IsSubsetOf(cl) { // extensive
+			return false
+		}
+		if set.Closure(cl) != cl { // idempotent
+			return false
+		}
+		// monotone: closure of a subset is contained in closure of x
+		sub := x & (x >> 1) // some subset of x
+		return set.Closure(sub&x).IsSubsetOf(cl) || !(sub & x).IsSubsetOf(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(101))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Canonical preserves equivalence and emits only nontrivial
+// single-attribute-rhs FDs.
+func TestQuickCanonicalEquivalence(t *testing.T) {
+	f := func(seeds []uint64) bool {
+		set := genSet(t, seeds)
+		can := set.Canonical()
+		for _, fdd := range can.FDs() {
+			if fdd.RHS.Len() != 1 || fdd.IsTrivial() {
+				return false
+			}
+		}
+		return can.EquivalentTo(set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(102))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Δ − X never mentions X and is implied by Δ on the remaining
+// attributes' closure behaviour for sets containing X.
+func TestQuickMinusProjection(t *testing.T) {
+	f := func(seeds []uint64, xRaw uint64) bool {
+		set := genSet(t, seeds)
+		all := set.Schema().AllAttrs()
+		x := schema.AttrSet(xRaw) & all
+		m := set.Minus(x)
+		if m.AttrsUsed().Intersects(x) {
+			return false
+		}
+		// For any attribute set Y ⊇ X, cl_Δ(Y) ∖ X ⊇ cl_{Δ−X}(Y∖X):
+		// removing X only weakens derivations.
+		y := (schema.AttrSet(seeds2(xRaw)) & all).Union(x)
+		return m.Closure(y.Diff(x)).IsSubsetOf(set.Closure(y).Diff(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(103))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seeds2(x uint64) uint64 { return x*2654435761 + 11 }
+
+// Property: a minimal cover is equivalent to the original set and never
+// larger than the canonical form.
+func TestQuickMinimalCover(t *testing.T) {
+	f := func(seeds []uint64) bool {
+		set := genSet(t, seeds)
+		mc := set.MinimalCover()
+		return mc.EquivalentTo(set) && mc.Len() <= set.Canonical().Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(104))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the OSR simplification loop terminates and removes
+// attributes monotonically.
+func TestQuickSimplificationTerminates(t *testing.T) {
+	f := func(seeds []uint64) bool {
+		set := genSet(t, seeds)
+		cur := set
+		for steps := 0; ; steps++ {
+			if steps > 3*schema.MaxAttrs {
+				return false // cannot take more steps than attributes
+			}
+			st, ok := cur.NextSimplification()
+			if !ok {
+				return true
+			}
+			// The step must actually remove at least one attribute from use.
+			if st.After.AttrsUsed().Intersects(st.Removed) {
+				return false
+			}
+			cur = st.After
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(105))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every lhs cover returned by MinLHSCover covers, and no
+// smaller cover exists (checked against subset enumeration on the lhs
+// universe).
+func TestQuickMinLHSCover(t *testing.T) {
+	f := func(seeds []uint64) bool {
+		set := genSet(t, seeds).RemoveTrivial()
+		cover, size, ok := set.MinLHSCover()
+		if !ok {
+			_, hasConsensus := set.ConsensusFD()
+			return hasConsensus
+		}
+		if !set.LHSCover(cover) || cover.Len() != size {
+			return false
+		}
+		universe := schema.EmptySet
+		for _, fdd := range set.FDs() {
+			universe = universe.Union(fdd.LHS)
+		}
+		best := universe.Len()
+		universe.Subsets(func(c schema.AttrSet) bool {
+			if set.LHSCover(c) && c.Len() < best {
+				best = c.Len()
+			}
+			return true
+		})
+		return best == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(106))}); err != nil {
+		t.Fatal(err)
+	}
+}

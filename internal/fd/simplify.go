@@ -1,0 +1,202 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/schema"
+)
+
+// SimplificationKind identifies which of the paper's simplification
+// opportunities applies to an FD set.
+type SimplificationKind int
+
+const (
+	// KindCommonLHS — an attribute occurs in the lhs of every FD
+	// (Subroutine 1, CommonLHSRep).
+	KindCommonLHS SimplificationKind = iota
+	// KindConsensus — a consensus FD ∅ → X exists
+	// (Subroutine 2, ConsensusRep).
+	KindConsensus
+	// KindMarriage — an lhs marriage (X1, X2) exists
+	// (Subroutine 3, MarriageRep).
+	KindMarriage
+)
+
+func (k SimplificationKind) String() string {
+	switch k {
+	case KindCommonLHS:
+		return "common lhs"
+	case KindConsensus:
+		return "consensus"
+	case KindMarriage:
+		return "lhs marriage"
+	default:
+		return fmt.Sprintf("SimplificationKind(%d)", int(k))
+	}
+}
+
+// Simplification records one simplification step applied to an FD set:
+// which rule fired, which attributes it removes, and the set after
+// removal (with trivial FDs dropped).
+type Simplification struct {
+	Kind SimplificationKind
+	// Attr is the chosen common-lhs attribute (valid for KindCommonLHS).
+	Attr int
+	// Consensus is the chosen consensus FD (valid for KindConsensus).
+	Consensus FD
+	// X1, X2 are the married lhs pair (valid for KindMarriage).
+	X1, X2 schema.AttrSet
+	// Removed is the set of attributes removed from the FDs.
+	Removed schema.AttrSet
+	// After is Δ − Removed.
+	After *Set
+}
+
+// Describe renders the step for the schema of the given set, in the
+// style of Example 3.5 in the paper.
+func (st Simplification) Describe() string {
+	sc := st.After.Schema()
+	switch st.Kind {
+	case KindCommonLHS:
+		return fmt.Sprintf("common lhs %s", sc.AttrName(st.Attr))
+	case KindConsensus:
+		return fmt.Sprintf("consensus ∅ → %s", sc.SetString(st.Consensus.RHS))
+	case KindMarriage:
+		return fmt.Sprintf("lhs marriage (%s, %s)", sc.SetString(st.X1), sc.SetString(st.X2))
+	default:
+		return st.Kind.String()
+	}
+}
+
+// CommonLHS returns the set of attributes that occur in the lhs of every
+// FD of the (trivial-FD-free view of the) set. The paper's "common lhs"
+// is any single attribute of this set. If the set has no FDs, the result
+// is empty (there is nothing to simplify).
+func (s *Set) CommonLHS() schema.AttrSet {
+	nt := s.RemoveTrivial()
+	if nt.Len() == 0 {
+		return schema.EmptySet
+	}
+	common := nt.fds[0].LHS
+	for _, f := range nt.fds[1:] {
+		common = common.Intersect(f.LHS)
+	}
+	return common
+}
+
+// ConsensusFD returns the first consensus FD (∅ → X) among the
+// nontrivial FDs of the set, if any.
+func (s *Set) ConsensusFD() (FD, bool) {
+	for _, f := range s.fds {
+		if f.IsConsensus() && !f.IsTrivial() {
+			return f, true
+		}
+	}
+	return FD{}, false
+}
+
+// distinctLHS returns the distinct lhs sets of nontrivial FDs, sorted
+// for determinism.
+func (s *Set) distinctLHS() []schema.AttrSet {
+	seen := make(map[schema.AttrSet]bool)
+	var out []schema.AttrSet
+	for _, f := range s.fds {
+		if f.IsTrivial() {
+			continue
+		}
+		if !seen[f.LHS] {
+			seen[f.LHS] = true
+			out = append(out, f.LHS)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LHSMarriage returns an lhs marriage (X1, X2) of the set if one exists:
+// a pair of distinct lhs of FDs in Δ with cl(X1) = cl(X2) such that the
+// lhs of every FD in Δ contains X1 or X2. Trivial FDs are ignored. The
+// lexicographically smallest qualifying pair is returned, which keeps
+// traces deterministic.
+func (s *Set) LHSMarriage() (x1, x2 schema.AttrSet, ok bool) {
+	nt := s.RemoveTrivial()
+	lhss := nt.distinctLHS()
+	for i := 0; i < len(lhss); i++ {
+		for j := i + 1; j < len(lhss); j++ {
+			a, b := lhss[i], lhss[j]
+			if nt.Closure(a) != nt.Closure(b) {
+				continue
+			}
+			covered := true
+			for _, f := range nt.fds {
+				if !a.IsSubsetOf(f.LHS) && !b.IsSubsetOf(f.LHS) {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				return a, b, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// NextSimplification applies the case analysis of OptSRepair /
+// OSRSucceeds to the set: after removing trivial FDs it looks for, in
+// order, a common lhs, a consensus FD, and an lhs marriage. It returns
+// the step taken, or ok=false if the (nontrivial) set admits no
+// simplification. If the set is trivial, it returns ok=false as well;
+// use IsTrivialSet to distinguish success from failure.
+func (s *Set) NextSimplification() (Simplification, bool) {
+	nt := s.RemoveTrivial()
+	if nt.Len() == 0 {
+		return Simplification{}, false
+	}
+	if common := nt.CommonLHS(); !common.IsEmpty() {
+		a := common.First()
+		rm := schema.Singleton(a)
+		return Simplification{
+			Kind:    KindCommonLHS,
+			Attr:    a,
+			Removed: rm,
+			After:   nt.Minus(rm),
+		}, true
+	}
+	if cf, ok := nt.ConsensusFD(); ok {
+		return Simplification{
+			Kind:      KindConsensus,
+			Consensus: cf,
+			Removed:   cf.RHS,
+			After:     nt.Minus(cf.RHS),
+		}, true
+	}
+	if x1, x2, ok := nt.LHSMarriage(); ok {
+		rm := x1.Union(x2)
+		return Simplification{
+			Kind:    KindMarriage,
+			X1:      x1,
+			X2:      x2,
+			Removed: rm,
+			After:   nt.Minus(rm),
+		}, true
+	}
+	return Simplification{}, false
+}
+
+// IsChain reports whether the set is a chain FD set: for every two FDs
+// X1 → Y1 and X2 → Y2, X1 ⊆ X2 or X2 ⊆ X1 (Livshits & Kimelfeld 2017).
+// Trivial FDs participate in the definition; callers who want the usual
+// behaviour should canonicalize first.
+func (s *Set) IsChain() bool {
+	for i := 0; i < len(s.fds); i++ {
+		for j := i + 1; j < len(s.fds); j++ {
+			a, b := s.fds[i].LHS, s.fds[j].LHS
+			if !a.IsSubsetOf(b) && !b.IsSubsetOf(a) {
+				return false
+			}
+		}
+	}
+	return true
+}

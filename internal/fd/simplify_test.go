@@ -1,0 +1,229 @@
+package fd
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// office is the running-example schema of Figure 1.
+var office = schema.MustNew("Office", "facility", "room", "floor", "city")
+
+// officeFDs is the running-example FD set of Example 2.2.
+func officeFDs() *Set {
+	return MustParseSet(office,
+		"facility -> city",
+		"facility room -> floor",
+	)
+}
+
+func TestCommonLHSRunningExample(t *testing.T) {
+	set := officeFDs()
+	common := set.CommonLHS()
+	if common != office.MustSet("facility") {
+		t.Fatalf("common lhs = %v, want facility", office.SetString(common))
+	}
+}
+
+func TestCommonLHSNone(t *testing.T) {
+	set := MustParseSet(rABC, "A -> B", "B -> C")
+	if !set.CommonLHS().IsEmpty() {
+		t.Fatal("A→B, B→C has no common lhs")
+	}
+	// A consensus FD kills any common lhs.
+	set2 := MustParseSet(rABC, "A -> B", "-> C")
+	if !set2.CommonLHS().IsEmpty() {
+		t.Fatal("a set with a consensus FD has no common lhs")
+	}
+}
+
+func TestCommonLHSIgnoresTrivial(t *testing.T) {
+	// The trivial FD B → B must not destroy the common lhs A.
+	set := MustParseSet(rABC, "A -> B", "A C -> B", "B -> B")
+	if got := set.CommonLHS(); got != rABC.MustSet("A") {
+		t.Fatalf("common lhs = %v, want A", rABC.SetString(got))
+	}
+}
+
+func TestLHSMarriageSimple(t *testing.T) {
+	// ∆A↔B→C of Example 3.1: marriage ({A}, {B}).
+	set := MustParseSet(rABC, "A -> B", "B -> A", "B -> C")
+	x1, x2, ok := set.LHSMarriage()
+	if !ok {
+		t.Fatal("expected an lhs marriage")
+	}
+	got := map[schema.AttrSet]bool{x1: true, x2: true}
+	if !got[rABC.MustSet("A")] || !got[rABC.MustSet("B")] {
+		t.Fatalf("marriage = (%v, %v)", rABC.SetString(x1), rABC.SetString(x2))
+	}
+}
+
+func TestLHSMarriageSSNExample(t *testing.T) {
+	// ∆1 of Example 3.1: ({ssn}, {first, last}) is an lhs marriage.
+	sc := schema.MustNew("Person", "ssn", "first", "last", "address", "office", "phone", "fax")
+	set := MustParseSet(sc,
+		"ssn -> first", "ssn -> last", "first last -> ssn",
+		"ssn -> address", "ssn office -> phone", "ssn office -> fax")
+	x1, x2, ok := set.LHSMarriage()
+	if !ok {
+		t.Fatal("expected an lhs marriage")
+	}
+	want1, want2 := sc.MustSet("ssn"), sc.MustSet("first", "last")
+	if !(x1 == want1 && x2 == want2 || x1 == want2 && x2 == want1) {
+		t.Fatalf("marriage = (%v, %v)", sc.SetString(x1), sc.SetString(x2))
+	}
+}
+
+func TestLHSMarriageAbsent(t *testing.T) {
+	for _, specs := range [][]string{
+		{"A -> B", "B -> C"},   // closures differ
+		{"A -> B", "C -> B"},   // closures differ (cl(A)={A,B}, cl(C)={C,B})
+		{"A -> C", "B -> C"},   // same: closures differ
+		{"A B -> C", "C -> B"}, // no pair with equal closures
+	} {
+		set := MustParseSet(rABC, specs...)
+		if _, _, ok := set.LHSMarriage(); ok {
+			t.Errorf("%v should have no lhs marriage", set)
+		}
+	}
+}
+
+func TestLHSMarriageNeedsCoverage(t *testing.T) {
+	// cl(A)=cl(B) but a third FD's lhs contains neither A nor B.
+	sc := schema.MustNew("R", "A", "B", "C", "D")
+	set := MustParseSet(sc, "A -> B", "B -> A", "C -> D")
+	if _, _, ok := set.LHSMarriage(); ok {
+		t.Fatal("marriage requires every lhs to contain X1 or X2")
+	}
+}
+
+// TestNextSimplificationRunningExample reproduces the trace of
+// Example 3.5 for the running-example FD set:
+// common lhs facility ⇛ consensus city ⇛ common lhs room ⇛ consensus floor ⇛ {}.
+func TestNextSimplificationRunningExample(t *testing.T) {
+	set := officeFDs()
+	wantKinds := []SimplificationKind{KindCommonLHS, KindConsensus, KindCommonLHS, KindConsensus}
+	for i, want := range wantKinds {
+		st, ok := set.NextSimplification()
+		if !ok {
+			t.Fatalf("step %d: no simplification for %v", i, set)
+		}
+		if st.Kind != want {
+			t.Fatalf("step %d: kind = %v, want %v (set %v)", i, st.Kind, want, set)
+		}
+		set = st.After
+	}
+	if !set.IsTrivialSet() {
+		t.Fatalf("after all steps set = %v, want trivial", set)
+	}
+}
+
+// TestNextSimplificationMarriageExample reproduces the ∆A↔B→C trace:
+// lhs marriage ⇛ consensus ⇛ {}.
+func TestNextSimplificationMarriageExample(t *testing.T) {
+	set := MustParseSet(rABC, "A -> B", "B -> A", "B -> C")
+	st, ok := set.NextSimplification()
+	if !ok || st.Kind != KindMarriage {
+		t.Fatalf("first step = %+v, %v; want marriage", st, ok)
+	}
+	st2, ok := st.After.NextSimplification()
+	if !ok || st2.Kind != KindConsensus {
+		t.Fatalf("second step = %+v, %v; want consensus", st2, ok)
+	}
+	if !st2.After.IsTrivialSet() {
+		t.Fatalf("after = %v, want trivial", st2.After)
+	}
+}
+
+// TestNextSimplificationSSNExample reproduces the ∆1 trace of Example 3.5:
+// lhs marriage ⇛ consensus ⇛ common lhs ⇛ consensus* ⇛ {}.
+func TestNextSimplificationSSNExample(t *testing.T) {
+	sc := schema.MustNew("Person", "ssn", "first", "last", "address", "office", "phone", "fax")
+	set := MustParseSet(sc,
+		"ssn -> first", "ssn -> last", "first last -> ssn",
+		"ssn -> address", "ssn office -> phone", "ssn office -> fax")
+	var kinds []SimplificationKind
+	for {
+		st, ok := set.NextSimplification()
+		if !ok {
+			break
+		}
+		kinds = append(kinds, st.Kind)
+		set = st.After
+	}
+	if !set.IsTrivialSet() {
+		t.Fatalf("∆1 should fully simplify; stuck at %v", set)
+	}
+	if kinds[0] != KindMarriage {
+		t.Fatalf("first step = %v, want marriage (trace: %v)", kinds[0], kinds)
+	}
+}
+
+func TestNextSimplificationFails(t *testing.T) {
+	for _, specs := range [][]string{
+		{"A -> B", "B -> C"},
+		{"A -> C", "B -> C"},
+		{"A B -> C", "C -> B"},
+		{"A B -> C", "A C -> B", "B C -> A"},
+	} {
+		set := MustParseSet(rABC, specs...)
+		if st, ok := set.NextSimplification(); ok {
+			t.Errorf("%v should not simplify; got %v", set, st.Describe())
+		}
+	}
+	// {A→B, C→D} over a 4-ary schema also fails (Example 3.5).
+	sc := schema.MustNew("R", "A", "B", "C", "D")
+	set := MustParseSet(sc, "A -> B", "C -> D")
+	if _, ok := set.NextSimplification(); ok {
+		t.Error("{A→B, C→D} should not simplify")
+	}
+}
+
+func TestIsChain(t *testing.T) {
+	if !officeFDs().IsChain() {
+		t.Error("running-example set is a chain")
+	}
+	if MustParseSet(rABC, "A -> B", "B -> C").IsChain() {
+		t.Error("{A→B, B→C} is not a chain")
+	}
+	if !MustParseSet(rABC, "A -> B", "A B -> C", "-> A").IsChain() {
+		t.Error("∅ ⊆ A ⊆ AB should be a chain")
+	}
+	if !MustParseSet(rABC).IsChain() {
+		t.Error("empty set is a chain")
+	}
+}
+
+// Chains always fully simplify (Corollary 3.6).
+func TestChainsAlwaysSimplify(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C", "D", "E")
+	chains := [][]string{
+		{"A -> B", "A B -> C", "A B C -> D"},
+		{"-> A", "A -> B", "A B -> C D E"},
+		{"A -> B C D E"},
+	}
+	for _, specs := range chains {
+		set := MustParseSet(sc, specs...)
+		for steps := 0; !set.IsTrivialSet(); steps++ {
+			if steps > 20 {
+				t.Fatalf("chain %v did not terminate", specs)
+			}
+			st, ok := set.NextSimplification()
+			if !ok {
+				t.Fatalf("chain %v got stuck at %v", specs, set)
+			}
+			if st.Kind == KindMarriage {
+				t.Fatalf("chain simplification should use only common lhs and consensus, got %v", st.Describe())
+			}
+			set = st.After
+		}
+	}
+}
+
+func TestSimplificationDescribe(t *testing.T) {
+	set := officeFDs()
+	st, _ := set.NextSimplification()
+	if got := st.Describe(); got != "common lhs facility" {
+		t.Errorf("Describe = %q", got)
+	}
+}

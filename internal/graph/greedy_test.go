@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGreedyMatchingIsMatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 60; iter++ {
+		n, m := 1+rng.Intn(8), 1+rng.Intn(8)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, m)
+			for j := range w[i] {
+				if rng.Float64() < 0.3 {
+					w[i][j] = math.Inf(-1)
+				} else {
+					w[i][j] = float64(rng.Intn(30))
+				}
+			}
+		}
+		weight := func(i, j int) float64 { return w[i][j] }
+		match, total := GreedyMatching(n, m, weight)
+		usedRight := map[int]bool{}
+		var sum float64
+		for i, j := range match {
+			if j == -1 {
+				continue
+			}
+			if usedRight[j] {
+				t.Fatal("right node matched twice")
+			}
+			usedRight[j] = true
+			if math.IsInf(w[i][j], -1) {
+				t.Fatal("matched missing edge")
+			}
+			sum += w[i][j]
+		}
+		if math.Abs(sum-total) > 1e-9 {
+			t.Fatalf("reported %v, recomputed %v", total, sum)
+		}
+		// Greedy never beats the optimum, and reaches at least half of
+		// it (classic maximal-matching bound for weights).
+		_, opt, err := MaxWeightBipartiteMatching(n, m, weight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total > opt+1e-9 {
+			t.Fatalf("greedy %v exceeds optimum %v", total, opt)
+		}
+		if total < opt/2-1e-9 {
+			t.Fatalf("greedy %v below half the optimum %v", total, opt)
+		}
+	}
+}
+
+func TestGreedyMatchingPicksHeaviestFirst(t *testing.T) {
+	// Greedy takes the weight-10 edge (0,0), which blocks both weight-6
+	// edges — the 6+6 pairing is optimal (12), greedy stops at 10.
+	w := [][]float64{{10, 6}, {6, math.Inf(-1)}}
+	weight := func(i, j int) float64 { return w[i][j] }
+	match, greedy := GreedyMatching(2, 2, weight)
+	if greedy != 10 || match[0] != 0 || match[1] != -1 {
+		t.Fatalf("greedy = %v, match %v; want 10 via (0,0)", greedy, match)
+	}
+	_, opt, err := MaxWeightBipartiteMatching(2, 2, weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 12 {
+		t.Fatalf("optimum = %v, want 12", opt)
+	}
+	if greedy >= opt {
+		t.Fatal("this instance must show a strict greedy gap")
+	}
+}

@@ -1,0 +1,218 @@
+// Package graph provides the graph-algorithm substrate the repair
+// algorithms need and that the Go ecosystem only thinly covers:
+// maximum-weight bipartite matching (for MarriageRep, Subroutine 3) and
+// weighted vertex cover — an exact branch-and-bound solver (the
+// exponential baseline for optimal S-repairs on arbitrary FD sets) and
+// the Bar-Yehuda–Even linear-time 2-approximation (Proposition 3.3).
+// Everything is implemented from scratch on the standard library.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxWeightBipartiteMatching computes a maximum-weight matching of a
+// bipartite graph with n left nodes and m right nodes. weight[i][j] is
+// the weight of edge (i, j); math.Inf(-1) marks a missing edge. All
+// present edge weights must be ≥ 0 (matching weight-0 edges is
+// harmless, so the algorithm pads the instance to a square matrix with
+// zero-weight slack edges and runs the O(n³) Hungarian algorithm with
+// potentials). The result maps each left node to its matched right node
+// or -1, together with the total matched weight.
+func MaxWeightBipartiteMatching(n, m int, weight func(i, j int) float64) (match []int, total float64, err error) {
+	size := n
+	if m > size {
+		size = m
+	}
+	if size == 0 {
+		return nil, 0, nil
+	}
+	// Build a square cost matrix for minimization:
+	// cost = maxW - w, slack edges cost maxW (i.e. weight 0).
+	maxW := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			w := weight(i, j)
+			if math.IsInf(w, -1) {
+				continue
+			}
+			if w < 0 {
+				return nil, 0, fmt.Errorf("graph: negative edge weight %v on (%d,%d)", w, i, j)
+			}
+			if w > maxW {
+				maxW = w
+			}
+		}
+	}
+	cost := make([][]float64, size)
+	for i := range cost {
+		cost[i] = make([]float64, size)
+		for j := range cost[i] {
+			w := 0.0
+			if i < n && j < m {
+				if e := weight(i, j); !math.IsInf(e, -1) {
+					w = e
+				}
+			}
+			cost[i][j] = maxW - w
+		}
+	}
+	assignment := hungarianMin(cost)
+	match = make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		j := assignment[i]
+		if j < m {
+			w := weight(i, j)
+			if !math.IsInf(w, -1) && w > 0 {
+				match[i] = j
+				total += w
+			}
+		}
+	}
+	return match, total, nil
+}
+
+// hungarianMin solves the square assignment problem (minimization) with
+// the O(n³) shortest-augmenting-path formulation using potentials
+// (Jonker–Volgenant style). cost must be a square matrix. Returns the
+// column assigned to each row.
+func hungarianMin(cost [][]float64) []int {
+	n := len(cost)
+	const inf = math.MaxFloat64
+	// 1-based arrays per the classical presentation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+	assignment := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assignment[p[j]-1] = j - 1
+		}
+	}
+	return assignment
+}
+
+// GreedyMatching computes a maximal (not maximum) weight matching by
+// scanning edges in decreasing weight order. Used as the ablation
+// baseline for MarriageRep: it is faster than Hungarian but forfeits
+// optimality, turning OptSRepair's marriage case into a heuristic.
+func GreedyMatching(n, m int, weight func(i, j int) float64) (match []int, total float64) {
+	type edge struct {
+		i, j int
+		w    float64
+	}
+	var edges []edge
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			w := weight(i, j)
+			if !math.IsInf(w, -1) && w > 0 {
+				edges = append(edges, edge{i, j, w})
+			}
+		}
+	}
+	// Insertion sort by decreasing weight (edge counts here are small;
+	// avoids importing sort for a single call site).
+	for i := 1; i < len(edges); i++ {
+		for k := i; k > 0 && edges[k].w > edges[k-1].w; k-- {
+			edges[k], edges[k-1] = edges[k-1], edges[k]
+		}
+	}
+	match = make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	usedRight := make([]bool, m)
+	for _, e := range edges {
+		if match[e.i] != -1 || usedRight[e.j] {
+			continue
+		}
+		match[e.i] = e.j
+		usedRight[e.j] = true
+		total += e.w
+	}
+	return match, total
+}
+
+// ExhaustiveMaxWeightMatching computes a maximum-weight bipartite
+// matching by brute force; a test oracle for small instances
+// (n·m permutation search).
+func ExhaustiveMaxWeightMatching(n, m int, weight func(i, j int) float64) float64 {
+	usedRight := make([]bool, m)
+	var rec func(i int) float64
+	rec = func(i int) float64 {
+		if i == n {
+			return 0
+		}
+		best := rec(i + 1) // leave i unmatched
+		for j := 0; j < m; j++ {
+			if usedRight[j] {
+				continue
+			}
+			w := weight(i, j)
+			if math.IsInf(w, -1) {
+				continue
+			}
+			usedRight[j] = true
+			if cand := w + rec(i+1); cand > best {
+				best = cand
+			}
+			usedRight[j] = false
+		}
+		return best
+	}
+	return rec(0)
+}

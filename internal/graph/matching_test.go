@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatchingEmpty(t *testing.T) {
+	match, total, err := MaxWeightBipartiteMatching(0, 0, nil)
+	if err != nil || total != 0 || len(match) != 0 {
+		t.Fatalf("empty: %v %v %v", match, total, err)
+	}
+}
+
+func TestMatchingSingleEdge(t *testing.T) {
+	w := func(i, j int) float64 { return 5 }
+	match, total, err := MaxWeightBipartiteMatching(1, 1, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if match[0] != 0 || total != 5 {
+		t.Fatalf("match=%v total=%v", match, total)
+	}
+}
+
+func TestMatchingPrefersHeavy(t *testing.T) {
+	// 2x2: diagonal weights 10+10 beat off-diagonal 12+1.
+	weights := [][]float64{{10, 12}, {1, 10}}
+	w := func(i, j int) float64 { return weights[i][j] }
+	match, total, err := MaxWeightBipartiteMatching(2, 2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 20 {
+		t.Fatalf("total = %v, want 20 (match %v)", total, match)
+	}
+	if match[0] != 0 || match[1] != 1 {
+		t.Fatalf("match = %v, want [0 1]", match)
+	}
+}
+
+func TestMatchingMissingEdges(t *testing.T) {
+	// Left 0 connects only to right 1; left 1 connects only to right 1.
+	neg := math.Inf(-1)
+	weights := [][]float64{{neg, 3}, {neg, 7}}
+	w := func(i, j int) float64 { return weights[i][j] }
+	match, total, err := MaxWeightBipartiteMatching(2, 2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 7 {
+		t.Fatalf("total = %v, want 7", total)
+	}
+	if match[1] != 1 || match[0] != -1 {
+		t.Fatalf("match = %v, want [-1 1]", match)
+	}
+}
+
+func TestMatchingRectangular(t *testing.T) {
+	// 3 left, 2 right: at most 2 matches.
+	weights := [][]float64{{1, 9}, {8, 2}, {7, 7}}
+	w := func(i, j int) float64 { return weights[i][j] }
+	_, total, err := MaxWeightBipartiteMatching(3, 2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 17 { // 9 (0->1) + 8 (1->0); or 9+8 beats 7+8=15, 9+7=16
+		t.Fatalf("total = %v, want 17", total)
+	}
+}
+
+func TestMatchingRejectsNegative(t *testing.T) {
+	w := func(i, j int) float64 { return -1 }
+	if _, _, err := MaxWeightBipartiteMatching(1, 1, w); err == nil {
+		t.Fatal("negative weights must be rejected")
+	}
+}
+
+func TestMatchingIsActuallyAMatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		n, m := 1+rng.Intn(6), 1+rng.Intn(6)
+		weights := make([][]float64, n)
+		for i := range weights {
+			weights[i] = make([]float64, m)
+			for j := range weights[i] {
+				if rng.Float64() < 0.3 {
+					weights[i][j] = math.Inf(-1)
+				} else {
+					weights[i][j] = float64(rng.Intn(20))
+				}
+			}
+		}
+		w := func(i, j int) float64 { return weights[i][j] }
+		match, total, err := MaxWeightBipartiteMatching(n, m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		usedRight := map[int]bool{}
+		var sum float64
+		for i, j := range match {
+			if j == -1 {
+				continue
+			}
+			if usedRight[j] {
+				t.Fatalf("right node %d matched twice", j)
+			}
+			usedRight[j] = true
+			if math.IsInf(weights[i][j], -1) {
+				t.Fatalf("matched missing edge (%d,%d)", i, j)
+			}
+			sum += weights[i][j]
+		}
+		if math.Abs(sum-total) > 1e-9 {
+			t.Fatalf("reported total %v != recomputed %v", total, sum)
+		}
+	}
+}
+
+// Property: Hungarian equals brute force on random small instances.
+func TestMatchingAgainstExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 120; iter++ {
+		n, m := 1+rng.Intn(5), 1+rng.Intn(5)
+		weights := make([][]float64, n)
+		for i := range weights {
+			weights[i] = make([]float64, m)
+			for j := range weights[i] {
+				if rng.Float64() < 0.25 {
+					weights[i][j] = math.Inf(-1)
+				} else {
+					weights[i][j] = float64(rng.Intn(15))
+				}
+			}
+		}
+		w := func(i, j int) float64 { return weights[i][j] }
+		_, total, err := MaxWeightBipartiteMatching(n, m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ExhaustiveMaxWeightMatching(n, m, w)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("iter %d (n=%d m=%d): hungarian %v, exhaustive %v", iter, n, m, total, want)
+		}
+	}
+}

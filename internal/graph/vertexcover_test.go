@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func unitWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func TestGraphConstruction(t *testing.T) {
+	if _, err := NewGraph([]float64{1, 0}); err == nil {
+		t.Error("non-positive weight must be rejected")
+	}
+	g := MustNewGraph(unitWeights(3))
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop must be rejected")
+	}
+	if err := g.AddEdge(0, 5); err == nil {
+		t.Error("out-of-range edge must be rejected")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err != nil { // duplicate (reversed) ignored
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if g.N() != 3 || g.Degree(0) != 1 || g.MaxDegree() != 1 {
+		t.Error("basic accessors wrong")
+	}
+}
+
+func TestVertexCoverTriangle(t *testing.T) {
+	g := MustNewGraph(unitWeights(3))
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	exact, err := g.ExactMinVertexCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsVertexCover(exact) {
+		t.Fatal("exact result is not a cover")
+	}
+	if w := g.CoverWeight(exact); w != 2 {
+		t.Fatalf("triangle min VC weight = %v, want 2", w)
+	}
+}
+
+func TestVertexCoverStar(t *testing.T) {
+	g := MustNewGraph(unitWeights(6))
+	for v := 1; v < 6; v++ {
+		g.AddEdge(0, v)
+	}
+	exact, _ := g.ExactMinVertexCover()
+	if w := g.CoverWeight(exact); w != 1 {
+		t.Fatalf("star min VC weight = %v, want 1 (center)", w)
+	}
+	if !exact[0] {
+		t.Fatal("star cover should be the center")
+	}
+}
+
+func TestWeightedVertexCoverPrefersLight(t *testing.T) {
+	// Path 0-1-2 where the middle vertex is heavy: cover = {0, 2}.
+	g := MustNewGraph([]float64{1, 10, 1})
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	exact, _ := g.ExactMinVertexCover()
+	if w := g.CoverWeight(exact); w != 2 {
+		t.Fatalf("min weight = %v, want 2", w)
+	}
+	if exact[1] {
+		t.Fatal("heavy middle vertex should be avoided")
+	}
+}
+
+func TestApproxVertexCoverGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		n := 2 + rng.Intn(10)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = 1 + float64(rng.Intn(9))
+		}
+		g := MustNewGraph(weights)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.35 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		approx := g.ApproxVertexCoverBE()
+		if !g.IsVertexCover(approx) {
+			t.Fatal("BE result is not a cover")
+		}
+		exact, err := g.ExactMinVertexCover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsVertexCover(exact) {
+			t.Fatal("exact result is not a cover")
+		}
+		wa, we := g.CoverWeight(approx), g.CoverWeight(exact)
+		if wa > 2*we+1e-9 {
+			t.Fatalf("BE weight %v exceeds 2×OPT (%v)", wa, we)
+		}
+		if we > wa+1e-9 {
+			t.Fatalf("exact weight %v exceeds approx weight %v", we, wa)
+		}
+	}
+}
+
+func TestExactVertexCoverAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 80; iter++ {
+		n := 1 + rng.Intn(9)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = 1 + float64(rng.Intn(5))
+		}
+		g := MustNewGraph(weights)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		exact, err := g.ExactMinVertexCover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force over all subsets.
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			cover := map[int]bool{}
+			var w float64
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					cover[v] = true
+					w += weights[v]
+				}
+			}
+			if g.IsVertexCover(cover) && w < best {
+				best = w
+			}
+		}
+		if math.Abs(g.CoverWeight(exact)-best) > 1e-9 {
+			t.Fatalf("iter %d: exact %v, brute force %v", iter, g.CoverWeight(exact), best)
+		}
+	}
+}
+
+func TestGreedyVertexCoverIsACover(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 40; iter++ {
+		n := 2 + rng.Intn(12)
+		g := MustNewGraph(unitWeights(n))
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		if !g.IsVertexCover(g.GreedyVertexCover()) {
+			t.Fatal("greedy result is not a cover")
+		}
+	}
+}
+
+func TestExactVertexCoverLimit(t *testing.T) {
+	g := MustNewGraph(unitWeights(ExactVertexCoverLimit + 1))
+	if _, err := g.ExactMinVertexCover(); err == nil {
+		t.Fatal("oversized instance must be refused")
+	}
+}
+
+func TestCoverIDsSorted(t *testing.T) {
+	ids := CoverIDs(map[int]bool{5: true, 1: true, 3: false, 2: true})
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 5 {
+		t.Fatalf("CoverIDs = %v", ids)
+	}
+}
+
+func TestEmptyGraphCover(t *testing.T) {
+	g := MustNewGraph(unitWeights(4))
+	exact, err := g.ExactMinVertexCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CoverWeight(exact) != 0 {
+		t.Fatalf("edgeless graph cover weight = %v, want 0", g.CoverWeight(exact))
+	}
+}

@@ -1,0 +1,170 @@
+// Package mpd implements the Most Probable Database problem of
+// Section 3.4: given a tuple-independent probabilistic table (tuple
+// weights in (0,1] read as probabilities) and a set of FDs, find the
+// most probable consistent subset. Theorem 3.10's reduction maps the
+// problem to optimal S-repairs over log-odds weights, which settles the
+// dichotomy of Gribkoff, Van den Broeck and Suciu for arbitrary FDs:
+// MPD is in polynomial time iff OSRSucceeds(Δ).
+package mpd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fd"
+	"repro/internal/srepair"
+	"repro/internal/table"
+)
+
+// Validate checks that the table is a probabilistic table: every weight
+// lies in (0, 1].
+func Validate(t *table.Table) error {
+	for _, r := range t.Rows() {
+		if r.Weight <= 0 || r.Weight > 1 {
+			return fmt.Errorf("mpd: tuple %d has probability %v outside (0,1]", r.ID, r.Weight)
+		}
+	}
+	return nil
+}
+
+// Probability returns Pr_T(S) of equation (2): the probability of
+// drawing exactly the subset s from the tuple-independent table t.
+func Probability(t, s *table.Table) float64 {
+	p := 1.0
+	for _, r := range t.Rows() {
+		if s.Has(r.ID) {
+			p *= r.Weight
+		} else {
+			p *= 1 - r.Weight
+		}
+	}
+	return p
+}
+
+// IsPolyTime reports whether MPD for the FD set is solvable in
+// polynomial time (Theorem 3.10: exactly when OSRSucceeds holds).
+func IsPolyTime(ds *fd.Set) bool { return srepair.OSRSucceeds(ds) }
+
+// Solve computes a most probable consistent subset via the reduction of
+// Theorem 3.10: certain tuples (p = 1) are pinned with a dominating
+// weight, tuples with p ≤ 0.5 are dropped (never harmful), and the rest
+// get log-odds weights log(p/(1−p)); an optimal S-repair of the
+// reweighted table is a most probable database. OptSRepair is used when
+// the FD set is tractable, the exact vertex-cover baseline otherwise
+// (subject to its size limits).
+func Solve(ds *fd.Set, t *table.Table) (*table.Table, error) {
+	if err := Validate(t); err != nil {
+		return nil, err
+	}
+	if !ds.Schema().SameAs(t.Schema()) {
+		return nil, fmt.Errorf("mpd: FD set and table have different schemas")
+	}
+	// Certain tuples must be jointly consistent; otherwise every subset
+	// containing them is inconsistent and every consistent subset has
+	// probability zero — the paper then allows any answer (we return
+	// the empty subset).
+	var certainIDs []int
+	for _, r := range t.Rows() {
+		if r.Weight == 1 {
+			certainIDs = append(certainIDs, r.ID)
+		}
+	}
+	certain := t.MustSubsetByIDs(certainIDs)
+	if !certain.Satisfies(ds) {
+		return t.MustSubsetByIDs(nil), nil
+	}
+	// Keep certain tuples and tuples with p > 0.5.
+	weighted := table.New(t.Schema())
+	var logOddsSum float64
+	type pending struct {
+		id   int
+		odds float64
+	}
+	var pendings []pending
+	for _, r := range t.Rows() {
+		if r.Weight == 1 {
+			continue // inserted after the dominating weight is known
+		}
+		if r.Weight <= 0.5 {
+			continue // never helps the probability
+		}
+		odds := math.Log(r.Weight / (1 - r.Weight))
+		pendings = append(pendings, pending{r.ID, odds})
+		logOddsSum += odds
+	}
+	bigM := logOddsSum + 1
+	for _, id := range certainIDs {
+		r, _ := t.Row(id)
+		weighted.MustInsert(id, r.Tuple, bigM)
+	}
+	for _, p := range pendings {
+		r, _ := t.Row(p.id)
+		weighted.MustInsert(p.id, r.Tuple, p.odds)
+	}
+	var rep *table.Table
+	var err error
+	if srepair.OSRSucceeds(ds) {
+		rep, err = srepair.OptSRepair(ds, weighted)
+	} else {
+		rep, err = srepair.Exact(ds, weighted)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Sanity: the dominating weight must have kept every certain tuple.
+	for _, id := range certainIDs {
+		if !rep.Has(id) {
+			return nil, fmt.Errorf("mpd: internal error: certain tuple %d deleted", id)
+		}
+	}
+	return t.MustSubsetByIDs(rep.IDs()), nil
+}
+
+// BruteForceLimit bounds the subset enumeration of BruteForce.
+const BruteForceLimit = 20
+
+// BruteForce computes a most probable consistent subset by enumerating
+// all subsets; the validation oracle for Solve.
+func BruteForce(ds *fd.Set, t *table.Table) (*table.Table, float64, error) {
+	if err := Validate(t); err != nil {
+		return nil, 0, err
+	}
+	n := t.Len()
+	if n > BruteForceLimit {
+		return nil, 0, fmt.Errorf("mpd: brute force limited to %d tuples, got %d", BruteForceLimit, n)
+	}
+	ids := t.IDs()
+	var best *table.Table
+	bestP := math.Inf(-1)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var keep []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				keep = append(keep, ids[i])
+			}
+		}
+		s := t.MustSubsetByIDs(keep)
+		if !s.Satisfies(ds) {
+			continue
+		}
+		if p := Probability(t, s); p > bestP {
+			best, bestP = s, p
+		}
+	}
+	return best, bestP, nil
+}
+
+// UnweightedToMPD is the reverse reduction in the proof of Theorem 3.10:
+// an unweighted table becomes a probabilistic table with a fixed
+// probability p ∈ (0.5, 1) per tuple, so that a most probable subset is
+// exactly a maximum-cardinality consistent subset.
+func UnweightedToMPD(t *table.Table, p float64) (*table.Table, error) {
+	if p <= 0.5 || p >= 1 {
+		return nil, fmt.Errorf("mpd: reverse reduction needs p in (0.5, 1), got %v", p)
+	}
+	out := table.New(t.Schema())
+	for _, r := range t.Rows() {
+		out.MustInsert(r.ID, r.Tuple, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,208 @@
+package mpd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+var rAB = schema.MustNew("R", "A", "B")
+
+func probTable(t testing.TB, probs []float64, tuples []table.Tuple) *table.Table {
+	tab := table.New(rAB)
+	for i := range probs {
+		tab.MustInsert(i+1, tuples[i], probs[i])
+	}
+	return tab
+}
+
+func TestValidate(t *testing.T) {
+	tab := table.New(rAB)
+	tab.MustInsert(1, table.Tuple{"a", "b"}, 1.5)
+	if err := Validate(tab); err == nil {
+		t.Fatal("probability > 1 must be rejected")
+	}
+	ok := probTable(t, []float64{0.9, 1}, []table.Tuple{{"a", "b"}, {"c", "d"}})
+	if err := Validate(ok); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbability(t *testing.T) {
+	tab := probTable(t, []float64{0.5, 0.5}, []table.Tuple{{"a", "b"}, {"c", "d"}})
+	full := tab.MustSubsetByIDs([]int{1, 2})
+	if p := Probability(tab, full); math.Abs(p-0.25) > 1e-12 {
+		t.Fatalf("P(full) = %v, want 0.25", p)
+	}
+	empty := tab.MustSubsetByIDs(nil)
+	if p := Probability(tab, empty); math.Abs(p-0.25) > 1e-12 {
+		t.Fatalf("P(empty) = %v, want 0.25", p)
+	}
+	// A deleted certain tuple zeroes the probability.
+	cert := probTable(t, []float64{1, 0.9}, []table.Tuple{{"a", "b"}, {"c", "d"}})
+	if p := Probability(cert, cert.MustSubsetByIDs([]int{2})); p != 0 {
+		t.Fatalf("P = %v, want 0", p)
+	}
+}
+
+// TestSolveSimpleKey: under A → B, two conflicting tuples; the more
+// probable one survives.
+func TestSolveSimpleKey(t *testing.T) {
+	ds := fd.MustParseSet(rAB, "A -> B")
+	tab := probTable(t, []float64{0.9, 0.6}, []table.Tuple{{"a", "x"}, {"a", "y"}})
+	got, err := Solve(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Has(1) {
+		t.Fatalf("MPD should keep tuple 1, got %v", got.IDs())
+	}
+}
+
+// TestSolveDropsLowProbability: tuples with p ≤ 0.5 never belong to a
+// most probable database.
+func TestSolveDropsLowProbability(t *testing.T) {
+	ds := fd.MustParseSet(rAB, "A -> B")
+	tab := probTable(t, []float64{0.4, 0.6}, []table.Tuple{{"a", "x"}, {"b", "y"}})
+	got, err := Solve(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Has(1) || !got.Has(2) {
+		t.Fatalf("MPD = %v, want only tuple 2", got.IDs())
+	}
+	// Against brute force.
+	bf, _, err := BruteForce(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(Probability(tab, got)-Probability(tab, bf)) > 1e-12 {
+		t.Fatalf("Solve %v vs brute force %v", Probability(tab, got), Probability(tab, bf))
+	}
+}
+
+// TestSolveCertainTuplesPinned: certain tuples always stay, forcing
+// conflicting probable tuples out.
+func TestSolveCertainTuplesPinned(t *testing.T) {
+	ds := fd.MustParseSet(rAB, "A -> B")
+	tab := probTable(t, []float64{1, 0.99}, []table.Tuple{{"a", "x"}, {"a", "y"}})
+	got, err := Solve(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Has(1) || got.Has(2) {
+		t.Fatalf("MPD = %v, want the certain tuple only", got.IDs())
+	}
+}
+
+// TestSolveInconsistentCertain: when certain tuples conflict, every
+// consistent subset has probability zero; the empty subset is allowed.
+func TestSolveInconsistentCertain(t *testing.T) {
+	ds := fd.MustParseSet(rAB, "A -> B")
+	tab := probTable(t, []float64{1, 1}, []table.Tuple{{"a", "x"}, {"a", "y"}})
+	got, err := Solve(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("MPD = %v, want empty", got.IDs())
+	}
+}
+
+// TestSolveMatchesBruteForce cross-validates the reduction on random
+// probabilistic tables for tractable and hard FD sets.
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	sc := schema.MustNew("R", "A", "B", "C")
+	sets := []*fd.Set{
+		fd.MustParseSet(sc, "A -> B"),
+		fd.MustParseSet(sc, "A -> B", "B -> A", "B -> C"), // ∆A↔B→C (Comment 3.11: poly here)
+		fd.MustParseSet(sc, "A -> B", "B -> C"),           // hard side, exact fallback
+	}
+	for _, ds := range sets {
+		for iter := 0; iter < 12; iter++ {
+			base := workload.RandomTable(sc, 3+rng.Intn(6), 2, rng)
+			tab := table.New(sc)
+			for _, r := range base.Rows() {
+				p := 0.05 + 0.95*rng.Float64()
+				if p > 1 {
+					p = 1
+				}
+				tab.MustInsert(r.ID, r.Tuple, p)
+			}
+			got, err := Solve(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Satisfies(ds) {
+				t.Fatalf("%v: MPD result inconsistent", ds)
+			}
+			bf, bestP, err := BruteForce(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(Probability(tab, got)-bestP) > 1e-12*math.Max(1, bestP) {
+				t.Fatalf("%v: Solve P=%v, brute force P=%v (bf keeps %v, solve keeps %v)\n%s",
+					ds, Probability(tab, got), bestP, bf.IDs(), got.IDs(), tab)
+			}
+		}
+	}
+}
+
+// TestComment311: ∆A↔B→C is polynomial-time in our dichotomy (the
+// disagreement with Gribkoff et al. was a gap in their proof).
+func TestComment311(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> A", "B -> C")
+	if !IsPolyTime(ds) {
+		t.Fatal("∆A↔B→C must classify as polynomial time (Comment 3.11)")
+	}
+	hard := fd.MustParseSet(sc, "A -> B", "B -> C")
+	if IsPolyTime(hard) {
+		t.Fatal("{A→B, B→C} must classify as NP-hard")
+	}
+}
+
+// TestUnweightedToMPD: the reverse reduction preserves optima — a most
+// probable subset is a maximum-cardinality consistent subset.
+func TestUnweightedToMPD(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B")
+	base := workload.RandomTable(sc, 6, 2, rand.New(rand.NewSource(3)))
+	prob, err := UnweightedToMPD(base, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Solve(ds, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare cardinality against brute force on the probabilistic table.
+	bf, _, err := BruteForce(ds, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != bf.Len() {
+		t.Fatalf("cardinality %d != brute force %d", got.Len(), bf.Len())
+	}
+	if _, err := UnweightedToMPD(base, 0.5); err == nil {
+		t.Fatal("p = 0.5 must be rejected")
+	}
+}
+
+func TestBruteForceLimit(t *testing.T) {
+	sc := schema.MustNew("R", "A")
+	ds := fd.MustParseSet(sc, "-> A")
+	tab := table.New(sc)
+	for i := 1; i <= BruteForceLimit+1; i++ {
+		tab.MustInsert(i, table.Tuple{"v"}, 0.9)
+	}
+	if _, _, err := BruteForce(ds, tab); err == nil {
+		t.Fatal("oversized brute force must refuse")
+	}
+}

@@ -1,0 +1,234 @@
+package priority
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+func TestValidate(t *testing.T) {
+	_, ds, tab := workload.Office()
+	r := NewRelation()
+	r.Add(1, 2) // tuples 1 and 2 conflict: fine
+	if err := r.Validate(ds, tab); err != nil {
+		t.Fatal(err)
+	}
+	// Non-conflicting pair rejected.
+	r2 := NewRelation()
+	r2.Add(1, 4)
+	if err := r2.Validate(ds, tab); err == nil {
+		t.Fatal("1 and 4 do not conflict; must be rejected")
+	}
+	// Unknown ids rejected.
+	r3 := NewRelation()
+	r3.Add(1, 99)
+	if err := r3.Validate(ds, tab); err == nil {
+		t.Fatal("unknown id must be rejected")
+	}
+	// Cycles rejected.
+	r4 := NewRelation()
+	r4.Add(1, 2)
+	r4.Add(2, 1)
+	if err := r4.Validate(ds, tab); err == nil {
+		t.Fatal("cycle must be rejected")
+	}
+}
+
+// TestCRepairFollowsPriority: on Figure 1, preferring tuple 1 over its
+// conflictors keeps tuple 1 (the S2 repair); preferring 2 and 3 keeps
+// them (the S1 repair).
+func TestCRepairFollowsPriority(t *testing.T) {
+	_, ds, tab := workload.Office()
+	r := NewRelation()
+	r.Add(1, 2)
+	r.Add(1, 3)
+	rep, err := CRepair(ds, tab, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Has(1) || rep.Has(2) || rep.Has(3) || !rep.Has(4) {
+		t.Fatalf("repair = %v, want {1,4}", rep.IDs())
+	}
+	r2 := NewRelation()
+	r2.Add(2, 1)
+	r2.Add(3, 1)
+	rep2, err := CRepair(ds, tab, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Has(1) || !rep2.Has(2) || !rep2.Has(3) || !rep2.Has(4) {
+		t.Fatalf("repair = %v, want {2,3,4}", rep2.IDs())
+	}
+}
+
+// TestCRepairIsARepair: the greedy output is always a maximal
+// consistent subset.
+func TestCRepairIsARepair(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> C")
+	rng := rand.New(rand.NewSource(91))
+	for iter := 0; iter < 15; iter++ {
+		tab := workload.RandomTable(sc, 8, 2, rng)
+		r := NewRelation()
+		// Random acyclic priorities: higher id ≻ lower id on some edges.
+		for _, e := range tab.ConflictGraph(ds) {
+			if rng.Intn(2) == 0 {
+				hi, lo := e.ID1, e.ID2
+				if hi < lo {
+					hi, lo = lo, hi
+				}
+				r.Add(hi, lo)
+			}
+		}
+		rep, err := CRepair(ds, tab, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Satisfies(ds) || !rep.IsSubsetOf(tab) {
+			t.Fatal("c-repair invalid")
+		}
+		for _, id := range tab.IDs() {
+			if rep.Has(id) {
+				continue
+			}
+			row, _ := tab.Row(id)
+			trial := rep.Clone()
+			trial.MustInsert(row.ID, row.Tuple, row.Weight)
+			if trial.Satisfies(ds) {
+				t.Fatalf("c-repair not maximal: %d can return", id)
+			}
+		}
+	}
+}
+
+// TestEmptyPriorityAllOptimal: with no priorities every repair is both
+// Pareto- and globally-optimal (no improvement can exist).
+func TestEmptyPriorityAllOptimal(t *testing.T) {
+	_, ds, tab := workload.Office()
+	opt, err := Compute(ds, tab, NewRelation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.All) == 0 {
+		t.Fatal("no repairs enumerated")
+	}
+	if len(opt.Pareto) != len(opt.All) || len(opt.Global) != len(opt.All) {
+		t.Fatalf("empty priority: %d repairs, %d pareto, %d global",
+			len(opt.All), len(opt.Pareto), len(opt.Global))
+	}
+}
+
+// TestGlobalSubsetOfPareto: every g-repair is a p-repair (Staworko et
+// al.; global improvements generalize Pareto improvements... the
+// containment GRep ⊆ PRep).
+func TestGlobalSubsetOfPareto(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> C")
+	rng := rand.New(rand.NewSource(93))
+	for iter := 0; iter < 15; iter++ {
+		tab := workload.RandomTable(sc, 7, 2, rng)
+		// Orient a random subset of conflicts along a random global rank,
+		// which keeps the relation acyclic by construction.
+		rank := rng.Perm(tab.Len() + 1)
+		r := NewRelation()
+		for _, e := range tab.ConflictGraph(ds) {
+			if rng.Intn(3) == 2 {
+				continue
+			}
+			if rank[e.ID1] > rank[e.ID2] {
+				r.Add(e.ID1, e.ID2)
+			} else {
+				r.Add(e.ID2, e.ID1)
+			}
+		}
+		if err := r.Validate(ds, tab); err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Compute(ds, tab, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inPareto := map[*table.Table]bool{}
+		for _, s := range opt.Pareto {
+			inPareto[s] = true
+		}
+		for _, s := range opt.Global {
+			if !inPareto[s] {
+				t.Fatalf("g-repair %v is not a p-repair", s.IDs())
+			}
+		}
+		if len(opt.Global) == 0 {
+			t.Fatal("at least one g-repair must exist")
+		}
+	}
+}
+
+// TestUnambiguousDetection: a total priority over every conflict makes
+// the repair unique; dropping priorities brings ambiguity back.
+func TestUnambiguousDetection(t *testing.T) {
+	_, ds, tab := workload.Office()
+	r := NewRelation()
+	r.Add(1, 2)
+	r.Add(1, 3)
+	unique, err := Unambiguous(ds, tab, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unique {
+		t.Fatal("full priority should determine the repair uniquely")
+	}
+	ambiguous, err := Unambiguous(ds, tab, NewRelation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ambiguous {
+		t.Fatal("no priorities: the running example has several repairs")
+	}
+}
+
+// TestCRepairAmongPareto: the greedy c-repair with the declared
+// priorities appears among the enumerated repairs and, when the
+// priority totally orders each conflict, among the Pareto-optimal ones.
+func TestCRepairAmongPareto(t *testing.T) {
+	_, ds, tab := workload.Office()
+	r := NewRelation()
+	r.Add(1, 2)
+	r.Add(1, 3)
+	rep, err := CRepair(ds, tab, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Compute(ds, tab, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range opt.Pareto {
+		if sameIDs(s.IDs(), rep.IDs()) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("c-repair %v not among p-repairs", rep.IDs())
+	}
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := map[int]bool{}
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, x := range b {
+		if !seen[x] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,161 @@
+package reduction
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/table"
+)
+
+// randTuple draws a random (a, b, c) tuple over SourceABC from a small
+// domain (small domains maximize agreement, stressing the FDs).
+func randTuple(rng *rand.Rand) table.Tuple {
+	return table.Tuple{
+		fmt.Sprintf("a%d", rng.Intn(3)),
+		fmt.Sprintf("b%d", rng.Intn(3)),
+		fmt.Sprintf("c%d", rng.Intn(3)),
+	}
+}
+
+// pairConsistent checks whether the two tuples jointly satisfy the set.
+func pairConsistent(ds *fd.Set, t1, t2 table.Tuple) bool {
+	tab := table.New(ds.Schema())
+	tab.MustInsert(1, t1, 1)
+	tab.MustInsert(2, t2, 1)
+	return tab.Satisfies(ds)
+}
+
+// hardTargets returns non-simplifiable FD sets covering all five
+// classes, including the paper's Example 3.8 witnesses.
+func hardTargets() map[string]*fd.Set {
+	abc := SourceABC
+	abcd := schema.MustNew("R", "A", "B", "C", "D")
+	abcde := schema.MustNew("R", "A", "B", "C", "D", "E")
+	return map[string]*fd.Set{
+		"class1 {A→B,C→D}":   fd.MustParseSet(abcd, "A -> B", "C -> D"),
+		"class2 {A→CD,B→CE}": fd.MustParseSet(abcde, "A -> C D", "B -> C E"),
+		"class2 {A→C,B→C}":   fd.MustParseSet(abc, "A -> C", "B -> C"),
+		"class3 {A→BC,B→D}":  fd.MustParseSet(abcd, "A -> B C", "B -> D"),
+		"class3 {A→B,B→C}":   fd.MustParseSet(abc, "A -> B", "B -> C"),
+		"class4 {AB↔AC↔BC}":  fd.MustParseSet(abc, "A B -> C", "A C -> B", "B C -> A"),
+		"class5 {AB→C,C→AD}": fd.MustParseSet(abcd, "A B -> C", "C -> A D"),
+		"class5 {AB→C,C→B}":  fd.MustParseSet(abc, "A B -> C", "C -> B"),
+		// Note: ∆2 (zip) of Example 4.7 simplifies once via its common
+		// lhs "state" before getting stuck, so it is exercised through
+		// Lemma A.18 (attribute removal) rather than here.
+	}
+}
+
+// TestFactWiseProperties verifies, for every hard target, the three
+// defining properties of a fact-wise reduction (Section 3.3): the map
+// is well defined, injective, and preserves pairwise consistency and
+// inconsistency against the base FD set of the matching lemma.
+func TestFactWiseProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for name, target := range hardTargets() {
+		cl, err := target.ClassifyNonSimplifiable()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fw, err := ForClassification(target, cl)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Injectivity.
+		seen := map[string]string{}
+		for i := 0; i < 300; i++ {
+			tp := randTuple(rng)
+			img := table.KeyOf(fw.Map(tp), target.Schema().AllAttrs())
+			src := table.KeyOf(tp, SourceABC.AllAttrs())
+			if prev, ok := seen[img]; ok && prev != src {
+				t.Fatalf("%s (%s): Π not injective: %v and %v map together", name, fw.Name, prev, src)
+			}
+			seen[img] = src
+		}
+		// Consistency preservation on random pairs.
+		agreeChecked, disagreeChecked := 0, 0
+		for i := 0; i < 500; i++ {
+			t1, t2 := randTuple(rng), randTuple(rng)
+			srcOK := pairConsistent(fw.Base, t1, t2)
+			dstOK := pairConsistent(target, fw.Map(t1), fw.Map(t2))
+			if srcOK != dstOK {
+				t.Fatalf("%s (%s): consistency not preserved for %v, %v: src %v dst %v",
+					name, fw.Name, t1, t2, srcOK, dstOK)
+			}
+			if srcOK {
+				agreeChecked++
+			} else {
+				disagreeChecked++
+			}
+		}
+		if agreeChecked == 0 || disagreeChecked == 0 {
+			t.Fatalf("%s: test vacuous (consistent %d, inconsistent %d)", name, agreeChecked, disagreeChecked)
+		}
+	}
+}
+
+// TestFactWiseMapTable maps whole tables and checks that table-level
+// consistency transfers.
+func TestFactWiseMapTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	target := fd.MustParseSet(schema.MustNew("R", "A", "B", "C", "D"), "A -> B C", "B -> D")
+	cl, err := target.ClassifyNonSimplifiable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := ForClassification(target, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 30; iter++ {
+		src := table.New(SourceABC)
+		for i := 1; i <= 5; i++ {
+			src.MustInsert(i, randTuple(rng), 1)
+		}
+		dst, err := fw.MapTable(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src.Satisfies(fw.Base) != dst.Satisfies(target) {
+			t.Fatalf("table-level consistency not preserved:\n%s\n%s", src, dst)
+		}
+	}
+	// Wrong source schema is rejected.
+	bad := table.New(schema.MustNew("X", "P"))
+	if _, err := fw.MapTable(bad); err == nil {
+		t.Fatal("MapTable must reject non-ABC tables")
+	}
+}
+
+// TestAttributeRemoval is Lemma A.18: padding removed attributes with ⊙
+// preserves pairwise consistency between Δ−X and Δ.
+func TestAttributeRemoval(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C", "D")
+	ds := fd.MustParseSet(sc, "A B -> C", "C -> D", "D -> A")
+	rng := rand.New(rand.NewSource(55))
+	for _, drop := range []schema.AttrSet{
+		sc.MustSet("A"), sc.MustSet("C"), sc.MustSet("A", "D"),
+	} {
+		reduced := ds.Minus(drop)
+		pi := AttributeRemoval(ds, drop)
+		for i := 0; i < 300; i++ {
+			t1 := table.Tuple{
+				fmt.Sprintf("a%d", rng.Intn(2)), fmt.Sprintf("b%d", rng.Intn(2)),
+				fmt.Sprintf("c%d", rng.Intn(2)), fmt.Sprintf("d%d", rng.Intn(2)),
+			}
+			t2 := table.Tuple{
+				fmt.Sprintf("a%d", rng.Intn(2)), fmt.Sprintf("b%d", rng.Intn(2)),
+				fmt.Sprintf("c%d", rng.Intn(2)), fmt.Sprintf("d%d", rng.Intn(2)),
+			}
+			srcOK := pairConsistent(reduced, t1, t2)
+			dstOK := pairConsistent(ds, pi(t1), pi(t2))
+			if srcOK != dstOK {
+				t.Fatalf("drop %s: consistency not preserved for %v, %v (src %v dst %v)",
+					sc.SetString(drop), t1, t2, srcOK, dstOK)
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/srepair"
+	"repro/internal/table"
+	"repro/internal/urepair"
+	"repro/internal/workload"
+)
+
+// TestVCSubsetGadgetIdentity: on random small graphs, the optimal
+// S-repair of the ∆A→B→C gadget deletes exactly |E| + vc(G) tuples.
+func TestVCSubsetGadgetIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 25; iter++ {
+		g := workload.RandomGNP(3+rng.Intn(4), 0.5, rng)
+		ds, tab := VCSubsetGadget(g)
+		if !tab.IsUnweighted() || !tab.IsDuplicateFree() {
+			t.Fatal("gadget must be unweighted and duplicate free")
+		}
+		rep, err := srepair.Exact(ds, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vc, err := g.MinVertexCoverSize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(len(g.Edges) + vc)
+		if got := table.DistSub(rep, tab); !table.WeightEq(got, want) {
+			t.Fatalf("iter %d: deletions = %v, want |E|+vc = %v (|E|=%d, vc=%d)",
+				iter, got, want, len(g.Edges), vc)
+		}
+	}
+}
+
+// TestVCUpdateGadgetUpperBound: Theorem 4.10's constructed update is
+// consistent and costs exactly 2|E| + |cover|.
+func TestVCUpdateGadgetUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 20; iter++ {
+		g := workload.RandomBoundedDegree(4+rng.Intn(5), 3, 60, rng)
+		ds, tab := VCUpdateGadget(g)
+		// Exact cover via the unit-weight solver.
+		vcSize, err := g.MinVertexCoverSize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Build some cover: take all endpoints of edges greedily.
+		cover := map[int]bool{}
+		for _, e := range g.Edges {
+			if !cover[e[0]] && !cover[e[1]] {
+				cover[e[0]] = true
+			}
+		}
+		u, err := VCUpdateFromCover(g, tab, cover)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !u.Satisfies(ds) || !u.IsUpdateOf(tab) {
+			t.Fatalf("iter %d: constructed update invalid", iter)
+		}
+		nCover := 0
+		for _, in := range cover {
+			if in {
+				nCover++
+			}
+		}
+		want := float64(2*len(g.Edges) + nCover)
+		if got := table.DistUpd(u, tab); !table.WeightEq(got, want) {
+			t.Fatalf("iter %d: dist = %v, want 2|E|+|C| = %v", iter, got, want)
+		}
+		_ = vcSize
+	}
+}
+
+// TestVCUpdateGadgetExactSingleEdge verifies the full identity of
+// Theorem 4.10 on the single-edge graph, where the brute-force optimal
+// U-repair is feasible: cost = 2·1 + 1 = 3.
+func TestVCUpdateGadgetExactSingleEdge(t *testing.T) {
+	g := &workload.SimpleGraph{N: 2, Edges: [][2]int{{0, 1}}}
+	ds, tab := VCUpdateGadget(g)
+	if tab.Len() != 4 {
+		t.Fatalf("gadget rows = %d, want 4", tab.Len())
+	}
+	_, cost, err := urepair.Exact(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.WeightEq(cost, 3) {
+		t.Fatalf("optimal U-repair cost = %v, want 2|E|+vc = 3", cost)
+	}
+}
+
+// TestVCUpdateFromCoverRejectsNonCover: a non-cover is rejected.
+func TestVCUpdateFromCoverRejectsNonCover(t *testing.T) {
+	g := &workload.SimpleGraph{N: 2, Edges: [][2]int{{0, 1}}}
+	_, tab := VCUpdateGadget(g)
+	if _, err := VCUpdateFromCover(g, tab, map[int]bool{}); err == nil {
+		t.Fatal("empty set is not a cover")
+	}
+}
+
+// TestNonMixedSATGadgetIdentity: Lemma A.13 — max satisfiable clauses
+// equals the maximum consistent-subset size.
+func TestNonMixedSATGadgetIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for iter := 0; iter < 25; iter++ {
+		f := workload.RandomNonMixedCNF(3+rng.Intn(3), 3+rng.Intn(4), 2, rng)
+		ds, tab, err := NonMixedSATGadget(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := srepair.Exact(ds, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxSat, err := f.MaxSat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Len() != maxSat {
+			t.Fatalf("iter %d: consistent subset size %d, MaxSat %d\n%s", iter, rep.Len(), maxSat, tab)
+		}
+	}
+	// Mixed formulas are rejected.
+	mixed := workload.CNF{NumVars: 2, Clauses: []workload.Clause{
+		{Lits: []workload.Lit{{Var: 0}, {Var: 1, Neg: true}}},
+	}}
+	if _, _, err := NonMixedSATGadget(mixed); err == nil {
+		t.Fatal("mixed formula must be rejected")
+	}
+}
+
+// TestTriangleGadgetIdentity: Lemma A.11 — maximum edge-disjoint
+// triangles equals the maximum consistent-subset size.
+func TestTriangleGadgetIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for iter := 0; iter < 25; iter++ {
+		inst := workload.RandomTriangles(3, 3, 3, 4+rng.Intn(8), rng)
+		ds, tab := TriangleGadget(inst)
+		rep, err := srepair.Exact(ds, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := inst.MaxEdgeDisjointTriangles()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Len() != want {
+			t.Fatalf("iter %d: consistent subset %d, packing %d", iter, rep.Len(), want)
+		}
+	}
+}
+
+// TestLiftToDeltaK: Lemma B.6 — the embedding into ∆k preserves
+// pairwise consistency and the exact S-repair cost.
+func TestLiftToDeltaK(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	src := workload.Catalogue()[6] // ∆A→B→C
+	for _, k := range []int{1, 2, 3} {
+		for iter := 0; iter < 10; iter++ {
+			tab := workload.RandomTable(SourceABC, 5, 2, rng)
+			dsK, lifted, err := LiftToDeltaK(k, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.Satisfies(src.Set) != lifted.Satisfies(dsK) {
+				t.Fatalf("k=%d: consistency not preserved", k)
+			}
+			repS, err := srepair.Exact(src.Set, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			repK, err := srepair.Exact(dsK, lifted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !table.WeightEq(table.DistSub(repS, tab), table.DistSub(repK, lifted)) {
+				t.Fatalf("k=%d: S-repair cost changed under lifting: %v vs %v",
+					k, table.DistSub(repS, tab), table.DistSub(repK, lifted))
+			}
+		}
+	}
+	// Wrong schema rejected.
+	if _, _, err := LiftToDeltaK(2, table.New(workload.DeltaPrimeK(1).Schema())); err == nil {
+		t.Fatal("LiftToDeltaK must reject non-ABC tables")
+	}
+}
+
+// TestLiftToDeltaPrimeK: Lemma B.7 — the embedding into ∆′k preserves
+// pairwise consistency and the exact S-repair cost.
+func TestLiftToDeltaPrimeK(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	ds1 := workload.DeltaPrimeK(1)
+	for _, k := range []int{2, 3} {
+		for iter := 0; iter < 10; iter++ {
+			tab := workload.RandomTable(ds1.Schema(), 5, 2, rng)
+			dsK, lifted, err := LiftToDeltaPrimeK(k, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.Satisfies(ds1) != lifted.Satisfies(dsK) {
+				t.Fatalf("k=%d: consistency not preserved", k)
+			}
+			rep1, err := srepair.Exact(ds1, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			repK, err := srepair.Exact(dsK, lifted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !table.WeightEq(table.DistSub(rep1, tab), table.DistSub(repK, lifted)) {
+				t.Fatalf("k=%d: S-repair cost changed under lifting", k)
+			}
+		}
+	}
+	if _, _, err := LiftToDeltaPrimeK(2, table.New(SourceABC)); err == nil {
+		t.Fatal("LiftToDeltaPrimeK must reject ABC tables")
+	}
+}

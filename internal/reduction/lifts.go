@@ -1,0 +1,66 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/fd"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// LiftToDeltaK is the embedding of Lemma B.6: a table over S(A, B, C)
+// for {A → B, B → C} maps to a table over R(A0..Ak, B0..Bk, C) for ∆k,
+// placing A at A1, B at B0, C at C and zero everywhere else. Consistent
+// updates of one correspond to consistent updates of the other at the
+// same distance.
+func LiftToDeltaK(k int, t *table.Table) (*fd.Set, *table.Table, error) {
+	if !t.Schema().SameAs(SourceABC) {
+		return nil, nil, fmt.Errorf("reduction: table is not over %s", SourceABC)
+	}
+	ds := workload.DeltaK(k)
+	sc := ds.Schema()
+	a1, _ := sc.AttrIndex("A1")
+	b0, _ := sc.AttrIndex("B0")
+	c, _ := sc.AttrIndex("C")
+	out := table.New(sc)
+	for _, r := range t.Rows() {
+		tup := make(table.Tuple, sc.Arity())
+		for i := range tup {
+			tup[i] = "0"
+		}
+		tup[a1], tup[b0], tup[c] = r.Tuple[0], r.Tuple[1], r.Tuple[2]
+		if err := out.Insert(r.ID, tup, r.Weight); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ds, out, nil
+}
+
+// LiftToDeltaPrimeK is the embedding of Lemma B.7: a table over
+// R(A0, A1, A2, B0, B1) for ∆′1 maps to a table over
+// R(A0..Ak+1, B0..Bk) for ∆′k (k > 1), keeping the five source
+// attributes and padding the rest with ⊙.
+func LiftToDeltaPrimeK(k int, t *table.Table) (*fd.Set, *table.Table, error) {
+	src := workload.DeltaPrimeK(1).Schema()
+	if !t.Schema().SameAs(src) {
+		return nil, nil, fmt.Errorf("reduction: table is not over %s", src)
+	}
+	ds := workload.DeltaPrimeK(k)
+	sc := ds.Schema()
+	out := table.New(sc)
+	srcAttrs := []string{"A0", "A1", "A2", "B0", "B1"}
+	for _, r := range t.Rows() {
+		tup := make(table.Tuple, sc.Arity())
+		for i := range tup {
+			tup[i] = bullet
+		}
+		for si, name := range srcAttrs {
+			di, _ := sc.AttrIndex(name)
+			tup[di] = r.Tuple[si]
+		}
+		if err := out.Insert(r.ID, tup, r.Weight); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ds, out, nil
+}

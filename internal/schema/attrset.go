@@ -1,0 +1,132 @@
+// Package schema defines relation schemas and attribute sets for the
+// FD-repair library. Attribute sets are represented as 64-bit bitsets,
+// which keeps closure computation and the simplification tests of
+// OptSRepair/OSRSucceeds allocation-free. A schema is therefore limited
+// to 64 attributes; the paper's data-complexity setting fixes the schema,
+// so this is not a practical limitation.
+package schema
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// AttrSet is a set of attribute positions (0-based) in a Schema,
+// represented as a bitset. The zero value is the empty set.
+type AttrSet uint64
+
+// EmptySet is the empty attribute set.
+const EmptySet AttrSet = 0
+
+// MaxAttrs is the maximum number of attributes in a schema.
+const MaxAttrs = 64
+
+// Singleton returns the set containing only attribute position i.
+func Singleton(i int) AttrSet {
+	if i < 0 || i >= MaxAttrs {
+		panic("schema: attribute position out of range")
+	}
+	return AttrSet(1) << uint(i)
+}
+
+// Add returns s with attribute position i added.
+func (s AttrSet) Add(i int) AttrSet { return s | Singleton(i) }
+
+// Remove returns s with attribute position i removed.
+func (s AttrSet) Remove(i int) AttrSet { return s &^ Singleton(i) }
+
+// Contains reports whether attribute position i is in s.
+func (s AttrSet) Contains(i int) bool { return s&Singleton(i) != 0 }
+
+// Union returns the union of s and t.
+func (s AttrSet) Union(t AttrSet) AttrSet { return s | t }
+
+// Intersect returns the intersection of s and t.
+func (s AttrSet) Intersect(t AttrSet) AttrSet { return s & t }
+
+// Diff returns the set difference s \ t.
+func (s AttrSet) Diff(t AttrSet) AttrSet { return s &^ t }
+
+// IsEmpty reports whether s is the empty set.
+func (s AttrSet) IsEmpty() bool { return s == 0 }
+
+// IsSubsetOf reports whether every attribute of s is in t.
+func (s AttrSet) IsSubsetOf(t AttrSet) bool { return s&^t == 0 }
+
+// IsStrictSubsetOf reports whether s ⊂ t.
+func (s AttrSet) IsStrictSubsetOf(t AttrSet) bool { return s != t && s.IsSubsetOf(t) }
+
+// Intersects reports whether s and t share at least one attribute.
+func (s AttrSet) Intersects(t AttrSet) bool { return s&t != 0 }
+
+// Len returns the number of attributes in s.
+func (s AttrSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Positions returns the attribute positions of s in increasing order.
+func (s AttrSet) Positions() []int {
+	out := make([]int, 0, s.Len())
+	for v := uint64(s); v != 0; {
+		i := bits.TrailingZeros64(v)
+		out = append(out, i)
+		v &= v - 1
+	}
+	return out
+}
+
+// First returns the smallest attribute position in s, or -1 if s is empty.
+func (s AttrSet) First() int {
+	if s == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// Subsets calls fn for every subset of s (including the empty set and s
+// itself). Iteration stops early if fn returns false. The number of calls
+// is 2^|s|; callers must bound |s|.
+func (s AttrSet) Subsets(fn func(AttrSet) bool) {
+	// Standard subset-enumeration trick: iterate sub = (sub-1)&s.
+	sub := s
+	for {
+		if !fn(sub) {
+			return
+		}
+		if sub == 0 {
+			return
+		}
+		sub = (sub - 1) & s
+	}
+}
+
+// String renders s using positional names #0, #1, ... It is meant for
+// debugging; use Schema.SetString for named rendering.
+func (s AttrSet) String() string {
+	if s == 0 {
+		return "∅"
+	}
+	var b strings.Builder
+	for i, p := range s.Positions() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('#')
+		for _, d := range itoa(p) {
+			b.WriteByte(d)
+		}
+	}
+	return b.String()
+}
+
+func itoa(n int) []byte {
+	if n == 0 {
+		return []byte{'0'}
+	}
+	var buf [4]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return buf[i:]
+}

@@ -1,0 +1,218 @@
+package schema
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletonAndContains(t *testing.T) {
+	for i := 0; i < MaxAttrs; i++ {
+		s := Singleton(i)
+		if !s.Contains(i) {
+			t.Fatalf("Singleton(%d) does not contain %d", i, i)
+		}
+		if s.Len() != 1 {
+			t.Fatalf("Singleton(%d).Len() = %d, want 1", i, s.Len())
+		}
+		for j := 0; j < MaxAttrs; j++ {
+			if j != i && s.Contains(j) {
+				t.Fatalf("Singleton(%d) contains %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSingletonPanicsOutOfRange(t *testing.T) {
+	for _, i := range []int{-1, MaxAttrs, MaxAttrs + 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Singleton(%d) did not panic", i)
+				}
+			}()
+			Singleton(i)
+		}()
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	s := EmptySet.Add(3).Add(7).Add(3)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	s = s.Remove(3)
+	if s.Contains(3) || !s.Contains(7) {
+		t.Fatalf("Remove(3) failed: %v", s)
+	}
+	s = s.Remove(3) // removing twice is a no-op
+	if s.Len() != 1 {
+		t.Fatalf("double remove changed set: %v", s)
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := EmptySet.Add(0).Add(1).Add(2)
+	b := EmptySet.Add(2).Add(3)
+	if got := a.Union(b).Len(); got != 4 {
+		t.Errorf("Union len = %d, want 4", got)
+	}
+	if got := a.Intersect(b); got != Singleton(2) {
+		t.Errorf("Intersect = %v, want {2}", got)
+	}
+	if got := a.Diff(b); got != EmptySet.Add(0).Add(1) {
+		t.Errorf("Diff = %v, want {0,1}", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("a and b should intersect")
+	}
+	if a.Intersects(Singleton(5)) {
+		t.Error("a should not intersect {5}")
+	}
+}
+
+func TestSubsetRelations(t *testing.T) {
+	a := EmptySet.Add(1).Add(2)
+	b := EmptySet.Add(1).Add(2).Add(3)
+	if !a.IsSubsetOf(b) {
+		t.Error("a ⊆ b expected")
+	}
+	if !a.IsStrictSubsetOf(b) {
+		t.Error("a ⊂ b expected")
+	}
+	if a.IsStrictSubsetOf(a) {
+		t.Error("a ⊂ a must be false")
+	}
+	if b.IsSubsetOf(a) {
+		t.Error("b ⊆ a must be false")
+	}
+	if !EmptySet.IsSubsetOf(a) {
+		t.Error("∅ ⊆ a expected")
+	}
+}
+
+func TestPositionsAndFirst(t *testing.T) {
+	s := EmptySet.Add(5).Add(0).Add(63)
+	got := s.Positions()
+	want := []int{0, 5, 63}
+	if len(got) != len(want) {
+		t.Fatalf("Positions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Positions = %v, want %v", got, want)
+		}
+	}
+	if s.First() != 0 {
+		t.Errorf("First = %d, want 0", s.First())
+	}
+	if EmptySet.First() != -1 {
+		t.Errorf("EmptySet.First() = %d, want -1", EmptySet.First())
+	}
+}
+
+func TestSubsetsEnumeratesAll(t *testing.T) {
+	s := EmptySet.Add(1).Add(4).Add(9)
+	seen := map[AttrSet]bool{}
+	s.Subsets(func(sub AttrSet) bool {
+		if !sub.IsSubsetOf(s) {
+			t.Fatalf("enumerated non-subset %v of %v", sub, s)
+		}
+		if seen[sub] {
+			t.Fatalf("duplicate subset %v", sub)
+		}
+		seen[sub] = true
+		return true
+	})
+	if len(seen) != 8 {
+		t.Fatalf("enumerated %d subsets, want 8", len(seen))
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	s := EmptySet.Add(0).Add(1).Add(2)
+	n := 0
+	s.Subsets(func(AttrSet) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d subsets, want 3", n)
+	}
+}
+
+func TestAttrSetString(t *testing.T) {
+	if got := EmptySet.String(); got != "∅" {
+		t.Errorf("EmptySet.String() = %q", got)
+	}
+	if got := EmptySet.Add(0).Add(12).String(); got != "#0,#12" {
+		t.Errorf("String() = %q, want #0,#12", got)
+	}
+}
+
+// Property: union/intersection/difference agree with a map-based model.
+func TestQuickSetAlgebraModel(t *testing.T) {
+	f := func(av, bv uint64) bool {
+		a, b := AttrSet(av), AttrSet(bv)
+		model := func(s AttrSet) map[int]bool {
+			m := map[int]bool{}
+			for _, p := range s.Positions() {
+				m[p] = true
+			}
+			return m
+		}
+		ma, mb := model(a), model(b)
+		// union
+		for _, p := range a.Union(b).Positions() {
+			if !ma[p] && !mb[p] {
+				return false
+			}
+		}
+		if a.Union(b).Len() != len(union(ma, mb)) {
+			return false
+		}
+		// intersect
+		for _, p := range a.Intersect(b).Positions() {
+			if !ma[p] || !mb[p] {
+				return false
+			}
+		}
+		// diff
+		for _, p := range a.Diff(b).Positions() {
+			if !ma[p] || mb[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func union(a, b map[int]bool) map[int]bool {
+	m := map[int]bool{}
+	for k := range a {
+		m[k] = true
+	}
+	for k := range b {
+		m[k] = true
+	}
+	return m
+}
+
+// Property: Subsets enumerates exactly 2^|s| distinct subsets for small s.
+func TestQuickSubsetsCount(t *testing.T) {
+	f := func(v uint16) bool {
+		s := AttrSet(v) // at most 16 bits => at most 65536 subsets
+		if s.Len() > 10 {
+			return true // keep the test fast
+		}
+		n := 0
+		s.Subsets(func(AttrSet) bool { n++; return true })
+		return n == 1<<uint(s.Len())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema is a relation schema R(A1, ..., Ak): a relation name and an
+// ordered list of distinct attribute names. Schemas are immutable after
+// construction.
+type Schema struct {
+	name  string
+	attrs []string
+	index map[string]int
+}
+
+// New constructs a schema. The relation name must be nonempty, attribute
+// names must be nonempty and pairwise distinct, and there must be between
+// 1 and MaxAttrs attributes.
+func New(name string, attrs ...string) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: relation name must be nonempty")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("schema: relation %s must have at least one attribute", name)
+	}
+	if len(attrs) > MaxAttrs {
+		return nil, fmt.Errorf("schema: relation %s has %d attributes; max is %d", name, len(attrs), MaxAttrs)
+	}
+	idx := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("schema: relation %s has an empty attribute name at position %d", name, i)
+		}
+		if _, dup := idx[a]; dup {
+			return nil, fmt.Errorf("schema: relation %s has duplicate attribute %q", name, a)
+		}
+		idx[a] = i
+	}
+	return &Schema{name: name, attrs: append([]string(nil), attrs...), index: idx}, nil
+}
+
+// MustNew is like New but panics on error. Intended for tests, examples,
+// and compile-time-fixed schemas.
+func MustNew(name string, attrs ...string) *Schema {
+	s, err := New(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the relation name.
+func (s *Schema) Name() string { return s.name }
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.attrs) }
+
+// Attrs returns a copy of the attribute names in schema order.
+func (s *Schema) Attrs() []string { return append([]string(nil), s.attrs...) }
+
+// AttrName returns the name of the attribute at position i.
+func (s *Schema) AttrName(i int) string {
+	if i < 0 || i >= len(s.attrs) {
+		panic(fmt.Sprintf("schema: attribute position %d out of range for %s", i, s.name))
+	}
+	return s.attrs[i]
+}
+
+// AttrIndex returns the position of the named attribute and whether it
+// exists.
+func (s *Schema) AttrIndex(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Set builds an AttrSet from attribute names. It returns an error if any
+// name is unknown.
+func (s *Schema) Set(names ...string) (AttrSet, error) {
+	var out AttrSet
+	for _, n := range names {
+		i, ok := s.index[n]
+		if !ok {
+			return 0, fmt.Errorf("schema: relation %s has no attribute %q", s.name, n)
+		}
+		out = out.Add(i)
+	}
+	return out, nil
+}
+
+// MustSet is like Set but panics on unknown names.
+func (s *Schema) MustSet(names ...string) AttrSet {
+	set, err := s.Set(names...)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// AllAttrs returns the set of every attribute position in the schema.
+func (s *Schema) AllAttrs() AttrSet {
+	if len(s.attrs) == MaxAttrs {
+		return ^AttrSet(0)
+	}
+	return (AttrSet(1) << uint(len(s.attrs))) - 1
+}
+
+// SetNames returns the attribute names of set in schema order.
+func (s *Schema) SetNames(set AttrSet) []string {
+	ps := set.Positions()
+	out := make([]string, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, s.AttrName(p))
+	}
+	return out
+}
+
+// SetString renders an AttrSet with attribute names in schema order, in
+// the paper's convention (no braces, space separated); the empty set is
+// rendered as ∅.
+func (s *Schema) SetString(set AttrSet) string {
+	if set.IsEmpty() {
+		return "∅"
+	}
+	return strings.Join(s.SetNames(set), " ")
+}
+
+// String renders the schema as R(A1, ..., Ak).
+func (s *Schema) String() string {
+	return s.name + "(" + strings.Join(s.attrs, ", ") + ")"
+}
+
+// SameAs reports whether the two schemas have the same name and the same
+// attributes in the same order.
+func (s *Schema) SameAs(t *Schema) bool {
+	if s == t {
+		return true
+	}
+	if t == nil || s.name != t.name || len(s.attrs) != len(t.attrs) {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != t.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedNames returns the attribute names sorted lexicographically; a
+// convenience for deterministic reporting.
+func (s *Schema) SortedNames() []string {
+	out := s.Attrs()
+	sort.Strings(out)
+	return out
+}

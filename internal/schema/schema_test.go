@@ -1,0 +1,127 @@
+package schema
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		attrs []string
+		ok    bool
+	}{
+		{"R", []string{"A", "B"}, true},
+		{"", []string{"A"}, false},
+		{"R", nil, false},
+		{"R", []string{"A", "A"}, false},
+		{"R", []string{"A", ""}, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.name, c.attrs...)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%q, %v): err = %v, want ok=%v", c.name, c.attrs, err, c.ok)
+		}
+	}
+}
+
+func TestNewTooManyAttrs(t *testing.T) {
+	attrs := make([]string, MaxAttrs+1)
+	for i := range attrs {
+		attrs[i] = string(rune('A')) + string(itoa(i))
+	}
+	if _, err := New("R", attrs...); err == nil {
+		t.Fatal("expected error for >64 attributes")
+	}
+	// Exactly 64 is allowed.
+	if _, err := New("R", attrs[:MaxAttrs]...); err != nil {
+		t.Fatalf("64 attributes should be allowed: %v", err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := MustNew("Office", "facility", "room", "floor", "city")
+	if s.Name() != "Office" || s.Arity() != 4 {
+		t.Fatalf("bad name/arity: %s/%d", s.Name(), s.Arity())
+	}
+	if s.AttrName(2) != "floor" {
+		t.Errorf("AttrName(2) = %q", s.AttrName(2))
+	}
+	if i, ok := s.AttrIndex("city"); !ok || i != 3 {
+		t.Errorf("AttrIndex(city) = %d,%v", i, ok)
+	}
+	if _, ok := s.AttrIndex("nope"); ok {
+		t.Error("AttrIndex(nope) should not exist")
+	}
+	if got := s.String(); got != "Office(facility, room, floor, city)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSetAndSetString(t *testing.T) {
+	s := MustNew("R", "A", "B", "C")
+	set, err := s.Set("C", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 || !set.Contains(0) || !set.Contains(2) {
+		t.Fatalf("Set(C,A) = %v", set)
+	}
+	if got := s.SetString(set); got != "A C" {
+		t.Errorf("SetString = %q, want \"A C\"", got)
+	}
+	if got := s.SetString(EmptySet); got != "∅" {
+		t.Errorf("SetString(∅) = %q", got)
+	}
+	if _, err := s.Set("Z"); err == nil {
+		t.Error("Set(Z) should fail")
+	}
+}
+
+func TestAllAttrs(t *testing.T) {
+	s := MustNew("R", "A", "B", "C")
+	if s.AllAttrs().Len() != 3 {
+		t.Fatalf("AllAttrs len = %d", s.AllAttrs().Len())
+	}
+	attrs := make([]string, MaxAttrs)
+	for i := range attrs {
+		attrs[i] = "a" + string(itoa(i))
+	}
+	full := MustNew("Full", attrs...)
+	if full.AllAttrs().Len() != MaxAttrs {
+		t.Fatalf("AllAttrs len for 64-ary schema = %d", full.AllAttrs().Len())
+	}
+}
+
+func TestSameAs(t *testing.T) {
+	a := MustNew("R", "A", "B")
+	b := MustNew("R", "A", "B")
+	c := MustNew("R", "B", "A")
+	d := MustNew("S", "A", "B")
+	if !a.SameAs(b) {
+		t.Error("a should equal b")
+	}
+	if a.SameAs(c) || a.SameAs(d) || a.SameAs(nil) {
+		t.Error("a should not equal c, d, or nil")
+	}
+}
+
+func TestSetNamesOrder(t *testing.T) {
+	s := MustNew("R", "C", "A", "B")
+	set := s.MustSet("B", "C")
+	names := s.SetNames(set)
+	if len(names) != 2 || names[0] != "C" || names[1] != "B" {
+		t.Fatalf("SetNames = %v, want schema order [C B]", names)
+	}
+	sorted := s.SortedNames()
+	if sorted[0] != "A" || sorted[1] != "B" || sorted[2] != "C" {
+		t.Fatalf("SortedNames = %v", sorted)
+	}
+}
+
+func TestMustSetPanics(t *testing.T) {
+	s := MustNew("R", "A")
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSet with unknown attribute should panic")
+		}
+	}()
+	s.MustSet("Z")
+}

@@ -1,0 +1,295 @@
+// Package srepair implements the paper's algorithms for optimal subset
+// repairs (optimal S-repairs):
+//
+//   - OptSRepair (Algorithm 1) with its three subroutines CommonLHSRep,
+//     ConsensusRep and MarriageRep (Subroutines 1–3), a polynomial-time
+//     exact algorithm that succeeds exactly when OSRSucceeds does;
+//   - OSRSucceeds (Algorithm 2) and a human-readable simplification
+//     trace in the style of Example 3.5;
+//   - Exact: an exponential-time baseline for arbitrary FD sets via
+//     minimum-weight vertex cover of the conflict graph;
+//   - Approx2: the polynomial 2-approximation of Proposition 3.3
+//     (Bar-Yehuda–Even on the conflict graph).
+package srepair
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/fd"
+	"repro/internal/graph"
+	"repro/internal/table"
+)
+
+// ErrNoSimplification is returned by OptSRepair when the FD set cannot
+// be reduced to a trivial set by the three simplifications; by the
+// dichotomy (Theorem 3.4) computing an optimal S-repair is then
+// APX-complete, and the caller should fall back to Exact (small
+// instances) or Approx2.
+var ErrNoSimplification = errors.New("srepair: FD set admits no simplification (hard side of the dichotomy)")
+
+// OptSRepair is Algorithm 1: it computes an optimal S-repair of t under
+// ds in polynomial time, or fails with ErrNoSimplification when the FD
+// set is on the hard side of the dichotomy. The returned table is a
+// consistent subset of t minimizing dist_sub.
+func OptSRepair(ds *fd.Set, t *table.Table) (*table.Table, error) {
+	if !ds.Schema().SameAs(t.Schema()) {
+		return nil, fmt.Errorf("srepair: FD set and table have different schemas")
+	}
+	return optSRepair(ds, t)
+}
+
+func optSRepair(ds *fd.Set, t *table.Table) (*table.Table, error) {
+	nt := ds.RemoveTrivial()
+	if nt.Len() == 0 {
+		// Line 1–2: Δ is trivial, T is its own optimal S-repair.
+		return t, nil
+	}
+	st, ok := nt.NextSimplification()
+	if !ok {
+		return nil, ErrNoSimplification
+	}
+	switch st.Kind {
+	case fd.KindCommonLHS:
+		return commonLHSRep(st, t)
+	case fd.KindConsensus:
+		return consensusRep(st, t)
+	case fd.KindMarriage:
+		return marriageRep(st, t)
+	default:
+		return nil, fmt.Errorf("srepair: unknown simplification %v", st.Kind)
+	}
+}
+
+// commonLHSRep is Subroutine 1: partition by the common-lhs attribute,
+// solve each block under Δ − A, return the union.
+func commonLHSRep(st fd.Simplification, t *table.Table) (*table.Table, error) {
+	var keep []int
+	for _, g := range t.GroupBy(st.Removed) {
+		block := t.MustSubsetByIDs(g.IDs)
+		rep, err := optSRepair(st.After, block)
+		if err != nil {
+			return nil, err
+		}
+		keep = append(keep, rep.IDs()...)
+	}
+	return t.SubsetByIDs(keep)
+}
+
+// consensusRep is Subroutine 2: partition by the consensus attributes,
+// solve each block under Δ − X, return the heaviest block repair.
+func consensusRep(st fd.Simplification, t *table.Table) (*table.Table, error) {
+	if t.Len() == 0 {
+		return t, nil
+	}
+	var best *table.Table
+	bestW := math.Inf(-1)
+	for _, g := range t.GroupBy(st.Removed) {
+		block := t.MustSubsetByIDs(g.IDs)
+		rep, err := optSRepair(st.After, block)
+		if err != nil {
+			return nil, err
+		}
+		if w := rep.TotalWeight(); w > bestW {
+			best, bestW = rep, w
+		}
+	}
+	return best, nil
+}
+
+// marriageRep is Subroutine 3: group by the married pair (X1, X2),
+// solve each group under Δ − X1X2, and combine the groups through a
+// maximum-weight bipartite matching between the X1-values and the
+// X2-values.
+func marriageRep(st fd.Simplification, t *table.Table) (*table.Table, error) {
+	if t.Len() == 0 {
+		return t, nil
+	}
+	// Node sets: distinct X1 and X2 projections.
+	v1Index := map[string]int{}
+	v2Index := map[string]int{}
+	for _, r := range t.Rows() {
+		k1 := table.KeyOf(r.Tuple, st.X1)
+		if _, ok := v1Index[k1]; !ok {
+			v1Index[k1] = len(v1Index)
+		}
+		k2 := table.KeyOf(r.Tuple, st.X2)
+		if _, ok := v2Index[k2]; !ok {
+			v2Index[k2] = len(v2Index)
+		}
+	}
+	// One edge per observed (a1, a2) pair, weighted by the optimal
+	// S-repair of the pair's block.
+	type edge struct {
+		i, j int
+		rep  *table.Table
+		w    float64
+	}
+	edges := map[[2]int]edge{}
+	for _, g := range t.GroupBy(st.X1.Union(st.X2)) {
+		block := t.MustSubsetByIDs(g.IDs)
+		rep, err := optSRepair(st.After, block)
+		if err != nil {
+			return nil, err
+		}
+		first, _ := block.Row(block.IDs()[0])
+		i := v1Index[table.KeyOf(first.Tuple, st.X1)]
+		j := v2Index[table.KeyOf(first.Tuple, st.X2)]
+		edges[[2]int{i, j}] = edge{i: i, j: j, rep: rep, w: rep.TotalWeight()}
+	}
+	weight := func(i, j int) float64 {
+		if e, ok := edges[[2]int{i, j}]; ok {
+			return e.w
+		}
+		return math.Inf(-1)
+	}
+	match, _, err := graph.MaxWeightBipartiteMatching(len(v1Index), len(v2Index), weight)
+	if err != nil {
+		return nil, err
+	}
+	var keep []int
+	for i, j := range match {
+		if j < 0 {
+			continue
+		}
+		if e, ok := edges[[2]int{i, j}]; ok {
+			keep = append(keep, e.rep.IDs()...)
+		}
+	}
+	return t.SubsetByIDs(keep)
+}
+
+// OSRSucceeds is Algorithm 2: it reports whether OptSRepair succeeds on
+// the FD set, i.e. whether the set simplifies to a trivial set. By
+// Theorem 3.4 this is exactly the polynomial-time side of the dichotomy.
+func OSRSucceeds(ds *fd.Set) bool {
+	_, success := Trace(ds)
+	return success
+}
+
+// Trace runs the simplification loop of OSRSucceeds and records each
+// step, reproducing the ⇛-chains of Example 3.5. success is true iff
+// the final set is trivial.
+func Trace(ds *fd.Set) (steps []fd.Simplification, success bool) {
+	cur := ds
+	for {
+		nt := cur.RemoveTrivial()
+		if nt.Len() == 0 {
+			return steps, true
+		}
+		st, ok := nt.NextSimplification()
+		if !ok {
+			return steps, false
+		}
+		steps = append(steps, st)
+		cur = st.After
+	}
+}
+
+// IsConsistentSubset verifies that s is a subset of t satisfying ds.
+func IsConsistentSubset(ds *fd.Set, t, s *table.Table) bool {
+	return s.IsSubsetOf(t) && s.Satisfies(ds)
+}
+
+// Cost returns dist_sub(s, t), the weight of the deleted tuples.
+func Cost(t, s *table.Table) float64 { return table.DistSub(s, t) }
+
+// conflictProblem builds the weighted vertex-cover view of the table:
+// tuple ids become vertices, FD conflicts become edges.
+func conflictProblem(ds *fd.Set, t *table.Table) (*graph.Graph, []int) {
+	ids := t.IDs()
+	index := make(map[int]int, len(ids))
+	weights := make([]float64, len(ids))
+	for i, id := range ids {
+		index[id] = i
+		weights[i] = t.Weight(id)
+	}
+	g := graph.MustNewGraph(weights)
+	for _, e := range t.ConflictGraph(ds) {
+		if err := g.AddEdge(index[e.ID1], index[e.ID2]); err != nil {
+			panic(err) // ids came from the table; cannot happen
+		}
+	}
+	return g, ids
+}
+
+// coverToSubset deletes the covered vertices from t.
+func coverToSubset(t *table.Table, ids []int, cover map[int]bool) *table.Table {
+	var keep []int
+	for i, id := range ids {
+		if !cover[i] {
+			keep = append(keep, id)
+		}
+	}
+	return t.MustSubsetByIDs(keep)
+}
+
+// Exact computes an optimal S-repair for any FD set by solving minimum-
+// weight vertex cover on the conflict graph exactly. Exponential in the
+// worst case; it is the validation baseline for the hard side of the
+// dichotomy and refuses very large instances.
+func Exact(ds *fd.Set, t *table.Table) (*table.Table, error) {
+	if !ds.Schema().SameAs(t.Schema()) {
+		return nil, fmt.Errorf("srepair: FD set and table have different schemas")
+	}
+	g, ids := conflictProblem(ds, t)
+	cover, err := g.ExactMinVertexCover()
+	if err != nil {
+		return nil, err
+	}
+	return coverToSubset(t, ids, cover), nil
+}
+
+// Approx2 computes a 2-optimal S-repair in polynomial time for any FD
+// set (Proposition 3.3): Bar-Yehuda–Even weighted vertex cover on the
+// conflict graph. The result is always a consistent subset with
+// dist_sub at most twice the optimum.
+func Approx2(ds *fd.Set, t *table.Table) (*table.Table, error) {
+	if !ds.Schema().SameAs(t.Schema()) {
+		return nil, fmt.Errorf("srepair: FD set and table have different schemas")
+	}
+	g, ids := conflictProblem(ds, t)
+	cover := g.ApproxVertexCoverBE()
+	return coverToSubset(t, ids, cover), nil
+}
+
+// MakeMaximal extends a consistent subset s of t to a subset repair in
+// the local-minimality sense: restoring any deleted tuple breaks
+// consistency. Deleted tuples are re-inserted greedily by decreasing
+// weight, never increasing dist_sub.
+func MakeMaximal(ds *fd.Set, t, s *table.Table) (*table.Table, error) {
+	if !IsConsistentSubset(ds, t, s) {
+		return nil, fmt.Errorf("srepair: input is not a consistent subset")
+	}
+	cur := s.Clone()
+	// Candidates: deleted ids ordered by decreasing weight (stable).
+	type cand struct {
+		id int
+		w  float64
+	}
+	var cands []cand
+	for _, id := range t.IDs() {
+		if !cur.Has(id) {
+			cands = append(cands, cand{id, t.Weight(id)})
+		}
+	}
+	for swapped := true; swapped; {
+		swapped = false
+		for i := 1; i < len(cands); i++ {
+			if cands[i].w > cands[i-1].w {
+				cands[i], cands[i-1] = cands[i-1], cands[i]
+				swapped = true
+			}
+		}
+	}
+	for _, c := range cands {
+		r, _ := t.Row(c.id)
+		trial := cur.Clone()
+		trial.MustInsert(r.ID, r.Tuple, r.Weight)
+		if trial.Satisfies(ds) {
+			cur = trial
+		}
+	}
+	return cur, nil
+}

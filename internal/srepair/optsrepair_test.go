@@ -1,0 +1,357 @@
+package srepair
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// TestOptSRepairRunningExample: on Figure 1's table the optimal
+// S-repair has cost 2 (S1 and S2 are both optimal, Example 2.3).
+func TestOptSRepairRunningExample(t *testing.T) {
+	_, ds, tab := workload.Office()
+	rep, err := OptSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConsistentSubset(ds, tab, rep) {
+		t.Fatal("result is not a consistent subset")
+	}
+	if got := Cost(tab, rep); !table.WeightEq(got, 2) {
+		t.Fatalf("optimal cost = %v, want 2", got)
+	}
+}
+
+func TestOptSRepairTrivialSet(t *testing.T) {
+	_, _, tab := workload.Office()
+	empty := fd.MustParseSet(tab.Schema())
+	rep, err := OptSRepair(empty, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != tab.Len() {
+		t.Fatal("trivial Δ must keep the whole table")
+	}
+}
+
+func TestOptSRepairSchemaMismatch(t *testing.T) {
+	_, ds, _ := workload.Office()
+	other := table.New(schema.MustNew("Other", "X"))
+	if _, err := OptSRepair(ds, other); err == nil {
+		t.Fatal("schema mismatch must fail")
+	}
+}
+
+// TestOptSRepairConsensus checks Subroutine 2 directly: under ∅ → A the
+// optimal S-repair keeps the heaviest A-group.
+func TestOptSRepairConsensus(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	ds := fd.MustParseSet(sc, "-> A")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"x", "1"}, 1)
+	tab.MustInsert(2, table.Tuple{"x", "2"}, 1)
+	tab.MustInsert(3, table.Tuple{"y", "3"}, 5)
+	rep, err := OptSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 1 || !rep.Has(3) {
+		t.Fatalf("should keep only the heavy y-group, got ids %v", rep.IDs())
+	}
+}
+
+// TestOptSRepairMarriage checks Subroutine 3 on ∆A↔B→C (Example 3.1):
+// the bipartite matching must pick compatible A↔B pairings maximizing
+// kept weight.
+func TestOptSRepairMarriage(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> A", "B -> C")
+	tab := table.New(sc)
+	// a1 pairs with b1 (weight 3 total), but a1-b2 (weight 2) and
+	// a2-b1 (weight 2) together weigh 4; the matching must choose the
+	// pairing maximizing total weight = 4.
+	tab.MustInsert(1, table.Tuple{"a1", "b1", "c"}, 3)
+	tab.MustInsert(2, table.Tuple{"a1", "b2", "c"}, 2)
+	tab.MustInsert(3, table.Tuple{"a2", "b1", "c"}, 2)
+	rep, err := OptSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConsistentSubset(ds, tab, rep) {
+		t.Fatal("marriage repair inconsistent")
+	}
+	if got := rep.TotalWeight(); !table.WeightEq(got, 4) {
+		t.Fatalf("kept weight = %v, want 4 (ids %v)", got, rep.IDs())
+	}
+}
+
+// TestOptSRepairMarriageRhsMatters: the married pair determines a
+// residual problem (Δ − X1X2) that must itself be solved optimally.
+func TestOptSRepairMarriageRhsMatters(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> A", "B -> C")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"a1", "b1", "c1"}, 1)
+	tab.MustInsert(2, table.Tuple{"a1", "b1", "c2"}, 1)
+	tab.MustInsert(3, table.Tuple{"a1", "b1", "c2"}, 1)
+	rep, err := OptSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside the (a1,b1) block, ∅ → C forces one C value; keep the two
+	// c2 tuples.
+	if rep.Len() != 2 || rep.Has(1) {
+		t.Fatalf("want tuples 2,3 kept, got %v", rep.IDs())
+	}
+}
+
+func TestOptSRepairFailsOnHardSets(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	for _, specs := range [][]string{
+		{"A -> B", "B -> C"},
+		{"A -> C", "B -> C"},
+		{"A B -> C", "C -> B"},
+		{"A B -> C", "A C -> B", "B C -> A"},
+	} {
+		ds := fd.MustParseSet(sc, specs...)
+		tab := workload.RandomTable(sc, 6, 2, rand.New(rand.NewSource(1)))
+		if _, err := OptSRepair(ds, tab); !errors.Is(err, ErrNoSimplification) {
+			t.Errorf("%v: err = %v, want ErrNoSimplification", specs, err)
+		}
+		if OSRSucceeds(ds) {
+			t.Errorf("OSRSucceeds(%v) = true, want false", specs)
+		}
+	}
+}
+
+// TestOSRSucceedsExamples reproduces the classifications of Example 3.5
+// and Example 4.7.
+func TestOSRSucceedsExamples(t *testing.T) {
+	office := schema.MustNew("Office", "facility", "room", "floor", "city")
+	person := schema.MustNew("Person", "ssn", "first", "last", "address", "office", "phone", "fax")
+	passport := schema.MustNew("P", "id", "country", "passport")
+	zipsc := schema.MustNew("Z", "state", "city", "zip", "country")
+	abc := schema.MustNew("R", "A", "B", "C")
+
+	good := []*fd.Set{
+		fd.MustParseSet(office, "facility -> city", "facility room -> floor"),
+		fd.MustParseSet(abc, "A -> B", "B -> A", "B -> C"), // ∆A↔B→C
+		fd.MustParseSet(person, "ssn -> first", "ssn -> last", "first last -> ssn",
+			"ssn -> address", "ssn office -> phone", "ssn office -> fax"),
+		fd.MustParseSet(passport, "id country -> passport", "id passport -> country"),
+	}
+	for _, ds := range good {
+		if !OSRSucceeds(ds) {
+			t.Errorf("OSRSucceeds(%v) = false, want true", ds)
+		}
+	}
+	bad := []*fd.Set{
+		fd.MustParseSet(zipsc, "state city -> zip", "state zip -> country"),
+		fd.MustParseSet(abc, "A -> B", "B -> C"),
+	}
+	for _, ds := range bad {
+		if OSRSucceeds(ds) {
+			t.Errorf("OSRSucceeds(%v) = true, want false", ds)
+		}
+	}
+}
+
+// TestTraceRunningExample checks the exact ⇛-chain of Example 3.5.
+func TestTraceRunningExample(t *testing.T) {
+	_, ds, _ := workload.Office()
+	steps, ok := Trace(ds)
+	if !ok {
+		t.Fatal("running example must succeed")
+	}
+	want := []fd.SimplificationKind{fd.KindCommonLHS, fd.KindConsensus, fd.KindCommonLHS, fd.KindConsensus}
+	if len(steps) != len(want) {
+		t.Fatalf("trace has %d steps, want %d", len(steps), len(want))
+	}
+	for i, st := range steps {
+		if st.Kind != want[i] {
+			t.Errorf("step %d = %v, want %v", i, st.Kind, want[i])
+		}
+	}
+}
+
+// TestOptSRepairMatchesExact cross-validates Algorithm 1 against the
+// exponential vertex-cover baseline on random tables, for a catalogue
+// of tractable FD sets (soundness, Theorem 3.2).
+func TestOptSRepairMatchesExact(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C", "D")
+	tractable := []*fd.Set{
+		fd.MustParseSet(sc, "A -> B"),
+		fd.MustParseSet(sc, "A -> B", "A -> C"),
+		fd.MustParseSet(sc, "A -> B", "A B -> C"),         // chain
+		fd.MustParseSet(sc, "-> A", "B -> C"),             // consensus + single
+		fd.MustParseSet(sc, "A -> B", "B -> A", "B -> C"), // marriage
+		fd.MustParseSet(sc, "A -> B C D"),                 // wide rhs
+		fd.MustParseSet(sc, "A B -> C", "A B -> D"),       // common lhs pair
+		fd.MustParseSet(sc, "A -> B", "B -> A", "A -> C", "B -> D"),
+	}
+	rng := rand.New(rand.NewSource(77))
+	for _, ds := range tractable {
+		if !OSRSucceeds(ds) {
+			t.Fatalf("catalogue set %v should succeed", ds)
+		}
+		for iter := 0; iter < 12; iter++ {
+			tab := workload.RandomWeightedTable(sc, 4+rng.Intn(8), 2, 3, rng)
+			rep, err := OptSRepair(ds, tab)
+			if err != nil {
+				t.Fatalf("%v: %v", ds, err)
+			}
+			if !IsConsistentSubset(ds, tab, rep) {
+				t.Fatalf("%v: inconsistent result", ds)
+			}
+			exact, err := Exact(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !table.WeightEq(Cost(tab, rep), Cost(tab, exact)) {
+				t.Fatalf("%v: OptSRepair cost %v != exact %v\n%s",
+					ds, Cost(tab, rep), Cost(tab, exact), tab)
+			}
+		}
+	}
+}
+
+// TestApprox2Guarantee: the 2-approximation is consistent and within
+// factor 2 of the exact optimum (Proposition 3.3), on both tractable
+// and hard FD sets.
+func TestApprox2Guarantee(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	sets := []*fd.Set{
+		fd.MustParseSet(sc, "A -> B"),
+		fd.MustParseSet(sc, "A -> B", "B -> C"),                 // hard
+		fd.MustParseSet(sc, "A -> C", "B -> C"),                 // hard
+		fd.MustParseSet(sc, "A B -> C", "C -> B"),               // hard
+		fd.MustParseSet(sc, "A B -> C", "A C -> B", "B C -> A"), // hard
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, ds := range sets {
+		for iter := 0; iter < 10; iter++ {
+			tab := workload.RandomWeightedTable(sc, 4+rng.Intn(8), 2, 4, rng)
+			ap, err := Approx2(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !IsConsistentSubset(ds, tab, ap) {
+				t.Fatalf("%v: approx result inconsistent", ds)
+			}
+			exact, err := Exact(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ca, ce := Cost(tab, ap), Cost(tab, exact)
+			if ca > 2*ce+1e-9 {
+				t.Fatalf("%v: approx cost %v > 2× optimal %v", ds, ca, ce)
+			}
+		}
+	}
+}
+
+// TestExactOnHardSet sanity-checks the exponential baseline on a tiny
+// crafted instance of ∆A→B→C.
+func TestExactOnHardSet(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> C")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"a", "b", "c1"}, 1)
+	tab.MustInsert(2, table.Tuple{"a", "b", "c2"}, 1)
+	tab.MustInsert(3, table.Tuple{"a", "b2", "c3"}, 1)
+	rep, err := Exact(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tuples 1,2 conflict (B → C); 3 conflicts with both (A → B).
+	// Optimal: keep one of {1,2}; cost 2.
+	if got := Cost(tab, rep); !table.WeightEq(got, 2) {
+		t.Fatalf("exact cost = %v, want 2", got)
+	}
+}
+
+// TestMakeMaximal: extending a consistent subset never increases
+// dist_sub and yields a subset repair (no deleted tuple can return).
+func TestMakeMaximal(t *testing.T) {
+	_, ds, tab := workload.Office()
+	empty := tab.MustSubsetByIDs(nil)
+	rep, err := MakeMaximal(ds, tab, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConsistentSubset(ds, tab, rep) {
+		t.Fatal("MakeMaximal result inconsistent")
+	}
+	// Local minimality: adding back any deleted tuple breaks consistency.
+	for _, id := range tab.IDs() {
+		if rep.Has(id) {
+			continue
+		}
+		r, _ := tab.Row(id)
+		trial := rep.Clone()
+		trial.MustInsert(r.ID, r.Tuple, r.Weight)
+		if trial.Satisfies(ds) {
+			t.Fatalf("tuple %d can be restored; not maximal", id)
+		}
+	}
+	if _, err := MakeMaximal(ds, tab, tab); err == nil {
+		t.Fatal("MakeMaximal must reject an inconsistent 'subset'")
+	}
+}
+
+// TestOptSRepairWeightedVsUnweighted: heavy tuples survive when cheaper
+// deletions exist (weight sensitivity of the common-lhs case).
+func TestOptSRepairWeightSensitivity(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	ds := fd.MustParseSet(sc, "A -> B")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"a", "x"}, 10)
+	tab.MustInsert(2, table.Tuple{"a", "y"}, 1)
+	tab.MustInsert(3, table.Tuple{"a", "y"}, 1)
+	rep, err := OptSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keeping the weight-10 tuple costs 2; keeping the two y-tuples
+	// costs 10. The repair must keep tuple 1.
+	if !rep.Has(1) || rep.Len() != 1 {
+		t.Fatalf("want only tuple 1 kept, got %v", rep.IDs())
+	}
+}
+
+// TestOptSRepairDuplicates: duplicate tuples are kept together (they
+// never conflict with each other).
+func TestOptSRepairDuplicates(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	ds := fd.MustParseSet(sc, "A -> B")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"a", "x"}, 1)
+	tab.MustInsert(2, table.Tuple{"a", "x"}, 1)
+	tab.MustInsert(3, table.Tuple{"a", "y"}, 1)
+	rep, err := OptSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 2 || !rep.Has(1) || !rep.Has(2) {
+		t.Fatalf("duplicates should both survive: %v", rep.IDs())
+	}
+}
+
+func TestOptSRepairEmptyTable(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	for _, specs := range [][]string{{"A -> B"}, {"-> A"}, {"A -> B", "B -> A", "B -> C"}} {
+		ds := fd.MustParseSet(sc, specs...)
+		rep, err := OptSRepair(ds, table.New(sc))
+		if err != nil {
+			t.Fatalf("%v: %v", specs, err)
+		}
+		if rep.Len() != 0 {
+			t.Fatalf("%v: repair of empty table must be empty", specs)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package srepair
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// TestMarriageSharedValueAcrossSides exercises footnote 1 of the paper:
+// the same value may occur as both an X1-projection and an
+// X2-projection; the two occurrences are distinct matching nodes.
+func TestMarriageSharedValueAcrossSides(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> A", "B -> C")
+	tab := table.New(sc)
+	// The value "v" appears on both the A side and the B side.
+	tab.MustInsert(1, table.Tuple{"v", "w", "c"}, 1)
+	tab.MustInsert(2, table.Tuple{"u", "v", "c"}, 1)
+	rep, err := OptSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pairs (v,w) and (u,v) are compatible: v-as-A and v-as-B are
+	// different nodes, so both tuples survive.
+	if rep.Len() != 2 {
+		t.Fatalf("kept %v, want both tuples", rep.IDs())
+	}
+}
+
+// TestMarriageInsideCommonLHS: the passport set of Example 4.7 applies
+// common lhs (id) and then a marriage inside each block.
+func TestMarriageInsideCommonLHS(t *testing.T) {
+	sc := schema.MustNew("P", "id", "country", "passport")
+	ds := fd.MustParseSet(sc, "id country -> passport", "id passport -> country")
+	tab := table.New(sc)
+	// Within id=1: country FR pairs with passports p1/p2 — conflicting.
+	tab.MustInsert(1, table.Tuple{"1", "FR", "p1"}, 2)
+	tab.MustInsert(2, table.Tuple{"1", "FR", "p2"}, 1)
+	tab.MustInsert(3, table.Tuple{"1", "DE", "p2"}, 1)
+	tab.MustInsert(4, table.Tuple{"2", "FR", "p1"}, 1) // other id: no conflict
+	rep, err := OptSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Exact(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.WeightEq(Cost(tab, rep), Cost(tab, exact)) {
+		t.Fatalf("marriage-in-block cost %v != exact %v", Cost(tab, rep), Cost(tab, exact))
+	}
+	if !rep.Has(4) {
+		t.Fatal("the isolated id=2 tuple must survive")
+	}
+}
+
+// TestConsensusDeterministicTieBreak: equal-weight blocks resolve to
+// the first-seen block, keeping the algorithm deterministic.
+func TestConsensusDeterministicTieBreak(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	ds := fd.MustParseSet(sc, "-> A")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"x", "1"}, 1)
+	tab.MustInsert(2, table.Tuple{"y", "2"}, 1)
+	for i := 0; i < 5; i++ {
+		rep, err := OptSRepair(ds, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Has(1) || rep.Len() != 1 {
+			t.Fatalf("tie break changed: kept %v", rep.IDs())
+		}
+	}
+}
+
+// TestEquivalentSetsGiveEqualCosts: OptSRepair depends only on the
+// closure of Δ, not its presentation.
+func TestEquivalentSetsGiveEqualCosts(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	a := fd.MustParseSet(sc, "A -> B C")
+	b := fd.MustParseSet(sc, "A -> B", "A -> C", "A B -> C")
+	if !a.EquivalentTo(b) {
+		t.Fatal("test sets must be equivalent")
+	}
+	rng := rand.New(rand.NewSource(131))
+	for iter := 0; iter < 10; iter++ {
+		tab := workload.RandomWeightedTable(sc, 8, 2, 3, rng)
+		ra, err := OptSRepair(a, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := OptSRepair(b, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !table.WeightEq(Cost(tab, ra), Cost(tab, rb)) {
+			t.Fatalf("equivalent sets gave costs %v and %v", Cost(tab, ra), Cost(tab, rb))
+		}
+	}
+}
+
+// TestWeightedDuplicatesThroughMarriage: duplicates with different
+// weights aggregate correctly inside marriage blocks.
+func TestWeightedDuplicatesThroughMarriage(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> A", "B -> C")
+	tab := table.New(sc)
+	// Duplicates of (a1,b1,c): total weight 3 beats the (a1,b2,c)+(a2,b1,c)
+	// pairing of weight 1+1.
+	tab.MustInsert(1, table.Tuple{"a1", "b1", "c"}, 2)
+	tab.MustInsert(2, table.Tuple{"a1", "b1", "c"}, 1)
+	tab.MustInsert(3, table.Tuple{"a1", "b2", "c"}, 1)
+	tab.MustInsert(4, table.Tuple{"a2", "b1", "c"}, 1)
+	rep, err := OptSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Has(1) || !rep.Has(2) || rep.Has(3) || rep.Has(4) {
+		t.Fatalf("kept %v, want the duplicate pair", rep.IDs())
+	}
+	exact, err := Exact(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.WeightEq(Cost(tab, rep), Cost(tab, exact)) {
+		t.Fatal("weighted duplicates broke optimality")
+	}
+}
+
+// TestOptSRepairConsistentInputUntouched: a consistent table is its own
+// optimal repair under every tractable set.
+func TestOptSRepairConsistentInputUntouched(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "A B -> C")
+	tab := workload.DirtyTable(sc, nil, 30, 5, 0, rand.New(rand.NewSource(133)))
+	if !tab.Satisfies(ds) {
+		t.Fatal("fixture should be consistent")
+	}
+	rep, err := OptSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != tab.Len() {
+		t.Fatalf("consistent table lost %d tuples", tab.Len()-rep.Len())
+	}
+}
+
+// TestTraceStopsAtFirstFailure: the trace of a set that simplifies
+// partway records the successful prefix.
+func TestTraceStopsAtFirstFailure(t *testing.T) {
+	z := schema.MustNew("Z", "state", "city", "zip", "country")
+	ds := fd.MustParseSet(z, "state city -> zip", "state zip -> country")
+	steps, ok := Trace(ds)
+	if ok {
+		t.Fatal("∆2 (zip) must fail")
+	}
+	if len(steps) != 1 || steps[0].Kind != fd.KindCommonLHS {
+		t.Fatalf("trace = %v, want a single common-lhs step", steps)
+	}
+}

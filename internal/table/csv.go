@@ -1,0 +1,98 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/schema"
+)
+
+// ReadCSV reads a table from CSV. The header row names the attributes;
+// the optional columns "id" (integer identifier) and "w" (positive
+// float weight) may appear anywhere and are stripped from the schema.
+// Missing ids are assigned sequentially; missing weights default to 1.
+func ReadCSV(r io.Reader, relationName string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	idCol, wCol := -1, -1
+	var attrs []string
+	var attrCols []int
+	for i, h := range header {
+		switch h {
+		case "id":
+			idCol = i
+		case "w":
+			wCol = i
+		default:
+			attrs = append(attrs, h)
+			attrCols = append(attrCols, i)
+		}
+	}
+	sc, err := schema.New(relationName, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	t := New(sc)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV line %d: %w", line+1, err)
+		}
+		line++
+		tup := make(Tuple, len(attrCols))
+		for i, c := range attrCols {
+			tup[i] = rec[c]
+		}
+		w := 1.0
+		if wCol >= 0 {
+			w, err = strconv.ParseFloat(rec[wCol], 64)
+			if err != nil {
+				return nil, fmt.Errorf("table: CSV line %d: bad weight %q", line, rec[wCol])
+			}
+		}
+		if idCol >= 0 {
+			id, err := strconv.Atoi(rec[idCol])
+			if err != nil {
+				return nil, fmt.Errorf("table: CSV line %d: bad id %q", line, rec[idCol])
+			}
+			if err := t.Insert(id, tup, w); err != nil {
+				return nil, err
+			}
+		} else if _, err := t.Append(tup, w); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// WriteCSV writes the table with an "id" column first and a "w" column
+// last, so that ReadCSV round-trips it.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"id"}, t.sc.Attrs()...)
+	header = append(header, "w")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		rec := make([]string, 0, len(header))
+		rec = append(rec, strconv.Itoa(r.ID))
+		rec = append(rec, r.Tuple...)
+		rec = append(rec, strconv.FormatFloat(r.Weight, 'g', -1, 64))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

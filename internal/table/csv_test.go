@@ -1,0 +1,64 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := fig1T(t)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "Office")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tab.Len() {
+		t.Fatalf("round trip lost rows: %d vs %d", back.Len(), tab.Len())
+	}
+	for _, r := range tab.Rows() {
+		br, ok := back.Row(r.ID)
+		if !ok {
+			t.Fatalf("id %d missing after round trip", r.ID)
+		}
+		if !br.Tuple.Equal(r.Tuple) || !WeightEq(br.Weight, r.Weight) {
+			t.Fatalf("row %d changed: %v/%v vs %v/%v", r.ID, br.Tuple, br.Weight, r.Tuple, r.Weight)
+		}
+	}
+}
+
+func TestReadCSVDefaults(t *testing.T) {
+	in := "A,B\nx,y\nz,w\n"
+	tab, err := ReadCSV(strings.NewReader(in), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("rows = %d", tab.Len())
+	}
+	if !tab.IsUnweighted() {
+		t.Error("default weights should be uniform")
+	}
+	ids := tab.IDs()
+	if ids[0] == ids[1] {
+		t.Error("ids must be distinct")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"id,A,w\nnope,x,1\n",     // bad id
+		"id,A,w\n1,x,zero\n",     // bad weight
+		"id,A,w\n1,x,0\n",        // non-positive weight
+		"id,A,w\n1,x,1\n1,y,1\n", // duplicate id
+		"A,A\nx,y\n",             // duplicate attribute
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), "R"); err == nil {
+			t.Errorf("ReadCSV(%q) should fail", in)
+		}
+	}
+}

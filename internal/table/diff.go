@@ -1,0 +1,84 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CellChange describes one updated cell between a table and an update
+// of it.
+type CellChange struct {
+	ID   int
+	Attr int
+	From Value
+	To   Value
+}
+
+// Diff summarizes how a repair differs from the original table:
+// deleted tuple identifiers (subset repairs) and changed cells (update
+// repairs). Exactly one of the two is nonempty for the paper's pure
+// repair models; mixed repairs populate both.
+type Diff struct {
+	Deleted []int
+	Changed []CellChange
+}
+
+// DiffTables computes the difference from the original table t to a
+// repaired table r. Tuples of t missing from r are reported as deleted;
+// tuples present in both have their cells compared. Tuples of r that do
+// not exist in t are rejected (a repair never invents identifiers).
+func DiffTables(t, r *Table) (*Diff, error) {
+	if !t.sc.SameAs(r.sc) {
+		return nil, fmt.Errorf("table: diff across different schemas")
+	}
+	for _, row := range r.rows {
+		if !t.Has(row.ID) {
+			return nil, fmt.Errorf("table: repaired table has unknown tuple id %d", row.ID)
+		}
+	}
+	d := &Diff{}
+	for _, row := range t.rows {
+		rr, ok := r.Row(row.ID)
+		if !ok {
+			d.Deleted = append(d.Deleted, row.ID)
+			continue
+		}
+		for a := range row.Tuple {
+			if row.Tuple[a] != rr.Tuple[a] {
+				d.Changed = append(d.Changed, CellChange{
+					ID: row.ID, Attr: a, From: row.Tuple[a], To: rr.Tuple[a],
+				})
+			}
+		}
+	}
+	sort.Ints(d.Deleted)
+	return d, nil
+}
+
+// IsEmpty reports whether the repair changed nothing.
+func (d *Diff) IsEmpty() bool { return len(d.Deleted) == 0 && len(d.Changed) == 0 }
+
+// Render writes the diff in a human-readable form using the schema's
+// attribute names; fresh constants render as ⊥n.
+func (d *Diff) Render(sc interface{ AttrName(int) string }) string {
+	if d.IsEmpty() {
+		return "(no changes)\n"
+	}
+	var b strings.Builder
+	for _, id := range d.Deleted {
+		fmt.Fprintf(&b, "- delete tuple %d\n", id)
+	}
+	for _, c := range d.Changed {
+		fmt.Fprintf(&b, "~ tuple %d: %s: %s → %s\n",
+			c.ID, sc.AttrName(c.Attr), renderValue(c.From), renderValue(c.To))
+	}
+	return b.String()
+}
+
+func renderValue(v Value) string {
+	if strings.HasPrefix(v, freshPrefix) {
+		return "⊥" + strings.TrimPrefix(v, freshPrefix)
+	}
+	return v
+}

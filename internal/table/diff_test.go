@@ -1,0 +1,71 @@
+package table
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func TestDiffSubset(t *testing.T) {
+	tab := fig1T(t)
+	sub := tab.MustSubsetByIDs([]int{1, 4})
+	d, err := DiffTables(tab, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Deleted) != 2 || d.Deleted[0] != 2 || d.Deleted[1] != 3 {
+		t.Fatalf("deleted = %v", d.Deleted)
+	}
+	if len(d.Changed) != 0 {
+		t.Fatalf("changed = %v", d.Changed)
+	}
+	out := d.Render(office)
+	if !strings.Contains(out, "- delete tuple 2") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestDiffUpdate(t *testing.T) {
+	tab := fig1T(t)
+	u := tab.Clone()
+	u.SetCellInPlace(1, 3, "Rome")
+	fresh := u.Fresh()
+	u.SetCellInPlace(2, 0, fresh)
+	d, err := DiffTables(tab, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Deleted) != 0 || len(d.Changed) != 2 {
+		t.Fatalf("diff = %+v", d)
+	}
+	out := d.Render(office)
+	if !strings.Contains(out, "city: Paris → Rome") {
+		t.Errorf("render = %q", out)
+	}
+	if !strings.Contains(out, "⊥") || strings.Contains(out, "\x00") {
+		t.Errorf("fresh value rendering wrong: %q", out)
+	}
+}
+
+func TestDiffEmptyAndErrors(t *testing.T) {
+	tab := fig1T(t)
+	d, err := DiffTables(tab, tab.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsEmpty() || d.Render(office) != "(no changes)\n" {
+		t.Fatalf("identity diff = %+v", d)
+	}
+	// Unknown id in the repair.
+	other := New(office)
+	other.MustInsert(99, Tuple{"x", "y", "z", "w"}, 1)
+	if _, err := DiffTables(tab, other); err == nil {
+		t.Error("unknown id must be rejected")
+	}
+	// Schema mismatch.
+	alt := New(schema.MustNew("X", "P"))
+	if _, err := DiffTables(tab, alt); err == nil {
+		t.Error("schema mismatch must be rejected")
+	}
+}

@@ -1,0 +1,65 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the CSV reader
+// and that every successfully read table round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("A,B\nx,y\n")
+	f.Add("id,A,w\n1,x,2\n")
+	f.Add("id,A,w\n1,x,0\n")
+	f.Add("A\n\"quoted, value\"\n")
+	f.Add("")
+	f.Add("id,id\n1,2\n")
+	f.Add("A,B\nx\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tab, err := ReadCSV(strings.NewReader(in), "F")
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV failed on read table: %v", err)
+		}
+		back, err := ReadCSV(&buf, "F")
+		if err != nil {
+			t.Fatalf("round trip failed: %v\ninput: %q", err, in)
+		}
+		if back.Len() != tab.Len() {
+			t.Fatalf("round trip changed row count: %d vs %d", back.Len(), tab.Len())
+		}
+		for _, r := range tab.Rows() {
+			br, ok := back.Row(r.ID)
+			if !ok || !br.Tuple.Equal(r.Tuple) || !weightEq(br.Weight, r.Weight) {
+				t.Fatalf("round trip changed row %d", r.ID)
+			}
+		}
+	})
+}
+
+// FuzzKeyOf checks the injectivity contract of the projection key
+// encoding on two-attribute tuples.
+func FuzzKeyOf(f *testing.F) {
+	f.Add("a", "b", "a", "bc")
+	f.Add("1", "11", "11", "1")
+	f.Add("", "", "", "x")
+	f.Fuzz(func(t *testing.T, a1, b1, a2, b2 string) {
+		sc := fuzzSchema
+		all := sc.AllAttrs()
+		t1 := Tuple{a1, b1}
+		t2 := Tuple{a2, b2}
+		same := a1 == a2 && b1 == b2
+		if (KeyOf(t1, all) == KeyOf(t2, all)) != same {
+			t.Fatalf("KeyOf injectivity violated: %q/%q vs %q/%q", a1, b1, a2, b2)
+		}
+	})
+}
+
+// fuzzSchema is the fixed two-attribute schema used by FuzzKeyOf.
+var fuzzSchema = schema.MustNew("FZ", "A", "B")

@@ -1,0 +1,28 @@
+package table
+
+import "math"
+
+// weightEps is the tolerance used when comparing float64 tuple weights
+// and repair distances. All weight arithmetic in the library is sums and
+// differences of user-supplied weights, so a fixed absolute-plus-relative
+// tolerance is adequate.
+const weightEps = 1e-9
+
+// weightEq reports whether two weights are equal up to tolerance.
+func weightEq(a, b float64) bool {
+	d := math.Abs(a - b)
+	if d <= weightEps {
+		return true
+	}
+	return d <= weightEps*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// WeightEq is the exported comparator for packages that compare repair
+// costs (tests, benches, the CLI).
+func WeightEq(a, b float64) bool { return weightEq(a, b) }
+
+// WeightLess reports a < b beyond tolerance.
+func WeightLess(a, b float64) bool { return a < b && !weightEq(a, b) }
+
+// WeightLeq reports a ≤ b up to tolerance.
+func WeightLeq(a, b float64) bool { return a < b || weightEq(a, b) }

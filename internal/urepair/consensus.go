@@ -1,0 +1,51 @@
+package urepair
+
+import (
+	"repro/internal/schema"
+	"repro/internal/table"
+)
+
+// consensusRepairInto repairs the consensus FD ∅ → C optimally by the
+// weighted-majority rule of Proposition B.2, applied per attribute
+// (Theorem 4.1 splits ∅ → C into attribute-disjoint singletons): for
+// each consensus attribute, the value kept is the one carried by the
+// maximum total weight of tuples; every other tuple has that cell
+// overwritten. Mutates u in place and returns the added dist_upd and
+// whether anything changed.
+func consensusRepairInto(u, t *table.Table, consensus schema.AttrSet) (cost float64, changed bool) {
+	for _, a := range consensus.Positions() {
+		attr := schema.Singleton(a)
+		groups := t.GroupBy(attr)
+		if len(groups) <= 1 {
+			continue // already agreeing on this attribute
+		}
+		best := 0
+		bestW := groupWeight(t, groups[0].IDs)
+		for i := 1; i < len(groups); i++ {
+			if w := groupWeight(t, groups[i].IDs); w > bestW {
+				best, bestW = i, w
+			}
+		}
+		first, _ := t.Row(groups[best].IDs[0])
+		keep := first.Tuple[a]
+		for gi, g := range groups {
+			if gi == best {
+				continue
+			}
+			for _, id := range g.IDs {
+				u.SetCellInPlace(id, a, keep)
+				cost += t.Weight(id)
+				changed = true
+			}
+		}
+	}
+	return cost, changed
+}
+
+func groupWeight(t *table.Table, ids []int) float64 {
+	var w float64
+	for _, id := range ids {
+		w += t.Weight(id)
+	}
+	return w
+}

@@ -1,0 +1,295 @@
+package urepair
+
+import (
+	"fmt"
+
+	"repro/internal/fd"
+	"repro/internal/table"
+)
+
+// Exact-search guards: the brute-force optimal U-repair is the
+// validation oracle for tiny instances only.
+const (
+	maxExactRows   = 6
+	maxExactArity  = 4
+	maxExactDomain = 8
+)
+
+// searchOptions parameterize the exhaustive repair search, covering the
+// paper's Section-5 variations.
+type searchOptions struct {
+	// allowFresh permits updating cells to fresh constants outside the
+	// active domain (the paper's default update model; Section 2.3).
+	allowFresh bool
+	// deleteFactor, when > 0, additionally allows deleting a tuple at
+	// cost deleteFactor · weight (the mixed-repair model of Section 5).
+	deleteFactor float64
+	// incumbent seeds the branch-and-bound upper bound (nil: none).
+	incumbent *table.Table
+	// incumbentDeleted lists rows deleted by the incumbent (mixed mode).
+	incumbentDeleted map[int]bool
+}
+
+// searchResult is the outcome of the exhaustive search.
+type searchResult struct {
+	update  *table.Table // values of surviving rows (deleted rows keep originals)
+	deleted map[int]bool // rows removed (mixed mode only)
+	cost    float64
+}
+
+// Exact computes an optimal U-repair by exhaustive branch and bound.
+// Candidate values for every cell are the attribute's active domain
+// plus canonical fresh constants (fresh constants are shareable within
+// an attribute; symmetry is broken by only allowing the first unused
+// fresh index, which preserves optimality because fresh constants are
+// interchangeable). Exponential; refuses instances beyond the guards.
+// The initial incumbent comes from the planner, so the search only
+// explores improvements.
+func Exact(ds *fd.Set, t *table.Table) (*table.Table, float64, error) {
+	planned, err := Repair(ds, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := exactSearch(ds, t, searchOptions{
+		allowFresh: true,
+		incumbent:  planned.Update,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.update, res.cost, nil
+}
+
+// ExactActiveDomain computes an optimal U-repair under the Section-5
+// restriction that updated cells may only take values from the active
+// domain of their attribute (no fresh constants). The restricted
+// optimum is never smaller than the unrestricted one and can be
+// strictly larger. A repair always exists (e.g. copy one tuple's
+// values everywhere).
+func ExactActiveDomain(ds *fd.Set, t *table.Table) (*table.Table, float64, error) {
+	res, err := exactSearch(ds, t, searchOptions{allowFresh: false})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.update, res.cost, nil
+}
+
+// ExactMixed computes an optimal mixed repair (Section 5): every tuple
+// may be deleted at cost deleteFactor · weight, or have cells updated
+// at cost weight per cell (fresh constants allowed). The result lists
+// the deleted tuples and the updated survivors. With deleteFactor ≥
+// arity, deletions never help; with deleteFactor ≤ 1, updates of more
+// than one cell never beat deletion.
+func ExactMixed(ds *fd.Set, t *table.Table, deleteFactor float64) (*table.Table, map[int]bool, float64, error) {
+	if deleteFactor <= 0 {
+		return nil, nil, 0, fmt.Errorf("urepair: deleteFactor must be positive, got %v", deleteFactor)
+	}
+	res, err := exactSearch(ds, t, searchOptions{
+		allowFresh:   true,
+		deleteFactor: deleteFactor,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return res.update, res.deleted, res.cost, nil
+}
+
+// exactSearch is the shared exhaustive branch and bound.
+func exactSearch(ds *fd.Set, t *table.Table, opts searchOptions) (searchResult, error) {
+	if !ds.Schema().SameAs(t.Schema()) {
+		return searchResult{}, fmt.Errorf("urepair: FD set and table have different schemas")
+	}
+	k := t.Schema().Arity()
+	n := t.Len()
+	if n == 0 {
+		return searchResult{update: t.Clone(), deleted: map[int]bool{}, cost: 0}, nil
+	}
+	if n > maxExactRows || k > maxExactArity {
+		return searchResult{}, fmt.Errorf("urepair: exact search limited to %d rows × %d attributes",
+			maxExactRows, maxExactArity)
+	}
+	// Active domain per attribute.
+	domains := make([][]table.Value, k)
+	for a := 0; a < k; a++ {
+		seen := map[table.Value]bool{}
+		for _, r := range t.Rows() {
+			v := r.Tuple[a]
+			if !seen[v] {
+				seen[v] = true
+				domains[a] = append(domains[a], v)
+			}
+		}
+		if len(domains[a]) > maxExactDomain {
+			return searchResult{}, fmt.Errorf("urepair: exact search limited to active domains of %d values", maxExactDomain)
+		}
+	}
+	// Fresh constants per attribute, named deterministically.
+	freshVals := make([][]table.Value, k)
+	for a := 0; a < k; a++ {
+		for i := 0; i < n; i++ {
+			freshVals[a] = append(freshVals[a], fmt.Sprintf("\x00⊥x%d_%d", a, i))
+		}
+	}
+
+	rows := t.Rows()
+	var best *table.Table
+	bestDeleted := map[int]bool{}
+	bestCost := upperBoundSeed(t, opts)
+	if opts.incumbent != nil {
+		best = opts.incumbent
+		bestCost = table.DistUpd(opts.incumbent, t)
+		for id := range opts.incumbentDeleted {
+			bestDeleted[id] = true
+		}
+	}
+
+	cur := make([]table.Tuple, n)
+	curDeleted := make([]bool, n)
+	for i, r := range rows {
+		cur[i] = r.Tuple.Clone()
+	}
+	fds := ds.Canonical().FDs()
+
+	consistentPrefix := func(upto int) bool {
+		if curDeleted[upto] {
+			return true
+		}
+		for _, f := range fds {
+			ku := table.KeyOf(cur[upto], f.LHS)
+			ru := table.KeyOf(cur[upto], f.RHS)
+			for j := 0; j < upto; j++ {
+				if curDeleted[j] {
+					continue
+				}
+				if table.KeyOf(cur[j], f.LHS) == ku && table.KeyOf(cur[j], f.RHS) != ru {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	record := func(cost float64) {
+		u := t.Clone()
+		deleted := map[int]bool{}
+		for j, r := range rows {
+			if curDeleted[j] {
+				deleted[r.ID] = true
+				continue
+			}
+			for a := 0; a < k; a++ {
+				if cur[j][a] != r.Tuple[a] {
+					u.SetCellInPlace(r.ID, a, cur[j][a])
+				}
+			}
+		}
+		best, bestDeleted, bestCost = u, deleted, cost
+	}
+
+	usedFresh := make([]int, k)
+	var assignRow func(i int, cost float64)
+	var assignCell func(i, a int, cost float64)
+
+	assignCell = func(i, a int, cost float64) {
+		if cost >= bestCost-1e-12 {
+			return
+		}
+		if a == k {
+			if !consistentPrefix(i) {
+				return
+			}
+			assignRow(i+1, cost)
+			return
+		}
+		orig := rows[i].Tuple[a]
+		w := rows[i].Weight
+		// Keep the original value first (cheapest).
+		cur[i][a] = orig
+		assignCell(i, a+1, cost)
+		// Other active-domain values.
+		for _, v := range domains[a] {
+			if v == orig {
+				continue
+			}
+			cur[i][a] = v
+			assignCell(i, a+1, cost+w)
+		}
+		// Fresh constants: every already-used index plus the first unused
+		// one (higher indices are symmetric).
+		if opts.allowFresh {
+			for fi := 0; fi <= usedFresh[a] && fi < n; fi++ {
+				cur[i][a] = freshVals[a][fi]
+				if fi == usedFresh[a] {
+					usedFresh[a]++
+					assignCell(i, a+1, cost+w)
+					usedFresh[a]--
+				} else {
+					assignCell(i, a+1, cost+w)
+				}
+			}
+		}
+		cur[i][a] = orig
+	}
+
+	assignRow = func(i int, cost float64) {
+		if cost >= bestCost-1e-12 {
+			return
+		}
+		if i == n {
+			record(cost)
+			return
+		}
+		assignCell(i, 0, cost)
+		if opts.deleteFactor > 0 {
+			curDeleted[i] = true
+			dcost := cost + opts.deleteFactor*rows[i].Weight
+			if dcost < bestCost-1e-12 {
+				assignRow(i+1, dcost)
+			}
+			curDeleted[i] = false
+		}
+	}
+	assignRow(0, 0)
+
+	if best == nil {
+		return searchResult{}, fmt.Errorf("urepair: internal error: search found no repair")
+	}
+	// Verify the survivors satisfy Δ.
+	var keepIDs []int
+	for _, r := range best.Rows() {
+		if !bestDeleted[r.ID] {
+			keepIDs = append(keepIDs, r.ID)
+		}
+	}
+	if !best.MustSubsetByIDs(keepIDs).Satisfies(ds) {
+		return searchResult{}, fmt.Errorf("urepair: internal error: search produced an inconsistent repair")
+	}
+	return searchResult{update: best, deleted: bestDeleted, cost: bestCost}, nil
+}
+
+// upperBoundSeed provides a safe initial bound when no incumbent is
+// supplied: unify every tuple with the first one (active-domain only),
+// which is always a consistent update; in mixed mode, deleting all but
+// one tuple is also valid.
+func upperBoundSeed(t *table.Table, opts searchOptions) float64 {
+	if t.Len() == 0 {
+		return 1e-9
+	}
+	rows := t.Rows()
+	first := rows[0]
+	unify := 0.0
+	for _, r := range rows[1:] {
+		unify += r.Weight * float64(r.Tuple.Hamming(first.Tuple))
+	}
+	bound := unify + 1
+	if opts.deleteFactor > 0 {
+		del := 0.0
+		for _, r := range rows[1:] {
+			del += opts.deleteFactor * r.Weight
+		}
+		if del+1 < bound {
+			bound = del + 1
+		}
+	}
+	return bound
+}

@@ -1,0 +1,178 @@
+package urepair
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// TestActiveDomainNeverCheaper: restricting updates to the active
+// domain can only increase the optimal cost (Section 5 discussion).
+func TestActiveDomainNeverCheaper(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	sets := []*fd.Set{
+		fd.MustParseSet(sc, "A -> B"),
+		fd.MustParseSet(sc, "A -> B", "B -> C"),
+		fd.MustParseSet(sc, "A -> B", "B -> A"),
+	}
+	rng := rand.New(rand.NewSource(81))
+	for _, ds := range sets {
+		for iter := 0; iter < 8; iter++ {
+			tab := workload.RandomTable(sc, 4, 2, rng)
+			_, free, err := Exact(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u, restricted, err := ExactActiveDomain(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !u.Satisfies(ds) || !u.IsUpdateOf(tab) {
+				t.Fatal("restricted repair invalid")
+			}
+			// Every cell must hold an active-domain value.
+			active := map[int]map[table.Value]bool{}
+			for a := 0; a < sc.Arity(); a++ {
+				active[a] = map[table.Value]bool{}
+				for _, r := range tab.Rows() {
+					active[a][r.Tuple[a]] = true
+				}
+			}
+			for _, r := range u.Rows() {
+				for a, v := range r.Tuple {
+					if !active[a][v] {
+						t.Fatalf("restricted repair used non-active value %q", v)
+					}
+				}
+			}
+			if table.WeightLess(restricted, free) {
+				t.Fatalf("%v: restricted cost %v < unrestricted %v", ds, restricted, free)
+			}
+		}
+	}
+}
+
+// TestActiveDomainStrictlyWorse exhibits an instance where the
+// restriction strictly increases the optimum (the phenomenon that makes
+// Section 5 call the restricted model a genuinely different problem):
+// under {A → B, B → C} with rows (a,b1,c1) and (a,b2,c2), moving one
+// tuple to a fresh A value costs 1, but the active domain of A is {a},
+// so a restricted repair must equalize both B and C at cost 2.
+func TestActiveDomainStrictlyWorse(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> C")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"a", "b1", "c1"}, 1)
+	tab.MustInsert(2, table.Tuple{"a", "b2", "c2"}, 1)
+	_, free, err := Exact(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, restricted, err := ExactActiveDomain(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.WeightEq(free, 1) {
+		t.Fatalf("unrestricted optimum = %v, want 1", free)
+	}
+	if !table.WeightEq(restricted, 2) {
+		t.Fatalf("restricted optimum = %v, want 2", restricted)
+	}
+}
+
+// TestMixedUpperBounds: the mixed optimum is never worse than the pure
+// deletion optimum (scaled) or the pure update optimum.
+func TestMixedUpperBounds(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> C")
+	rng := rand.New(rand.NewSource(83))
+	for iter := 0; iter < 8; iter++ {
+		tab := workload.RandomTable(sc, 4, 2, rng)
+		const factor = 1.5
+		_, _, mixed, err := ExactMixed(ds, tab, factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, pureU, err := Exact(ds, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mixed > pureU+1e-9 {
+			t.Fatalf("mixed %v > pure update %v", mixed, pureU)
+		}
+		// Pure deletion: exact S-repair scaled by the factor is a valid
+		// mixed repair.
+		sOpt, err := exactSRepairForTest(ds, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mixed > factor*table.DistSub(sOpt, tab)+1e-9 {
+			t.Fatalf("mixed %v > deletion bound %v", mixed, factor*table.DistSub(sOpt, tab))
+		}
+	}
+}
+
+// TestMixedSurvivorsConsistent: survivors of a mixed repair satisfy Δ
+// and deleted tuples are billed at the factor.
+func TestMixedSurvivorsConsistent(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	ds := fd.MustParseSet(sc, "A -> B")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"a", "x"}, 1)
+	tab.MustInsert(2, table.Tuple{"a", "y"}, 1)
+	tab.MustInsert(3, table.Tuple{"a", "y"}, 1)
+	// With a cheap deletion factor, deleting tuple 1 (cost 0.5) beats
+	// updating its B cell (cost 1).
+	u, deleted, cost, err := ExactMixed(ds, tab, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.WeightEq(cost, 0.5) {
+		t.Fatalf("mixed cost = %v, want 0.5", cost)
+	}
+	if !deleted[1] || len(deleted) != 1 {
+		t.Fatalf("deleted = %v, want {1}", deleted)
+	}
+	var keep []int
+	for _, r := range u.Rows() {
+		if !deleted[r.ID] {
+			keep = append(keep, r.ID)
+		}
+	}
+	if !u.MustSubsetByIDs(keep).Satisfies(ds) {
+		t.Fatal("survivors inconsistent")
+	}
+	// With an expensive deletion factor the update wins.
+	_, deleted2, cost2, err := ExactMixed(ds, tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted2) != 0 || !table.WeightEq(cost2, 1) {
+		t.Fatalf("expensive deletions: cost %v deleted %v, want 1 / none", cost2, deleted2)
+	}
+}
+
+func TestMixedRejectsBadFactor(t *testing.T) {
+	sc := schema.MustNew("R", "A")
+	ds := fd.MustParseSet(sc, "-> A")
+	if _, _, _, err := ExactMixed(ds, table.New(sc), 0); err == nil {
+		t.Fatal("factor 0 must be rejected")
+	}
+}
+
+func TestExactEmptyTable(t *testing.T) {
+	sc := schema.MustNew("R", "A")
+	ds := fd.MustParseSet(sc, "-> A")
+	_, cost, err := Exact(ds, table.New(sc))
+	if err != nil || cost != 0 {
+		t.Fatalf("empty table: cost %v err %v", cost, err)
+	}
+	_, cost, err = ExactActiveDomain(ds, table.New(sc))
+	if err != nil || cost != 0 {
+		t.Fatalf("empty table restricted: cost %v err %v", cost, err)
+	}
+}

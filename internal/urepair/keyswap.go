@@ -1,0 +1,77 @@
+package urepair
+
+import (
+	"repro/internal/fd"
+	"repro/internal/srepair"
+	"repro/internal/table"
+)
+
+// isKeySwap reports whether the (consensus-free) component is, in
+// canonical form, exactly {A → B, B → A} for two single attributes —
+// the tractable U-repair case of Proposition 4.9.
+func isKeySwap(comp *fd.Set) bool {
+	can := comp.Canonical()
+	if can.Len() != 2 {
+		return false
+	}
+	f1, f2 := can.FDs()[0], can.FDs()[1]
+	return f1.LHS.Len() == 1 && f2.LHS.Len() == 1 &&
+		f1.LHS == f2.RHS && f2.LHS == f1.RHS && f1.LHS != f2.LHS
+}
+
+// keySwapRepair implements Proposition 4.9 for Δ = {A → B, B → A}: an
+// optimal S-repair S* (computable: the set passes OSRSucceeds via an
+// lhs marriage) is converted into a consistent update of equal
+// distance, which is therefore an optimal U-repair. For every deleted
+// tuple t there is a kept tuple s agreeing with t on A or on B
+// (otherwise t could be added to S*, contradicting optimality); the
+// other attribute of t is overwritten with s's value, a single-cell
+// change.
+func keySwapRepair(comp *fd.Set, t *table.Table) (Result, bool) {
+	can := comp.Canonical()
+	f1 := can.FDs()[0]
+	a := f1.LHS.First()
+	b := f1.RHS.First()
+
+	s, err := srepair.OptSRepair(comp, t)
+	if err != nil {
+		return Result{}, false
+	}
+	// Index kept values: A value -> representative B value and vice versa.
+	bOfA := map[string]string{}
+	aOfB := map[string]string{}
+	for _, r := range s.Rows() {
+		bOfA[r.Tuple[a]] = r.Tuple[b]
+		aOfB[r.Tuple[b]] = r.Tuple[a]
+	}
+	u := t.Clone()
+	var cost float64
+	for _, r := range t.Rows() {
+		if s.Has(r.ID) {
+			continue
+		}
+		if vb, ok := bOfA[r.Tuple[a]]; ok {
+			u.SetCellInPlace(r.ID, b, vb)
+			cost += r.Weight
+			continue
+		}
+		if va, ok := aOfB[r.Tuple[b]]; ok {
+			u.SetCellInPlace(r.ID, a, va)
+			cost += r.Weight
+			continue
+		}
+		// Unreachable for an optimal S-repair: the tuple conflicts with
+		// nothing kept and could have been retained.
+		return Result{}, false
+	}
+	if !u.Satisfies(comp) {
+		return Result{}, false
+	}
+	return Result{
+		Update:     u,
+		Cost:       cost,
+		Exact:      true,
+		RatioBound: 1,
+		Method:     "key-swap (Prop 4.9 via OptSRepair)",
+	}, true
+}

@@ -1,0 +1,153 @@
+package urepair
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// TestPlannerMethodStrings: the reported method names reflect the cases
+// actually used.
+func TestPlannerMethodStrings(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	cases := []struct {
+		specs []string
+		want  string
+	}{
+		{[]string{"A -> B"}, "common-lhs"},
+		{[]string{"A -> B", "B -> A"}, "key-swap"},
+		{[]string{"-> C"}, "consensus-majority"},
+		{[]string{"A -> B", "B -> C"}, "approx"},
+	}
+	rng := rand.New(rand.NewSource(141))
+	for _, c := range cases {
+		// Use a table guaranteed to violate (random small domain).
+		tab := workload.RandomTable(sc, 8, 2, rng)
+		res, err := Repair(fd.MustParseSet(sc, c.specs...), tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(res.Method, c.want) {
+			t.Errorf("%v: method = %q, want containing %q", c.specs, res.Method, c.want)
+		}
+	}
+}
+
+// TestPlannerMixedComposition: consensus + two disjoint components, all
+// exact, with additive costs.
+func TestPlannerMixedComposition(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C", "D", "E")
+	// ∅→E (consensus), A→B (component 1), C→D (component 2).
+	ds := fd.MustParseSet(sc, "-> E", "A -> B", "C -> D")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"a", "x", "c", "p", "e1"}, 1)
+	tab.MustInsert(2, table.Tuple{"a", "y", "c", "q", "e1"}, 1) // B and D conflicts
+	tab.MustInsert(3, table.Tuple{"b", "z", "d", "r", "e2"}, 1) // E conflict
+	res, err := Repair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("composition should be exact, method %s", res.Method)
+	}
+	// Costs: E majority (1 cell), A→B (1 cell), C→D (1 cell) = 3.
+	if !table.WeightEq(res.Cost, 3) {
+		t.Fatalf("cost = %v, want 3 (method %s)", res.Cost, res.Method)
+	}
+	for _, want := range []string{"consensus-majority", "common-lhs"} {
+		if !strings.Contains(res.Method, want) {
+			t.Errorf("method %q missing %q", res.Method, want)
+		}
+	}
+}
+
+// TestPlannerUntouchedAttributes: attributes outside attr(Δ) are never
+// modified by any planner path.
+func TestPlannerUntouchedAttributes(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	sets := []*fd.Set{
+		fd.MustParseSet(sc, "A -> B"),
+		fd.MustParseSet(sc, "A -> B", "B -> A"),
+		fd.MustParseSet(sc, "-> B"),
+	}
+	rng := rand.New(rand.NewSource(143))
+	cIdx, _ := sc.AttrIndex("C")
+	for _, ds := range sets {
+		if ds.AttrsUsed().Contains(cIdx) {
+			t.Fatal("fixture bug: C must be outside attr(Δ)")
+		}
+		for iter := 0; iter < 6; iter++ {
+			tab := workload.RandomTable(sc, 6, 2, rng)
+			res, err := Repair(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range res.Update.Rows() {
+				orig, _ := tab.Row(r.ID)
+				if r.Tuple[cIdx] != orig.Tuple[cIdx] {
+					t.Fatalf("%v: attribute C modified", ds)
+				}
+			}
+		}
+	}
+}
+
+// TestSubsetToUpdateMultiAttrCover: the Prop 4.4 construction with a
+// two-attribute cover charges two cells per deleted tuple.
+func TestSubsetToUpdateMultiAttrCover(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> C", "B -> C")
+	cover, size, ok := ds.MinLHSCover()
+	if !ok || size != 2 {
+		t.Fatalf("cover = %v (%d)", cover, size)
+	}
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"a", "b", "c1"}, 1)
+	tab.MustInsert(2, table.Tuple{"a", "b", "c2"}, 2)
+	s := tab.MustSubsetByIDs([]int{2})
+	u := SubsetToUpdate(tab, s, cover)
+	if !u.Satisfies(ds) {
+		t.Fatal("construction inconsistent")
+	}
+	if got := table.DistUpd(u, tab); !table.WeightEq(got, 2) { // 2 cells × weight 1
+		t.Fatalf("dist = %v, want 2", got)
+	}
+}
+
+// TestRepairIdempotent: repairing an already-consistent table costs 0
+// and changes nothing, on every planner path.
+func TestRepairIdempotent(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	sets := []*fd.Set{
+		fd.MustParseSet(sc, "A -> B"),
+		fd.MustParseSet(sc, "A -> B", "B -> A"),
+		fd.MustParseSet(sc, "A -> B", "B -> C"),
+		fd.MustParseSet(sc, "-> A"),
+	}
+	for _, ds := range sets {
+		tab := table.New(sc)
+		tab.MustInsert(1, table.Tuple{"a", "x", "0"}, 1)
+		tab.MustInsert(2, table.Tuple{"a", "x", "0"}, 1)
+		if !tab.Satisfies(ds) {
+			t.Fatalf("fixture inconsistent for %v", ds)
+		}
+		res, err := Repair(ds, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost != 0 {
+			t.Fatalf("%v: consistent table repaired at cost %v", ds, res.Cost)
+		}
+		for _, r := range res.Update.Rows() {
+			orig, _ := tab.Row(r.ID)
+			if !r.Tuple.Equal(orig.Tuple) {
+				t.Fatalf("%v: consistent table modified", ds)
+			}
+		}
+	}
+}

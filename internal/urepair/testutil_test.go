@@ -1,0 +1,12 @@
+package urepair
+
+import (
+	"repro/internal/fd"
+	"repro/internal/srepair"
+	"repro/internal/table"
+)
+
+// exactSRepairForTest avoids importing srepair in every test file.
+func exactSRepairForTest(ds *fd.Set, t *table.Table) (*table.Table, error) {
+	return srepair.Exact(ds, t)
+}

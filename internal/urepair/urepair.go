@@ -1,0 +1,175 @@
+// Package urepair implements the paper's algorithms for optimal update
+// repairs (optimal U-repairs, Section 4):
+//
+//   - a planner (Repair) that composes the paper's exact cases —
+//     consensus elimination (Theorem 4.3, Proposition B.2),
+//     attribute-disjoint decomposition (Theorem 4.1), common-lhs FD sets
+//     via S-repairs (Corollary 4.6), chain FD sets (Corollary 4.8) and
+//     the key-swap set {A→B, B→A} (Proposition 4.9) — and falls back to
+//     approximation on components it cannot solve exactly;
+//   - the 2·mlc(Δ)-approximation of Theorem 4.12 built from
+//     Proposition 4.4's subset↔update transfer constructions;
+//   - a Kolahi–Lakshmanan-style heuristic (majority rhs chase with a
+//     core freshening fallback) used in the combined approximation of
+//     Section 4.4;
+//   - an exponential exact baseline for tiny instances (validation).
+package urepair
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/srepair"
+	"repro/internal/table"
+)
+
+// Result is the outcome of a U-repair computation.
+type Result struct {
+	// Update is a consistent update of the input table.
+	Update *table.Table
+	// Cost is dist_upd(Update, T).
+	Cost float64
+	// Exact reports whether Update is provably an optimal U-repair.
+	Exact bool
+	// RatioBound is the guaranteed approximation ratio (1 when Exact).
+	RatioBound float64
+	// Method describes how the repair was obtained.
+	Method string
+}
+
+// Repair computes a U-repair of t under ds: exact whenever the FD set
+// falls into one of the paper's tractable cases (after consensus
+// elimination and attribute-disjoint decomposition), and the best of
+// the 2·mlc approximation and the KL-style heuristic otherwise. The
+// result is always a consistent update.
+func Repair(ds *fd.Set, t *table.Table) (Result, error) {
+	if !ds.Schema().SameAs(t.Schema()) {
+		return Result{}, fmt.Errorf("urepair: FD set and table have different schemas")
+	}
+	res := repairFull(ds, t)
+	if !res.Update.Satisfies(ds) {
+		return Result{}, fmt.Errorf("urepair: internal error: produced an inconsistent update")
+	}
+	return res, nil
+}
+
+// repairFull handles consensus elimination (Theorem 4.3) and then
+// decomposes into attribute-disjoint components (Theorem 4.1).
+func repairFull(ds *fd.Set, t *table.Table) Result {
+	u := t.Clone()
+	var cost float64
+	exact := true
+	ratio := 1.0
+	var methods []string
+
+	consensus := ds.ConsensusAttrs()
+	if !consensus.IsEmpty() {
+		c, changed := consensusRepairInto(u, t, consensus)
+		cost += c
+		if changed {
+			methods = append(methods, "consensus-majority")
+		}
+	}
+	rest := ds.Minus(consensus)
+	for _, comp := range rest.Components() {
+		r := repairComponent(comp, t)
+		// Merge the component's cell changes (its attributes are disjoint
+		// from every other component and from the consensus attributes).
+		attrs := comp.AttrsUsed()
+		for _, row := range r.Update.Rows() {
+			orig, _ := t.Row(row.ID)
+			for _, a := range attrs.Positions() {
+				if row.Tuple[a] != orig.Tuple[a] {
+					u.SetCellInPlace(row.ID, a, row.Tuple[a])
+				}
+			}
+		}
+		cost += r.Cost
+		exact = exact && r.Exact
+		if r.RatioBound > ratio {
+			ratio = r.RatioBound
+		}
+		methods = append(methods, r.Method)
+	}
+	if len(methods) == 0 {
+		methods = append(methods, "trivial")
+	}
+	return Result{
+		Update:     u,
+		Cost:       cost,
+		Exact:      exact,
+		RatioBound: ratio,
+		Method:     strings.Join(methods, " + "),
+	}
+}
+
+// repairComponent solves one consensus-free, attribute-connected
+// component of the FD set against the full table.
+func repairComponent(comp *fd.Set, t *table.Table) Result {
+	if comp.IsTrivialSet() {
+		return Result{Update: t.Clone(), Exact: true, RatioBound: 1, Method: "trivial"}
+	}
+	if isKeySwap(comp) {
+		if r, ok := keySwapRepair(comp, t); ok {
+			return r
+		}
+	}
+	if !comp.CommonLHS().IsEmpty() && srepair.OSRSucceeds(comp) {
+		if r, ok := commonLHSRepair(comp, t); ok {
+			return r
+		}
+	}
+	return approxComponent(comp, t)
+}
+
+// commonLHSRepair implements Corollary 4.6 for sets with a common lhs
+// (mlc = 1) on the tractable side of the S-repair dichotomy: an optimal
+// S-repair transfers to an optimal U-repair with identical cost.
+func commonLHSRepair(comp *fd.Set, t *table.Table) (Result, bool) {
+	s, err := srepair.OptSRepair(comp, t)
+	if err != nil {
+		return Result{}, false
+	}
+	cover := schema.Singleton(comp.CommonLHS().First())
+	u := SubsetToUpdate(t, s, cover)
+	return Result{
+		Update:     u,
+		Cost:       table.DistSub(s, t),
+		Exact:      true,
+		RatioBound: 1,
+		Method:     "common-lhs (Cor 4.6 via OptSRepair)",
+	}, true
+}
+
+// UpdateToSubset is Proposition 4.4 (1): from a consistent update u of
+// t, build a consistent subset by deleting every modified tuple. Its
+// dist_sub never exceeds dist_upd(u, t).
+func UpdateToSubset(t, u *table.Table) *table.Table {
+	var keep []int
+	for _, r := range t.Rows() {
+		ur, _ := u.Row(r.ID)
+		if r.Tuple.Equal(ur.Tuple) {
+			keep = append(keep, r.ID)
+		}
+	}
+	return t.MustSubsetByIDs(keep)
+}
+
+// SubsetToUpdate is Proposition 4.4 (2): from a consistent subset s of
+// t and an lhs cover of the (consensus-free) FD set, build a consistent
+// update by overwriting, in every deleted tuple, each cover attribute
+// with a fresh constant. dist_upd ≤ |cover| · dist_sub(s, t).
+func SubsetToUpdate(t, s *table.Table, cover schema.AttrSet) *table.Table {
+	u := t.Clone()
+	for _, r := range t.Rows() {
+		if s.Has(r.ID) {
+			continue
+		}
+		for _, a := range cover.Positions() {
+			u.SetCellInPlace(r.ID, a, u.Fresh())
+		}
+	}
+	return u
+}

@@ -1,0 +1,401 @@
+package urepair
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/srepair"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// TestRepairRunningExample: Figure 1's optimal U-repair has cost 2 (U1
+// is optimal, Example 2.3). The running-example Δ has common lhs
+// facility and passes OSRSucceeds, so the planner is exact (Cor 4.6,
+// Example 4.7).
+func TestRepairRunningExample(t *testing.T) {
+	_, ds, tab := workload.Office()
+	res, err := Repair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("running example must be exact (method %s)", res.Method)
+	}
+	if !table.WeightEq(res.Cost, 2) {
+		t.Fatalf("optimal U-repair cost = %v, want 2", res.Cost)
+	}
+	if !res.Update.Satisfies(ds) || !res.Update.IsUpdateOf(tab) {
+		t.Fatal("result is not a consistent update")
+	}
+	if !table.WeightEq(table.DistUpd(res.Update, tab), res.Cost) {
+		t.Fatal("reported cost disagrees with dist_upd")
+	}
+}
+
+func TestRepairTrivial(t *testing.T) {
+	_, _, tab := workload.Office()
+	ds := fd.MustParseSet(tab.Schema())
+	res, err := Repair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Cost != 0 {
+		t.Fatalf("trivial set: cost %v exact %v", res.Cost, res.Exact)
+	}
+}
+
+func TestRepairSchemaMismatch(t *testing.T) {
+	_, ds, _ := workload.Office()
+	other := table.New(schema.MustNew("O", "X"))
+	if _, err := Repair(ds, other); err == nil {
+		t.Fatal("schema mismatch must fail")
+	}
+}
+
+// TestConsensusMajority: Proposition B.2 — the kept value is the one of
+// maximum total weight.
+func TestConsensusMajority(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	ds := fd.MustParseSet(sc, "-> A")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"x", "1"}, 1)
+	tab.MustInsert(2, table.Tuple{"x", "2"}, 1)
+	tab.MustInsert(3, table.Tuple{"y", "3"}, 5)
+	res, err := Repair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || !table.WeightEq(res.Cost, 2) {
+		t.Fatalf("cost = %v exact=%v, want 2/true", res.Cost, res.Exact)
+	}
+	for _, r := range res.Update.Rows() {
+		if r.Tuple[0] != "y" {
+			t.Fatalf("all tuples must take the majority value y: %v", res.Update)
+		}
+	}
+}
+
+// TestConsensusMultiAttribute: ∅ → A B decomposes per attribute.
+func TestConsensusMultiAttribute(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	ds := fd.MustParseSet(sc, "-> A B")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"x", "p"}, 1)
+	tab.MustInsert(2, table.Tuple{"x", "q"}, 2)
+	tab.MustInsert(3, table.Tuple{"y", "q"}, 1)
+	res, err := Repair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A: keep x (weight 3 ≥ 1) → change tuple 3 (1). B: keep q (3 ≥ 1) →
+	// change tuple 1 (1). Total 2.
+	if !res.Exact || !table.WeightEq(res.Cost, 2) {
+		t.Fatalf("cost = %v exact=%v, want 2/true", res.Cost, res.Exact)
+	}
+}
+
+// TestKeySwap: Proposition 4.9 on a crafted instance — dist_upd(U*) =
+// dist_sub(S*).
+func TestKeySwap(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> A")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"a1", "b1"}, 1)
+	tab.MustInsert(2, table.Tuple{"a1", "b2"}, 1)
+	tab.MustInsert(3, table.Tuple{"a2", "b2"}, 1)
+	res, err := Repair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("key-swap must be exact, method %s", res.Method)
+	}
+	s, err := srepair.OptSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.WeightEq(res.Cost, table.DistSub(s, tab)) {
+		t.Fatalf("dist_upd %v != dist_sub %v (Prop 4.9)", res.Cost, table.DistSub(s, tab))
+	}
+	if !strings.Contains(res.Method, "key-swap") {
+		t.Errorf("method = %q, want key-swap", res.Method)
+	}
+}
+
+// TestDisjointComposition: Theorem 4.1 / Example 4.2 — the union of
+// attribute-disjoint tractable sets stays tractable and costs add up.
+func TestDisjointComposition(t *testing.T) {
+	sc := schema.MustNew("Purchase", "item", "cost", "buyer", "address")
+	ds := fd.MustParseSet(sc, "item -> cost", "buyer -> address")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"pen", "1", "ann", "rome"}, 1)
+	tab.MustInsert(2, table.Tuple{"pen", "2", "ann", "rome"}, 1) // item conflict
+	tab.MustInsert(3, table.Tuple{"ink", "5", "bob", "oslo"}, 1)
+	tab.MustInsert(4, table.Tuple{"ink", "5", "bob", "bern"}, 1) // buyer conflict
+	res, err := Repair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("∆0 of the introduction must be exact for U-repairs, method %s", res.Method)
+	}
+	if !table.WeightEq(res.Cost, 2) {
+		t.Fatalf("cost = %v, want 2 (one cell per component)", res.Cost)
+	}
+}
+
+// TestChainExact: Corollary 4.8 — chain FD sets are exact, via
+// consensus elimination + common lhs.
+func TestChainExact(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "A B -> C")
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 10; iter++ {
+		tab := workload.RandomTable(sc, 5, 2, rng)
+		res, err := Repair(ds, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact {
+			t.Fatalf("chain set must be exact, method %s", res.Method)
+		}
+		if !res.Update.Satisfies(ds) {
+			t.Fatal("inconsistent update")
+		}
+	}
+}
+
+// TestPlannerMatchesExactOracle cross-validates the planner's exact
+// cases against the brute-force search on tiny random tables.
+func TestPlannerMatchesExactOracle(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	tractable := []*fd.Set{
+		fd.MustParseSet(sc, "A -> B"),
+		fd.MustParseSet(sc, "A -> B C"),
+		fd.MustParseSet(sc, "A -> B", "A -> C"),
+		fd.MustParseSet(sc, "A -> B", "A B -> C"),
+		fd.MustParseSet(sc, "-> C", "A -> B"),
+		fd.MustParseSet(sc, "A -> B", "B -> A"),
+		fd.MustParseSet(sc, "-> A"),
+	}
+	rng := rand.New(rand.NewSource(63))
+	for _, ds := range tractable {
+		for iter := 0; iter < 8; iter++ {
+			tab := workload.RandomTable(sc, 4, 2, rng)
+			res, err := Repair(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Exact {
+				t.Fatalf("%v should be exact, method %s", ds, res.Method)
+			}
+			_, optCost, err := Exact(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !table.WeightEq(res.Cost, optCost) {
+				t.Fatalf("%v: planner cost %v != exact %v\n%s", ds, res.Cost, optCost, tab)
+			}
+		}
+	}
+}
+
+// TestApproxWithinBound: on hard sets the planner stays within its
+// declared ratio of the true optimum (tiny instances, brute force).
+func TestApproxWithinBound(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	hard := []*fd.Set{
+		fd.MustParseSet(sc, "A -> B", "B -> C"),
+		fd.MustParseSet(sc, "A -> C", "B -> C"),
+		fd.MustParseSet(sc, "A -> B", "B -> A", "B -> C"), // ∆A↔B→C: hard for U (Thm 4.10)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for _, ds := range hard {
+		for iter := 0; iter < 6; iter++ {
+			tab := workload.RandomTable(sc, 4, 2, rng)
+			res, err := Repair(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.RatioBound < 1 {
+				t.Fatalf("ratio bound %v < 1", res.RatioBound)
+			}
+			_, optCost, err := Exact(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if table.WeightLess(res.Cost, optCost) {
+				t.Fatalf("%v: planner cost %v beats the optimum %v — oracle bug\n%s", ds, res.Cost, optCost, tab)
+			}
+			if res.Cost > res.RatioBound*optCost+1e-9 {
+				t.Fatalf("%v: cost %v exceeds bound %v × opt %v\n%s", ds, res.Cost, res.RatioBound, optCost, tab)
+			}
+		}
+	}
+}
+
+// TestCorollary45: dist_sub(S*) ≤ dist_upd(U*) ≤ mlc(Δ)·dist_sub(S*)
+// for consensus-free Δ, using exact solvers on tiny instances.
+func TestCorollary45(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	sets := []*fd.Set{
+		fd.MustParseSet(sc, "A -> B"),
+		fd.MustParseSet(sc, "A -> B", "B -> C"),
+		fd.MustParseSet(sc, "A -> B", "B -> A"),
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, ds := range sets {
+		mlc, err := ds.MLC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for iter := 0; iter < 6; iter++ {
+			tab := workload.RandomTable(sc, 4, 2, rng)
+			sOpt, err := srepair.Exact(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dSub := table.DistSub(sOpt, tab)
+			_, dUpd, err := Exact(ds, tab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if table.WeightLess(dUpd, dSub) {
+				t.Fatalf("%v: dist_upd %v < dist_sub %v violates Cor 4.5", ds, dUpd, dSub)
+			}
+			if dUpd > float64(mlc)*dSub+1e-9 {
+				t.Fatalf("%v: dist_upd %v > mlc(%d)·dist_sub %v violates Cor 4.5", ds, dUpd, mlc, dSub)
+			}
+		}
+	}
+}
+
+// TestProposition44Constructions: the two transfer constructions
+// preserve consistency and respect their cost bounds.
+func TestProposition44Constructions(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> C")
+	rng := rand.New(rand.NewSource(12))
+	cover, size, ok := ds.MinLHSCover()
+	if !ok {
+		t.Fatal("consensus-free set must have a cover")
+	}
+	for iter := 0; iter < 10; iter++ {
+		tab := workload.RandomTable(sc, 6, 2, rng)
+		// subset → update
+		s, err := srepair.Approx2(ds, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := SubsetToUpdate(tab, s, cover)
+		if !u.Satisfies(ds) || !u.IsUpdateOf(tab) {
+			t.Fatal("SubsetToUpdate produced a bad update")
+		}
+		if got, bound := table.DistUpd(u, tab), float64(size)*table.DistSub(s, tab); got > bound+1e-9 {
+			t.Fatalf("dist_upd %v > mlc·dist_sub %v", got, bound)
+		}
+		// update → subset
+		s2 := UpdateToSubset(tab, u)
+		if !s2.IsSubsetOf(tab) || !s2.Satisfies(ds) {
+			t.Fatal("UpdateToSubset produced a bad subset")
+		}
+		if got := table.DistSub(s2, tab); got > table.DistUpd(u, tab)+1e-9 {
+			t.Fatalf("dist_sub %v > dist_upd %v", got, table.DistUpd(u, tab))
+		}
+	}
+}
+
+// TestKLHeuristicAlwaysConsistent: the heuristic's output is a
+// consistent update on random dirty tables, for easy and hard sets.
+func TestKLHeuristicAlwaysConsistent(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	sets := []*fd.Set{
+		fd.MustParseSet(sc, "A -> B", "B -> C"),
+		fd.MustParseSet(sc, "A B -> C", "C -> B"),
+		fd.MustParseSet(sc, "A -> B", "B -> A", "B -> C"),
+	}
+	rng := rand.New(rand.NewSource(21))
+	for _, ds := range sets {
+		for iter := 0; iter < 10; iter++ {
+			tab := workload.RandomWeightedTable(sc, 12, 3, 3, rng)
+			u, ok := KLHeuristic(ds, tab)
+			if !ok {
+				t.Fatalf("%v: heuristic refused a consensus-free set", ds)
+			}
+			if !u.Satisfies(ds) || !u.IsUpdateOf(tab) {
+				t.Fatalf("%v: heuristic output invalid", ds)
+			}
+		}
+	}
+	// Consensus FDs are refused.
+	if _, ok := KLHeuristic(fd.MustParseSet(sc, "-> A"), workload.RandomTable(sc, 4, 2, rng)); ok {
+		t.Fatal("heuristic must refuse consensus FDs")
+	}
+}
+
+// TestDeltaA_B_SwapC_IsApprox: ∆A↔B→C is APX-complete for U-repairs
+// (Theorem 4.10), so the planner must not claim exactness.
+func TestDeltaABSwapCIsApprox(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> A", "B -> C")
+	tab := workload.RandomTable(sc, 6, 2, rand.New(rand.NewSource(2)))
+	res, err := Repair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatalf("∆A↔B→C must not be claimed exact (method %s)", res.Method)
+	}
+}
+
+// TestExactOracleSmallCases pins down hand-checkable optima.
+func TestExactOracleSmallCases(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	ds := fd.MustParseSet(sc, "A -> B")
+	tab := table.New(sc)
+	tab.MustInsert(1, table.Tuple{"a", "x"}, 1)
+	tab.MustInsert(2, table.Tuple{"a", "y"}, 1)
+	_, cost, err := Exact(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.WeightEq(cost, 1) {
+		t.Fatalf("cost = %v, want 1 (set one B cell)", cost)
+	}
+	// Weighted: the heavy tuple's value wins.
+	tab2 := table.New(sc)
+	tab2.MustInsert(1, table.Tuple{"a", "x"}, 5)
+	tab2.MustInsert(2, table.Tuple{"a", "y"}, 1)
+	u2, cost2, err := Exact(ds, tab2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !table.WeightEq(cost2, 1) {
+		t.Fatalf("cost = %v, want 1", cost2)
+	}
+	// The heavy tuple must be untouched (changing any of its cells
+	// already costs 5); the light tuple absorbs the single-cell change.
+	r1, _ := u2.Row(1)
+	if !r1.Tuple.Equal(table.Tuple{"a", "x"}) {
+		t.Fatalf("heavy tuple modified: %v", r1.Tuple)
+	}
+}
+
+func TestExactGuards(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	ds := fd.MustParseSet(sc, "A -> B")
+	big := workload.RandomTable(sc, maxExactRows+1, 2, rand.New(rand.NewSource(1)))
+	if _, _, err := Exact(ds, big); err == nil {
+		t.Fatal("oversized instance must be refused")
+	}
+	wide := schema.MustNew("W", "A", "B", "C", "D", "E")
+	dsw := fd.MustParseSet(wide, "A -> B")
+	tw := workload.RandomTable(wide, 2, 2, rand.New(rand.NewSource(1)))
+	if _, _, err := Exact(dsw, tw); err == nil {
+		t.Fatal("over-wide instance must be refused")
+	}
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+)
+
+// NamedFDSet is a catalogue entry: an FD set from the paper together
+// with the paper's classification of its two repair problems.
+type NamedFDSet struct {
+	// Name as used in the paper.
+	Name string
+	// Where the set appears.
+	Source string
+	Set    *fd.Set
+	// SRepairPoly: optimal S-repairs computable in polynomial time
+	// (OSRSucceeds, Theorem 3.4).
+	SRepairPoly bool
+	// URepairKnownPoly: the paper proves optimal U-repairs polynomial.
+	URepairKnownPoly bool
+	// URepairKnownHard: the paper proves optimal U-repairs APX-hard.
+	URepairKnownHard bool
+}
+
+// Catalogue returns the named FD sets that appear in the paper, with
+// the complexity statuses the paper assigns to them. It is the fixture
+// driving the dichotomy experiments (E3) and the CLI's demo mode.
+func Catalogue() []NamedFDSet {
+	office := schema.MustNew("Office", "facility", "room", "floor", "city")
+	abc := schema.MustNew("R", "A", "B", "C")
+	abcd := schema.MustNew("R", "A", "B", "C", "D")
+	abcde := schema.MustNew("R", "A", "B", "C", "D", "E")
+	person := schema.MustNew("Person", "ssn", "first", "last", "address", "office", "phone", "fax")
+	purchase := schema.MustNew("Purchase", "product", "price", "buyer", "email", "address")
+	passport := schema.MustNew("P", "id", "country", "passport")
+	zips := schema.MustNew("Z", "state", "city", "zip", "country")
+
+	return []NamedFDSet{
+		{
+			Name: "Δ (running example)", Source: "Example 2.2",
+			Set:         fd.MustParseSet(office, "facility -> city", "facility room -> floor"),
+			SRepairPoly: true, URepairKnownPoly: true, // chain, common lhs (Ex. 4.7)
+		},
+		{
+			Name: "∆A↔B→C", Source: "Example 3.1 (1)",
+			Set:         fd.MustParseSet(abc, "A -> B", "B -> A", "B -> C"),
+			SRepairPoly: true, URepairKnownHard: true, // Thm 4.10
+		},
+		{
+			Name: "∆1 (ssn)", Source: "Example 3.1",
+			Set: fd.MustParseSet(person, "ssn -> first", "ssn -> last", "first last -> ssn",
+				"ssn -> address", "ssn office -> phone", "ssn office -> fax"),
+			SRepairPoly: true,
+		},
+		{
+			Name: "∆0 (purchase)", Source: "Introduction",
+			Set:         fd.MustParseSet(purchase, "product -> price", "buyer -> email"),
+			SRepairPoly: false, URepairKnownPoly: true, // Ex. 4.2 / Cor 4.11(2)
+		},
+		{
+			Name: "∆3 (email)", Source: "Introduction",
+			Set:         fd.MustParseSet(purchase, "email -> buyer", "buyer -> address"),
+			SRepairPoly: false, URepairKnownHard: true, // Kolahi–Lakshmanan
+		},
+		{
+			Name: "∆4 (buyer)", Source: "Introduction",
+			Set:         fd.MustParseSet(purchase, "buyer -> email", "email -> buyer", "buyer -> address"),
+			SRepairPoly: true, URepairKnownHard: true,
+		},
+		{
+			Name: "∆A→B→C", Source: "Table 1",
+			Set:         fd.MustParseSet(abc, "A -> B", "B -> C"),
+			SRepairPoly: false, URepairKnownHard: true,
+		},
+		{
+			Name: "∆A→C←B", Source: "Table 1",
+			Set:         fd.MustParseSet(abc, "A -> C", "B -> C"),
+			SRepairPoly: false,
+		},
+		{
+			Name: "∆AB→C→B", Source: "Table 1",
+			Set:         fd.MustParseSet(abc, "A B -> C", "C -> B"),
+			SRepairPoly: false,
+		},
+		{
+			Name: "∆AB↔AC↔BC", Source: "Table 1",
+			Set:         fd.MustParseSet(abc, "A B -> C", "A C -> B", "B C -> A"),
+			SRepairPoly: false,
+		},
+		{
+			Name: "{A→B, C→D}", Source: "Example 3.5 / 3.8 class 1",
+			Set:         fd.MustParseSet(abcd, "A -> B", "C -> D"),
+			SRepairPoly: false, URepairKnownPoly: true, // Thm 4.1 + single FDs
+		},
+		{
+			Name: "{A→CD, B→CE}", Source: "Example 3.8 class 2",
+			Set:         fd.MustParseSet(abcde, "A -> C D", "B -> C E"),
+			SRepairPoly: false,
+		},
+		{
+			Name: "{A→BC, B→D}", Source: "Example 3.8 class 3",
+			Set:         fd.MustParseSet(abcd, "A -> B C", "B -> D"),
+			SRepairPoly: false,
+		},
+		{
+			Name: "{AB→C, C→AD}", Source: "Example 3.8 class 5",
+			Set:         fd.MustParseSet(abcd, "A B -> C", "C -> A D"),
+			SRepairPoly: false,
+		},
+		{
+			Name: "∆1 (passport)", Source: "Example 4.7",
+			Set:         fd.MustParseSet(passport, "id country -> passport", "id passport -> country"),
+			SRepairPoly: true, URepairKnownPoly: true, // common lhs
+		},
+		{
+			Name: "∆2 (zip)", Source: "Example 4.7",
+			Set:         fd.MustParseSet(zips, "state city -> zip", "state zip -> country"),
+			SRepairPoly: false, URepairKnownHard: true,
+		},
+		{
+			Name: "{A→B, B→A}", Source: "Proposition 4.9",
+			Set:         fd.MustParseSet(abc, "A -> B", "B -> A"),
+			SRepairPoly: true, URepairKnownPoly: true,
+		},
+	}
+}
+
+// DeltaK builds ∆k of Section 4.4 over R(A0..Ak, B0..Bk, C):
+// {A0⋯Ak → B0, B0 → C, B1 → A0, ..., Bk → A0}.
+func DeltaK(k int) *fd.Set {
+	attrs := make([]string, 0, 2*k+3)
+	for i := 0; i <= k; i++ {
+		attrs = append(attrs, fmt.Sprintf("A%d", i))
+	}
+	for i := 0; i <= k; i++ {
+		attrs = append(attrs, fmt.Sprintf("B%d", i))
+	}
+	attrs = append(attrs, "C")
+	sc := schema.MustNew("R", attrs...)
+	specs := make([]string, 0, k+2)
+	lhs := ""
+	for i := 0; i <= k; i++ {
+		lhs += fmt.Sprintf("A%d ", i)
+	}
+	specs = append(specs, lhs+"-> B0", "B0 -> C")
+	for i := 1; i <= k; i++ {
+		specs = append(specs, fmt.Sprintf("B%d -> A0", i))
+	}
+	return fd.MustParseSet(sc, specs...)
+}
+
+// DeltaPrimeK builds ∆′k of Section 4.4 over R(A0..Ak+1, B0..Bk):
+// {A0A1 → B0, A1A2 → B1, ..., AkAk+1 → Bk}.
+func DeltaPrimeK(k int) *fd.Set {
+	attrs := make([]string, 0, 2*k+3)
+	for i := 0; i <= k+1; i++ {
+		attrs = append(attrs, fmt.Sprintf("A%d", i))
+	}
+	for i := 0; i <= k; i++ {
+		attrs = append(attrs, fmt.Sprintf("B%d", i))
+	}
+	sc := schema.MustNew("R", attrs...)
+	specs := make([]string, 0, k+1)
+	for i := 0; i <= k; i++ {
+		specs = append(specs, fmt.Sprintf("A%d A%d -> B%d", i, i+1, i))
+	}
+	return fd.MustParseSet(sc, specs...)
+}

@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"strings"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/table"
+)
+
+// flightsCSV is a small dirty flight-status dataset in the style of the
+// data-cleaning literature (conflicting sources reporting gates and
+// times for the same flight). Weights encode per-source trust.
+const flightsCSV = `id,flight,date,origin,gate,departure,w
+1,UA100,2026-06-01,SFO,G12,09:15,3
+2,UA100,2026-06-01,SFO,G12,09:15,1
+3,UA100,2026-06-01,SFO,G14,09:15,1
+4,UA100,2026-06-01,SFO,G12,09:45,1
+5,DL200,2026-06-01,ATL,B03,11:00,2
+6,DL200,2026-06-01,ATL,B03,11:10,1
+7,DL200,2026-06-02,ATL,B07,11:00,2
+8,AA300,2026-06-01,JFK,C22,15:30,2
+9,AA300,2026-06-01,LGA,C22,15:30,1
+10,AA300,2026-06-02,JFK,C25,16:00,2
+11,WN400,2026-06-01,DAL,E05,08:00,1
+12,WN400,2026-06-01,DAL,E05,08:00,1
+`
+
+// Flights returns the embedded flight-status dataset: its schema, the
+// natural FDs — a flight on a date has one origin, gate, and departure
+// time — and the (dirty) table. The FD set has a common lhs
+// {flight, date}, so it sits on the tractable side of both repair
+// problems.
+func Flights() (*schema.Schema, *fd.Set, *table.Table) {
+	t, err := table.ReadCSV(strings.NewReader(flightsCSV), "Flights")
+	if err != nil {
+		panic(err) // embedded fixture; cannot fail
+	}
+	sc := t.Schema()
+	ds := fd.MustParseSet(sc,
+		"flight date -> origin",
+		"flight date -> gate",
+		"flight date -> departure",
+	)
+	return sc, ds, t
+}

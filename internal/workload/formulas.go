@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Lit is a propositional literal: variable index with an optional
+// negation.
+type Lit struct {
+	Var int
+	Neg bool
+}
+
+// Clause is a disjunction of literals.
+type Clause struct {
+	Lits []Lit
+}
+
+// IsNonMixed reports whether the clause contains only positive or only
+// negative literals (the MAX-non-mixed-SAT restriction of Lemma A.13).
+func (c Clause) IsNonMixed() bool {
+	if len(c.Lits) == 0 {
+		return true
+	}
+	neg := c.Lits[0].Neg
+	for _, l := range c.Lits[1:] {
+		if l.Neg != neg {
+			return false
+		}
+	}
+	return true
+}
+
+// Satisfied reports whether the assignment satisfies the clause.
+func (c Clause) Satisfied(assign []bool) bool {
+	for _, l := range c.Lits {
+		if assign[l.Var] != l.Neg {
+			return true
+		}
+	}
+	return false
+}
+
+// CNF is a conjunction of clauses over variables 0..NumVars-1.
+type CNF struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// IsNonMixed reports whether every clause is non-mixed.
+func (f CNF) IsNonMixed() bool {
+	for _, c := range f.Clauses {
+		if !c.IsNonMixed() {
+			return false
+		}
+	}
+	return true
+}
+
+// CountSatisfied returns the number of clauses the assignment satisfies.
+func (f CNF) CountSatisfied(assign []bool) int {
+	n := 0
+	for _, c := range f.Clauses {
+		if c.Satisfied(assign) {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxSat computes the maximum number of simultaneously satisfiable
+// clauses by exhaustive search; requires NumVars ≤ 22.
+func (f CNF) MaxSat() (int, error) {
+	if f.NumVars > 22 {
+		return 0, fmt.Errorf("workload: exhaustive MaxSat limited to 22 variables, got %d", f.NumVars)
+	}
+	best := 0
+	assign := make([]bool, f.NumVars)
+	for mask := 0; mask < 1<<uint(f.NumVars); mask++ {
+		for v := 0; v < f.NumVars; v++ {
+			assign[v] = mask&(1<<uint(v)) != 0
+		}
+		if n := f.CountSatisfied(assign); n > best {
+			best = n
+		}
+	}
+	return best, nil
+}
+
+// RandomNonMixedCNF samples m clauses over n variables; each clause has
+// 1..maxLen literals of a single polarity over distinct variables.
+func RandomNonMixedCNF(n, m, maxLen int, rng *rand.Rand) CNF {
+	f := CNF{NumVars: n}
+	for i := 0; i < m; i++ {
+		neg := rng.Intn(2) == 1
+		l := 1 + rng.Intn(maxLen)
+		if l > n {
+			l = n
+		}
+		perm := rng.Perm(n)[:l]
+		var lits []Lit
+		for _, v := range perm {
+			lits = append(lits, Lit{Var: v, Neg: neg})
+		}
+		f.Clauses = append(f.Clauses, Clause{Lits: lits})
+	}
+	return f
+}
+
+// TriangleInstance is a collection of triangles of a tripartite graph:
+// each triangle names one vertex from each of the three sides. Two
+// triangles are edge-disjoint when they share at most one vertex (a
+// shared pair of vertices on different sides is a shared edge).
+type TriangleInstance struct {
+	Triangles [][3]string
+}
+
+// RandomTriangles samples m distinct triangles over side sizes
+// (na, nb, nc).
+func RandomTriangles(na, nb, nc, m int, rng *rand.Rand) TriangleInstance {
+	seen := map[[3]string]bool{}
+	var inst TriangleInstance
+	for len(inst.Triangles) < m && len(seen) < na*nb*nc {
+		tr := [3]string{
+			fmt.Sprintf("a%d", rng.Intn(na)),
+			fmt.Sprintf("b%d", rng.Intn(nb)),
+			fmt.Sprintf("c%d", rng.Intn(nc)),
+		}
+		if seen[tr] {
+			continue
+		}
+		seen[tr] = true
+		inst.Triangles = append(inst.Triangles, tr)
+	}
+	return inst
+}
+
+// shareEdge reports whether two triangles share an edge (two vertices on
+// two distinct sides).
+func shareEdge(a, b [3]string) bool {
+	ab := a[0] == b[0] && a[1] == b[1]
+	ac := a[0] == b[0] && a[2] == b[2]
+	bc := a[1] == b[1] && a[2] == b[2]
+	return ab || ac || bc
+}
+
+// MaxEdgeDisjointTriangles computes the maximum number of pairwise
+// edge-disjoint triangles by exhaustive branch and bound; requires at
+// most 24 triangles.
+func (ti TriangleInstance) MaxEdgeDisjointTriangles() (int, error) {
+	n := len(ti.Triangles)
+	if n > 24 {
+		return 0, fmt.Errorf("workload: exhaustive triangle packing limited to 24 triangles, got %d", n)
+	}
+	best := 0
+	var chosen []int
+	var rec func(i int)
+	rec = func(i int) {
+		if len(chosen)+(n-i) <= best {
+			return
+		}
+		if i == n {
+			if len(chosen) > best {
+				best = len(chosen)
+			}
+			return
+		}
+		// Take triangle i if edge-disjoint from the chosen ones.
+		ok := true
+		for _, j := range chosen {
+			if shareEdge(ti.Triangles[i], ti.Triangles[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			chosen = append(chosen, i)
+			rec(i + 1)
+			chosen = chosen[:len(chosen)-1]
+		}
+		rec(i + 1)
+	}
+	rec(0)
+	return best, nil
+}

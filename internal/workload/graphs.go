@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// SimpleGraph is an undirected simple graph given by an edge list over
+// vertices 0..N-1; the input shape for the vertex-cover reductions.
+type SimpleGraph struct {
+	N     int
+	Edges [][2]int
+}
+
+// RandomGNP samples an Erdős–Rényi G(n, p) graph.
+func RandomGNP(n int, p float64, rng *rand.Rand) *SimpleGraph {
+	g := &SimpleGraph{N: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.Edges = append(g.Edges, [2]int{i, j})
+			}
+		}
+	}
+	return g
+}
+
+// RandomBoundedDegree samples a graph with maximum degree at most
+// maxDeg by random edge insertion with degree rejection. Bounded-degree
+// graphs are the hard instances used by the APX-hardness arguments
+// (vertex cover on cubic graphs).
+func RandomBoundedDegree(n, maxDeg, attempts int, rng *rand.Rand) *SimpleGraph {
+	g := &SimpleGraph{N: n}
+	deg := make([]int, n)
+	seen := map[[2]int]bool{}
+	for a := 0; a < attempts; a++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] || deg[u] >= maxDeg || deg[v] >= maxDeg {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		deg[u]++
+		deg[v]++
+		g.Edges = append(g.Edges, [2]int{u, v})
+	}
+	return g
+}
+
+// MaxDegree returns the maximum vertex degree.
+func (g *SimpleGraph) MaxDegree() int {
+	deg := make([]int, g.N)
+	max := 0
+	for _, e := range g.Edges {
+		deg[e[0]]++
+		deg[e[1]]++
+		if deg[e[0]] > max {
+			max = deg[e[0]]
+		}
+		if deg[e[1]] > max {
+			max = deg[e[1]]
+		}
+	}
+	return max
+}
+
+// MinVertexCoverSize computes vc(G) exactly via the branch-and-bound
+// solver with unit weights. Intended for the small graphs of the
+// reduction experiments.
+func (g *SimpleGraph) MinVertexCoverSize() (int, error) {
+	weights := make([]float64, g.N)
+	for i := range weights {
+		weights[i] = 1
+	}
+	wg, err := graph.NewGraph(weights)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range g.Edges {
+		if err := wg.AddEdge(e[0], e[1]); err != nil {
+			return 0, err
+		}
+	}
+	cover, err := wg.ExactMinVertexCover()
+	if err != nil {
+		return 0, err
+	}
+	return len(graph.CoverIDs(cover)), nil
+}

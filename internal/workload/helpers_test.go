@@ -1,0 +1,18 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+)
+
+// mustSet parses an FD set or fails the test.
+func mustSet(t testing.TB, sc *schema.Schema, specs ...string) *fd.Set {
+	t.Helper()
+	set, err := fd.ParseSet(sc, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}

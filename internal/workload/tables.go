@@ -1,0 +1,124 @@
+// Package workload generates the synthetic inputs used by the tests,
+// examples and the bench harness: random weighted tables with controlled
+// dirtiness, the running example of Figure 1, random graphs for the
+// vertex-cover reductions, non-mixed CNF formulas, and tripartite
+// triangle instances. All generators are deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/table"
+)
+
+// Office returns the running example of the paper: the schema
+// Office(facility, room, floor, city), the FD set of Example 2.2, and
+// table T of Figure 1(a).
+func Office() (*schema.Schema, *fd.Set, *table.Table) {
+	sc := schema.MustNew("Office", "facility", "room", "floor", "city")
+	ds := fd.MustParseSet(sc, "facility -> city", "facility room -> floor")
+	t := table.New(sc)
+	t.MustInsert(1, table.Tuple{"HQ", "322", "3", "Paris"}, 2)
+	t.MustInsert(2, table.Tuple{"HQ", "322", "30", "Madrid"}, 1)
+	t.MustInsert(3, table.Tuple{"HQ", "122", "1", "Madrid"}, 1)
+	t.MustInsert(4, table.Tuple{"Lab1", "B35", "3", "London"}, 2)
+	return sc, ds, t
+}
+
+// RandomTable generates n tuples over sc with each attribute drawn
+// uniformly from a domain of the given size (values "v0".."v{d-1}").
+// All weights are 1. Smaller domains produce denser FD violations.
+func RandomTable(sc *schema.Schema, n, domain int, rng *rand.Rand) *table.Table {
+	return RandomWeightedTable(sc, n, domain, 1, rng)
+}
+
+// RandomWeightedTable is RandomTable with integer weights drawn
+// uniformly from 1..maxWeight.
+func RandomWeightedTable(sc *schema.Schema, n, domain, maxWeight int, rng *rand.Rand) *table.Table {
+	if domain < 1 {
+		panic("workload: domain must be ≥ 1")
+	}
+	t := table.New(sc)
+	for i := 1; i <= n; i++ {
+		tup := make(table.Tuple, sc.Arity())
+		for a := range tup {
+			tup[a] = fmt.Sprintf("v%d", rng.Intn(domain))
+		}
+		w := 1.0
+		if maxWeight > 1 {
+			w = float64(1 + rng.Intn(maxWeight))
+		}
+		t.MustInsert(i, tup, w)
+	}
+	return t
+}
+
+// DirtyTable builds a table that starts consistent with respect to ds
+// and then corrupts a fraction of the cells, which yields realistic
+// "mostly clean" cleaning workloads. The clean table assigns, per
+// group key, FD-consistent values (every attribute is a function of the
+// first attribute); dirtyFrac of the cells are then overwritten with
+// random domain values.
+func DirtyTable(sc *schema.Schema, ds *fd.Set, n, domain int, dirtyFrac float64, rng *rand.Rand) *table.Table {
+	t := table.New(sc)
+	k := sc.Arity()
+	for i := 1; i <= n; i++ {
+		// Derive every attribute deterministically from a group id: any
+		// such table satisfies every FD (all attributes are functions of
+		// the group id and of each other within a group).
+		g := rng.Intn(domain)
+		tup := make(table.Tuple, k)
+		for a := 0; a < k; a++ {
+			tup[a] = fmt.Sprintf("g%d_a%d", g, a)
+		}
+		t.MustInsert(i, tup, 1)
+	}
+	// Corrupt cells.
+	for _, r := range t.Rows() {
+		for a := 0; a < k; a++ {
+			if rng.Float64() < dirtyFrac {
+				t.SetCellInPlace(r.ID, a, fmt.Sprintf("dirty%d", rng.Intn(domain)))
+			}
+		}
+	}
+	_ = ds // the construction is consistent for every FD set by design
+	return t
+}
+
+// ZipfTable generates n tuples whose attribute values follow an
+// approximate Zipf distribution over the domain (rank r gets
+// probability ∝ 1/r), producing skewed group sizes as in real dirty
+// data.
+func ZipfTable(sc *schema.Schema, n, domain int, rng *rand.Rand) *table.Table {
+	if domain < 1 {
+		panic("workload: domain must be ≥ 1")
+	}
+	// Precompute cumulative 1/r weights.
+	cum := make([]float64, domain)
+	total := 0.0
+	for r := 0; r < domain; r++ {
+		total += 1.0 / float64(r+1)
+		cum[r] = total
+	}
+	draw := func() int {
+		x := rng.Float64() * total
+		for r := 0; r < domain; r++ {
+			if x <= cum[r] {
+				return r
+			}
+		}
+		return domain - 1
+	}
+	t := table.New(sc)
+	for i := 1; i <= n; i++ {
+		tup := make(table.Tuple, sc.Arity())
+		for a := range tup {
+			tup[a] = fmt.Sprintf("z%d", draw())
+		}
+		t.MustInsert(i, tup, 1)
+	}
+	return t
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/table"
+)
+
+func TestOfficeFixture(t *testing.T) {
+	sc, ds, tab := Office()
+	if sc.Arity() != 4 || ds.Len() != 2 || tab.Len() != 4 {
+		t.Fatalf("unexpected fixture shape: %d/%d/%d", sc.Arity(), ds.Len(), tab.Len())
+	}
+	if tab.Satisfies(ds) {
+		t.Error("Figure 1 table T must violate Δ")
+	}
+	if !table.WeightEq(tab.TotalWeight(), 6) {
+		t.Errorf("total weight = %v", tab.TotalWeight())
+	}
+}
+
+func TestRandomTableDeterministic(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	t1 := RandomTable(sc, 20, 3, rand.New(rand.NewSource(9)))
+	t2 := RandomTable(sc, 20, 3, rand.New(rand.NewSource(9)))
+	for _, r := range t1.Rows() {
+		r2, ok := t2.Row(r.ID)
+		if !ok || !r2.Tuple.Equal(r.Tuple) {
+			t.Fatal("same seed must reproduce the same table")
+		}
+	}
+	if t1.Len() != 20 || !t1.IsUnweighted() {
+		t.Error("unexpected table shape")
+	}
+}
+
+func TestRandomWeightedTable(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	tab := RandomWeightedTable(sc, 50, 4, 5, rand.New(rand.NewSource(3)))
+	for _, r := range tab.Rows() {
+		if r.Weight < 1 || r.Weight > 5 {
+			t.Fatalf("weight %v out of range", r.Weight)
+		}
+	}
+}
+
+func TestDirtyTableCleanWhenFracZero(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := mustSet(t, sc, "A -> B", "B -> C")
+	tab := DirtyTable(sc, ds, 40, 5, 0, rand.New(rand.NewSource(4)))
+	if !tab.Satisfies(ds) {
+		t.Fatal("dirtyFrac=0 must produce a consistent table")
+	}
+	dirty := DirtyTable(sc, ds, 40, 5, 0.4, rand.New(rand.NewSource(4)))
+	if dirty.Satisfies(ds) {
+		t.Log("note: corrupted table happened to stay consistent (possible but unlikely)")
+	}
+}
+
+func TestZipfTableSkew(t *testing.T) {
+	sc := schema.MustNew("R", "A")
+	tab := ZipfTable(sc, 500, 10, rand.New(rand.NewSource(5)))
+	counts := map[string]int{}
+	for _, r := range tab.Rows() {
+		counts[r.Tuple[0]]++
+	}
+	if counts["z0"] <= counts["z9"] {
+		t.Errorf("Zipf skew missing: z0=%d z9=%d", counts["z0"], counts["z9"])
+	}
+}
+
+func TestRandomGNP(t *testing.T) {
+	g := RandomGNP(10, 1.0, rand.New(rand.NewSource(6)))
+	if len(g.Edges) != 45 {
+		t.Fatalf("complete graph should have 45 edges, got %d", len(g.Edges))
+	}
+	empty := RandomGNP(10, 0.0, rand.New(rand.NewSource(6)))
+	if len(empty.Edges) != 0 {
+		t.Fatal("p=0 should produce no edges")
+	}
+}
+
+func TestRandomBoundedDegree(t *testing.T) {
+	g := RandomBoundedDegree(20, 3, 500, rand.New(rand.NewSource(7)))
+	if g.MaxDegree() > 3 {
+		t.Fatalf("degree bound violated: %d", g.MaxDegree())
+	}
+	if len(g.Edges) == 0 {
+		t.Fatal("expected some edges")
+	}
+}
+
+func TestMinVertexCoverSize(t *testing.T) {
+	// Triangle: vc = 2. Star: vc = 1.
+	tri := &SimpleGraph{N: 3, Edges: [][2]int{{0, 1}, {1, 2}, {0, 2}}}
+	if vc, err := tri.MinVertexCoverSize(); err != nil || vc != 2 {
+		t.Fatalf("triangle vc = %d, %v", vc, err)
+	}
+	star := &SimpleGraph{N: 5, Edges: [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}}}
+	if vc, err := star.MinVertexCoverSize(); err != nil || vc != 1 {
+		t.Fatalf("star vc = %d, %v", vc, err)
+	}
+}
+
+func TestCNFBasics(t *testing.T) {
+	// (x0 ∨ x1) ∧ (¬x0) over 2 vars: max sat = 2 via x0=false, x1=true.
+	f := CNF{NumVars: 2, Clauses: []Clause{
+		{Lits: []Lit{{Var: 0}, {Var: 1}}},
+		{Lits: []Lit{{Var: 0, Neg: true}}},
+	}}
+	if !f.IsNonMixed() {
+		t.Fatal("both clauses are single-polarity")
+	}
+	got, err := f.MaxSat()
+	if err != nil || got != 2 {
+		t.Fatalf("MaxSat = %d, %v", got, err)
+	}
+	if n := f.CountSatisfied([]bool{true, false}); n != 1 {
+		t.Fatalf("CountSatisfied = %d, want 1", n)
+	}
+	mixed := CNF{NumVars: 2, Clauses: []Clause{{Lits: []Lit{{Var: 0}, {Var: 1, Neg: true}}}}}
+	if mixed.IsNonMixed() {
+		t.Fatal("mixed clause detected as non-mixed")
+	}
+}
+
+func TestRandomNonMixedCNF(t *testing.T) {
+	f := RandomNonMixedCNF(6, 20, 3, rand.New(rand.NewSource(8)))
+	if !f.IsNonMixed() {
+		t.Fatal("generator must emit non-mixed clauses")
+	}
+	if len(f.Clauses) != 20 {
+		t.Fatalf("clauses = %d", len(f.Clauses))
+	}
+	for _, c := range f.Clauses {
+		seen := map[int]bool{}
+		for _, l := range c.Lits {
+			if seen[l.Var] {
+				t.Fatal("clause repeats a variable")
+			}
+			seen[l.Var] = true
+		}
+	}
+}
+
+func TestMaxSatTooLarge(t *testing.T) {
+	f := CNF{NumVars: 30}
+	if _, err := f.MaxSat(); err == nil {
+		t.Fatal("oversized MaxSat must refuse")
+	}
+}
+
+func TestTrianglePacking(t *testing.T) {
+	// Two triangles sharing an edge: packing = 1.
+	ti := TriangleInstance{Triangles: [][3]string{
+		{"a0", "b0", "c0"},
+		{"a0", "b0", "c1"},
+	}}
+	if got, err := ti.MaxEdgeDisjointTriangles(); err != nil || got != 1 {
+		t.Fatalf("packing = %d, %v", got, err)
+	}
+	// Sharing a single vertex is fine: packing = 2.
+	ti2 := TriangleInstance{Triangles: [][3]string{
+		{"a0", "b0", "c0"},
+		{"a0", "b1", "c1"},
+	}}
+	if got, err := ti2.MaxEdgeDisjointTriangles(); err != nil || got != 2 {
+		t.Fatalf("packing = %d, %v", got, err)
+	}
+}
+
+func TestRandomTrianglesDistinct(t *testing.T) {
+	inst := RandomTriangles(3, 3, 3, 15, rand.New(rand.NewSource(10)))
+	seen := map[[3]string]bool{}
+	for _, tr := range inst.Triangles {
+		if seen[tr] {
+			t.Fatal("duplicate triangle")
+		}
+		seen[tr] = true
+	}
+	if len(inst.Triangles) != 15 {
+		t.Fatalf("triangles = %d, want 15", len(inst.Triangles))
+	}
+}
