@@ -230,6 +230,41 @@ func BenchmarkOptSRepairScaling(b *testing.B) {
 	}
 }
 
+// ---- E9b: OptSRepair with the opt-in block worker pool ----
+//
+// The workload has few, large blocks (8 common-lhs groups each solving
+// an lhs marriage), the shape the pool is built for; tables with many
+// tiny blocks run inline regardless of the worker count.
+
+func BenchmarkOptSRepairParallel(b *testing.B) {
+	sc := schema.MustNew("R", "D", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "D A -> B", "D B -> A", "D B -> C")
+	rng := rand.New(rand.NewSource(6400))
+	tab := table.New(sc)
+	for i := 1; i <= 4800; i++ {
+		tab.MustInsert(i, table.Tuple{
+			fmt.Sprintf("d%d", rng.Intn(8)),
+			fmt.Sprintf("a%d", rng.Intn(60)),
+			fmt.Sprintf("b%d", rng.Intn(60)),
+			fmt.Sprintf("c%d", rng.Intn(6)),
+		}, 1)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			srepair.SetWorkers(workers)
+			defer srepair.SetWorkers(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := srepair.OptSRepair(ds, tab)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = s
+			}
+		})
+	}
+}
+
 // ---- E10: tractable U-repairs ----
 
 func BenchmarkTractableURepair(b *testing.B) {

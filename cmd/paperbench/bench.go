@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/srepair"
+	"repro/internal/workload"
+)
+
+// benchResult is one benchmark measurement in BENCH_srepair.json. The
+// file gives future PRs a machine-readable perf trajectory of the
+// repair engine; compare snapshots across commits before claiming a
+// speedup.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// writeBenchJSON measures the repair-engine hot paths (the Figure-1
+// running example, the four hard sets of Table 1 under exact/approx
+// vertex cover, and an OptSRepair scaling point) and writes the results
+// as a JSON array.
+func writeBenchJSON(path string) error {
+	type benchCase struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	var cases []benchCase
+
+	_, officeDS, officeT := workload.Office()
+	cases = append(cases, benchCase{"Fig1RunningExample/optsrepair", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := srepair.OptSRepair(officeDS, officeT); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}})
+
+	hard := workload.HardSets()
+	hardNames := make([]string, 0, len(hard))
+	for name := range hard {
+		hardNames = append(hardNames, name)
+	}
+	sort.Strings(hardNames)
+	for _, name := range hardNames {
+		ds := hard[name]
+		tab := workload.RandomTable(ds.Schema(), 28, 3, rand.New(rand.NewSource(2)))
+		cases = append(cases,
+			benchCase{"Table1HardSets/" + name + "/exact", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := srepair.Exact(ds, tab); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+			benchCase{"Table1HardSets/" + name + "/approx2", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := srepair.Approx2(ds, tab); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+		)
+	}
+
+	chainSC := workload.TractableSets()["chain"].Schema()
+	chainDS := fd.MustParseSet(chainSC, "A -> B", "A B -> C")
+	scaleTab := workload.RandomTable(chainSC, 1600, 162, rand.New(rand.NewSource(1600)))
+	cases = append(cases, benchCase{"OptSRepairScaling/chain/n=1600", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := srepair.OptSRepair(chainDS, scaleTab); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}})
+
+	var out []benchResult
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		out = append(out, benchResult{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}

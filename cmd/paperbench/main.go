@@ -8,6 +8,7 @@
 //	paperbench all          # run every experiment in paper order
 //	paperbench E1 E7        # run selected experiments
 //	paperbench -list        # list experiments
+//	paperbench -benchjson BENCH_srepair.json   # machine-readable perf snapshot
 package main
 
 import (
@@ -21,7 +22,16 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
+	benchJSON := flag.String("benchjson", "", "write a repair-engine benchmark snapshot to this JSON file (e.g. BENCH_srepair.json) and exit")
 	flag.Parse()
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+		return
+	}
 	if *list {
 		for _, r := range experiments.All() {
 			fmt.Printf("%-5s %s\n", r.ID, r.Artifact)

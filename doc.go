@@ -28,6 +28,33 @@
 //	cmd/paperbench         regenerate every paper table and figure
 //	examples/              runnable walk-throughs of the public API
 //
+// # Performance architecture
+//
+// The table core is dictionary-encoded: every column is lazily interned
+// into dense int32 value codes, and every attribute-set projection into
+// dense int32 group codes (internal/table/encoding.go). Equal codes ⇔
+// equal projections, so GroupBy, SatisfiesFD, Violations and
+// ConflictGraph compare fixed-width integers instead of building
+// length-prefixed string keys per row. The encoding is cached on the
+// table, invalidated by mutation, and built under a mutex so concurrent
+// readers are safe.
+//
+// The repair algorithms recurse over zero-copy views
+// (internal/table/view.go): a view is the backing table plus a
+// row-index slice, grouped and weighed against the shared encoding.
+// OptSRepair precomputes the (data-independent) simplification chain
+// once, recurses over views, and materializes only the final repair;
+// the seed implementation instead rebuilt a *Table, an id index and
+// cloned tuples at every node of the recursion tree. Independent blocks
+// of the three subroutines can be solved in parallel through an opt-in,
+// try-acquire worker pool (fdrepair.SetParallelism); results are
+// byte-identical to the serial algorithm.
+//
+// The bench baseline for this architecture is recorded in ROADMAP.md;
+// regenerate with:
+//
+//	go test -bench='Fig1|Table1|Scaling' -benchmem .
+//
 // See DESIGN.md for the system inventory and the experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results.
 package repro

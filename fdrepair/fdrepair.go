@@ -158,6 +158,17 @@ func urepairExact(ds *FDSet) bool {
 	return true
 }
 
+// SetParallelism configures the opt-in worker pool used by
+// OptimalSRepair's block recursion (and everything built on it, such
+// as MostProbableDatabase): independent blocks of the simplification
+// subroutines are solved concurrently by up to n workers. n ≤ 1
+// restores the serial default. Results are identical to the serial
+// algorithm. Do not call while a repair is running.
+func SetParallelism(n int) { srepair.SetWorkers(n) }
+
+// Parallelism returns the configured worker count (1 = serial).
+func Parallelism() int { return srepair.Workers() }
+
 // OptimalSRepair computes an optimal S-repair with the paper's
 // polynomial algorithm (Algorithm 1). It fails with an error wrapping
 // srepair.ErrNoSimplification when the FD set is on the hard side of

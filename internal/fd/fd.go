@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/schema"
 )
@@ -36,6 +37,12 @@ func (f FD) IsConsensus() bool { return f.LHS.IsEmpty() }
 type Set struct {
 	sc  *schema.Schema
 	fds []FD
+
+	// Lazily-computed simplification chain (SimplificationChain);
+	// immutability makes the cache safe.
+	chainOnce sync.Once
+	chain     []Simplification
+	chainOK   bool
 }
 
 // NewSet builds an FD set over the given schema. Every FD must mention
@@ -69,6 +76,10 @@ func (s *Set) Schema() *schema.Schema { return s.sc }
 
 // FDs returns a copy of the FDs in the set.
 func (s *Set) FDs() []FD { return append([]FD(nil), s.fds...) }
+
+// FDAt returns the i-th FD without copying the set (hot-path accessor;
+// pair with Len).
+func (s *Set) FDAt(i int) FD { return s.fds[i] }
 
 // Len returns the number of FDs in the set.
 func (s *Set) Len() int { return len(s.fds) }

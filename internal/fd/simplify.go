@@ -185,6 +185,33 @@ func (s *Set) NextSimplification() (Simplification, bool) {
 	return Simplification{}, false
 }
 
+// SimplificationChain runs NextSimplification to a fixpoint and returns
+// the full ⇛-chain, with success reporting whether the chain ends in a
+// trivial set (the tractable side of the dichotomy). The chain depends
+// only on the set, so it is computed once and cached; the repair
+// algorithms call this on every invocation without re-deriving the
+// case analysis per recursion node.
+func (s *Set) SimplificationChain() (steps []Simplification, success bool) {
+	s.chainOnce.Do(func() {
+		cur := s
+		for {
+			nt := cur.RemoveTrivial()
+			if nt.Len() == 0 {
+				s.chainOK = true
+				return
+			}
+			st, ok := nt.NextSimplification()
+			if !ok {
+				s.chainOK = false
+				return
+			}
+			s.chain = append(s.chain, st)
+			cur = st.After
+		}
+	})
+	return s.chain, s.chainOK
+}
+
 // IsChain reports whether the set is a chain FD set: for every two FDs
 // X1 → Y1 and X2 → Y2, X1 ⊆ X2 or X2 ⊆ X1 (Livshits & Kimelfeld 2017).
 // Trivial FDs participate in the definition; callers who want the usual

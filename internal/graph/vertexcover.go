@@ -65,6 +65,19 @@ func (g *Graph) AddEdge(u, v int) error {
 	return nil
 }
 
+// AddEdgeUnchecked inserts an undirected edge the caller guarantees is
+// valid (in range, no self-loop) and not yet present; it skips the
+// duplicate-detection map. Mixing with AddEdge afterwards is the
+// caller's responsibility.
+func (g *Graph) AddEdgeUnchecked(u, v int) {
+	if u > v {
+		u, v = v, u
+	}
+	g.edges = append(g.edges, [2]int{u, v})
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
@@ -206,6 +219,7 @@ func (g *Graph) ExactMinVertexCover() (map[int]bool, error) {
 	bestW := g.CoverWeight(best)
 
 	inCover := make([]int8, g.n) // 0 undecided, 1 in, -1 out
+	addedStack := make([]int, 0, g.n)
 	var cur float64
 
 	uncoveredEdge := func() ([2]int, bool) {
@@ -219,18 +233,21 @@ func (g *Graph) ExactMinVertexCover() (map[int]bool, error) {
 
 	// lowerBound: greedy disjoint uncovered edges; each needs one
 	// endpoint, costing at least min weight of its free endpoints.
+	// Epoch-stamped scratch avoids allocating a set per search node.
+	usedStamp := make([]uint32, g.n)
+	var usedEpoch uint32
 	lowerBound := func() float64 {
-		usedV := map[int]bool{}
+		usedEpoch++
 		var lb float64
 		for _, e := range g.edges {
 			u, v := e[0], e[1]
 			if inCover[u] == 1 || inCover[v] == 1 {
 				continue
 			}
-			if usedV[u] || usedV[v] {
+			if usedStamp[u] == usedEpoch || usedStamp[v] == usedEpoch {
 				continue
 			}
-			usedV[u], usedV[v] = true, true
+			usedStamp[u], usedStamp[v] = usedEpoch, usedEpoch
 			wu, wv := g.weights[u], g.weights[v]
 			switch {
 			case inCover[u] == -1 && inCover[v] == -1:
@@ -280,7 +297,7 @@ func (g *Graph) ExactMinVertexCover() (map[int]bool, error) {
 
 			if inCover[v] != -1 {
 				inCover[u] = -1
-				added := []int{}
+				mark := len(addedStack)
 				feasible := true
 				for _, w := range g.adj[u] {
 					if inCover[w] == -1 {
@@ -290,16 +307,17 @@ func (g *Graph) ExactMinVertexCover() (map[int]bool, error) {
 					if inCover[w] == 0 {
 						inCover[w] = 1
 						cur += g.weights[w]
-						added = append(added, w)
+						addedStack = append(addedStack, w)
 					}
 				}
 				if feasible {
 					rec()
 				}
-				for _, w := range added {
+				for _, w := range addedStack[mark:] {
 					inCover[w] = 0
 					cur -= g.weights[w]
 				}
+				addedStack = addedStack[:mark]
 				inCover[u] = 0
 			}
 			return

@@ -64,13 +64,14 @@ func Solve(ds *fd.Set, t *table.Table) (*table.Table, error) {
 	// probability zero — the paper then allows any answer (we return
 	// the empty subset).
 	var certainIDs []int
-	for _, r := range t.Rows() {
+	var certainRows []int32
+	for ri, r := range t.Rows() {
 		if r.Weight == 1 {
 			certainIDs = append(certainIDs, r.ID)
+			certainRows = append(certainRows, int32(ri))
 		}
 	}
-	certain := t.MustSubsetByIDs(certainIDs)
-	if !certain.Satisfies(ds) {
+	if !table.ViewOfRows(t, certainRows).Satisfies(ds) {
 		return t.MustSubsetByIDs(nil), nil
 	}
 	// Keep certain tuples and tuples with p > 0.5.
@@ -124,7 +125,8 @@ func Solve(ds *fd.Set, t *table.Table) (*table.Table, error) {
 const BruteForceLimit = 20
 
 // BruteForce computes a most probable consistent subset by enumerating
-// all subsets; the validation oracle for Solve.
+// all subsets; the validation oracle for Solve. Subsets are checked as
+// zero-copy views; only the winner is materialized.
 func BruteForce(ds *fd.Set, t *table.Table) (*table.Table, float64, error) {
 	if err := Validate(t); err != nil {
 		return nil, 0, err
@@ -133,25 +135,39 @@ func BruteForce(ds *fd.Set, t *table.Table) (*table.Table, float64, error) {
 	if n > BruteForceLimit {
 		return nil, 0, fmt.Errorf("mpd: brute force limited to %d tuples, got %d", BruteForceLimit, n)
 	}
-	ids := t.IDs()
-	var best *table.Table
+	rows := t.Rows()
+	bestMask := -1
 	bestP := math.Inf(-1)
+	keep := make([]int32, 0, n)
 	for mask := 0; mask < 1<<uint(n); mask++ {
-		var keep []int
+		keep = keep[:0]
+		p := 1.0
 		for i := 0; i < n; i++ {
 			if mask&(1<<uint(i)) != 0 {
-				keep = append(keep, ids[i])
+				keep = append(keep, int32(i))
+				p *= rows[i].Weight
+			} else {
+				p *= 1 - rows[i].Weight
 			}
 		}
-		s := t.MustSubsetByIDs(keep)
-		if !s.Satisfies(ds) {
+		if p <= bestP {
+			continue // cannot win; skip the consistency check
+		}
+		if !table.ViewOfRows(t, keep).Satisfies(ds) {
 			continue
 		}
-		if p := Probability(t, s); p > bestP {
-			best, bestP = s, p
+		bestMask, bestP = mask, p
+	}
+	if bestMask < 0 {
+		return nil, bestP, nil
+	}
+	var keepIDs []int
+	for i := 0; i < n; i++ {
+		if bestMask&(1<<uint(i)) != 0 {
+			keepIDs = append(keepIDs, rows[i].ID)
 		}
 	}
-	return best, bestP, nil
+	return t.MustSubsetByIDs(keepIDs), bestP, nil
 }
 
 // UnweightedToMPD is the reverse reduction in the proof of Theorem 3.10:

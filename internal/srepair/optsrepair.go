@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
+	"sort"
 
 	"repro/internal/fd"
 	"repro/internal/graph"
@@ -33,67 +35,121 @@ var ErrNoSimplification = errors.New("srepair: FD set admits no simplification (
 // ds in polynomial time, or fails with ErrNoSimplification when the FD
 // set is on the hard side of the dichotomy. The returned table is a
 // consistent subset of t minimizing dist_sub.
+//
+// The simplification chain is data-independent, so it is computed once
+// (Trace); the recursion then runs over zero-copy views of t
+// (row-index slices sharing t's dictionary encoding). Blocks are never
+// materialized as intermediate tables — only the final repair builds a
+// *Table.
 func OptSRepair(ds *fd.Set, t *table.Table) (*table.Table, error) {
 	if !ds.Schema().SameAs(t.Schema()) {
 		return nil, fmt.Errorf("srepair: FD set and table have different schemas")
 	}
-	return optSRepair(ds, t)
-}
-
-func optSRepair(ds *fd.Set, t *table.Table) (*table.Table, error) {
-	nt := ds.RemoveTrivial()
-	if nt.Len() == 0 {
-		// Line 1–2: Δ is trivial, T is its own optimal S-repair.
-		return t, nil
-	}
-	st, ok := nt.NextSimplification()
+	steps, ok := Trace(ds)
 	if !ok {
 		return nil, ErrNoSimplification
 	}
+	if len(steps) == 0 {
+		// Line 1–2: Δ is trivial, T is its own optimal S-repair.
+		return t, nil
+	}
+	sv := solver{steps: steps}
+	keep, err := sv.solve(table.NewView(t), 0)
+	if err != nil {
+		return nil, err
+	}
+	return table.ViewOfRows(t, keep).Materialize(), nil
+}
+
+// solver carries the precomputed simplification chain through the view
+// recursion: every node at depth d applies steps[d], so no FD-set
+// reasoning happens per block.
+type solver struct {
+	steps []fd.Simplification
+}
+
+// solve returns the row indices (into the view's backing table) of an
+// optimal S-repair of the view.
+func (s solver) solve(v table.View, depth int) ([]int32, error) {
+	if depth == len(s.steps) || v.Len() <= 1 {
+		// Chain exhausted, or a singleton/empty block: always consistent,
+		// so the block is its own optimal S-repair.
+		return v.Rows(), nil
+	}
+	st := s.steps[depth]
 	switch st.Kind {
 	case fd.KindCommonLHS:
-		return commonLHSRep(st, t)
+		return s.commonLHSRep(st, v, depth)
 	case fd.KindConsensus:
-		return consensusRep(st, t)
+		return s.consensusRep(st, v, depth)
 	case fd.KindMarriage:
-		return marriageRep(st, t)
+		return s.marriageRep(st, v, depth)
 	default:
 		return nil, fmt.Errorf("srepair: unknown simplification %v", st.Kind)
 	}
 }
 
+// solveBlocks solves every group at depth+1, using the opt-in worker
+// pool (SetWorkers) for independent blocks.
+func (s solver) solveBlocks(v table.View, groups [][]int32, depth int) ([][]int32, error) {
+	reps := make([][]int32, len(groups))
+	err := forEachBlock(len(groups), func(i int) int { return len(groups[i]) }, func(i int) error {
+		rep, err := s.solve(v.Subview(groups[i]), depth+1)
+		if err != nil {
+			return err
+		}
+		reps[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reps, nil
+}
+
 // commonLHSRep is Subroutine 1: partition by the common-lhs attribute,
 // solve each block under Δ − A, return the union.
-func commonLHSRep(st fd.Simplification, t *table.Table) (*table.Table, error) {
-	var keep []int
-	for _, g := range t.GroupBy(st.Removed) {
-		block := t.MustSubsetByIDs(g.IDs)
-		rep, err := optSRepair(st.After, block)
-		if err != nil {
-			return nil, err
-		}
-		keep = append(keep, rep.IDs()...)
+func (s solver) commonLHSRep(st fd.Simplification, v table.View, depth int) ([]int32, error) {
+	groups := v.GroupBy(st.Removed)
+	reps, err := s.solveBlocks(v, groups, depth)
+	if err != nil {
+		return nil, err
 	}
-	return t.SubsetByIDs(keep)
+	total := 0
+	for _, rep := range reps {
+		total += len(rep)
+	}
+	keep := make([]int32, 0, total)
+	for _, rep := range reps {
+		keep = append(keep, rep...)
+	}
+	sortRows(keep)
+	return keep, nil
 }
 
 // consensusRep is Subroutine 2: partition by the consensus attributes,
 // solve each block under Δ − X, return the heaviest block repair.
-func consensusRep(st fd.Simplification, t *table.Table) (*table.Table, error) {
-	if t.Len() == 0 {
-		return t, nil
+func (s solver) consensusRep(st fd.Simplification, v table.View, depth int) ([]int32, error) {
+	if v.Len() == 0 {
+		return v.Rows(), nil
 	}
-	var best *table.Table
+	groups := v.GroupBy(st.Removed)
+	reps, err := s.solveBlocks(v, groups, depth)
+	if err != nil {
+		return nil, err
+	}
+	var best []int32
 	bestW := math.Inf(-1)
-	for _, g := range t.GroupBy(st.Removed) {
-		block := t.MustSubsetByIDs(g.IDs)
-		rep, err := optSRepair(st.After, block)
-		if err != nil {
-			return nil, err
-		}
-		if w := rep.TotalWeight(); w > bestW {
+	for _, rep := range reps {
+		if w := v.Subview(rep).TotalWeight(); w > bestW {
 			best, bestW = rep, w
 		}
+	}
+	// best may alias a shared group bucket (a block that bottomed out
+	// returns its rows verbatim), so never sort it in place.
+	if !slices.IsSorted(best) {
+		best = slices.Clone(best)
+		sortRows(best)
 	}
 	return best, nil
 }
@@ -102,41 +158,38 @@ func consensusRep(st fd.Simplification, t *table.Table) (*table.Table, error) {
 // solve each group under Δ − X1X2, and combine the groups through a
 // maximum-weight bipartite matching between the X1-values and the
 // X2-values.
-func marriageRep(st fd.Simplification, t *table.Table) (*table.Table, error) {
-	if t.Len() == 0 {
-		return t, nil
+func (s solver) marriageRep(st fd.Simplification, v table.View, depth int) ([]int32, error) {
+	if v.Len() == 0 {
+		return v.Rows(), nil
 	}
-	// Node sets: distinct X1 and X2 projections.
-	v1Index := map[string]int{}
-	v2Index := map[string]int{}
-	for _, r := range t.Rows() {
-		k1 := table.KeyOf(r.Tuple, st.X1)
-		if _, ok := v1Index[k1]; !ok {
-			v1Index[k1] = len(v1Index)
-		}
-		k2 := table.KeyOf(r.Tuple, st.X2)
-		if _, ok := v2Index[k2]; !ok {
-			v2Index[k2] = len(v2Index)
-		}
+	t := v.Table()
+	// Node sets: distinct X1 and X2 projections, indexed by their
+	// dictionary codes in order of first appearance within the view.
+	codes1, n1 := t.ProjectionCodes(st.X1)
+	codes2, n2 := t.ProjectionCodes(st.X2)
+	v1Index := newCodeIndex(n1, v.Len())
+	v2Index := newCodeIndex(n2, v.Len())
+	for _, ri := range v.Rows() {
+		v1Index.add(codes1[ri])
+		v2Index.add(codes2[ri])
 	}
 	// One edge per observed (a1, a2) pair, weighted by the optimal
 	// S-repair of the pair's block.
 	type edge struct {
-		i, j int
-		rep  *table.Table
-		w    float64
+		rep []int32
+		w   float64
+	}
+	groups := v.GroupBy(st.X1.Union(st.X2))
+	reps, err := s.solveBlocks(v, groups, depth)
+	if err != nil {
+		return nil, err
 	}
 	edges := map[[2]int]edge{}
-	for _, g := range t.GroupBy(st.X1.Union(st.X2)) {
-		block := t.MustSubsetByIDs(g.IDs)
-		rep, err := optSRepair(st.After, block)
-		if err != nil {
-			return nil, err
-		}
-		first, _ := block.Row(block.IDs()[0])
-		i := v1Index[table.KeyOf(first.Tuple, st.X1)]
-		j := v2Index[table.KeyOf(first.Tuple, st.X2)]
-		edges[[2]int{i, j}] = edge{i: i, j: j, rep: rep, w: rep.TotalWeight()}
+	for gi, g := range groups {
+		first := g[0]
+		i := v1Index.of(codes1[first])
+		j := v2Index.of(codes2[first])
+		edges[[2]int{i, j}] = edge{rep: reps[gi], w: v.Subview(reps[gi]).TotalWeight()}
 	}
 	weight := func(i, j int) float64 {
 		if e, ok := edges[[2]int{i, j}]; ok {
@@ -144,21 +197,70 @@ func marriageRep(st fd.Simplification, t *table.Table) (*table.Table, error) {
 		}
 		return math.Inf(-1)
 	}
-	match, _, err := graph.MaxWeightBipartiteMatching(len(v1Index), len(v2Index), weight)
+	match, _, err := graph.MaxWeightBipartiteMatching(v1Index.len(), v2Index.len(), weight)
 	if err != nil {
 		return nil, err
 	}
-	var keep []int
+	var keep []int32
 	for i, j := range match {
 		if j < 0 {
 			continue
 		}
 		if e, ok := edges[[2]int{i, j}]; ok {
-			keep = append(keep, e.rep.IDs()...)
+			keep = append(keep, e.rep...)
 		}
 	}
-	return t.SubsetByIDs(keep)
+	sortRows(keep)
+	return keep, nil
 }
+
+// codeIndex maps dense projection codes to local node indices assigned
+// by first appearance (the matching's node numbering). Dense scratch
+// when the table-wide code space is comparable to the view, a map when
+// the view is a sliver of a huge table (so per-block cost stays
+// O(block size), not O(table cardinality)).
+type codeIndex struct {
+	local []int32
+	m     map[int32]int32
+	n     int
+}
+
+func newCodeIndex(codes, viewLen int) *codeIndex {
+	if codes > 4*viewLen+64 {
+		return &codeIndex{m: make(map[int32]int32, viewLen)}
+	}
+	local := make([]int32, codes)
+	for i := range local {
+		local[i] = -1
+	}
+	return &codeIndex{local: local}
+}
+
+func (ci *codeIndex) add(code int32) {
+	if ci.m != nil {
+		if _, ok := ci.m[code]; !ok {
+			ci.m[code] = int32(ci.n)
+			ci.n++
+		}
+		return
+	}
+	if ci.local[code] < 0 {
+		ci.local[code] = int32(ci.n)
+		ci.n++
+	}
+}
+
+func (ci *codeIndex) of(code int32) int {
+	if ci.m != nil {
+		return int(ci.m[code])
+	}
+	return int(ci.local[code])
+}
+func (ci *codeIndex) len() int { return ci.n }
+
+// sortRows orders row indices ascending (= insertion order), keeping
+// results deterministic regardless of block solve order.
+func sortRows(rows []int32) { slices.Sort(rows) }
 
 // OSRSucceeds is Algorithm 2: it reports whether OptSRepair succeeds on
 // the FD set, i.e. whether the set simplifies to a trivial set. By
@@ -170,21 +272,10 @@ func OSRSucceeds(ds *fd.Set) bool {
 
 // Trace runs the simplification loop of OSRSucceeds and records each
 // step, reproducing the ⇛-chains of Example 3.5. success is true iff
-// the final set is trivial.
+// the final set is trivial. The chain is cached on the (immutable) FD
+// set, so repeated solves pay for it once.
 func Trace(ds *fd.Set) (steps []fd.Simplification, success bool) {
-	cur := ds
-	for {
-		nt := cur.RemoveTrivial()
-		if nt.Len() == 0 {
-			return steps, true
-		}
-		st, ok := nt.NextSimplification()
-		if !ok {
-			return steps, false
-		}
-		steps = append(steps, st)
-		cur = st.After
-	}
+	return ds.SimplificationChain()
 }
 
 // IsConsistentSubset verifies that s is a subset of t satisfying ds.
@@ -198,18 +289,19 @@ func Cost(t, s *table.Table) float64 { return table.DistSub(s, t) }
 // conflictProblem builds the weighted vertex-cover view of the table:
 // tuple ids become vertices, FD conflicts become edges.
 func conflictProblem(ds *fd.Set, t *table.Table) (*graph.Graph, []int) {
-	ids := t.IDs()
-	index := make(map[int]int, len(ids))
-	weights := make([]float64, len(ids))
-	for i, id := range ids {
-		index[id] = i
-		weights[i] = t.Weight(id)
+	rows := t.Rows()
+	ids := make([]int, len(rows))
+	index := make(map[int]int, len(rows))
+	weights := make([]float64, len(rows))
+	for i, r := range rows {
+		ids[i] = r.ID
+		index[r.ID] = i
+		weights[i] = r.Weight
 	}
 	g := graph.MustNewGraph(weights)
 	for _, e := range t.ConflictGraph(ds) {
-		if err := g.AddEdge(index[e.ID1], index[e.ID2]); err != nil {
-			panic(err) // ids came from the table; cannot happen
-		}
+		// ConflictGraph already deduplicates and orients edges.
+		g.AddEdgeUnchecked(index[e.ID1], index[e.ID2])
 	}
 	return g, ids
 }
@@ -257,39 +349,65 @@ func Approx2(ds *fd.Set, t *table.Table) (*table.Table, error) {
 // MakeMaximal extends a consistent subset s of t to a subset repair in
 // the local-minimality sense: restoring any deleted tuple breaks
 // consistency. Deleted tuples are re-inserted greedily by decreasing
-// weight, never increasing dist_sub.
+// weight (stable in insertion order), never increasing dist_sub.
+//
+// The greedy loop is near-linear: instead of cloning the table and
+// re-checking all FDs per candidate, it keeps one lhs-code → rhs-code
+// map per FD over the rows kept so far (a consistent set determines the
+// rhs of every lhs group), so each candidate is admitted or rejected in
+// O(|Δ|) map lookups against t's dictionary encoding.
 func MakeMaximal(ds *fd.Set, t, s *table.Table) (*table.Table, error) {
 	if !IsConsistentSubset(ds, t, s) {
 		return nil, fmt.Errorf("srepair: input is not a consistent subset")
 	}
-	cur := s.Clone()
+	fds := ds.FDs()
+	type fdCodes struct {
+		lhs, rhs []int32
+		rhsOf    map[int32]int32
+	}
+	codes := make([]fdCodes, len(fds))
+	for i, f := range fds {
+		lhs, _ := t.ProjectionCodes(f.LHS)
+		rhs, _ := t.ProjectionCodes(f.RHS)
+		codes[i] = fdCodes{lhs: lhs, rhs: rhs, rhsOf: make(map[int32]int32, s.Len())}
+	}
+	// Seed the per-FD group maps with the rows of s (a subset of t, so
+	// t's codes apply to its rows).
+	keep := make([]int, 0, t.Len())
+	for _, id := range s.IDs() {
+		ri, _ := t.IndexOf(id)
+		keep = append(keep, id)
+		for i := range codes {
+			codes[i].rhsOf[codes[i].lhs[ri]] = codes[i].rhs[ri]
+		}
+	}
 	// Candidates: deleted ids ordered by decreasing weight (stable).
 	type cand struct {
-		id int
-		w  float64
+		id, ri int
+		w      float64
 	}
 	var cands []cand
-	for _, id := range t.IDs() {
-		if !cur.Has(id) {
-			cands = append(cands, cand{id, t.Weight(id)})
+	for ri, r := range t.Rows() {
+		if !s.Has(r.ID) {
+			cands = append(cands, cand{r.ID, ri, r.Weight})
 		}
 	}
-	for swapped := true; swapped; {
-		swapped = false
-		for i := 1; i < len(cands); i++ {
-			if cands[i].w > cands[i-1].w {
-				cands[i], cands[i-1] = cands[i-1], cands[i]
-				swapped = true
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].w > cands[j].w })
+	for _, c := range cands {
+		ok := true
+		for i := range codes {
+			if rhs, seen := codes[i].rhsOf[codes[i].lhs[c.ri]]; seen && rhs != codes[i].rhs[c.ri] {
+				ok = false
+				break
 			}
 		}
-	}
-	for _, c := range cands {
-		r, _ := t.Row(c.id)
-		trial := cur.Clone()
-		trial.MustInsert(r.ID, r.Tuple, r.Weight)
-		if trial.Satisfies(ds) {
-			cur = trial
+		if !ok {
+			continue
+		}
+		keep = append(keep, c.id)
+		for i := range codes {
+			codes[i].rhsOf[codes[i].lhs[c.ri]] = codes[i].rhs[c.ri]
 		}
 	}
-	return cur, nil
+	return t.SubsetByIDs(keep)
 }

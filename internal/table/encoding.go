@@ -1,0 +1,218 @@
+package table
+
+import (
+	"math/bits"
+
+	"repro/internal/schema"
+)
+
+// The dictionary encoding turns every column into a dense []int32 of
+// value codes (assigned by first appearance), and every projection onto
+// an attribute set into a dense []int32 of group codes. Two rows get
+// equal projection codes iff their projections are equal, so the repair
+// algorithms compare and hash fixed-width integers instead of building
+// length-prefixed strings per row (KeyOf) on every GroupBy /
+// Violations / ConflictGraph call.
+//
+// The encoding is built lazily and published copy-on-write through an
+// atomic pointer: lookups are lock-free (the parallel block solver hits
+// this path constantly), builds take the table's encMu and publish a
+// fresh immutable snapshot, and any table mutation drops the snapshot.
+
+// projection is the dictionary code of one attribute-set projection:
+// codes[rowIndex] identifies the row's projection, codes are dense in
+// [0, groups) and assigned in order of first appearance, so iterating
+// rows in insertion order visits group codes in increasing order of
+// first occurrence. rowGroups buckets the row indices by code, in code
+// order; all buckets share one backing array. Immutable after build.
+type projection struct {
+	codes     []int32
+	groups    int
+	rowGroups [][]int32
+}
+
+// encoding holds the per-column dictionaries and the cached projections
+// of one table snapshot. A published *encoding is immutable; builds
+// replace it wholesale.
+type encoding struct {
+	cols [][]int32 // per attribute: value code per row (nil until needed)
+	card []int     // per attribute: dictionary size
+	proj map[schema.AttrSet]*projection
+}
+
+// invalidate drops the cached encoding; called by every mutation.
+func (t *Table) invalidate() {
+	t.enc.Store(nil)
+}
+
+// projection returns the cached projection for attrs, building (and
+// publishing) encoding state as needed. Lock-free on cache hits; safe
+// for concurrent use. The returned projection is immutable.
+func (t *Table) projection(attrs schema.AttrSet) *projection {
+	if e := t.enc.Load(); e != nil {
+		if p, ok := e.proj[attrs]; ok {
+			return p
+		}
+	}
+	t.encMu.Lock()
+	defer t.encMu.Unlock()
+	old := t.enc.Load()
+	if old != nil {
+		if p, ok := old.proj[attrs]; ok {
+			return p
+		}
+	}
+	// Copy-on-write: extend the snapshot without mutating the published
+	// one. Column slices are themselves immutable once built, so the
+	// copies share them.
+	k := t.sc.Arity()
+	next := &encoding{
+		cols: make([][]int32, k),
+		card: make([]int, k),
+		proj: make(map[schema.AttrSet]*projection),
+	}
+	if old != nil {
+		copy(next.cols, old.cols)
+		copy(next.card, old.card)
+		for a, p := range old.proj {
+			next.proj[a] = p
+		}
+	}
+	p := t.buildProjection(next, attrs)
+	next.proj[attrs] = p
+	t.enc.Store(next)
+	return p
+}
+
+// column builds (once) and returns the value codes of one attribute.
+// Caller must hold encMu and own e (not yet published).
+func (t *Table) column(e *encoding, a int) []int32 {
+	if e.cols[a] != nil {
+		return e.cols[a]
+	}
+	col := make([]int32, len(t.rows))
+	dict := make(map[Value]int32, len(t.rows))
+	for ri := range t.rows {
+		v := t.rows[ri].Tuple[a]
+		c, ok := dict[v]
+		if !ok {
+			c = int32(len(dict))
+			dict[v] = c
+		}
+		col[ri] = c
+	}
+	e.cols[a] = col
+	e.card[a] = len(dict)
+	return col
+}
+
+// buildProjection computes the dense group codes of the projection onto
+// attrs, plus the whole-table row grouping. Caller must hold encMu and
+// own e.
+func (t *Table) buildProjection(e *encoding, attrs schema.AttrSet) *projection {
+	n := len(t.rows)
+	if n == 0 {
+		return &projection{}
+	}
+	pos := attrs.Positions()
+	var p *projection
+	switch len(pos) {
+	case 0:
+		p = &projection{codes: make([]int32, n), groups: 1}
+	case 1:
+		col := t.column(e, pos[0])
+		p = &projection{codes: col, groups: e.card[pos[0]]}
+	default:
+		p = t.buildMultiProjection(e, attrs, pos)
+	}
+	p.rowGroups = bucketByCode(p.codes, p.groups)
+	return p
+}
+
+// buildMultiProjection packs the per-column codes of a multi-attribute
+// projection into one uint64 key when the dictionary widths fit (they
+// essentially always do), assigning dense group codes by first
+// appearance; pathologically wide projections fall back to string keys.
+func (t *Table) buildMultiProjection(e *encoding, attrs schema.AttrSet, pos []int) *projection {
+	n := len(t.rows)
+	width := make([]uint, len(pos))
+	total := uint(0)
+	for i, a := range pos {
+		t.column(e, a)
+		w := uint(bits.Len(uint(e.card[a] - 1)))
+		width[i] = w
+		total += w
+	}
+	p := &projection{codes: make([]int32, n)}
+	if total <= 64 {
+		seen := make(map[uint64]int32, n)
+		for ri := 0; ri < n; ri++ {
+			var key uint64
+			for i, a := range pos {
+				key = key<<width[i] | uint64(e.cols[a][ri])
+			}
+			c, ok := seen[key]
+			if !ok {
+				c = int32(len(seen))
+				seen[key] = c
+			}
+			p.codes[ri] = c
+		}
+		p.groups = len(seen)
+		return p
+	}
+	seen := make(map[string]int32, n)
+	for ri := 0; ri < n; ri++ {
+		k := KeyOf(t.rows[ri].Tuple, attrs)
+		c, ok := seen[k]
+		if !ok {
+			c = int32(len(seen))
+			seen[k] = c
+		}
+		p.codes[ri] = c
+	}
+	p.groups = len(seen)
+	return p
+}
+
+// bucketByCode partitions row indices by their dense code, in code
+// order (= first-appearance order). All buckets share one backing array.
+func bucketByCode(codes []int32, groups int) [][]int32 {
+	counts := make([]int32, groups)
+	for _, c := range codes {
+		counts[c]++
+	}
+	starts := make([]int32, groups+1)
+	for g := 0; g < groups; g++ {
+		starts[g+1] = starts[g] + counts[g]
+	}
+	flat := make([]int32, len(codes))
+	next := counts // reuse as cursors
+	copy(next, starts[:groups])
+	for ri, c := range codes {
+		flat[next[c]] = int32(ri)
+		next[c]++
+	}
+	out := make([][]int32, groups)
+	for g := 0; g < groups; g++ {
+		out[g] = flat[starts[g]:starts[g+1]:starts[g+1]]
+	}
+	return out
+}
+
+// ProjectionCodes returns one dense int32 code per row (in insertion
+// order) such that two rows receive equal codes iff their projections
+// onto attrs are equal. Codes lie in [0, groups) and are assigned in
+// order of first appearance. The returned slice is shared and must not
+// be mutated; it is invalidated by any table mutation.
+func (t *Table) ProjectionCodes(attrs schema.AttrSet) (codes []int32, groups int) {
+	p := t.projection(attrs)
+	return p.codes, p.groups
+}
+
+// IndexOf returns the position of the identifier in insertion order
+// (the row index used by ProjectionCodes and View).
+func (t *Table) IndexOf(id int) (int, bool) {
+	i, ok := t.byID[id]
+	return i, ok
+}

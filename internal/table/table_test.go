@@ -253,6 +253,33 @@ func TestSetCellImmutability(t *testing.T) {
 	}
 }
 
+func TestSetCellsBatch(t *testing.T) {
+	tab := fig1T(t)
+	u, err := tab.SetCells([]CellUpdate{
+		{ID: 1, Attr: 3, Val: "Rome"},
+		{ID: 2, Attr: 3, Val: "Rome"},
+		{ID: 1, Attr: 2, Val: "5"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := tab.Row(1)
+	if r.Tuple[3] != "Paris" || r.Tuple[2] != "3" {
+		t.Fatal("SetCells mutated the receiver")
+	}
+	u1, _ := u.Row(1)
+	u2, _ := u.Row(2)
+	if u1.Tuple[3] != "Rome" || u1.Tuple[2] != "5" || u2.Tuple[3] != "Rome" {
+		t.Fatalf("SetCells did not apply all updates: %v %v", u1.Tuple, u2.Tuple)
+	}
+	if _, err := tab.SetCells([]CellUpdate{{ID: 99, Attr: 0, Val: "x"}}); err == nil {
+		t.Error("SetCells with unknown id should fail")
+	}
+	if _, err := tab.SetCells([]CellUpdate{{ID: 1, Attr: 9, Val: "x"}}); err == nil {
+		t.Error("SetCells with bad attribute should fail")
+	}
+}
+
 func TestSubsetByIDsErrors(t *testing.T) {
 	tab := fig1T(t)
 	if _, err := tab.SubsetByIDs([]int{1, 99}); err == nil {

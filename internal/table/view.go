@@ -1,0 +1,212 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+)
+
+// View is a zero-copy selection of a table's rows: the backing table
+// plus a slice of row indices (positions in insertion order). The
+// repair algorithms recurse over views — grouping, sub-selecting and
+// weighing without materializing intermediate tables — and only the
+// final repair is materialized. Views share the backing table's
+// dictionary encoding, so grouping and FD checks compare cached int32
+// codes instead of building string keys.
+//
+// View is a small value type; pass it by value. A view is invalidated
+// by any mutation of the backing table.
+type View struct {
+	t    *Table
+	rows []int32
+}
+
+// NewView returns the view of all rows of t, in insertion order.
+func NewView(t *Table) View {
+	rows := make([]int32, len(t.rows))
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	return View{t: t, rows: rows}
+}
+
+// ViewOfRows returns the view of t holding the given row indices. The
+// slice is owned by the view afterwards.
+func ViewOfRows(t *Table, rows []int32) View { return View{t: t, rows: rows} }
+
+// ViewOfIDs returns the view of t holding the given identifiers (which
+// must exist), in table insertion order (ascending row index).
+func ViewOfIDs(t *Table, ids []int) (View, error) {
+	rows := make([]int32, 0, len(ids))
+	for _, id := range ids {
+		i, ok := t.byID[id]
+		if !ok {
+			return View{}, fmt.Errorf("table: identifier %d not in table", id)
+		}
+		rows = append(rows, int32(i))
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a] < rows[b] })
+	return View{t: t, rows: rows}, nil
+}
+
+// Table returns the backing table.
+func (v View) Table() *Table { return v.t }
+
+// isWholeTable reports whether the view is exactly the identity
+// selection 0..n-1 (length alone is not enough: a full-length view may
+// be permuted or carry duplicates).
+func (v View) isWholeTable() bool {
+	if len(v.rows) != len(v.t.rows) {
+		return false
+	}
+	for i, ri := range v.rows {
+		if ri != int32(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rows returns the view's row indices. The slice is shared; callers
+// must not mutate it.
+func (v View) Rows() []int32 { return v.rows }
+
+// Len returns the number of rows selected by the view.
+func (v View) Len() int { return len(v.rows) }
+
+// Subview returns the zero-copy view of a subset of rows (indices into
+// the backing table, typically one group of GroupBy).
+func (v View) Subview(rows []int32) View { return View{t: v.t, rows: rows} }
+
+// RowAt returns the i-th selected row.
+func (v View) RowAt(i int) Row { return v.t.rows[v.rows[i]] }
+
+// IDs returns the identifiers selected by the view, in view order.
+func (v View) IDs() []int {
+	out := make([]int, len(v.rows))
+	for i, ri := range v.rows {
+		out[i] = v.t.rows[ri].ID
+	}
+	return out
+}
+
+// TotalWeight returns the sum of the selected rows' weights.
+func (v View) TotalWeight() float64 {
+	var sum float64
+	for _, ri := range v.rows {
+		sum += v.t.rows[ri].Weight
+	}
+	return sum
+}
+
+// GroupBy partitions the view's rows by their projection onto attrs and
+// returns one row-index slice per group, in order of first appearance
+// (matching Table.GroupBy). All group slices share one backing array;
+// treat them as read-only.
+func (v View) GroupBy(attrs schema.AttrSet) [][]int32 {
+	n := len(v.rows)
+	if n == 0 {
+		return nil
+	}
+	p := v.t.projection(attrs)
+	if v.isWholeTable() {
+		// Identity view: projection codes are already dense and in
+		// first-appearance order; reuse the cached whole-table grouping.
+		return v.t.groupRowIndexes(p)
+	}
+	if n == 1 || p.groups == 1 {
+		return [][]int32{v.rows}
+	}
+	// Map whole-table codes to local group indices in first-appearance
+	// order. Dense scratch when the code space is comparable to the
+	// view, a map when the view selects a sliver of a huge table (the
+	// dense fill would cost O(table cardinality) per block otherwise).
+	var lookup func(int32) int32
+	var assign func(int32, int32)
+	if p.groups <= 4*n+64 {
+		codeToLocal := make([]int32, p.groups)
+		for i := range codeToLocal {
+			codeToLocal[i] = -1
+		}
+		lookup = func(c int32) int32 { return codeToLocal[c] }
+		assign = func(c, l int32) { codeToLocal[c] = l }
+	} else {
+		codeToLocal := make(map[int32]int32, n)
+		lookup = func(c int32) int32 {
+			if l, ok := codeToLocal[c]; ok {
+				return l
+			}
+			return -1
+		}
+		assign = func(c, l int32) { codeToLocal[c] = l }
+	}
+	var counts []int32
+	for _, ri := range v.rows {
+		c := p.codes[ri]
+		l := lookup(c)
+		if l < 0 {
+			l = int32(len(counts))
+			assign(c, l)
+			counts = append(counts, 0)
+		}
+		counts[l]++
+	}
+	ng := len(counts)
+	starts := make([]int32, ng+1)
+	for l := 0; l < ng; l++ {
+		starts[l+1] = starts[l] + counts[l]
+	}
+	copy(counts, starts[:ng]) // reuse counts as fill cursors
+	flat := make([]int32, n)
+	for _, ri := range v.rows {
+		l := lookup(p.codes[ri])
+		flat[counts[l]] = ri
+		counts[l]++
+	}
+	out := make([][]int32, ng)
+	for l := 0; l < ng; l++ {
+		out[l] = flat[starts[l]:starts[l+1]:starts[l+1]]
+	}
+	return out
+}
+
+// Satisfies reports whether the selected rows satisfy every FD of the
+// set, comparing cached projection codes.
+func (v View) Satisfies(ds *fd.Set) bool {
+	for i := 0; i < ds.Len(); i++ {
+		if !v.SatisfiesFD(ds.FDAt(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// SatisfiesFD reports whether the selected rows satisfy one FD.
+func (v View) SatisfiesFD(f fd.FD) bool {
+	if len(v.rows) == 0 {
+		return true
+	}
+	lhs := v.t.projection(f.LHS)
+	rhs := v.t.projection(f.RHS)
+	rhsOf := make([]int32, lhs.groups)
+	for i := range rhsOf {
+		rhsOf[i] = -1
+	}
+	for _, ri := range v.rows {
+		l, r := lhs.codes[ri], rhs.codes[ri]
+		if prev := rhsOf[l]; prev < 0 {
+			rhsOf[l] = r
+		} else if prev != r {
+			return false
+		}
+	}
+	return true
+}
+
+// Materialize builds the *Table holding exactly the selected rows (in
+// ascending identifier order, like SubsetByIDs).
+func (v View) Materialize() *Table {
+	return v.t.MustSubsetByIDs(v.IDs())
+}

@@ -10,42 +10,41 @@ import (
 // (Theorem 4.1 splits ∅ → C into attribute-disjoint singletons): for
 // each consensus attribute, the value kept is the one carried by the
 // maximum total weight of tuples; every other tuple has that cell
-// overwritten. Mutates u in place and returns the added dist_upd and
-// whether anything changed.
+// overwritten. One pass per attribute over the dictionary codes (codes
+// are assigned by first appearance, so ties break to the first-seen
+// value, as before). Mutates u in place and returns the added dist_upd
+// and whether anything changed.
 func consensusRepairInto(u, t *table.Table, consensus schema.AttrSet) (cost float64, changed bool) {
+	rows := t.Rows()
 	for _, a := range consensus.Positions() {
-		attr := schema.Singleton(a)
-		groups := t.GroupBy(attr)
-		if len(groups) <= 1 {
+		codes, ngroups := t.ProjectionCodes(schema.Singleton(a))
+		if ngroups <= 1 {
 			continue // already agreeing on this attribute
 		}
-		best := 0
-		bestW := groupWeight(t, groups[0].IDs)
-		for i := 1; i < len(groups); i++ {
-			if w := groupWeight(t, groups[i].IDs); w > bestW {
-				best, bestW = i, w
+		wsum := make([]float64, ngroups)
+		for ri, r := range rows {
+			wsum[codes[ri]] += r.Weight
+		}
+		best := int32(0)
+		for c := int32(1); c < int32(ngroups); c++ {
+			if wsum[c] > wsum[best] {
+				best = c
 			}
 		}
-		first, _ := t.Row(groups[best].IDs[0])
-		keep := first.Tuple[a]
-		for gi, g := range groups {
-			if gi == best {
-				continue
+		var keep table.Value
+		for ri := range rows {
+			if codes[ri] == best {
+				keep = rows[ri].Tuple[a]
+				break
 			}
-			for _, id := range g.IDs {
-				u.SetCellInPlace(id, a, keep)
-				cost += t.Weight(id)
+		}
+		for ri, r := range rows {
+			if codes[ri] != best {
+				u.SetCellInPlace(r.ID, a, keep)
+				cost += r.Weight
 				changed = true
 			}
 		}
 	}
 	return cost, changed
-}
-
-func groupWeight(t *table.Table, ids []int) float64 {
-	var w float64
-	for _, id := range ids {
-		w += t.Weight(id)
-	}
-	return w
 }

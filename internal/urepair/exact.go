@@ -150,18 +150,60 @@ func exactSearch(ds *fd.Set, t *table.Table, opts searchOptions) (searchResult, 
 	}
 	fds := ds.Canonical().FDs()
 
+	// Dictionary-encode candidate values per attribute so the inner
+	// consistency check compares int32 codes instead of building
+	// length-prefixed string keys at every search node. Every value a
+	// cell can take (originals, active domain, fresh constants) gets a
+	// code on first sight; curCode mirrors cur.
+	valCode := make([]map[table.Value]int32, k)
+	for a := 0; a < k; a++ {
+		valCode[a] = make(map[table.Value]int32, len(domains[a])+n)
+	}
+	codeOf := func(a int, v table.Value) int32 {
+		m := valCode[a]
+		c, ok := m[v]
+		if !ok {
+			c = int32(len(m))
+			m[v] = c
+		}
+		return c
+	}
+	curCode := make([][]int32, n)
+	for i := range cur {
+		curCode[i] = make([]int32, k)
+		for a := 0; a < k; a++ {
+			curCode[i][a] = codeOf(a, cur[i][a])
+		}
+	}
+	setCell := func(i, a int, v table.Value) {
+		cur[i][a] = v
+		curCode[i][a] = codeOf(a, v)
+	}
+	lhsPos := make([][]int, len(fds))
+	rhsPos := make([][]int, len(fds))
+	for fi, f := range fds {
+		lhsPos[fi] = f.LHS.Positions()
+		rhsPos[fi] = f.RHS.Positions()
+	}
+	agreeOn := func(i, j int, pos []int) bool {
+		ci, cj := curCode[i], curCode[j]
+		for _, a := range pos {
+			if ci[a] != cj[a] {
+				return false
+			}
+		}
+		return true
+	}
 	consistentPrefix := func(upto int) bool {
 		if curDeleted[upto] {
 			return true
 		}
-		for _, f := range fds {
-			ku := table.KeyOf(cur[upto], f.LHS)
-			ru := table.KeyOf(cur[upto], f.RHS)
+		for fi := range fds {
 			for j := 0; j < upto; j++ {
 				if curDeleted[j] {
 					continue
 				}
-				if table.KeyOf(cur[j], f.LHS) == ku && table.KeyOf(cur[j], f.RHS) != ru {
+				if agreeOn(upto, j, lhsPos[fi]) && !agreeOn(upto, j, rhsPos[fi]) {
 					return false
 				}
 			}
@@ -204,21 +246,21 @@ func exactSearch(ds *fd.Set, t *table.Table, opts searchOptions) (searchResult, 
 		orig := rows[i].Tuple[a]
 		w := rows[i].Weight
 		// Keep the original value first (cheapest).
-		cur[i][a] = orig
+		setCell(i, a, orig)
 		assignCell(i, a+1, cost)
 		// Other active-domain values.
 		for _, v := range domains[a] {
 			if v == orig {
 				continue
 			}
-			cur[i][a] = v
+			setCell(i, a, v)
 			assignCell(i, a+1, cost+w)
 		}
 		// Fresh constants: every already-used index plus the first unused
 		// one (higher indices are symmetric).
 		if opts.allowFresh {
 			for fi := 0; fi <= usedFresh[a] && fi < n; fi++ {
-				cur[i][a] = freshVals[a][fi]
+				setCell(i, a, freshVals[a][fi])
 				if fi == usedFresh[a] {
 					usedFresh[a]++
 					assignCell(i, a+1, cost+w)
@@ -228,7 +270,7 @@ func exactSearch(ds *fd.Set, t *table.Table, opts searchOptions) (searchResult, 
 				}
 			}
 		}
-		cur[i][a] = orig
+		setCell(i, a, orig)
 	}
 
 	assignRow = func(i int, cost float64) {
@@ -254,14 +296,15 @@ func exactSearch(ds *fd.Set, t *table.Table, opts searchOptions) (searchResult, 
 	if best == nil {
 		return searchResult{}, fmt.Errorf("urepair: internal error: search found no repair")
 	}
-	// Verify the survivors satisfy Δ.
+	// Verify the survivors satisfy Δ (zero-copy view; no materialization).
 	var keepIDs []int
 	for _, r := range best.Rows() {
 		if !bestDeleted[r.ID] {
 			keepIDs = append(keepIDs, r.ID)
 		}
 	}
-	if !best.MustSubsetByIDs(keepIDs).Satisfies(ds) {
+	survivors, err := table.ViewOfIDs(best, keepIDs)
+	if err != nil || !survivors.Satisfies(ds) {
 		return searchResult{}, fmt.Errorf("urepair: internal error: search produced an inconsistent repair")
 	}
 	return searchResult{update: best, deleted: bestDeleted, cost: bestCost}, nil

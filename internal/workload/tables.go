@@ -122,3 +122,31 @@ func ZipfTable(sc *schema.Schema, n, domain int, rng *rand.Rand) *table.Table {
 	}
 	return t
 }
+
+// HardSets returns the four APX-hard FD sets of Table 1 over the
+// schema R(A, B, C), keyed by their display names. These are the
+// standard instances for exercising Exact and Approx2 (OptSRepair
+// fails on all of them).
+func HardSets() map[string]*fd.Set {
+	sc := schema.MustNew("R", "A", "B", "C")
+	return map[string]*fd.Set{
+		"ΔA→B→C":    fd.MustParseSet(sc, "A -> B", "B -> C"),
+		"ΔA→C←B":    fd.MustParseSet(sc, "A -> C", "B -> C"),
+		"ΔAB→C→B":   fd.MustParseSet(sc, "A B -> C", "C -> B"),
+		"ΔAB↔AC↔BC": fd.MustParseSet(sc, "A B -> C", "A C -> B", "B C -> A"),
+	}
+}
+
+// TractableSets returns FD sets over R(A, B, C) on the polynomial side
+// of the dichotomy, covering all three simplification kinds (common
+// lhs, consensus, lhs marriage) and their compositions.
+func TractableSets() map[string]*fd.Set {
+	sc := schema.MustNew("R", "A", "B", "C")
+	return map[string]*fd.Set{
+		"chain":      fd.MustParseSet(sc, "A -> B", "A B -> C"),
+		"common-lhs": fd.MustParseSet(sc, "A -> B", "A -> C"),
+		"consensus":  fd.MustParseSet(sc, "-> C", "A -> B"),
+		"marriage":   fd.MustParseSet(sc, "A -> B", "B -> A", "B -> C"),
+		"key-swap":   fd.MustParseSet(sc, "A -> B", "B -> A"),
+	}
+}
