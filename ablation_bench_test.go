@@ -42,6 +42,11 @@ func BenchmarkAblationMatching(b *testing.B) {
 		}
 		instances[t] = w
 	}
+	edgeLists := make([][]graph.Edge, len(instances))
+	for t, w := range instances {
+		w := w
+		edgeLists[t] = graph.EdgesOf(n, n, func(x, y int) float64 { return w[x][y] })
+	}
 	b.Run("hungarian", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			w := instances[i%len(instances)]
@@ -51,6 +56,19 @@ func BenchmarkAblationMatching(b *testing.B) {
 				b.Fatal(err)
 			}
 			benchSink = total
+		}
+	})
+	b.Run("sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sm, err := graph.NewSparseMatcher(n, n, edgeLists[i%len(edgeLists)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sm.Solve()
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = res.Total
 		}
 	})
 	b.Run("greedy", func(b *testing.B) {
@@ -65,7 +83,7 @@ func BenchmarkAblationMatching(b *testing.B) {
 			b.StopTimer()
 			_ = opt
 			b.StartTimer()
-			_, greedy := graph.GreedyMatching(n, n, weight)
+			_, greedy := graph.GreedyMatching(n, n, edgeLists[i%len(edgeLists)])
 			if opt > 0 {
 				loss += 1 - greedy/opt
 				trials++

@@ -230,6 +230,31 @@ func BenchmarkOptSRepairScaling(b *testing.B) {
 	}
 }
 
+// ---- E9a: OptSRepair on the sparse-marriage shape ----
+//
+// Many distinct X1/X2 values with a handful of rows per block: the
+// matching graph has ~n/3 nodes per side but only ~n/3 edges, the shape
+// the sparse engine targets (a dense matcher pads it to a quadratic
+// slack matrix).
+
+func BenchmarkOptSRepairMarriageSparse(b *testing.B) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> A", "B -> C")
+	for _, n := range []int{400, 1600, 6400, 25600} {
+		tab := workload.MarriageSparseTable(sc, n, 3, 3, rand.New(rand.NewSource(int64(n))))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := srepair.OptSRepair(ds, tab)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = s
+			}
+		})
+	}
+}
+
 // ---- E9b: OptSRepair with the opt-in block worker pool ----
 //
 // The workload has few, large blocks (8 common-lhs groups each solving
@@ -395,6 +420,41 @@ func BenchmarkHungarianMatching(b *testing.B) {
 			b.Fatal(err)
 		}
 		benchSink = total
+	}
+}
+
+// BenchmarkMatchingScaling races the dense Hungarian against the sparse
+// engine on identical sparse instances (~4 edges per left node) at
+// growing n: the dense solver pays O(n³) on the padded matrix while the
+// sparse solver pays O(V·E·log V) on the real edges, so the gap widens
+// super-linearly with n.
+func BenchmarkMatchingScaling(b *testing.B) {
+	for _, n := range []int{60, 240, 960} {
+		edges, weight := workload.SparseMatchingInstance(n, 4, 1000, rand.New(rand.NewSource(int64(17+n))))
+		b.Run(fmt.Sprintf("hungarian/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, total, err := graph.MaxWeightBipartiteMatching(n, n, weight)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = total
+			}
+		})
+		b.Run(fmt.Sprintf("sparse/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sm, err := graph.NewSparseMatcher(n, n, edges)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sm.Solve()
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = res.Total
+			}
+		})
 	}
 }
 

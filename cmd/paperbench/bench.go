@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/fd"
+	"repro/internal/graph"
 	"repro/internal/srepair"
 	"repro/internal/workload"
 )
@@ -86,6 +87,59 @@ func writeBenchJSON(path string) error {
 			}
 		}
 	}})
+
+	// Marriage-heavy scaling: the matching-dominated shape (one edge per
+	// observed block, distinct-value counts ~n/10) that the sparse
+	// matching engine targets; mirrors bench_test's E9 marriage case.
+	marriageDS := fd.MustParseSet(chainSC, "A -> B", "B -> A", "B -> C")
+	marriageTab := workload.RandomTable(chainSC, 6400, 642, rand.New(rand.NewSource(6400)))
+	cases = append(cases, benchCase{"OptSRepairScaling/marriage/n=6400", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := srepair.OptSRepair(marriageDS, marriageTab); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}})
+	sparseTab := workload.MarriageSparseTable(chainSC, 6400, 3, 3, rand.New(rand.NewSource(6400)))
+	cases = append(cases, benchCase{"OptSRepairScaling/marriage-sparse/n=6400", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := srepair.OptSRepair(marriageDS, sparseTab); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}})
+
+	// Matching engines head to head on one sparse instance (~4 edges per
+	// left node): the dense Hungarian pays O(n³) on the padded matrix,
+	// the sparse engine O(V·E·log V) on the real edges. Same generator
+	// (and seed scheme) as bench_test's MatchingScaling, so the two
+	// suites measure the same instances.
+	const matchN = 480
+	matchEdges, matchWeight := workload.SparseMatchingInstance(matchN, 4, 1000, rand.New(rand.NewSource(17+matchN)))
+	cases = append(cases,
+		benchCase{"MatchingScaling/hungarian/n=480", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := graph.MaxWeightBipartiteMatching(matchN, matchN, matchWeight); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		benchCase{"MatchingScaling/sparse/n=480", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sm, err := graph.NewSparseMatcher(matchN, matchN, matchEdges)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sm.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	)
 
 	var out []benchResult
 	for _, c := range cases {

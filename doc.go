@@ -50,6 +50,25 @@
 // try-acquire worker pool (fdrepair.SetParallelism); results are
 // byte-identical to the serial algorithm.
 //
+// MarriageRep (Subroutine 3) runs on a sparse matching engine
+// (internal/graph.SparseMatcher): the marriage graph has exactly one
+// edge per observed (X1, X2) block, so marriageRep emits that edge list
+// directly and the engine decomposes it into connected components
+// (solved independently, and in parallel on the same worker pool as the
+// repair blocks), dispatching each to a fast path — singleton edges and
+// one-sided stars by a max scan, tiny components to the dense Hungarian
+// solver — or to a sparse Jonker–Volgenant solver: shortest augmenting
+// paths with potentials over CSR adjacency lists and a heap-based
+// Dijkstra, with a private zero-weight slack column per row so maximum-
+// weight partial matching reduces to an assignment that is perfect on
+// the smaller side. Cost is O(V·E·log V) on the real edge set instead
+// of the O(size³) the padded dense matrix costs, which turns the
+// matching-dominated marriage workloads from cubic in the
+// distinct-value counts into near-linear in the block count. The dense
+// Hungarian remains as the differential oracle (and the small-component
+// fast path); GreedyMatching is the ablation baseline over the same
+// edge-list type.
+//
 // The bench baseline for this architecture is recorded in ROADMAP.md;
 // regenerate with:
 //

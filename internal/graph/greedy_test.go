@@ -22,7 +22,7 @@ func TestGreedyMatchingIsMatching(t *testing.T) {
 			}
 		}
 		weight := func(i, j int) float64 { return w[i][j] }
-		match, total := GreedyMatching(n, m, weight)
+		match, total := GreedyMatching(n, m, EdgesOf(n, m, weight))
 		usedRight := map[int]bool{}
 		var sum float64
 		for i, j := range match {
@@ -61,7 +61,7 @@ func TestGreedyMatchingPicksHeaviestFirst(t *testing.T) {
 	// edges — the 6+6 pairing is optimal (12), greedy stops at 10.
 	w := [][]float64{{10, 6}, {6, math.Inf(-1)}}
 	weight := func(i, j int) float64 { return w[i][j] }
-	match, greedy := GreedyMatching(2, 2, weight)
+	match, greedy := GreedyMatching(2, 2, EdgesOf(2, 2, weight))
 	if greedy != 10 || match[0] != 0 || match[1] != -1 {
 		t.Fatalf("greedy = %v, match %v; want 10 via (0,0)", greedy, match)
 	}

@@ -4,12 +4,18 @@
 // weighted vertex cover — an exact branch-and-bound solver (the
 // exponential baseline for optimal S-repairs on arbitrary FD sets) and
 // the Bar-Yehuda–Even linear-time 2-approximation (Proposition 3.3).
-// Everything is implemented from scratch on the standard library.
+// Matching comes in two engines: the dense O(size³) Hungarian solver
+// (MaxWeightBipartiteMatching, the differential oracle) and the sparse
+// edge-list engine (SparseMatcher) that decomposes the graph into
+// connected components and runs shortest augmenting paths over
+// adjacency lists, which is what the repair engine uses. Everything is
+// implemented from scratch on the standard library.
 package graph
 
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // MaxWeightBipartiteMatching computes a maximum-weight matching of a
@@ -147,44 +153,56 @@ func hungarianMin(cost [][]float64) []int {
 }
 
 // GreedyMatching computes a maximal (not maximum) weight matching by
-// scanning edges in decreasing weight order. Used as the ablation
-// baseline for MarriageRep: it is faster than Hungarian but forfeits
-// optimality, turning OptSRepair's marriage case into a heuristic.
-func GreedyMatching(n, m int, weight func(i, j int) float64) (match []int, total float64) {
-	type edge struct {
-		i, j int
-		w    float64
-	}
-	var edges []edge
-	for i := 0; i < n; i++ {
-		for j := 0; j < m; j++ {
-			w := weight(i, j)
-			if !math.IsInf(w, -1) && w > 0 {
-				edges = append(edges, edge{i, j, w})
-			}
+// scanning the edge list in decreasing weight order (ties broken by
+// input position, keeping the result deterministic). Used as the
+// ablation baseline for MarriageRep: it is faster than the optimal
+// matchers but forfeits optimality, turning OptSRepair's marriage case
+// into a heuristic. Non-positive edges are ignored. O(E log E).
+func GreedyMatching(n, m int, edges []Edge) (match []int, total float64) {
+	order := make([]int, 0, len(edges))
+	for ei, e := range edges {
+		if e.W > 0 {
+			order = append(order, ei)
 		}
 	}
-	// Insertion sort by decreasing weight (edge counts here are small;
-	// avoids importing sort for a single call site).
-	for i := 1; i < len(edges); i++ {
-		for k := i; k > 0 && edges[k].w > edges[k-1].w; k-- {
-			edges[k], edges[k-1] = edges[k-1], edges[k]
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := edges[order[a]], edges[order[b]]
+		if ea.W != eb.W {
+			return ea.W > eb.W
 		}
-	}
+		return order[a] < order[b]
+	})
 	match = make([]int, n)
 	for i := range match {
 		match[i] = -1
 	}
 	usedRight := make([]bool, m)
-	for _, e := range edges {
-		if match[e.i] != -1 || usedRight[e.j] {
+	for _, ei := range order {
+		e := edges[ei]
+		if match[e.I] != -1 || usedRight[e.J] {
 			continue
 		}
-		match[e.i] = e.j
-		usedRight[e.j] = true
-		total += e.w
+		match[e.I] = e.J
+		usedRight[e.J] = true
+		total += e.W
 	}
 	return match, total
+}
+
+// EdgesOf collects the present edges of a dense weight function into
+// the shared Edge list (math.Inf(-1) marks a missing edge, as in
+// MaxWeightBipartiteMatching). A bridge for callers and benches that
+// still think in matrices.
+func EdgesOf(n, m int, weight func(i, j int) float64) []Edge {
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if w := weight(i, j); !math.IsInf(w, -1) {
+				edges = append(edges, Edge{I: i, J: j, W: w})
+			}
+		}
+	}
+	return edges
 }
 
 // ExhaustiveMaxWeightMatching computes a maximum-weight bipartite

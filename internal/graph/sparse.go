@@ -1,0 +1,543 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Edge is one weighted edge of a bipartite graph, given by its left
+// endpoint I, right endpoint J and weight W. It is the shared edge-list
+// currency of the matching engines: SparseMatcher, GreedyMatching and
+// the benches all consume []Edge, so callers build the (sparse) edge
+// set once instead of padding dense weight matrices.
+type Edge struct {
+	I, J int
+	W    float64
+}
+
+// ComponentRunner runs fn(0), …, fn(n-1), possibly concurrently; size
+// estimates the work of component i (its edge count) so tiny components
+// can stay inline. The signature matches the block worker pool of the
+// repair engine, which injects itself here so connected components of
+// the matching graph are solved on the same pool as repair blocks — the
+// graph package itself stays dependency-free. fn is safe to call
+// concurrently for distinct i. A nil runner means serial.
+type ComponentRunner func(n int, size func(i int) int, fn func(i int) error) error
+
+// MatchResult is the outcome of a SparseMatcher solve.
+type MatchResult struct {
+	// Match maps each left node to its matched right node, or -1.
+	Match []int
+	// Picked lists the indices (into the input edge list) of the
+	// matched edges, ascending. When parallel edges join the same pair,
+	// the heaviest (first among ties) is the one reported.
+	Picked []int
+	// Total is the matched weight.
+	Total float64
+}
+
+// SparseMatcher computes maximum-weight bipartite matchings over an
+// explicit edge list. Where MaxWeightBipartiteMatching pads the
+// instance to a dense size×size matrix and pays O(size³) regardless of
+// how many edges exist, SparseMatcher works on the real edge set: it
+// splits the graph into connected components (solved independently,
+// optionally in parallel via Runner) and runs a shortest-augmenting-
+// path solver with potentials (Jonker–Volgenant over adjacency lists,
+// heap-based Dijkstra) per component, O(V·E·log V) on the component's
+// edges. Degenerate shapes short-circuit: single-edge components and
+// one-sided stars are solved by a max scan, and components whose dense
+// matrix is tiny go to the dense Hungarian solver, which wins there.
+//
+// All weights must be ≥ 0. A maximum-weight matching never benefits
+// from a weight-0 edge, so zero-weight edges are never reported
+// matched — the same convention as MaxWeightBipartiteMatching, whose
+// padded slack edges have weight 0. Results are deterministic for a
+// fixed input, with or without a Runner.
+type SparseMatcher struct {
+	n, m  int
+	edges []Edge
+
+	// Runner, when non-nil, executes the per-component solves; the
+	// repair engine passes its block worker pool. Component solves never
+	// fail, so the only errors a runner can observe are its own.
+	Runner ComponentRunner
+}
+
+// NewSparseMatcher validates the instance: endpoints in range and
+// weights ≥ 0 (and not NaN). Missing edges are simply not listed —
+// there is no -Inf sentinel in the edge-list representation.
+func NewSparseMatcher(n, m int, edges []Edge) (*SparseMatcher, error) {
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative node count (%d,%d)", n, m)
+	}
+	for _, e := range edges {
+		if e.I < 0 || e.I >= n || e.J < 0 || e.J >= m {
+			return nil, fmt.Errorf("graph: edge (%d,%d) outside bipartition %d×%d", e.I, e.J, n, m)
+		}
+		if e.W < 0 || math.IsNaN(e.W) {
+			return nil, fmt.Errorf("graph: negative edge weight %v on (%d,%d)", e.W, e.I, e.J)
+		}
+	}
+	return &SparseMatcher{n: n, m: m, edges: edges}, nil
+}
+
+// locEdge is an edge localized to its component: li and rj are dense
+// per-component node ids, ei the index into the original edge list.
+type locEdge struct {
+	li, rj int32
+	ei     int32
+	w      float64
+}
+
+// component is one connected component of the positive-weight edges.
+type component struct {
+	edges  []locEdge
+	nL, nR int
+}
+
+// Solve computes a maximum-weight matching.
+func (sm *SparseMatcher) Solve() (MatchResult, error) {
+	res := MatchResult{Match: make([]int, sm.n)}
+	for i := range res.Match {
+		res.Match[i] = -1
+	}
+	comps := sm.components()
+	if len(comps) == 0 {
+		return res, nil
+	}
+	picked := make([][]int32, len(comps))
+	solve := func(c int) error {
+		picked[c] = solveComponent(comps[c])
+		return nil
+	}
+	if sm.Runner != nil {
+		if err := sm.Runner(len(comps), func(i int) int { return len(comps[i].edges) }, solve); err != nil {
+			return MatchResult{}, err
+		}
+	} else {
+		for c := range comps {
+			solve(c)
+		}
+	}
+	total := 0
+	for _, p := range picked {
+		total += len(p)
+	}
+	res.Picked = make([]int, 0, total)
+	for _, p := range picked {
+		for _, ei := range p {
+			e := sm.edges[ei]
+			res.Match[e.I] = e.J
+			res.Total += e.W
+			res.Picked = append(res.Picked, int(ei))
+		}
+	}
+	sort.Ints(res.Picked)
+	return res, nil
+}
+
+// components partitions the positive-weight edges into connected
+// components (union-find over both node sides) and localizes each
+// component's edges to dense per-component node ids, everything in
+// first-appearance order. Zero-weight edges never affect the optimum
+// and are dropped here, which also keeps components as small as the
+// data allows. Every node belongs to at most one component, so a single
+// shared array provides the local ids without per-component maps.
+func (sm *SparseMatcher) components() []component {
+	parent := make([]int32, sm.n+sm.m)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range sm.edges {
+		if e.W == 0 {
+			continue
+		}
+		a, b := find(int32(e.I)), find(int32(sm.n+e.J))
+		if a != b {
+			parent[a] = b
+		}
+	}
+	compOf := make(map[int32]int32)
+	local := make([]int32, sm.n+sm.m)
+	for i := range local {
+		local[i] = -1
+	}
+	var comps []component
+	for ei, e := range sm.edges {
+		if e.W == 0 {
+			continue
+		}
+		root := find(int32(e.I))
+		c, ok := compOf[root]
+		if !ok {
+			c = int32(len(comps))
+			compOf[root] = c
+			comps = append(comps, component{})
+		}
+		comp := &comps[c]
+		if local[e.I] < 0 {
+			local[e.I] = int32(comp.nL)
+			comp.nL++
+		}
+		if local[sm.n+e.J] < 0 {
+			local[sm.n+e.J] = int32(comp.nR)
+			comp.nR++
+		}
+		comp.edges = append(comp.edges, locEdge{
+			li: local[e.I],
+			rj: local[sm.n+e.J],
+			ei: int32(ei),
+			w:  e.W,
+		})
+	}
+	return comps
+}
+
+// denseComponentLimit bounds nL·nR below which a component is handed to
+// the dense Hungarian solver: at that size the padded O(size³) matrix
+// beats the sparse solver's heap and adjacency bookkeeping.
+const denseComponentLimit = 64
+
+// solveComponent solves one connected component and returns the matched
+// edge indices (into the original edge list).
+func solveComponent(c component) []int32 {
+	if len(c.edges) == 1 {
+		return []int32{c.edges[0].ei} // a single positive edge is always matched
+	}
+	if c.nL == 1 || c.nR == 1 {
+		// One-sided star: every edge shares a node, so a matching picks
+		// exactly one — the heaviest (first among ties).
+		best := c.edges[0]
+		for _, e := range c.edges[1:] {
+			if e.w > best.w {
+				best = e
+			}
+		}
+		return []int32{best.ei}
+	}
+	if c.nL*c.nR <= denseComponentLimit {
+		return solveDense(c)
+	}
+	return solveSparse(c)
+}
+
+// solveDense pads the component into a dense matrix and reuses the
+// Hungarian solver. Parallel edges collapse to the heaviest.
+func solveDense(c component) []int32 {
+	eidx := make([]int32, c.nL*c.nR)
+	for i := range eidx {
+		eidx[i] = -1
+	}
+	w := make([]float64, c.nL*c.nR)
+	for _, e := range c.edges {
+		cell := int(e.li)*c.nR + int(e.rj)
+		if eidx[cell] < 0 || e.w > w[cell] {
+			eidx[cell], w[cell] = e.ei, e.w
+		}
+	}
+	weight := func(i, j int) float64 {
+		if eidx[i*c.nR+j] < 0 {
+			return math.Inf(-1)
+		}
+		return w[i*c.nR+j]
+	}
+	// Weights were validated by the constructor, so the dense solver
+	// cannot fail.
+	match, _, err := MaxWeightBipartiteMatching(c.nL, c.nR, weight)
+	if err != nil {
+		panic(err)
+	}
+	var picked []int32
+	for i, j := range match {
+		if j >= 0 {
+			picked = append(picked, eidx[i*c.nR+j])
+		}
+	}
+	return picked
+}
+
+// solveSparse is the sparse Jonker–Volgenant solver: shortest
+// augmenting paths with potentials over CSR adjacency lists, one row
+// inserted per phase, Dijkstra with a binary heap.
+//
+// Maximum-weight (partial) matching reduces to a minimum-cost
+// assignment that is perfect on the rows: costs are maxW−w (≥ 0), and
+// every row gets a private virtual slack column of cost maxW (weight
+// 0), the "stay unmatched" option — exactly the padding the dense
+// solver materializes, kept implicit here. Each phase runs Dijkstra
+// over reduced costs from the new row and stops at the first free
+// column popped; that column is the cheapest because free columns all
+// carry potential 0 (a free column is finalized only as the target, so
+// it is never updated). The standard potential update then keeps every
+// reduced cost ≥ 0 with matched edges tight. O(V·E·log V) per
+// component worst case, with phases that in practice stay local to the
+// inserted row. The smaller side always plays the rows, so phase count
+// is min(nL, nR).
+func solveSparse(c component) []int32 {
+	if c.nR < c.nL {
+		// Transpose: matched edge indices are side-agnostic.
+		flipped := component{nL: c.nR, nR: c.nL, edges: make([]locEdge, len(c.edges))}
+		for k, e := range c.edges {
+			flipped.edges[k] = locEdge{li: e.rj, rj: e.li, ei: e.ei, w: e.w}
+		}
+		c = flipped
+	}
+	nL, nR := c.nL, c.nR
+	// CSR adjacency, rows in left-node order, each row sorted by right
+	// node with parallel edges collapsed to the heaviest (first among
+	// ties): a lighter parallel edge could never be matched — once the
+	// heavier one tightens, the lighter one's reduced cost would go
+	// negative, breaking the potential invariant — so it is dropped.
+	deg := make([]int32, nL+1)
+	for _, e := range c.edges {
+		deg[e.li+1]++
+	}
+	for i := 0; i < nL; i++ {
+		deg[i+1] += deg[i]
+	}
+	adj := make([]locEdge, len(c.edges))
+	fill := make([]int32, nL)
+	copy(fill, deg[:nL])
+	for _, e := range c.edges {
+		adj[fill[e.li]] = e
+		fill[e.li]++
+	}
+	pos := 0
+	for i := 0; i < nL; i++ {
+		row := adj[deg[i]:deg[i+1]]
+		sort.SliceStable(row, func(a, b int) bool {
+			if row[a].rj != row[b].rj {
+				return row[a].rj < row[b].rj
+			}
+			return row[a].w > row[b].w
+		})
+		start := pos
+		for k, e := range row {
+			if k > 0 && e.rj == row[k-1].rj {
+				continue
+			}
+			adj[pos] = e
+			pos++
+		}
+		deg[i] = int32(start)
+	}
+	deg[nL] = int32(pos)
+	adj = adj[:pos]
+
+	maxW := 0.0
+	for _, e := range c.edges {
+		if e.w > maxW {
+			maxW = e.w
+		}
+	}
+
+	const inf = math.MaxFloat64
+	// Column j of the virtual slack block is nR+i for row i; node ids in
+	// the heap are: rows [0,nL), real columns [nL,nL+nR), virtual
+	// columns [nL+nR, nL+nR+nL).
+	pL := make([]float64, nL)
+	pR := make([]float64, nR)
+	pV := make([]float64, nL)
+	mL := make([]int32, nL) // row -> matched column (real j, or nR+i for the slack), -1 free
+	mR := make([]int32, nR) // real column -> matched row, -1 free
+	eL := make([]int32, nL) // row -> matched edge index into the edge list, -1 on slack
+	for i := range mL {
+		mL[i], eL[i] = -1, -1
+	}
+	for j := range mR {
+		mR[j] = -1
+	}
+	dL := make([]float64, nL)
+	dR := make([]float64, nR)
+	dV := make([]float64, nL)
+	doneL := make([]bool, nL)
+	doneR := make([]bool, nR)
+	doneV := make([]bool, nL)
+	parentR := make([]int32, nR) // arc index into adj reaching each real column
+
+	var pq nodeHeap
+	for row := 0; row < nL; row++ {
+		for i := range dL {
+			dL[i], doneL[i] = inf, false
+			dV[i], doneV[i] = inf, false
+		}
+		for j := range dR {
+			dR[j], doneR[j], parentR[j] = inf, false, -1
+		}
+		pq.s = pq.s[:0]
+		dL[row] = 0
+		pq.push(nodeDist{node: int32(row)})
+		target := int32(-1) // column node id (real or virtual)
+		dT := inf
+		for len(pq.s) > 0 {
+			cur := pq.pop()
+			switch {
+			case cur.node < int32(nL): // row
+				li := cur.node
+				if doneL[li] || cur.d > dL[li] {
+					continue
+				}
+				doneL[li] = true
+				for k := deg[li]; k < deg[li+1]; k++ {
+					a := adj[k]
+					if mL[li] == a.rj {
+						continue // the matched edge is traversed backward only
+					}
+					nd := cur.d + (maxW - a.w - pL[li] - pR[a.rj])
+					if nd < dR[a.rj] {
+						dR[a.rj] = nd
+						parentR[a.rj] = k
+						pq.push(nodeDist{d: nd, node: int32(nL) + a.rj})
+					}
+				}
+				if mL[li] != int32(nR)+li {
+					// The row's private slack column (stay unmatched).
+					if nd := cur.d + (maxW - pL[li] - pV[li]); nd < dV[li] {
+						dV[li] = nd
+						pq.push(nodeDist{d: nd, node: int32(nL) + int32(nR) + li})
+					}
+				}
+			case cur.node < int32(nL)+int32(nR): // real column
+				rj := cur.node - int32(nL)
+				if doneR[rj] || cur.d > dR[rj] {
+					continue
+				}
+				if mR[rj] == -1 {
+					target, dT = cur.node, cur.d
+				} else {
+					doneR[rj] = true
+					li := mR[rj]
+					if cur.d < dL[li] {
+						// The matched edge is tight, so the row is
+						// reached at the same distance.
+						dL[li] = cur.d
+						pq.push(nodeDist{d: cur.d, node: li})
+					}
+				}
+			default: // virtual column of row cur.node - nL - nR
+				li := cur.node - int32(nL) - int32(nR)
+				if doneV[li] || cur.d > dV[li] {
+					continue
+				}
+				if mL[li] != int32(nR)+li {
+					target, dT = cur.node, cur.d
+				} else {
+					// Matched slack columns relay back to their row; with
+					// the slack edge tight this cannot happen before the
+					// row itself was popped, so nothing to do.
+					doneV[li] = true
+				}
+			}
+			if target >= 0 {
+				break
+			}
+		}
+		// A target always exists: the inserted row's own slack column is
+		// free and reachable. Update the potentials of the finalized
+		// nodes (pL[i] += dT - dL[i], column potentials mirrored), which
+		// keeps all reduced costs ≥ 0 and matched edges tight; free
+		// columns are never finalized before becoming the target, so
+		// they keep potential 0 and "first free column popped" is the
+		// cheapest augmenting path.
+		for i := 0; i < nL; i++ {
+			if doneL[i] {
+				pL[i] += dT - dL[i]
+			}
+			if doneV[i] {
+				pV[i] -= dT - dV[i]
+			}
+		}
+		for j := 0; j < nR; j++ {
+			if doneR[j] {
+				pR[j] -= dT - dR[j]
+			}
+		}
+		// Augment: flip the path from the target column back to the
+		// inserted (free) row. Columns are tracked in mL as local ids
+		// (real j, or nR+i for row i's slack); heap node c is nL + that.
+		for t := target; ; {
+			var li int32
+			col := t - int32(nL)
+			if col < int32(nR) {
+				li = adj[parentR[col]].li
+			} else {
+				li = col - int32(nR)
+			}
+			prev := mL[li]
+			if col < int32(nR) {
+				mL[li], eL[li], mR[col] = col, adj[parentR[col]].ei, li
+			} else {
+				mL[li], eL[li] = col, -1
+			}
+			if prev == -1 {
+				break // reached the freshly inserted row
+			}
+			t = int32(nL) + prev
+		}
+	}
+	var picked []int32
+	for i := 0; i < nL; i++ {
+		if eL[i] >= 0 {
+			picked = append(picked, eL[i])
+		}
+	}
+	return picked
+}
+
+// nodeDist is a Dijkstra heap entry; nodes < nL are left, the rest
+// right (shifted by nL).
+type nodeDist struct {
+	d    float64
+	node int32
+}
+
+// nodeHeap is a plain binary min-heap on d. container/heap would box
+// every entry through an interface; this keeps the inner loop
+// allocation-free.
+type nodeHeap struct{ s []nodeDist }
+
+func (h *nodeHeap) push(x nodeDist) {
+	h.s = append(h.s, x)
+	i := len(h.s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.s[p].d <= h.s[i].d {
+			break
+		}
+		h.s[p], h.s[i] = h.s[i], h.s[p]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() nodeDist {
+	top := h.s[0]
+	last := len(h.s) - 1
+	h.s[0] = h.s[last]
+	h.s = h.s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.s) && h.s[l].d < h.s[small].d {
+			small = l
+		}
+		if r < len(h.s) && h.s[r].d < h.s[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.s[i], h.s[small] = h.s[small], h.s[i]
+		i = small
+	}
+	return top
+}

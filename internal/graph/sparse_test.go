@@ -1,0 +1,330 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// checkMatchResult validates the structural invariants of a solve: the
+// match is a matching over listed edges, Picked and Match agree, and
+// Total is the recomputed matched weight.
+func checkMatchResult(t *testing.T, n, m int, edges []Edge, res MatchResult) {
+	t.Helper()
+	if len(res.Match) != n {
+		t.Fatalf("match has %d entries, want %d", len(res.Match), n)
+	}
+	usedRight := make([]bool, m)
+	fromPicked := make(map[int]int, len(res.Picked))
+	var sum float64
+	for _, ei := range res.Picked {
+		if ei < 0 || ei >= len(edges) {
+			t.Fatalf("picked edge index %d out of range", ei)
+		}
+		e := edges[ei]
+		if e.W <= 0 {
+			t.Fatalf("picked non-positive edge %v", e)
+		}
+		if _, dup := fromPicked[e.I]; dup {
+			t.Fatalf("left node %d matched twice", e.I)
+		}
+		if usedRight[e.J] {
+			t.Fatalf("right node %d matched twice", e.J)
+		}
+		fromPicked[e.I] = e.J
+		usedRight[e.J] = true
+		sum += e.W
+	}
+	if math.Abs(sum-res.Total) > 1e-9 {
+		t.Fatalf("total %v != recomputed %v", res.Total, sum)
+	}
+	for i, j := range res.Match {
+		if want, ok := fromPicked[i]; ok {
+			if j != want {
+				t.Fatalf("Match[%d] = %d, Picked says %d", i, j, want)
+			}
+		} else if j != -1 {
+			t.Fatalf("Match[%d] = %d, but no picked edge covers it", i, j)
+		}
+	}
+}
+
+func solveSparseInstance(t *testing.T, n, m int, edges []Edge) MatchResult {
+	t.Helper()
+	sm, err := NewSparseMatcher(n, m, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sm.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMatchResult(t, n, m, edges, res)
+	return res
+}
+
+// denseTotal runs the dense Hungarian oracle over the same edge set
+// (parallel edges collapsed to the heaviest, as the matrix forces).
+func denseTotal(t *testing.T, n, m int, edges []Edge) float64 {
+	t.Helper()
+	w := make(map[[2]int]float64, len(edges))
+	for _, e := range edges {
+		if cur, ok := w[[2]int{e.I, e.J}]; !ok || e.W > cur {
+			w[[2]int{e.I, e.J}] = e.W
+		}
+	}
+	weight := func(i, j int) float64 {
+		if v, ok := w[[2]int{i, j}]; ok {
+			return v
+		}
+		return math.Inf(-1)
+	}
+	_, total, err := MaxWeightBipartiteMatching(n, m, weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+// randomEdges draws an instance with the given expected edges per left
+// node; integer weights force ties, the interesting case.
+func randomEdges(rng *rand.Rand, n, m int, perLeft float64, maxW int) []Edge {
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if rng.Float64() < perLeft/float64(m) {
+				edges = append(edges, Edge{I: i, J: j, W: float64(rng.Intn(maxW + 1))})
+			}
+		}
+	}
+	return edges
+}
+
+// TestSparseMatcherAgainstHungarian pins the sparse engine to the dense
+// oracle on randomized sparse, dense, rectangular and tie-heavy
+// instances: the matched weight must be identical.
+func TestSparseMatcherAgainstHungarian(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	shapes := []struct {
+		name    string
+		n, m    int
+		perLeft float64
+		maxW    int
+	}{
+		{"sparse", 30, 30, 2.5, 50},
+		{"dense", 12, 12, 12, 50},
+		{"rect-wide", 8, 40, 6, 20},
+		{"rect-tall", 40, 8, 2, 20},
+		{"ties", 20, 20, 3, 2}, // weights in {0,1,2}: many equal-weight optima
+	}
+	for _, sh := range shapes {
+		for iter := 0; iter < 40; iter++ {
+			edges := randomEdges(rng, sh.n, sh.m, sh.perLeft, sh.maxW)
+			res := solveSparseInstance(t, sh.n, sh.m, edges)
+			want := denseTotal(t, sh.n, sh.m, edges)
+			if math.Abs(res.Total-want) > 1e-9 {
+				t.Fatalf("%s iter %d: sparse total %v, hungarian %v", sh.name, iter, res.Total, want)
+			}
+		}
+	}
+}
+
+// TestSparseMatcherAgainstExhaustive pins the sparse engine to the
+// brute-force oracle on small instances.
+func TestSparseMatcherAgainstExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for iter := 0; iter < 200; iter++ {
+		n, m := 1+rng.Intn(6), 1+rng.Intn(6)
+		edges := randomEdges(rng, n, m, 1+3*rng.Float64(), 12)
+		res := solveSparseInstance(t, n, m, edges)
+		w := make(map[[2]int]float64)
+		for _, e := range edges {
+			if cur, ok := w[[2]int{e.I, e.J}]; !ok || e.W > cur {
+				w[[2]int{e.I, e.J}] = e.W
+			}
+		}
+		want := ExhaustiveMaxWeightMatching(n, m, func(i, j int) float64 {
+			if v, ok := w[[2]int{i, j}]; ok {
+				return v
+			}
+			return math.Inf(-1)
+		})
+		if math.Abs(res.Total-want) > 1e-9 {
+			t.Fatalf("iter %d (n=%d m=%d): sparse %v, exhaustive %v", iter, n, m, res.Total, want)
+		}
+	}
+}
+
+// TestSparseMatcherDisconnected builds many node-disjoint blocks —
+// isolated edges, stars, squares — and checks the component
+// decomposition recombines their optima exactly.
+func TestSparseMatcherDisconnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for iter := 0; iter < 30; iter++ {
+		var edges []Edge
+		baseL, baseR := 0, 0
+		wantTotal := 0.0
+		blocks := 2 + rng.Intn(6)
+		for b := 0; b < blocks; b++ {
+			switch rng.Intn(3) {
+			case 0: // isolated edge
+				w := float64(1 + rng.Intn(9))
+				edges = append(edges, Edge{baseL, baseR, w})
+				wantTotal += w
+				baseL, baseR = baseL+1, baseR+1
+			case 1: // star: one left, several rights — max wins
+				k := 2 + rng.Intn(4)
+				best := 0.0
+				for j := 0; j < k; j++ {
+					w := float64(1 + rng.Intn(9))
+					edges = append(edges, Edge{baseL, baseR + j, w})
+					if w > best {
+						best = w
+					}
+				}
+				wantTotal += best
+				baseL, baseR = baseL+1, baseR+k
+			default: // 2×2 square: diagonal vs anti-diagonal
+				a, b2, c, d := float64(1+rng.Intn(9)), float64(1+rng.Intn(9)), float64(1+rng.Intn(9)), float64(1+rng.Intn(9))
+				edges = append(edges,
+					Edge{baseL, baseR, a}, Edge{baseL, baseR + 1, b2},
+					Edge{baseL + 1, baseR, c}, Edge{baseL + 1, baseR + 1, d})
+				if a+d > b2+c {
+					wantTotal += a + d
+				} else {
+					wantTotal += b2 + c
+				}
+				baseL, baseR = baseL+2, baseR+2
+			}
+		}
+		res := solveSparseInstance(t, baseL, baseR, edges)
+		if math.Abs(res.Total-wantTotal) > 1e-9 {
+			t.Fatalf("iter %d: total %v, want %v", iter, res.Total, wantTotal)
+		}
+	}
+}
+
+// TestSparseMatcherDegenerate covers the edge cases of the API.
+func TestSparseMatcherDegenerate(t *testing.T) {
+	// Empty instance.
+	res := solveSparseInstance(t, 0, 0, nil)
+	if res.Total != 0 || len(res.Picked) != 0 {
+		t.Fatalf("empty: %+v", res)
+	}
+	// Nodes but no edges.
+	res = solveSparseInstance(t, 3, 4, nil)
+	for _, j := range res.Match {
+		if j != -1 {
+			t.Fatalf("no edges must leave everything unmatched: %v", res.Match)
+		}
+	}
+	// Zero-weight edges are never matched (same as dense slack edges).
+	res = solveSparseInstance(t, 2, 2, []Edge{{0, 0, 0}, {1, 1, 0}})
+	if res.Total != 0 || len(res.Picked) != 0 {
+		t.Fatalf("zero edges matched: %+v", res)
+	}
+	// Parallel edges: the heaviest is picked and reported.
+	edges := []Edge{{0, 0, 2}, {0, 0, 7}, {0, 0, 5}}
+	res = solveSparseInstance(t, 1, 1, edges)
+	if res.Total != 7 || len(res.Picked) != 1 || res.Picked[0] != 1 {
+		t.Fatalf("parallel edges: %+v", res)
+	}
+}
+
+func TestSparseMatcherRejectsBadInput(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		n, m  int
+		edges []Edge
+	}{
+		{"negative-weight", 2, 2, []Edge{{0, 0, -1}}},
+		{"nan-weight", 2, 2, []Edge{{0, 0, math.NaN()}}},
+		{"neg-inf-weight", 2, 2, []Edge{{0, 0, math.Inf(-1)}}},
+		{"left-out-of-range", 2, 2, []Edge{{2, 0, 1}}},
+		{"right-out-of-range", 2, 2, []Edge{{0, 2, 1}}},
+		{"negative-endpoint", 2, 2, []Edge{{-1, 0, 1}}},
+	} {
+		if _, err := NewSparseMatcher(tc.n, tc.m, tc.edges); err == nil {
+			t.Fatalf("%s: want error", tc.name)
+		}
+	}
+}
+
+// parallelRunner mimics the repair engine's worker pool: components run
+// on real goroutines, so `go test -race` exercises the concurrent
+// component solve.
+func parallelRunner(n int, size func(i int) int, fn func(i int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	sem := make(chan struct{}, 8)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestSparseMatcherParallelDeterministic solves the same instances with
+// and without a concurrent runner: results must be byte-identical (and
+// the run is the race-detector test for the component fan-out).
+func TestSparseMatcherParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for iter := 0; iter < 20; iter++ {
+		n, m := 40+rng.Intn(40), 40+rng.Intn(40)
+		edges := randomEdges(rng, n, m, 2.2, 6)
+		serial := solveSparseInstance(t, n, m, edges)
+
+		sm, err := NewSparseMatcher(n, m, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm.Runner = parallelRunner
+		par, err := sm.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkMatchResult(t, n, m, edges, par)
+		if par.Total != serial.Total {
+			t.Fatalf("parallel total %v != serial %v", par.Total, serial.Total)
+		}
+		if len(par.Picked) != len(serial.Picked) {
+			t.Fatalf("parallel picked %v != serial %v", par.Picked, serial.Picked)
+		}
+		for k := range par.Picked {
+			if par.Picked[k] != serial.Picked[k] {
+				t.Fatalf("parallel picked %v != serial %v", par.Picked, serial.Picked)
+			}
+		}
+	}
+}
+
+// TestSparseMatcherLargeSparse is a scale smoke: a big, very sparse
+// instance must solve fast and agree with greedy's lower bound / dense
+// upper structure is too slow here, so only invariants are checked.
+func TestSparseMatcherLargeSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	const n, m = 3000, 3000
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			edges = append(edges, Edge{I: i, J: rng.Intn(m), W: float64(1 + rng.Intn(100))})
+		}
+	}
+	res := solveSparseInstance(t, n, m, edges)
+	_, greedy := GreedyMatching(n, m, edges)
+	if res.Total < greedy-1e-9 {
+		t.Fatalf("optimal %v below greedy %v", res.Total, greedy)
+	}
+}

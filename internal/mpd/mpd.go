@@ -10,6 +10,7 @@ package mpd
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/fd"
 	"repro/internal/srepair"
@@ -30,12 +31,13 @@ func Validate(t *table.Table) error {
 // Probability returns Pr_T(S) of equation (2): the probability of
 // drawing exactly the subset s from the tuple-independent table t.
 func Probability(t, s *table.Table) float64 {
+	rows := t.Rows()
 	p := 1.0
-	for _, r := range t.Rows() {
-		if s.Has(r.ID) {
-			p *= r.Weight
+	for i := range rows {
+		if s.Has(rows[i].ID) {
+			p *= rows[i].Weight
 		} else {
-			p *= 1 - r.Weight
+			p *= 1 - rows[i].Weight
 		}
 	}
 	return p
@@ -127,6 +129,15 @@ const BruteForceLimit = 20
 // BruteForce computes a most probable consistent subset by enumerating
 // all subsets; the validation oracle for Solve. Subsets are checked as
 // zero-copy views; only the winner is materialized.
+//
+// The per-row factors (p when kept, 1−p when dropped) are cached in two
+// flat slices up front, and the 2ⁿ masks are visited in Gray-code order
+// so consecutive subsets differ in one row: the probability is updated
+// incrementally (divide out the old factor, multiply in the new one)
+// instead of re-reading every row weight per mask. Zero factors
+// (certain tuples dropped) cannot be divided out, so they are counted
+// separately; the running product covers the nonzero factors only, and
+// it is recomputed from scratch periodically to bound float drift.
 func BruteForce(ds *fd.Set, t *table.Table) (*table.Table, float64, error) {
 	if err := Validate(t); err != nil {
 		return nil, 0, err
@@ -136,30 +147,86 @@ func BruteForce(ds *fd.Set, t *table.Table) (*table.Table, float64, error) {
 		return nil, 0, fmt.Errorf("mpd: brute force limited to %d tuples, got %d", BruteForceLimit, n)
 	}
 	rows := t.Rows()
+	in := make([]float64, n)  // factor when row i is kept
+	out := make([]float64, n) // factor when row i is dropped
+	for i := range rows {
+		in[i] = rows[i].Weight
+		out[i] = 1 - rows[i].Weight
+	}
+	factors := func(mask int) (prod float64, zeros int) {
+		prod = 1.0
+		for i := 0; i < n; i++ {
+			f := out[i]
+			if mask&(1<<uint(i)) != 0 {
+				f = in[i]
+			}
+			if f == 0 {
+				zeros++
+			} else {
+				prod *= f
+			}
+		}
+		return prod, zeros
+	}
+	const resyncPeriod = 1 << 12
+	mask := 0
+	prod, zeros := factors(0)
 	bestMask := -1
 	bestP := math.Inf(-1)
 	keep := make([]int32, 0, n)
-	for mask := 0; mask < 1<<uint(n); mask++ {
-		keep = keep[:0]
-		p := 1.0
-		for i := 0; i < n; i++ {
-			if mask&(1<<uint(i)) != 0 {
-				keep = append(keep, int32(i))
-				p *= rows[i].Weight
-			} else {
-				p *= 1 - rows[i].Weight
+	steps := 1 << uint(n)
+	for k := 0; ; k++ {
+		p := prod
+		if zeros > 0 {
+			p = 0
+		}
+		if p > bestP {
+			keep = keep[:0]
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					keep = append(keep, int32(i))
+				}
+			}
+			if table.ViewOfRows(t, keep).Satisfies(ds) {
+				bestMask, bestP = mask, p
 			}
 		}
-		if p <= bestP {
-			continue // cannot win; skip the consistency check
+		if k+1 == steps {
+			break
 		}
-		if !table.ViewOfRows(t, keep).Satisfies(ds) {
+		// gray(k) and gray(k+1) differ exactly in the lowest set bit of
+		// k+1; flipping it swaps the row between kept and dropped.
+		bit := bits.TrailingZeros(uint(k + 1))
+		flip := 1 << uint(bit)
+		rm, add := out[bit], in[bit]
+		if mask&flip != 0 {
+			rm, add = in[bit], out[bit]
+		}
+		mask ^= flip
+		if (k+1)%resyncPeriod == 0 {
+			prod, zeros = factors(mask)
 			continue
 		}
-		bestMask, bestP = mask, p
+		if rm == 0 {
+			zeros--
+		} else {
+			prod /= rm
+		}
+		if add == 0 {
+			zeros++
+		} else {
+			prod *= add
+		}
 	}
 	if bestMask < 0 {
 		return nil, bestP, nil
+	}
+	// Report the winner's probability exactly, not the drifted running
+	// value.
+	if prod, zeros := factors(bestMask); zeros > 0 {
+		bestP = 0
+	} else {
+		bestP = prod
 	}
 	var keepIDs []int
 	for i := 0; i < n; i++ {

@@ -206,3 +206,39 @@ func TestBruteForceLimit(t *testing.T) {
 		t.Fatal("oversized brute force must refuse")
 	}
 }
+
+// TestBruteForceGrayCodeExact pins the incremental Gray-code product to
+// a from-scratch recomputation: the reported probability must equal
+// Probability() of the returned subset, including certain tuples (whose
+// drop-factor is exactly zero and is counted, not divided) and tables
+// large enough to cross the drift-resync period.
+func TestBruteForceGrayCodeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B")
+	for iter := 0; iter < 6; iter++ {
+		n := 13 + rng.Intn(3) // ≥ 2¹³ masks: crosses the resync period
+		base := workload.RandomTable(sc, n, 2, rng)
+		tab := table.New(sc)
+		for i, r := range base.Rows() {
+			p := 0.05 + 0.95*rng.Float64()
+			if i%5 == 0 {
+				p = 1 // certain tuple: exercises the zero-factor path
+			}
+			tab.MustInsert(r.ID, r.Tuple, p)
+		}
+		bf, bestP, err := BruteForce(ds, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bf == nil {
+			t.Fatal("consistent subsets always exist (the empty one)")
+		}
+		if want := Probability(tab, bf); math.Abs(bestP-want) > 1e-12*math.Max(1, want) {
+			t.Fatalf("iter %d: reported P=%v, recomputed P=%v", iter, bestP, want)
+		}
+		if !bf.Satisfies(ds) {
+			t.Fatal("brute-force winner inconsistent")
+		}
+	}
+}

@@ -158,6 +158,13 @@ func (s solver) consensusRep(st fd.Simplification, v table.View, depth int) ([]i
 // solve each group under Δ − X1X2, and combine the groups through a
 // maximum-weight bipartite matching between the X1-values and the
 // X2-values.
+//
+// The matching graph has exactly one edge per observed (a1, a2) block,
+// so the edge list goes straight to the sparse engine — cost scales
+// with the number of blocks the data contains, not with the product of
+// distinct-value counts a dense matrix would pad to. Connected
+// components of the marriage graph are solved independently on the same
+// worker pool as the repair blocks.
 func (s solver) marriageRep(st fd.Simplification, v table.View, depth int) ([]int32, error) {
 	if v.Len() == 0 {
 		return v.Rows(), nil
@@ -173,42 +180,39 @@ func (s solver) marriageRep(st fd.Simplification, v table.View, depth int) ([]in
 		v1Index.add(codes1[ri])
 		v2Index.add(codes2[ri])
 	}
-	// One edge per observed (a1, a2) pair, weighted by the optimal
-	// S-repair of the pair's block.
-	type edge struct {
-		rep []int32
-		w   float64
-	}
 	groups := v.GroupBy(st.X1.Union(st.X2))
 	reps, err := s.solveBlocks(v, groups, depth)
 	if err != nil {
 		return nil, err
 	}
-	edges := map[[2]int]edge{}
+	// Edge gi joins the block's X1-node to its X2-node, weighted by the
+	// block's optimal S-repair; distinct blocks have distinct endpoint
+	// pairs, so edge indices and group indices coincide.
+	edges := make([]graph.Edge, len(groups))
 	for gi, g := range groups {
 		first := g[0]
-		i := v1Index.of(codes1[first])
-		j := v2Index.of(codes2[first])
-		edges[[2]int{i, j}] = edge{rep: reps[gi], w: v.Subview(reps[gi]).TotalWeight()}
-	}
-	weight := func(i, j int) float64 {
-		if e, ok := edges[[2]int{i, j}]; ok {
-			return e.w
+		edges[gi] = graph.Edge{
+			I: v1Index.of(codes1[first]),
+			J: v2Index.of(codes2[first]),
+			W: v.Subview(reps[gi]).TotalWeight(),
 		}
-		return math.Inf(-1)
 	}
-	match, _, err := graph.MaxWeightBipartiteMatching(v1Index.len(), v2Index.len(), weight)
+	sm, err := graph.NewSparseMatcher(v1Index.len(), v2Index.len(), edges)
 	if err != nil {
 		return nil, err
 	}
-	var keep []int32
-	for i, j := range match {
-		if j < 0 {
-			continue
-		}
-		if e, ok := edges[[2]int{i, j}]; ok {
-			keep = append(keep, e.rep...)
-		}
+	sm.Runner = forEachBlock
+	res, err := sm.Solve()
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, gi := range res.Picked {
+		total += len(reps[gi])
+	}
+	keep := make([]int32, 0, total)
+	for _, gi := range res.Picked {
+		keep = append(keep, reps[gi]...)
 	}
 	sortRows(keep)
 	return keep, nil

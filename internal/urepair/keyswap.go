@@ -21,8 +21,10 @@ func isKeySwap(comp *fd.Set) bool {
 
 // keySwapRepair implements Proposition 4.9 for Δ = {A → B, B → A}: an
 // optimal S-repair S* (computable: the set passes OSRSucceeds via an
-// lhs marriage) is converted into a consistent update of equal
-// distance, which is therefore an optimal U-repair. For every deleted
+// lhs marriage, so the solve runs on the sparse matching engine of
+// internal/graph — one edge per observed (A, B) block) is converted
+// into a consistent update of equal distance, which is therefore an
+// optimal U-repair. For every deleted
 // tuple t there is a kept tuple s agreeing with t on A or on B
 // (otherwise t could be added to S*, contradicting optimality); the
 // other attribute of t is overwritten with s's value, a single-cell

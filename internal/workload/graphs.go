@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
 
 	"repro/internal/graph"
@@ -92,4 +93,35 @@ func (g *SimpleGraph) MinVertexCoverSize() (int, error) {
 		return 0, err
 	}
 	return len(graph.CoverIDs(cover)), nil
+}
+
+// SparseMatchingInstance draws the random bipartite matching instance
+// the bench suites race the dense and sparse engines on: n nodes per
+// side, perLeft edges per left node with uniform random right endpoints
+// (so parallel edges occur) and integer weights in 1..maxW. It returns
+// the edge list for the sparse engine together with the equivalent
+// dense weight function for the Hungarian oracle (math.Inf(-1) marks a
+// missing pair; parallel edges collapse to the heaviest, as a matrix
+// forces). Both views describe the same instance by construction, so
+// numbers quoted from either suite stay comparable.
+func SparseMatchingInstance(n, perLeft, maxW int, rng *rand.Rand) ([]graph.Edge, func(i, j int) float64) {
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		for k := 0; k < perLeft; k++ {
+			edges = append(edges, graph.Edge{I: i, J: rng.Intn(n), W: float64(1 + rng.Intn(maxW))})
+		}
+	}
+	present := make(map[[2]int]float64, len(edges))
+	for _, e := range edges {
+		if w, ok := present[[2]int{e.I, e.J}]; !ok || e.W > w {
+			present[[2]int{e.I, e.J}] = e.W
+		}
+	}
+	weight := func(i, j int) float64 {
+		if w, ok := present[[2]int{i, j}]; ok {
+			return w
+		}
+		return math.Inf(-1)
+	}
+	return edges, weight
 }

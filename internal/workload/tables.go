@@ -123,6 +123,40 @@ func ZipfTable(sc *schema.Schema, n, domain int, rng *rand.Rand) *table.Table {
 	return t
 }
 
+// MarriageSparseTable generates the shape the sparse matching engine
+// targets: n rows over sc whose first two attributes (the married pair
+// X1, X2 under e.g. {A→B, B→A, B→C}) range over ~n/blockRows distinct
+// values each, with ~blockRows rows per observed (X1, X2) block. The
+// marriage graph then has many nodes but only about n/blockRows edges —
+// a dense matcher would pad it to a quadratic matrix of slack entries.
+// Remaining attributes draw from a small domain of rhsDomain values so
+// blocks are internally dirty. Weights are integers in 1..4.
+func MarriageSparseTable(sc *schema.Schema, n, blockRows, rhsDomain int, rng *rand.Rand) *table.Table {
+	if sc.Arity() < 2 {
+		panic("workload: marriage-sparse needs arity ≥ 2")
+	}
+	if blockRows < 1 || rhsDomain < 1 {
+		panic("workload: blockRows and rhsDomain must be ≥ 1")
+	}
+	blocks := (n + blockRows - 1) / blockRows
+	t := table.New(sc)
+	id := 1
+	for b := 0; b < blocks && id <= n; b++ {
+		a := fmt.Sprintf("a%d", rng.Intn(blocks))
+		bv := fmt.Sprintf("b%d", rng.Intn(blocks))
+		for r := 0; r < blockRows && id <= n; r++ {
+			tup := make(table.Tuple, sc.Arity())
+			tup[0], tup[1] = a, bv
+			for c := 2; c < len(tup); c++ {
+				tup[c] = fmt.Sprintf("c%d", rng.Intn(rhsDomain))
+			}
+			t.MustInsert(id, tup, float64(1+rng.Intn(4)))
+			id++
+		}
+	}
+	return t
+}
+
 // HardSets returns the four APX-hard FD sets of Table 1 over the
 // schema R(A, B, C), keyed by their display names. These are the
 // standard instances for exercising Exact and Approx2 (OptSRepair

@@ -184,3 +184,39 @@ func TestRandomTrianglesDistinct(t *testing.T) {
 		t.Fatalf("triangles = %d, want 15", len(inst.Triangles))
 	}
 }
+
+// TestMarriageSparseTable checks the sparse-marriage shape: many
+// distinct X1/X2 values relative to the row count, small blocks, and
+// deterministic generation.
+func TestMarriageSparseTable(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	const n, blockRows = 600, 3
+	tab := MarriageSparseTable(sc, n, blockRows, 3, rand.New(rand.NewSource(5)))
+	if tab.Len() != n {
+		t.Fatalf("generated %d rows, want %d", tab.Len(), n)
+	}
+	distinct := func(attr int) int {
+		seen := map[string]bool{}
+		for _, r := range tab.Rows() {
+			seen[r.Tuple[attr]] = true
+		}
+		return len(seen)
+	}
+	// Each side must have on the order of n/blockRows distinct values —
+	// the many-nodes/few-edges-per-node shape. With blocks = n/blockRows
+	// draws from blocks values, the expected coverage is ≈ 63%.
+	minDistinct := n / blockRows / 3
+	if d := distinct(0); d < minDistinct {
+		t.Fatalf("only %d distinct X1 values, want ≥ %d", d, minDistinct)
+	}
+	if d := distinct(1); d < minDistinct {
+		t.Fatalf("only %d distinct X2 values, want ≥ %d", d, minDistinct)
+	}
+	again := MarriageSparseTable(sc, n, blockRows, 3, rand.New(rand.NewSource(5)))
+	for _, r := range tab.Rows() {
+		r2, ok := again.Row(r.ID)
+		if !ok || r2.Tuple[0] != r.Tuple[0] || r2.Tuple[1] != r.Tuple[1] || r2.Tuple[2] != r.Tuple[2] {
+			t.Fatal("generator must be deterministic for a fixed seed")
+		}
+	}
+}
