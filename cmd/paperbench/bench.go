@@ -10,20 +10,25 @@ import (
 
 	"repro/internal/fd"
 	"repro/internal/graph"
+	"repro/internal/solve"
 	"repro/internal/srepair"
+	"repro/internal/table"
 	"repro/internal/workload"
 )
 
 // benchResult is one benchmark measurement in BENCH_srepair.json. The
 // file gives future PRs a machine-readable perf trajectory of the
 // repair engine; compare snapshots across commits before claiming a
-// speedup.
+// speedup. SolveStats, when present, is the counter snapshot of one
+// representative (untimed) solve run after the measurement: recursion
+// nodes, block fan-out, matcher path dispatches and arena reuse.
 type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string          `json:"name"`
+	Iterations  int             `json:"iterations"`
+	NsPerOp     float64         `json:"ns_per_op"`
+	BytesPerOp  int64           `json:"bytes_per_op"`
+	AllocsPerOp int64           `json:"allocs_per_op"`
+	SolveStats  *solve.Snapshot `json:"solve_stats,omitempty"`
 }
 
 // writeBenchJSON measures the repair-engine hot paths (the Figure-1
@@ -32,8 +37,9 @@ type benchResult struct {
 // as a JSON array.
 func writeBenchJSON(path string) error {
 	type benchCase struct {
-		name string
-		fn   func(b *testing.B)
+		name  string
+		fn    func(b *testing.B)
+		stats func() *solve.Snapshot
 	}
 	var cases []benchCase
 
@@ -45,7 +51,7 @@ func writeBenchJSON(path string) error {
 				b.Fatal(err)
 			}
 		}
-	}})
+	}, optSRepairStats(officeDS, officeT)})
 
 	hard := workload.HardSets()
 	hardNames := make([]string, 0, len(hard))
@@ -64,7 +70,7 @@ func writeBenchJSON(path string) error {
 						b.Fatal(err)
 					}
 				}
-			}},
+			}, nil},
 			benchCase{"Table1HardSets/" + name + "/approx2", func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -72,7 +78,7 @@ func writeBenchJSON(path string) error {
 						b.Fatal(err)
 					}
 				}
-			}},
+			}, nil},
 		)
 	}
 
@@ -86,7 +92,7 @@ func writeBenchJSON(path string) error {
 				b.Fatal(err)
 			}
 		}
-	}})
+	}, optSRepairStats(chainDS, scaleTab)})
 
 	// Marriage-heavy scaling: the matching-dominated shape (one edge per
 	// observed block, distinct-value counts ~n/10) that the sparse
@@ -100,16 +106,20 @@ func writeBenchJSON(path string) error {
 				b.Fatal(err)
 			}
 		}
-	}})
-	sparseTab := workload.MarriageSparseTable(chainSC, 6400, 3, 3, rand.New(rand.NewSource(6400)))
-	cases = append(cases, benchCase{"OptSRepairScaling/marriage-sparse/n=6400", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := srepair.OptSRepair(marriageDS, sparseTab); err != nil {
-				b.Fatal(err)
+	}, optSRepairStats(marriageDS, marriageTab)})
+	for _, n := range []int{6400, 102400} {
+		// The 102400 point became feasible once workload generation was
+		// batched through table.AppendRows.
+		sparseTab := workload.MarriageSparseTable(chainSC, n, 3, 3, rand.New(rand.NewSource(int64(n))))
+		cases = append(cases, benchCase{fmt.Sprintf("OptSRepairScaling/marriage-sparse/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := srepair.OptSRepair(marriageDS, sparseTab); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	}})
+		}, optSRepairStats(marriageDS, sparseTab)})
+	}
 
 	// Matching engines head to head on one sparse instance (~4 edges per
 	// left node): the dense Hungarian pays O(n³) on the padded matrix,
@@ -126,7 +136,7 @@ func writeBenchJSON(path string) error {
 					b.Fatal(err)
 				}
 			}
-		}},
+		}, nil},
 		benchCase{"MatchingScaling/sparse/n=480", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -138,19 +148,23 @@ func writeBenchJSON(path string) error {
 					b.Fatal(err)
 				}
 			}
-		}},
+		}, nil},
 	)
 
 	var out []benchResult
 	for _, c := range cases {
 		r := testing.Benchmark(c.fn)
-		out = append(out, benchResult{
+		br := benchResult{
 			Name:        c.name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
-		})
+		}
+		if c.stats != nil {
+			br.SolveStats = c.stats()
+		}
+		out = append(out, br)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -160,4 +174,23 @@ func writeBenchJSON(path string) error {
 		return fmt.Errorf("writing %s: %w", path, err)
 	}
 	return nil
+}
+
+// optSRepairStats runs one untimed, instrumented solve on a fresh
+// serial stats context, so the recorded snapshot describes exactly one
+// solve of the case's instance rather than scaling with the timed
+// loop's iteration count.
+func optSRepairStats(ds *fd.Set, tab *table.Table) func() *solve.Snapshot {
+	return func() *solve.Snapshot {
+		st := new(solve.Stats)
+		if _, err := srepair.OptSRepairCtx(solve.New(1, nil, st), ds, tab); err != nil {
+			// Surface the failure rather than silently omitting the
+			// stats field (the CI schema smoke would otherwise report a
+			// misleading "no solve_stats").
+			fmt.Fprintf(os.Stderr, "benchjson: stats solve failed for %v: %v\n", ds, err)
+			return nil
+		}
+		snap := st.Snapshot()
+		return &snap
+	}
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestBenchJSONSchema is the CI smoke for the -benchjson artifact: the
+// snapshot must parse into benchResult and the OptSRepair cases must
+// carry the per-solve stats record the Solver refactor added
+// (recursion nodes, block fan-out, matcher dispatches, arena reuse).
+// By default it checks the snapshot committed at the repo root; CI
+// points BENCH_JSON at the freshly generated file to guard the
+// generator itself.
+func TestBenchJSONSchema(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		path = "../../BENCH_srepair.json"
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	var results []benchResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("%s does not parse as []benchResult: %v", path, err)
+	}
+	if len(results) == 0 {
+		t.Fatalf("%s is empty", path)
+	}
+	byName := make(map[string]benchResult, len(results))
+	for _, r := range results {
+		if r.Name == "" || r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Fatalf("malformed entry %+v", r)
+		}
+		byName[r.Name] = r
+	}
+	// The scaling point unlocked by batched workload generation.
+	if _, ok := byName["OptSRepairScaling/marriage-sparse/n=102400"]; !ok {
+		t.Fatal("missing OptSRepairScaling/marriage-sparse/n=102400")
+	}
+	statsCases := 0
+	for name, r := range byName {
+		if !strings.Contains(name, "optsrepair") && !strings.Contains(name, "OptSRepairScaling") {
+			continue
+		}
+		statsCases++
+		st := r.SolveStats
+		if st == nil {
+			t.Fatalf("%s has no solve_stats", name)
+		}
+		if st.Nodes <= 0 {
+			t.Fatalf("%s: solve_stats.nodes = %d", name, st.Nodes)
+		}
+		if st.BlocksSerial+st.BlocksParallel <= 0 {
+			t.Fatalf("%s: no blocks recorded: %+v", name, st)
+		}
+		if strings.Contains(name, "marriage") &&
+			st.MatcherFastPath+st.MatcherDense+st.MatcherSparse == 0 {
+			t.Fatalf("%s: marriage case recorded no matcher dispatches: %+v", name, st)
+		}
+	}
+	if statsCases < 4 {
+		t.Fatalf("only %d stats-carrying cases found", statsCases)
+	}
+}

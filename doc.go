@@ -37,42 +37,65 @@
 // ConflictGraph compare fixed-width integers instead of building
 // length-prefixed string keys per row. The encoding is cached on the
 // table, invalidated by mutation, and built under a mutex so concurrent
-// readers are safe.
+// readers are safe. Bulk loads go through table.AppendRows, which grows
+// the row store once and invalidates the encoding once per batch —
+// workload generation at 10⁵+ rows is batched this way.
 //
 // The repair algorithms recurse over zero-copy views
 // (internal/table/view.go): a view is the backing table plus a
 // row-index slice, grouped and weighed against the shared encoding.
 // OptSRepair precomputes the (data-independent) simplification chain
-// once, recurses over views, and materializes only the final repair;
-// the seed implementation instead rebuilt a *Table, an id index and
-// cloned tuples at every node of the recursion tree. Independent blocks
-// of the three subroutines can be solved in parallel through an opt-in,
-// try-acquire worker pool (fdrepair.SetParallelism); results are
-// byte-identical to the serial algorithm.
+// once, recurses over views, and materializes only the final repair.
+//
+// Execution is organized around per-solve contexts (internal/solve,
+// surfaced publicly as fdrepair.Solver with functional options): each
+// Solver owns a worker budget (WithParallelism — independent blocks of
+// the three subroutines and connected components of the marriage
+// matching fan out on a try-acquire pool that can never deadlock on
+// nested recursion), sync.Pool-backed scratch arenas (group-by
+// buffers, block result slices, matcher CSR/potential/distance arrays
+// and heap storage, recycled across recursion levels, components and
+// sequential solves), cooperative cancellation (WithContext — checked
+// at recursion and component boundaries and inside the exponential
+// vertex-cover search, so a deadline-exceeded solve returns the
+// context error promptly without touching the input table), and an
+// optional SolveStats record (WithStats — recursion nodes, serial vs
+// parallel blocks, matcher path dispatches, arena reuse). Nothing on
+// the solve hot path reads package-level pool state, so any number of
+// Solvers with different settings run concurrently; results are
+// byte-identical to the serial engine in every configuration. The
+// deprecated fdrepair.SetParallelism shim merely reconfigures the
+// default Solver backing the package-level entry points.
 //
 // MarriageRep (Subroutine 3) runs on a sparse matching engine
 // (internal/graph.SparseMatcher): the marriage graph has exactly one
 // edge per observed (X1, X2) block, so marriageRep emits that edge list
 // directly and the engine decomposes it into connected components
-// (solved independently, and in parallel on the same worker pool as the
-// repair blocks), dispatching each to a fast path — singleton edges and
-// one-sided stars by a max scan, tiny components to the dense Hungarian
-// solver — or to a sparse Jonker–Volgenant solver: shortest augmenting
-// paths with potentials over CSR adjacency lists and a heap-based
-// Dijkstra, with a private zero-weight slack column per row so maximum-
-// weight partial matching reduces to an assignment that is perfect on
-// the smaller side. Cost is O(V·E·log V) on the real edge set instead
-// of the O(size³) the padded dense matrix costs, which turns the
-// matching-dominated marriage workloads from cubic in the
-// distinct-value counts into near-linear in the block count. The dense
-// Hungarian remains as the differential oracle (and the small-component
-// fast path); GreedyMatching is the ablation baseline over the same
-// edge-list type.
+// (solved independently, and in parallel on the same worker budget as
+// the repair blocks), dispatching each to a fast path — singleton edges
+// and one-sided stars by a max scan, tiny components to the dense
+// Hungarian solver (its padded matrix and working arrays pooled on the
+// solve arena) — or to a sparse Jonker–Volgenant solver: shortest
+// augmenting paths with potentials over CSR adjacency lists and a
+// Dijkstra on a 4-ary heap over pooled storage, with a private
+// zero-weight slack column per row so maximum-weight partial matching
+// reduces to an assignment that is perfect on the smaller side. Cost is
+// O(V·E·log V) on the real edge set instead of the O(size³) the padded
+// dense matrix costs, which turns the matching-dominated marriage
+// workloads from cubic in the distinct-value counts into near-linear in
+// the block count. The dense Hungarian remains as the differential
+// oracle (and the small-component fast path); GreedyMatching is the
+// ablation baseline over the same edge-list type.
 //
 // The bench baseline for this architecture is recorded in ROADMAP.md;
 // regenerate with:
 //
 //	go test -bench='Fig1|Table1|Scaling' -benchmem .
+//
+// or, machine-readable with per-solve stats (recursion nodes, matcher
+// dispatches, arena reuse) attached to each repair case:
+//
+//	go run ./cmd/paperbench -benchjson BENCH_srepair.json
 //
 // See DESIGN.md for the system inventory and the experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results.

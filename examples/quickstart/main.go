@@ -4,8 +4,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/fdrepair"
 )
@@ -49,4 +51,21 @@ func main() {
 	}
 	fmt.Printf("optimal U-repair changes cost %g (%s):\n%s",
 		res.Cost, res.Method, res.Update.String())
+
+	// For serving traffic, give each request its own Solver: a worker
+	// budget, a deadline, and per-solve counters — no process-wide
+	// state is shared between concurrent solves.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	sv := fdrepair.NewSolver(
+		fdrepair.WithParallelism(4),
+		fdrepair.WithContext(ctx),
+		fdrepair.WithStats(),
+	)
+	if _, cost, err = sv.OptimalSRepair(ds, t); err != nil {
+		log.Fatal(err) // a missed deadline would surface here as context.DeadlineExceeded
+	}
+	st := sv.Stats()
+	fmt.Printf("\nsolver run: dist_sub=%g, %d recursion nodes, %d blocks inline, arena %d hits / %d misses\n",
+		cost, st.Nodes, st.BlocksSerial, st.ArenaHits, st.ArenaMisses)
 }

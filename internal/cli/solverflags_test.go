@@ -1,0 +1,102 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeOfficeCSV writes the Figure-1 table for the solver-flag tests.
+func writeOfficeCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "office.csv")
+	csv := "id,facility,room,floor,city,w\n" +
+		"1,HQ,322,3,Paris,2\n" +
+		"2,HQ,322,30,Madrid,1\n" +
+		"3,HQ,122,1,Madrid,1\n" +
+		"4,Lab1,B35,3,London,2\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSRepairSolverFlags: -workers and -stats are wired through to a
+// Solver — the repair result is unchanged and the stats line lands on
+// stderr.
+func TestSRepairSolverFlags(t *testing.T) {
+	in := writeOfficeCSV(t)
+	var stdout, stderr bytes.Buffer
+	code := Run([]string{
+		"srepair", "-in", in,
+		"-fd", "facility -> city", "-fd", "facility room -> floor",
+		"-workers", "4", "-stats",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "deleted weight (dist_sub): 2") {
+		t.Fatalf("unexpected repair summary: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "solve stats: nodes=") {
+		t.Fatalf("-stats did not print the counters: %s", stderr.String())
+	}
+}
+
+// TestSRepairTimeoutExpires: an unmeetable -timeout surfaces the
+// context error and a non-zero exit instead of a repair.
+func TestSRepairTimeoutExpires(t *testing.T) {
+	in := writeOfficeCSV(t)
+	var stdout, stderr bytes.Buffer
+	code := Run([]string{
+		"srepair", "-in", in,
+		"-fd", "facility -> city", "-fd", "facility room -> floor",
+		"-timeout", "1ns",
+	}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("want non-zero exit, stdout: %s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "context deadline exceeded") {
+		t.Fatalf("stderr = %s, want context deadline exceeded", stderr.String())
+	}
+}
+
+// TestURepairAndMPDSolverFlags: the other two repair commands accept
+// the same knobs.
+func TestURepairAndMPDSolverFlags(t *testing.T) {
+	in := writeOfficeCSV(t)
+	var stdout, stderr bytes.Buffer
+	if code := Run([]string{
+		"urepair", "-in", in, "-fd", "facility -> city",
+		"-workers", "2", "-stats",
+	}, &stdout, &stderr); code != 0 {
+		t.Fatalf("urepair exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "solve stats:") {
+		t.Fatalf("urepair -stats missing: %s", stderr.String())
+	}
+
+	// MPD needs probability weights.
+	mpdPath := filepath.Join(t.TempDir(), "prob.csv")
+	csv := "id,facility,room,floor,city,w\n" +
+		"1,HQ,322,3,Paris,0.9\n" +
+		"2,HQ,322,30,Madrid,0.6\n" +
+		"3,HQ,122,1,Madrid,0.6\n" +
+		"4,Lab1,B35,3,London,0.9\n"
+	if err := os.WriteFile(mpdPath, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := Run([]string{
+		"mpd", "-in", mpdPath, "-fd", "facility -> city",
+		"-workers", "2", "-stats",
+	}, &stdout, &stderr); code != 0 {
+		t.Fatalf("mpd exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "solve stats:") {
+		t.Fatalf("mpd -stats missing: %s", stderr.String())
+	}
+}

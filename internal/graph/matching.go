@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/solve"
 )
 
 // MaxWeightBipartiteMatching computes a maximum-weight matching of a
@@ -27,6 +29,15 @@ import (
 // potentials). The result maps each left node to its matched right node
 // or -1, together with the total matched weight.
 func MaxWeightBipartiteMatching(n, m int, weight func(i, j int) float64) (match []int, total float64, err error) {
+	return MaxWeightBipartiteMatchingCtx(nil, n, m, weight)
+}
+
+// MaxWeightBipartiteMatchingCtx is MaxWeightBipartiteMatching drawing
+// the padded cost matrix and the Hungarian working arrays from the
+// solve context's arena — the sparse matcher dispatches thousands of
+// tiny components here, and pooling turns each into an allocation-free
+// solve. A nil context allocates fresh (identical results).
+func MaxWeightBipartiteMatchingCtx(c *solve.Ctx, n, m int, weight func(i, j int) float64) (match []int, total float64, err error) {
 	size := n
 	if m > size {
 		size = m
@@ -51,9 +62,12 @@ func MaxWeightBipartiteMatching(n, m int, weight func(i, j int) float64) (match 
 			}
 		}
 	}
-	cost := make([][]float64, size)
+	scr, _ := c.GetScratch(hungKey{}).(*hungScratch)
+	if scr == nil {
+		scr = new(hungScratch)
+	}
+	cost := scr.matrix(size)
 	for i := range cost {
-		cost[i] = make([]float64, size)
 		for j := range cost[i] {
 			w := 0.0
 			if i < n && j < m {
@@ -64,7 +78,7 @@ func MaxWeightBipartiteMatching(n, m int, weight func(i, j int) float64) (match 
 			cost[i][j] = maxW - w
 		}
 	}
-	assignment := hungarianMin(cost)
+	assignment := hungarianMin(cost, scr)
 	match = make([]int, n)
 	for i := range match {
 		match[i] = -1
@@ -79,28 +93,64 @@ func MaxWeightBipartiteMatching(n, m int, weight func(i, j int) float64) (match 
 			}
 		}
 	}
+	c.PutScratch(hungKey{}, scr)
 	return match, total, nil
+}
+
+// hungScratch is the pooled working set of the dense Hungarian solver:
+// the padded square cost matrix (one flat backing array re-sliced into
+// rows) and the five per-solve arrays of hungarianMin.
+type hungScratch struct {
+	flat   []float64
+	rows   [][]float64
+	u, v   []float64
+	minv   []float64
+	p, way []int
+	used   []bool
+	assign []int
+}
+
+// hungKey pools hungScratch values on the solve context.
+type hungKey struct{}
+
+// matrix returns a size×size cost matrix over the pooled flat array
+// (power-of-two growth, like every pooled buffer, so slowly growing
+// component sizes converge on a high-water capacity).
+func (s *hungScratch) matrix(size int) [][]float64 {
+	s.flat = solve.Grow(s.flat, size*size)
+	s.rows = solve.Grow(s.rows, size)
+	for i := 0; i < size; i++ {
+		s.rows[i] = s.flat[i*size : (i+1)*size]
+	}
+	return s.rows
 }
 
 // hungarianMin solves the square assignment problem (minimization) with
 // the O(n³) shortest-augmenting-path formulation using potentials
-// (Jonker–Volgenant style). cost must be a square matrix. Returns the
-// column assigned to each row.
-func hungarianMin(cost [][]float64) []int {
+// (Jonker–Volgenant style). cost must be a square matrix; scr provides
+// the working arrays (grown as needed, fully re-initialized here).
+// Returns the column assigned to each row (valid until the scratch is
+// reused).
+func hungarianMin(cost [][]float64, scr *hungScratch) []int {
 	n := len(cost)
 	const inf = math.MaxFloat64
 	// 1-based arrays per the classical presentation.
-	u := make([]float64, n+1)
-	v := make([]float64, n+1)
-	p := make([]int, n+1) // p[j] = row matched to column j
-	way := make([]int, n+1)
+	u := solve.Grow(scr.u, n+1)
+	v := solve.Grow(scr.v, n+1)
+	p := solve.Grow(scr.p, n+1) // p[j] = row matched to column j
+	way := solve.Grow(scr.way, n+1)
+	minv := solve.Grow(scr.minv, n+1)
+	used := solve.Grow(scr.used, n+1)
+	scr.u, scr.v, scr.p, scr.way, scr.minv, scr.used = u, v, p, way, minv, used
+	for j := 0; j <= n; j++ {
+		u[j], v[j], p[j], way[j] = 0, 0, 0, 0
+	}
 	for i := 1; i <= n; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]float64, n+1)
-		used := make([]bool, n+1)
 		for j := 0; j <= n; j++ {
 			minv[j] = inf
+			used[j] = false
 		}
 		for {
 			used[j0] = true
@@ -143,7 +193,8 @@ func hungarianMin(cost [][]float64) []int {
 			}
 		}
 	}
-	assignment := make([]int, n)
+	assignment := solve.Grow(scr.assign, n)
+	scr.assign = assignment
 	for j := 1; j <= n; j++ {
 		if p[j] > 0 {
 			assignment[p[j]-1] = j - 1

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/solve"
 )
 
 // Edge is one weighted edge of a bipartite graph, given by its left
@@ -15,15 +17,6 @@ type Edge struct {
 	I, J int
 	W    float64
 }
-
-// ComponentRunner runs fn(0), …, fn(n-1), possibly concurrently; size
-// estimates the work of component i (its edge count) so tiny components
-// can stay inline. The signature matches the block worker pool of the
-// repair engine, which injects itself here so connected components of
-// the matching graph are solved on the same pool as repair blocks — the
-// graph package itself stays dependency-free. fn is safe to call
-// concurrently for distinct i. A nil runner means serial.
-type ComponentRunner func(n int, size func(i int) int, fn func(i int) error) error
 
 // MatchResult is the outcome of a SparseMatcher solve.
 type MatchResult struct {
@@ -42,10 +35,10 @@ type MatchResult struct {
 // instance to a dense size×size matrix and pays O(size³) regardless of
 // how many edges exist, SparseMatcher works on the real edge set: it
 // splits the graph into connected components (solved independently,
-// optionally in parallel via Runner) and runs a shortest-augmenting-
-// path solver with potentials (Jonker–Volgenant over adjacency lists,
-// heap-based Dijkstra) per component, O(V·E·log V) on the component's
-// edges. Degenerate shapes short-circuit: single-edge components and
+// optionally in parallel on the Ctx worker budget) and runs a
+// shortest-augmenting-path solver with potentials (Jonker–Volgenant
+// over adjacency lists, heap-based Dijkstra) per component,
+// O(V·E·log V) on the component's edges. Degenerate shapes short-circuit: single-edge components and
 // one-sided stars are solved by a max scan, and components whose dense
 // matrix is tiny go to the dense Hungarian solver, which wins there.
 //
@@ -53,15 +46,18 @@ type MatchResult struct {
 // from a weight-0 edge, so zero-weight edges are never reported
 // matched — the same convention as MaxWeightBipartiteMatching, whose
 // padded slack edges have weight 0. Results are deterministic for a
-// fixed input, with or without a Runner.
+// fixed input, serial or parallel, arena or no arena.
 type SparseMatcher struct {
 	n, m  int
 	edges []Edge
 
-	// Runner, when non-nil, executes the per-component solves; the
-	// repair engine passes its block worker pool. Component solves never
-	// fail, so the only errors a runner can observe are its own.
-	Runner ComponentRunner
+	// Ctx, when non-nil, is the per-solve context: components fan out
+	// on its worker budget (the same pool as the repair blocks when the
+	// repair engine is the caller), per-component scratch recycles
+	// through its arena, path counters feed its stats, and
+	// cancellation is honored at component boundaries. A nil Ctx runs
+	// serial with fresh allocations.
+	Ctx *solve.Ctx
 }
 
 // NewSparseMatcher validates the instance: endpoints in range and
@@ -107,18 +103,15 @@ func (sm *SparseMatcher) Solve() (MatchResult, error) {
 		return res, nil
 	}
 	picked := make([][]int32, len(comps))
-	solve := func(c int) error {
-		picked[c] = solveComponent(comps[c])
+	one := func(c int) error {
+		if err := sm.Ctx.Err(); err != nil {
+			return err
+		}
+		picked[c] = solveComponent(comps[c], sm.Ctx)
 		return nil
 	}
-	if sm.Runner != nil {
-		if err := sm.Runner(len(comps), func(i int) int { return len(comps[i].edges) }, solve); err != nil {
-			return MatchResult{}, err
-		}
-	} else {
-		for c := range comps {
-			solve(c)
-		}
+	if err := sm.Ctx.ForEachBlock(len(comps), func(i int) int { return len(comps[i].edges) }, one); err != nil {
+		return MatchResult{}, err
 	}
 	total := 0
 	for _, p := range picked {
@@ -209,13 +202,15 @@ const denseComponentLimit = 64
 
 // solveComponent solves one connected component and returns the matched
 // edge indices (into the original edge list).
-func solveComponent(c component) []int32 {
+func solveComponent(c component, ctx *solve.Ctx) []int32 {
 	if len(c.edges) == 1 {
+		ctx.Stats().MatcherPath(solve.MatcherFast)
 		return []int32{c.edges[0].ei} // a single positive edge is always matched
 	}
 	if c.nL == 1 || c.nR == 1 {
 		// One-sided star: every edge shares a node, so a matching picks
 		// exactly one — the heaviest (first among ties).
+		ctx.Stats().MatcherPath(solve.MatcherFast)
 		best := c.edges[0]
 		for _, e := range c.edges[1:] {
 			if e.w > best.w {
@@ -225,19 +220,24 @@ func solveComponent(c component) []int32 {
 		return []int32{best.ei}
 	}
 	if c.nL*c.nR <= denseComponentLimit {
-		return solveDense(c)
+		ctx.Stats().MatcherPath(solve.MatcherDensePath)
+		return solveDense(c, ctx)
 	}
-	return solveSparse(c)
+	ctx.Stats().MatcherPath(solve.MatcherSparsePath)
+	return solveSparse(c, ctx)
 }
 
 // solveDense pads the component into a dense matrix and reuses the
 // Hungarian solver. Parallel edges collapse to the heaviest.
-func solveDense(c component) []int32 {
-	eidx := make([]int32, c.nL*c.nR)
+func solveDense(c component, ctx *solve.Ctx) []int32 {
+	eidx := ctx.Int32s(c.nL * c.nR)
 	for i := range eidx {
 		eidx[i] = -1
 	}
-	w := make([]float64, c.nL*c.nR)
+	w := ctx.Float64s(c.nL * c.nR)
+	for i := range w {
+		w[i] = 0
+	}
 	for _, e := range c.edges {
 		cell := int(e.li)*c.nR + int(e.rj)
 		if eidx[cell] < 0 || e.w > w[cell] {
@@ -252,7 +252,7 @@ func solveDense(c component) []int32 {
 	}
 	// Weights were validated by the constructor, so the dense solver
 	// cannot fail.
-	match, _, err := MaxWeightBipartiteMatching(c.nL, c.nR, weight)
+	match, _, err := MaxWeightBipartiteMatchingCtx(ctx, c.nL, c.nR, weight)
 	if err != nil {
 		panic(err)
 	}
@@ -262,12 +262,32 @@ func solveDense(c component) []int32 {
 			picked = append(picked, eidx[i*c.nR+j])
 		}
 	}
+	ctx.PutInt32s(eidx)
+	ctx.PutFloat64s(w)
 	return picked
 }
 
+// jvScratch is the pooled per-component scratch of the sparse solver:
+// CSR arrays, potentials, distances, matching state and the Dijkstra
+// heap, recycled through the solve context's arena so a solve with
+// many components (or many sequential solves sharing a Ctx) allocates
+// each buffer once instead of per component.
+type jvScratch struct {
+	flip                   []locEdge
+	adj                    []locEdge
+	deg, fill              []int32
+	pL, pR, pV, dL, dR, dV []float64
+	mL, mR, eL, parentR    []int32
+	doneL, doneR, doneV    []bool
+	heap                   []nodeDist
+}
+
+// jvKey pools jvScratch values on the solve context.
+type jvKey struct{}
+
 // solveSparse is the sparse Jonker–Volgenant solver: shortest
 // augmenting paths with potentials over CSR adjacency lists, one row
-// inserted per phase, Dijkstra with a binary heap.
+// inserted per phase, Dijkstra with a 4-ary heap over pooled storage.
 //
 // Maximum-weight (partial) matching reduces to a minimum-cost
 // assignment that is perfect on the rows: costs are maxW−w (≥ 0), and
@@ -282,14 +302,19 @@ func solveDense(c component) []int32 {
 // component worst case, with phases that in practice stay local to the
 // inserted row. The smaller side always plays the rows, so phase count
 // is min(nL, nR).
-func solveSparse(c component) []int32 {
+func solveSparse(c component, ctx *solve.Ctx) []int32 {
+	scr, _ := ctx.GetScratch(jvKey{}).(*jvScratch)
+	if scr == nil {
+		scr = new(jvScratch)
+	}
+	defer ctx.PutScratch(jvKey{}, scr)
 	if c.nR < c.nL {
 		// Transpose: matched edge indices are side-agnostic.
-		flipped := component{nL: c.nR, nR: c.nL, edges: make([]locEdge, len(c.edges))}
+		scr.flip = solve.Grow(scr.flip, len(c.edges))
 		for k, e := range c.edges {
-			flipped.edges[k] = locEdge{li: e.rj, rj: e.li, ei: e.ei, w: e.w}
+			scr.flip[k] = locEdge{li: e.rj, rj: e.li, ei: e.ei, w: e.w}
 		}
-		c = flipped
+		c = component{nL: c.nR, nR: c.nL, edges: scr.flip}
 	}
 	nL, nR := c.nL, c.nR
 	// CSR adjacency, rows in left-node order, each row sorted by right
@@ -297,15 +322,18 @@ func solveSparse(c component) []int32 {
 	// ties): a lighter parallel edge could never be matched — once the
 	// heavier one tightens, the lighter one's reduced cost would go
 	// negative, breaking the potential invariant — so it is dropped.
-	deg := make([]int32, nL+1)
+	deg := solve.Grow(scr.deg, nL+1)
+	for i := range deg {
+		deg[i] = 0
+	}
 	for _, e := range c.edges {
 		deg[e.li+1]++
 	}
 	for i := 0; i < nL; i++ {
 		deg[i+1] += deg[i]
 	}
-	adj := make([]locEdge, len(c.edges))
-	fill := make([]int32, nL)
+	adj := solve.Grow(scr.adj, len(c.edges))
+	fill := solve.Grow(scr.fill, nL)
 	copy(fill, deg[:nL])
 	for _, e := range c.edges {
 		adj[fill[e.li]] = e
@@ -344,34 +372,65 @@ func solveSparse(c component) []int32 {
 	// Column j of the virtual slack block is nR+i for row i; node ids in
 	// the heap are: rows [0,nL), real columns [nL,nL+nR), virtual
 	// columns [nL+nR, nL+nR+nL).
-	pL := make([]float64, nL)
-	pR := make([]float64, nR)
-	pV := make([]float64, nL)
-	mL := make([]int32, nL) // row -> matched column (real j, or nR+i for the slack), -1 free
-	mR := make([]int32, nR) // real column -> matched row, -1 free
-	eL := make([]int32, nL) // row -> matched edge index into the edge list, -1 on slack
+	pL := solve.Grow(scr.pL, nL)
+	pR := solve.Grow(scr.pR, nR)
+	pV := solve.Grow(scr.pV, nL)
+	for i := range pL {
+		pL[i], pV[i] = 0, 0
+	}
+	for j := range pR {
+		pR[j] = 0
+	}
+	mL := solve.Grow(scr.mL, nL) // row -> matched column (real j, or nR+i for the slack), -1 free
+	mR := solve.Grow(scr.mR, nR) // real column -> matched row, -1 free
+	eL := solve.Grow(scr.eL, nL) // row -> matched edge index into the edge list, -1 on slack
 	for i := range mL {
 		mL[i], eL[i] = -1, -1
 	}
 	for j := range mR {
 		mR[j] = -1
 	}
-	dL := make([]float64, nL)
-	dR := make([]float64, nR)
-	dV := make([]float64, nL)
-	doneL := make([]bool, nL)
-	doneR := make([]bool, nR)
-	doneV := make([]bool, nL)
-	parentR := make([]int32, nR) // arc index into adj reaching each real column
+	dL := solve.Grow(scr.dL, nL)
+	dR := solve.Grow(scr.dR, nR)
+	dV := solve.Grow(scr.dV, nL)
+	doneL := solve.Grow(scr.doneL, nL)
+	doneR := solve.Grow(scr.doneR, nR)
+	doneV := solve.Grow(scr.doneV, nL)
+	parentR := solve.Grow(scr.parentR, nR) // arc index into adj reaching each real column
+	// Persist the grown buffers so the pooled scratch keeps its
+	// high-water capacities across components.
+	scr.deg, scr.fill, scr.adj = deg, fill, adj[:cap(adj)]
+	scr.pL, scr.pR, scr.pV = pL, pR, pV
+	scr.mL, scr.mR, scr.eL, scr.parentR = mL, mR, eL, parentR
+	scr.dL, scr.dR, scr.dV = dL, dR, dV
+	scr.doneL, scr.doneR, scr.doneV = doneL, doneR, doneV
+	// Re-slice every per-node array to its side's length so the
+	// bounds-check prover sees the equalities the fused loops below
+	// rely on (the grow helpers hide them, costing ~15% on
+	// matching-dominated benches otherwise).
+	dL, dV, doneL, doneV = dL[:nL], dV[:nL], doneL[:nL], doneV[:nL]
+	pL, pV, mL, eL = pL[:nL], pV[:nL], mL[:nL], eL[:nL]
+	dR, doneR, pR, mR, parentR = dR[:nR], doneR[:nR], pR[:nR], mR[:nR], parentR[:nR]
 
-	var pq nodeHeap
+	pq := nodeHeap{s: scr.heap[:0]}
 	for row := 0; row < nL; row++ {
+		// Per-phase reinit as single-purpose loops: the bool resets
+		// compile to memclr and the constant fills stay tight, where a
+		// fused multi-slice loop pays interleaved-store stalls.
 		for i := range dL {
-			dL[i], doneL[i] = inf, false
-			dV[i], doneV[i] = inf, false
+			dL[i] = inf
+		}
+		for i := range dV {
+			dV[i] = inf
 		}
 		for j := range dR {
-			dR[j], doneR[j], parentR[j] = inf, false, -1
+			dR[j] = inf
+		}
+		clear(doneL)
+		clear(doneV)
+		clear(doneR)
+		for j := range parentR {
+			parentR[j] = -1
 		}
 		pq.s = pq.s[:0]
 		dL[row] = 0
@@ -448,16 +507,18 @@ func solveSparse(c component) []int32 {
 		// columns are never finalized before becoming the target, so
 		// they keep potential 0 and "first free column popped" is the
 		// cheapest augmenting path.
-		for i := 0; i < nL; i++ {
-			if doneL[i] {
+		for i, done := range doneL {
+			if done {
 				pL[i] += dT - dL[i]
 			}
-			if doneV[i] {
+		}
+		for i, done := range doneV {
+			if done {
 				pV[i] -= dT - dV[i]
 			}
 		}
-		for j := 0; j < nR; j++ {
-			if doneR[j] {
+		for j, done := range doneR {
+			if done {
 				pR[j] -= dT - dR[j]
 			}
 		}
@@ -484,6 +545,7 @@ func solveSparse(c component) []int32 {
 			t = int32(nL) + prev
 		}
 	}
+	scr.heap = pq.s[:0]
 	var picked []int32
 	for i := 0; i < nL; i++ {
 		if eL[i] >= 0 {
@@ -500,16 +562,19 @@ type nodeDist struct {
 	node int32
 }
 
-// nodeHeap is a plain binary min-heap on d. container/heap would box
-// every entry through an interface; this keeps the inner loop
-// allocation-free.
+// nodeHeap is a 4-ary min-heap on d over pooled storage. container/heap
+// would box every entry through an interface; an explicit slice keeps
+// the inner loop allocation-free, and the 4-ary layout halves the tree
+// depth, trading cheap in-cache sibling comparisons on pop for fewer
+// levels on push — a measurable constant-factor win on the
+// matching-dominated workloads (see ROADMAP.md for the before/after).
 type nodeHeap struct{ s []nodeDist }
 
 func (h *nodeHeap) push(x nodeDist) {
 	h.s = append(h.s, x)
 	i := len(h.s) - 1
 	for i > 0 {
-		p := (i - 1) / 2
+		p := (i - 1) >> 2
 		if h.s[p].d <= h.s[i].d {
 			break
 		}
@@ -525,13 +590,19 @@ func (h *nodeHeap) pop() nodeDist {
 	h.s = h.s[:last]
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < len(h.s) && h.s[l].d < h.s[small].d {
-			small = l
+		first := i<<2 + 1
+		if first >= len(h.s) {
+			break
 		}
-		if r < len(h.s) && h.s[r].d < h.s[small].d {
-			small = r
+		end := first + 4
+		if end > len(h.s) {
+			end = len(h.s)
+		}
+		small := i
+		for k := first; k < end; k++ {
+			if h.s[k].d < h.s[small].d {
+				small = k
+			}
 		}
 		if small == i {
 			break

@@ -3,8 +3,9 @@ package graph
 import (
 	"math"
 	"math/rand"
-	"sync"
 	"testing"
+
+	"repro/internal/solve"
 )
 
 // checkMatchResult validates the structural invariants of a solve: the
@@ -251,46 +252,43 @@ func TestSparseMatcherRejectsBadInput(t *testing.T) {
 	}
 }
 
-// parallelRunner mimics the repair engine's worker pool: components run
-// on real goroutines, so `go test -race` exercises the concurrent
-// component solve.
-func parallelRunner(n int, size func(i int) int, fn func(i int) error) error {
-	var wg sync.WaitGroup
-	errs := make([]error, n)
-	sem := make(chan struct{}, 8)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = fn(i)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+// clusteredEdges builds an instance of k disjoint dense-ish clusters,
+// each with at least minEdges edges, so every component crosses the
+// ForEachBlock handoff threshold and the parallel path actually spawns
+// goroutines (a single random blob would mostly solve inline).
+func clusteredEdges(rng *rand.Rand, k, side, minEdges int) (n, m int, edges []Edge) {
+	n, m = k*side, k*side
+	for c := 0; c < k; c++ {
+		base := c * side
+		for e := 0; e < minEdges; e++ {
+			edges = append(edges, Edge{
+				I: base + rng.Intn(side),
+				J: base + rng.Intn(side),
+				W: float64(1 + rng.Intn(50)),
+			})
 		}
 	}
-	return nil
+	return n, m, edges
 }
 
 // TestSparseMatcherParallelDeterministic solves the same instances with
-// and without a concurrent runner: results must be byte-identical (and
-// the run is the race-detector test for the component fan-out).
+// and without a multi-worker solve context (whose arena also recycles
+// component scratch across goroutines): results must be byte-identical.
+// The instances are built as several disjoint components, each above
+// solve.MinParallelBlock edges, so under -race this genuinely exercises
+// concurrent component solves sharing one arena.
 func TestSparseMatcherParallelDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(83))
-	for iter := 0; iter < 20; iter++ {
-		n, m := 40+rng.Intn(40), 40+rng.Intn(40)
-		edges := randomEdges(rng, n, m, 2.2, 6)
+	ctx := solve.New(8, nil, nil)
+	for iter := 0; iter < 12; iter++ {
+		n, m, edges := clusteredEdges(rng, 4+rng.Intn(3), 30, solve.MinParallelBlock+20)
 		serial := solveSparseInstance(t, n, m, edges)
 
 		sm, err := NewSparseMatcher(n, m, edges)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sm.Runner = parallelRunner
+		sm.Ctx = ctx
 		par, err := sm.Solve()
 		if err != nil {
 			t.Fatal(err)

@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/solve"
 )
 
 // Graph is an undirected graph with float64 vertex weights, used for the
@@ -211,6 +213,18 @@ const ExactVertexCoverLimit = 512
 // lower bound for pruning. Exponential worst case; refuses instances
 // with more than ExactVertexCoverLimit vertices.
 func (g *Graph) ExactMinVertexCover() (map[int]bool, error) {
+	return g.ExactMinVertexCoverCtx(nil)
+}
+
+// exactCancelCheckMask gates how often the branch-and-bound polls the
+// solve context for cancellation: every 1024 search nodes, cheap
+// relative to the per-node edge scans.
+const exactCancelCheckMask = 1<<10 - 1
+
+// ExactMinVertexCoverCtx is ExactMinVertexCover under a solve context:
+// the search polls for cancellation periodically, so a deadline bounds
+// the exponential worst case instead of burning CPU to completion.
+func (g *Graph) ExactMinVertexCoverCtx(c *solve.Ctx) (map[int]bool, error) {
 	if g.n > ExactVertexCoverLimit {
 		return nil, fmt.Errorf("graph: exact vertex cover limited to %d vertices, got %d", ExactVertexCoverLimit, g.n)
 	}
@@ -268,8 +282,20 @@ func (g *Graph) ExactMinVertexCover() (map[int]bool, error) {
 		return lb
 	}
 
+	var searched int
+	var stopErr error
 	var rec func()
 	rec = func() {
+		if stopErr != nil {
+			return
+		}
+		searched++
+		if searched&exactCancelCheckMask == 0 {
+			if err := c.Err(); err != nil {
+				stopErr = err
+				return
+			}
+		}
 		if cur+lowerBound() >= bestW-1e-12 {
 			return
 		}
@@ -333,6 +359,9 @@ func (g *Graph) ExactMinVertexCover() (map[int]bool, error) {
 		// If v is also excluded, the edge cannot be covered: dead branch.
 	}
 	rec()
+	if stopErr != nil {
+		return nil, stopErr
+	}
 	return best, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"math/bits"
 
 	"repro/internal/fd"
+	"repro/internal/solve"
 	"repro/internal/srepair"
 	"repro/internal/table"
 )
@@ -53,8 +54,17 @@ func IsPolyTime(ds *fd.Set) bool { return srepair.OSRSucceeds(ds) }
 // get log-odds weights log(p/(1−p)); an optimal S-repair of the
 // reweighted table is a most probable database. OptSRepair is used when
 // the FD set is tractable, the exact vertex-cover baseline otherwise
-// (subject to its size limits).
+// (subject to its size limits). Runs on the process-default solve
+// context; see SolveCtx.
 func Solve(ds *fd.Set, t *table.Table) (*table.Table, error) {
+	return SolveCtx(solve.Default(), ds, t)
+}
+
+// SolveCtx is Solve under an explicit solve context: the underlying
+// S-repair (OptSRepair on the tractable side, the exact vertex-cover
+// baseline otherwise) inherits c's worker budget, arenas, stats and
+// cancellation.
+func SolveCtx(c *solve.Ctx, ds *fd.Set, t *table.Table) (*table.Table, error) {
 	if err := Validate(t); err != nil {
 		return nil, err
 	}
@@ -107,9 +117,9 @@ func Solve(ds *fd.Set, t *table.Table) (*table.Table, error) {
 	var rep *table.Table
 	var err error
 	if srepair.OSRSucceeds(ds) {
-		rep, err = srepair.OptSRepair(ds, weighted)
+		rep, err = srepair.OptSRepairCtx(c, ds, weighted)
 	} else {
-		rep, err = srepair.Exact(ds, weighted)
+		rep, err = srepair.ExactCtx(c, ds, weighted)
 	}
 	if err != nil {
 		return nil, err

@@ -1,0 +1,468 @@
+// Package solve provides the per-solve execution context threaded
+// through every layer of the repair engine: the fdrepair public API,
+// the OptSRepair recursion and block pool (internal/srepair), the
+// U-repair planner (internal/urepair) and MPD (internal/mpd), the
+// matching engines (internal/graph) and the view grouping scratch
+// (internal/table).
+//
+// A Ctx bundles what used to be process-wide state into one per-solve
+// value:
+//
+//   - the worker budget of the opt-in block pool (formerly the
+//     srepair.SetWorkers global);
+//   - sync.Pool-backed scratch arenas recycled across recursion levels
+//     and matching components, so hot paths stop allocating fresh
+//     scratch on every call;
+//   - cooperative cancellation: an optional context.Context checked at
+//     recursion and component boundaries, so a deadline-exceeded solve
+//     returns promptly instead of burning CPU;
+//   - an optional Stats record (recursion nodes, blocks solved
+//     serial/parallel, matcher path hits, arena reuse counts).
+//
+// The package depends only on the standard library so every internal
+// package can import it without cycles. All Ctx methods are safe on a
+// nil receiver, degrading to serial, arena-less, non-cancellable
+// execution.
+package solve
+
+import (
+	"context"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Ctx is the per-solve context. The zero value is not useful; construct
+// with New (or use Default for the process-default serial context).
+// A single Ctx may be shared by many goroutines and many sequential
+// solves: the arenas are concurrency-safe and reuse improves the more
+// solves share them.
+type Ctx struct {
+	workers int
+	slots   chan struct{} // cap workers-1; nil = serial
+
+	done <-chan struct{} // cancellation signal; nil = non-cancellable
+	cctx context.Context // source of done, for Err()
+
+	stats *Stats // nil = not collected
+
+	// Typed arenas get dedicated pools (one pointer indirection on the
+	// hot path); composite scratch structs of other packages go through
+	// the keyed pools map.
+	int32s sync.Pool
+	slices sync.Pool
+	f64s   sync.Pool
+	keyed  sync.Map // any (key) -> *sync.Pool
+}
+
+// New builds a context with the given worker budget (n ≤ 1 means
+// serial), cancellation source (nil means non-cancellable) and stats
+// sink (nil means stats are not collected).
+func New(workers int, cctx context.Context, stats *Stats) *Ctx {
+	c := &Ctx{workers: 1, cctx: cctx, stats: stats}
+	if workers > 1 {
+		c.workers = workers
+		c.slots = make(chan struct{}, workers-1)
+	}
+	if cctx != nil {
+		c.done = cctx.Done()
+	}
+	return c
+}
+
+// Workers returns the configured worker budget (1 = serial).
+func (c *Ctx) Workers() int {
+	if c == nil || c.workers < 1 {
+		return 1
+	}
+	return c.workers
+}
+
+// Stats returns the stats sink, or nil when stats are not collected.
+func (c *Ctx) Stats() *Stats {
+	if c == nil {
+		return nil
+	}
+	return c.stats
+}
+
+// Err reports the cancellation state: nil while the solve may proceed,
+// context.Canceled or context.DeadlineExceeded once the solve's context
+// is done. The algorithms call it at recursion and component
+// boundaries; the fast path is one channel poll.
+func (c *Ctx) Err() error {
+	if c == nil || c.done == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return c.cctx.Err()
+	default:
+		return nil
+	}
+}
+
+// defaultCtx is the process-default context: serial, non-cancellable,
+// no stats. The deprecated fdrepair.SetParallelism /
+// srepair.SetWorkers shims reconfigure it; everything else receives
+// its Ctx explicitly, so no solve hot path consults package state.
+var defaultCtx atomic.Pointer[Ctx]
+
+func init() { defaultCtx.Store(New(1, nil, nil)) }
+
+// Default returns the process-default context used by the ctx-less
+// convenience wrappers (srepair.OptSRepair, urepair.Repair, ...).
+func Default() *Ctx { return defaultCtx.Load() }
+
+// SetDefaultWorkers reconfigures the default context's worker budget.
+// It exists only to back the deprecated SetParallelism/SetWorkers
+// shims; new code should construct a per-solve Ctx instead. Do not
+// call concurrently with a running default-context solve.
+func SetDefaultWorkers(n int) {
+	old := defaultCtx.Load()
+	defaultCtx.Store(New(n, old.cctx, old.stats))
+}
+
+// MinParallelBlock gates goroutine handoff in ForEachBlock: blocks
+// below this size (rows, edges, ...) finish faster than the scheduling
+// round-trip costs, so they always run inline.
+const MinParallelBlock = 96
+
+// ForEachBlock runs fn(0..n-1), handing blocks of at least
+// MinParallelBlock units (per the size callback) to pool slots when
+// available. The pool uses try-acquire semantics: a block runs in a
+// goroutine when a slot is free and inline otherwise, so nested
+// recursion can never deadlock on pool slots, and a saturated pool
+// degrades to the serial algorithm. Results are collected per block
+// index, which keeps every caller deterministic and identical to the
+// serial result. The returned error is the first (by block index)
+// failure; the serial path stops there, while the parallel path drains
+// every started block before reporting. A cancelled Ctx fails fast
+// before any block runs.
+func (c *Ctx) ForEachBlock(n int, size func(i int) int, fn func(i int) error) error {
+	if err := c.Err(); err != nil {
+		return err
+	}
+	var slots chan struct{}
+	var stats *Stats
+	if c != nil {
+		slots, stats = c.slots, c.stats
+	}
+	if slots == nil || n < 2 {
+		// Count blocks actually run (the serial path stops at the first
+		// failure), matching the parallel path's semantics.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				if stats != nil {
+					stats.BlocksSerial.Add(int64(i + 1))
+				}
+				return err
+			}
+		}
+		if stats != nil {
+			stats.BlocksSerial.Add(int64(n))
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	var inline, handed int64
+	for i := 0; i < n; i++ {
+		if size(i) < MinParallelBlock {
+			inline++
+			errs[i] = fn(i)
+			continue
+		}
+		select {
+		case slots <- struct{}{}:
+			handed++
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-slots }()
+				errs[i] = fn(i)
+			}(i)
+		default:
+			inline++
+			errs[i] = fn(i)
+		}
+	}
+	wg.Wait()
+	if stats != nil {
+		stats.BlocksSerial.Add(inline)
+		stats.BlocksParallel.Add(handed)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- Scratch arenas ----
+//
+// The arena is a set of sync.Pools owned by the Ctx, one per caller-
+// chosen key (typed getters below use private keys; packages with
+// composite scratch structs bring their own). Pools are created on
+// first Put, so a Get on a fresh Ctx is a counted miss, and objects
+// recycle across recursion levels, matching components and sequential
+// solves sharing the Ctx. Because sync.Pool is per-P, concurrent block
+// workers get and put scratch without contending.
+
+// GetScratch returns an object previously stored under key, or nil
+// when the arena has none (the caller then allocates). Hits and misses
+// are counted in Stats. Intended for composite per-package scratch
+// structs (one Get/Put per solve unit); the typed slice pools below
+// are cheaper for raw slices.
+func (c *Ctx) GetScratch(key any) any {
+	if c == nil {
+		return nil
+	}
+	if p, ok := c.keyed.Load(key); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			c.stats.arena(true)
+			return v
+		}
+	}
+	c.stats.arena(false)
+	return nil
+}
+
+// PutScratch recycles an object under key for a later GetScratch.
+func (c *Ctx) PutScratch(key any, v any) {
+	if c == nil {
+		return
+	}
+	p, ok := c.keyed.Load(key)
+	if !ok {
+		p, _ = c.keyed.LoadOrStore(key, &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(v)
+}
+
+// ceilPow2 rounds capacities up so recycled slices fit a range of
+// request sizes instead of only their exact birth length.
+func ceilPow2(n int) int {
+	if n <= 8 {
+		return 8
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Grow returns a slice of length n over s's storage, allocating (with
+// power-of-two capacity, so pooled buffers converge on a high-water
+// size instead of churning) when s is too small. Contents are
+// arbitrary; the caller initializes what it reads. The shared helper
+// for fields of pooled scratch structs.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n, ceilPow2(n))
+	}
+	return s[:n]
+}
+
+// Int32s returns a []int32 of length n with arbitrary contents, from
+// the arena when possible. Release with PutInt32s.
+func (c *Ctx) Int32s(n int) []int32 {
+	if c != nil {
+		if v := c.int32s.Get(); v != nil {
+			s := *v.(*[]int32)
+			if cap(s) >= n {
+				c.stats.arena(true)
+				return s[:n]
+			}
+			// Too small: drop it. Re-putting would park it in the
+			// per-P private slot, shadowing larger pooled buffers for
+			// every later request on this P — churning small buffers
+			// is cheaper than persistently missing on the big ones.
+		}
+		c.stats.arena(false)
+	}
+	return make([]int32, n, ceilPow2(n))
+}
+
+// PutInt32s recycles a slice obtained from Int32s. The caller must not
+// use the slice afterwards.
+func (c *Ctx) PutInt32s(s []int32) {
+	if c == nil || cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	c.int32s.Put(&s)
+}
+
+// Int32Slices returns a [][]int32 of length n with nil entries, from
+// the arena when possible. Release with PutInt32Slices.
+func (c *Ctx) Int32Slices(n int) [][]int32 {
+	if c != nil {
+		if v := c.slices.Get(); v != nil {
+			s := *v.(*[][]int32)
+			if cap(s) >= n {
+				c.stats.arena(true)
+				// Entries were nilled by PutInt32Slices.
+				return s[:n]
+			}
+			// Too small: drop (see Int32s).
+		}
+		c.stats.arena(false)
+	}
+	return make([][]int32, n, ceilPow2(n))
+}
+
+// PutInt32Slices recycles a slice obtained from Int32Slices. The used
+// region is nilled here (not on Get) so a parked pool object never
+// pins the row-index arrays of a finished solve: every user clears its
+// own [0:len) on Put and the tail beyond it is nil by induction (the
+// larger earlier user cleared it on its Put, and fresh allocations
+// start zeroed), so the whole backing array is reference-free whenever
+// it sits in the pool.
+func (c *Ctx) PutInt32Slices(s [][]int32) {
+	if c == nil || cap(s) == 0 {
+		return
+	}
+	for i := range s {
+		s[i] = nil
+	}
+	s = s[:0]
+	c.slices.Put(&s)
+}
+
+// Float64s returns a []float64 of length n with arbitrary contents,
+// from the arena when possible. Release with PutFloat64s.
+func (c *Ctx) Float64s(n int) []float64 {
+	if c != nil {
+		if v := c.f64s.Get(); v != nil {
+			s := *v.(*[]float64)
+			if cap(s) >= n {
+				c.stats.arena(true)
+				return s[:n]
+			}
+			// Too small: drop (see Int32s).
+		}
+		c.stats.arena(false)
+	}
+	return make([]float64, n, ceilPow2(n))
+}
+
+// PutFloat64s recycles a slice obtained from Float64s.
+func (c *Ctx) PutFloat64s(s []float64) {
+	if c == nil || cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	c.f64s.Put(&s)
+}
+
+// ---- Stats ----
+
+// Stats accumulates solve counters. All fields are atomic so one Stats
+// may sink many concurrent solves (per-Solver aggregation); read a
+// consistent copy with Snapshot. A nil *Stats is a valid "don't
+// collect" sink for every method.
+type Stats struct {
+	// Nodes counts recursion nodes visited by OptSRepair.
+	Nodes atomic.Int64
+	// BlocksSerial / BlocksParallel count sibling blocks (and matching
+	// components) solved inline vs handed to a pool worker.
+	BlocksSerial   atomic.Int64
+	BlocksParallel atomic.Int64
+	// Matcher path counters: singleton/star fast paths, dense Hungarian
+	// fallbacks, and sparse Jonker–Volgenant component solves.
+	MatcherFastPath atomic.Int64
+	MatcherDense    atomic.Int64
+	MatcherSparse   atomic.Int64
+	// ArenaHits / ArenaMisses count scratch requests served from the
+	// arena vs freshly allocated.
+	ArenaHits   atomic.Int64
+	ArenaMisses atomic.Int64
+}
+
+func (s *Stats) arena(hit bool) {
+	if s == nil {
+		return
+	}
+	if hit {
+		s.ArenaHits.Add(1)
+	} else {
+		s.ArenaMisses.Add(1)
+	}
+}
+
+// Node counts one recursion node.
+func (s *Stats) Node() {
+	if s != nil {
+		s.Nodes.Add(1)
+	}
+}
+
+// MatcherPath counts one component solved by the named matcher path.
+func (s *Stats) MatcherPath(kind MatcherKind) {
+	if s == nil {
+		return
+	}
+	switch kind {
+	case MatcherFast:
+		s.MatcherFastPath.Add(1)
+	case MatcherDensePath:
+		s.MatcherDense.Add(1)
+	case MatcherSparsePath:
+		s.MatcherSparse.Add(1)
+	}
+}
+
+// MatcherKind names the component fast paths of the sparse matcher.
+type MatcherKind int
+
+const (
+	MatcherFast MatcherKind = iota // singleton edge or one-sided star
+	MatcherDensePath
+	MatcherSparsePath
+)
+
+// Snapshot is a plain-value copy of Stats, JSON-taggable for bench
+// snapshots and reports.
+type Snapshot struct {
+	Nodes           int64 `json:"nodes"`
+	BlocksSerial    int64 `json:"blocks_serial"`
+	BlocksParallel  int64 `json:"blocks_parallel"`
+	MatcherFastPath int64 `json:"matcher_fast_path"`
+	MatcherDense    int64 `json:"matcher_dense"`
+	MatcherSparse   int64 `json:"matcher_sparse"`
+	ArenaHits       int64 `json:"arena_hits"`
+	ArenaMisses     int64 `json:"arena_misses"`
+}
+
+// Snapshot returns a consistent-enough copy of the counters (each
+// counter is read atomically; the set is not a single atomic cut,
+// which is fine for reporting).
+func (s *Stats) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Nodes:           s.Nodes.Load(),
+		BlocksSerial:    s.BlocksSerial.Load(),
+		BlocksParallel:  s.BlocksParallel.Load(),
+		MatcherFastPath: s.MatcherFastPath.Load(),
+		MatcherDense:    s.MatcherDense.Load(),
+		MatcherSparse:   s.MatcherSparse.Load(),
+		ArenaHits:       s.ArenaHits.Load(),
+		ArenaMisses:     s.ArenaMisses.Load(),
+	}
+}
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() {
+	if s == nil {
+		return
+	}
+	s.Nodes.Store(0)
+	s.BlocksSerial.Store(0)
+	s.BlocksParallel.Store(0)
+	s.MatcherFastPath.Store(0)
+	s.MatcherDense.Store(0)
+	s.MatcherSparse.Store(0)
+	s.ArenaHits.Store(0)
+	s.ArenaMisses.Store(0)
+}

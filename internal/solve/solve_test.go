@@ -1,0 +1,200 @@
+package solve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersClamp(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{-1, 1}, {0, 1}, {1, 1}, {2, 2}, {16, 16}} {
+		if got := New(tc.in, nil, nil).Workers(); got != tc.want {
+			t.Fatalf("New(%d).Workers() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	var nilCtx *Ctx
+	if got := nilCtx.Workers(); got != 1 {
+		t.Fatalf("nil ctx workers = %d", got)
+	}
+}
+
+func TestErrCancellation(t *testing.T) {
+	if err := New(1, nil, nil).Err(); err != nil {
+		t.Fatalf("non-cancellable ctx Err = %v", err)
+	}
+	var nilCtx *Ctx
+	if err := nilCtx.Err(); err != nil {
+		t.Fatalf("nil ctx Err = %v", err)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	c := New(1, cctx, nil)
+	if err := c.Err(); err != nil {
+		t.Fatalf("live ctx Err = %v", err)
+	}
+	cancel()
+	if err := c.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx Err = %v", err)
+	}
+}
+
+func TestForEachBlockSerialAndParallel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		c := New(workers, nil, nil)
+		n := 200
+		out := make([]int, n)
+		err := c.ForEachBlock(n, func(i int) int { return i }, func(i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: block %d = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachBlockFirstErrorByIndex(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		c := New(workers, nil, nil)
+		var ran atomic.Int64
+		err := c.ForEachBlock(50, func(i int) int { return 1000 }, func(i int) error {
+			ran.Add(1)
+			if i == 7 || i == 31 {
+				return fmt.Errorf("block %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "block 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want block 7 (first by index)", workers, err)
+		}
+		if workers == 1 {
+			// The serial path stops at the first failure.
+			if ran.Load() != 8 {
+				t.Fatalf("serial: ran %d blocks, want 8", ran.Load())
+			}
+		} else if ran.Load() != 50 {
+			// The parallel path drains every block before reporting.
+			t.Fatalf("parallel: all blocks must run to completion, got %d", ran.Load())
+		}
+	}
+}
+
+func TestForEachBlockCancelFailsFast(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := New(4, cctx, nil)
+	ran := false
+	err := c.ForEachBlock(10, func(int) int { return 1 }, func(int) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("blocks ran despite cancelled context")
+	}
+}
+
+func TestArenaReuseAndStats(t *testing.T) {
+	st := new(Stats)
+	c := New(1, nil, st)
+	s := c.Int32s(100)
+	if len(s) != 100 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if st.ArenaMisses.Load() == 0 {
+		t.Fatal("first Get must be a miss")
+	}
+	c.PutInt32s(s)
+	s2 := c.Int32s(64)
+	if st.ArenaHits.Load() == 0 {
+		t.Fatal("second Get should hit the pooled slice")
+	}
+	if cap(s2) < 100 {
+		t.Fatalf("pooled capacity lost: %d", cap(s2))
+	}
+	// Requesting more than the pooled capacity falls back to a fresh
+	// allocation (counted as a miss, not a failure).
+	big := c.Int32s(1 << 12)
+	if len(big) != 1<<12 {
+		t.Fatalf("len = %d", len(big))
+	}
+
+	f := c.Float64s(10)
+	c.PutFloat64s(f)
+	if got := c.Float64s(10); cap(got) < 10 {
+		t.Fatalf("float64 pool broken: %d", cap(got))
+	}
+
+	g := c.Int32Slices(5)
+	g[3] = []int32{1, 2}
+	c.PutInt32Slices(g)
+	g2 := c.Int32Slices(4)
+	for i, e := range g2 {
+		if e != nil {
+			t.Fatalf("recycled entry %d not cleared: %v", i, e)
+		}
+	}
+}
+
+func TestArenaNilCtxSafe(t *testing.T) {
+	var c *Ctx
+	if s := c.Int32s(4); len(s) != 4 {
+		t.Fatal("nil ctx Int32s")
+	}
+	c.PutInt32s(nil)
+	c.PutFloat64s(nil)
+	c.PutInt32Slices(nil)
+	if v := c.GetScratch("k"); v != nil {
+		t.Fatal("nil ctx GetScratch")
+	}
+	c.PutScratch("k", 1)
+	if err := c.ForEachBlock(3, func(int) int { return 1 }, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsSnapshotAndReset(t *testing.T) {
+	st := new(Stats)
+	st.Node()
+	st.MatcherPath(MatcherFast)
+	st.MatcherPath(MatcherDensePath)
+	st.MatcherPath(MatcherSparsePath)
+	snap := st.Snapshot()
+	if snap.Nodes != 1 || snap.MatcherFastPath != 1 || snap.MatcherDense != 1 || snap.MatcherSparse != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	st.Reset()
+	if st.Snapshot() != (Snapshot{}) {
+		t.Fatalf("reset left %+v", st.Snapshot())
+	}
+	var nilStats *Stats
+	nilStats.Node()
+	nilStats.MatcherPath(MatcherFast)
+	nilStats.Reset()
+	if nilStats.Snapshot() != (Snapshot{}) {
+		t.Fatal("nil stats snapshot")
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	defer SetDefaultWorkers(1)
+	if Default().Workers() != 1 {
+		t.Fatalf("default workers = %d", Default().Workers())
+	}
+	SetDefaultWorkers(6)
+	if Default().Workers() != 6 {
+		t.Fatalf("default workers = %d", Default().Workers())
+	}
+	SetDefaultWorkers(0)
+	if Default().Workers() != 1 {
+		t.Fatalf("default workers = %d", Default().Workers())
+	}
+}

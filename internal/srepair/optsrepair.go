@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/fd"
 	"repro/internal/graph"
+	"repro/internal/solve"
 	"repro/internal/table"
 )
 
@@ -41,7 +42,21 @@ var ErrNoSimplification = errors.New("srepair: FD set admits no simplification (
 // (row-index slices sharing t's dictionary encoding). Blocks are never
 // materialized as intermediate tables — only the final repair builds a
 // *Table.
+//
+// OptSRepair runs on the process-default solve context (serial, no
+// stats); OptSRepairCtx threads an explicit per-solve context carrying
+// the worker budget, scratch arenas, cancellation and stats.
 func OptSRepair(ds *fd.Set, t *table.Table) (*table.Table, error) {
+	return OptSRepairCtx(solve.Default(), ds, t)
+}
+
+// OptSRepairCtx is OptSRepair under an explicit solve context: sibling
+// blocks fan out on c's worker budget, per-node scratch (group-by
+// buffers, block result slices, matcher arenas) recycles through c's
+// arena, and cancellation is honored at recursion and component
+// boundaries (a cancelled solve returns c's context error). Results
+// are byte-identical to the serial default-context solve.
+func OptSRepairCtx(c *solve.Ctx, ds *fd.Set, t *table.Table) (*table.Table, error) {
 	if !ds.Schema().SameAs(t.Schema()) {
 		return nil, fmt.Errorf("srepair: FD set and table have different schemas")
 	}
@@ -53,7 +68,7 @@ func OptSRepair(ds *fd.Set, t *table.Table) (*table.Table, error) {
 		// Line 1–2: Δ is trivial, T is its own optimal S-repair.
 		return t, nil
 	}
-	sv := solver{steps: steps}
+	sv := solver{steps: steps, c: c}
 	keep, err := sv.solve(table.NewView(t), 0)
 	if err != nil {
 		return nil, err
@@ -61,16 +76,23 @@ func OptSRepair(ds *fd.Set, t *table.Table) (*table.Table, error) {
 	return table.ViewOfRows(t, keep).Materialize(), nil
 }
 
-// solver carries the precomputed simplification chain through the view
-// recursion: every node at depth d applies steps[d], so no FD-set
-// reasoning happens per block.
+// solver carries the precomputed simplification chain and the solve
+// context through the view recursion: every node at depth d applies
+// steps[d], so no FD-set reasoning happens per block, and every node
+// draws scratch from (and checks cancellation on) the same per-solve
+// context.
 type solver struct {
 	steps []fd.Simplification
+	c     *solve.Ctx
 }
 
 // solve returns the row indices (into the view's backing table) of an
 // optimal S-repair of the view.
 func (s solver) solve(v table.View, depth int) ([]int32, error) {
+	s.c.Stats().Node()
+	if err := s.c.Err(); err != nil {
+		return nil, err
+	}
 	if depth == len(s.steps) || v.Len() <= 1 {
 		// Chain exhausted, or a singleton/empty block: always consistent,
 		// so the block is its own optimal S-repair.
@@ -89,11 +111,14 @@ func (s solver) solve(v table.View, depth int) ([]int32, error) {
 	}
 }
 
-// solveBlocks solves every group at depth+1, using the opt-in worker
-// pool (SetWorkers) for independent blocks.
+// solveBlocks solves every group at depth+1, fanning independent
+// blocks out on the context's worker budget. The returned block-result
+// slice comes from the context arena; the caller releases it with
+// PutInt32Slices after combining (the entries themselves may alias
+// group storage and are copied out before any release).
 func (s solver) solveBlocks(v table.View, groups [][]int32, depth int) ([][]int32, error) {
-	reps := make([][]int32, len(groups))
-	err := forEachBlock(len(groups), func(i int) int { return len(groups[i]) }, func(i int) error {
+	reps := s.c.Int32Slices(len(groups))
+	err := s.c.ForEachBlock(len(groups), func(i int) int { return len(groups[i]) }, func(i int) error {
 		rep, err := s.solve(v.Subview(groups[i]), depth+1)
 		if err != nil {
 			return err
@@ -102,6 +127,10 @@ func (s solver) solveBlocks(v table.View, groups [][]int32, depth int) ([][]int3
 		return nil
 	})
 	if err != nil {
+		// The entries are only slice headers (their storage belongs to
+		// the per-node groupings, recycled by those nodes' defers), so
+		// the header slice itself can be pooled on the error path too.
+		s.c.PutInt32Slices(reps)
 		return nil, err
 	}
 	return reps, nil
@@ -110,11 +139,16 @@ func (s solver) solveBlocks(v table.View, groups [][]int32, depth int) ([][]int3
 // commonLHSRep is Subroutine 1: partition by the common-lhs attribute,
 // solve each block under Δ − A, return the union.
 func (s solver) commonLHSRep(st fd.Simplification, v table.View, depth int) ([]int32, error) {
-	groups := v.GroupBy(st.Removed)
-	reps, err := s.solveBlocks(v, groups, depth)
+	g := v.GroupByArena(s.c, st.Removed)
+	// Deferred so cancelled solves recycle their scratch too; the
+	// return value is always a fresh slice, copied out before the
+	// deferred release runs.
+	defer g.Release(s.c)
+	reps, err := s.solveBlocks(v, g.Groups, depth)
 	if err != nil {
 		return nil, err
 	}
+	defer s.c.PutInt32Slices(reps)
 	total := 0
 	for _, rep := range reps {
 		total += len(rep)
@@ -133,11 +167,13 @@ func (s solver) consensusRep(st fd.Simplification, v table.View, depth int) ([]i
 	if v.Len() == 0 {
 		return v.Rows(), nil
 	}
-	groups := v.GroupBy(st.Removed)
-	reps, err := s.solveBlocks(v, groups, depth)
+	g := v.GroupByArena(s.c, st.Removed)
+	defer g.Release(s.c)
+	reps, err := s.solveBlocks(v, g.Groups, depth)
 	if err != nil {
 		return nil, err
 	}
+	defer s.c.PutInt32Slices(reps)
 	var best []int32
 	bestW := math.Inf(-1)
 	for _, rep := range reps {
@@ -146,9 +182,11 @@ func (s solver) consensusRep(st fd.Simplification, v table.View, depth int) ([]i
 		}
 	}
 	// best may alias a shared group bucket (a block that bottomed out
-	// returns its rows verbatim), so never sort it in place.
+	// returns its rows verbatim), which the deferred release recycles —
+	// copy it out before returning, and sort the copy (never the
+	// bucket).
+	best = slices.Clone(best)
 	if !slices.IsSorted(best) {
-		best = slices.Clone(best)
 		sortRows(best)
 	}
 	return best, nil
@@ -174,23 +212,28 @@ func (s solver) marriageRep(st fd.Simplification, v table.View, depth int) ([]in
 	// dictionary codes in order of first appearance within the view.
 	codes1, n1 := t.ProjectionCodes(st.X1)
 	codes2, n2 := t.ProjectionCodes(st.X2)
-	v1Index := newCodeIndex(n1, v.Len())
-	v2Index := newCodeIndex(n2, v.Len())
+	v1Index := newCodeIndex(s.c, n1, v.Len())
+	defer v1Index.release(s.c)
+	v2Index := newCodeIndex(s.c, n2, v.Len())
+	defer v2Index.release(s.c)
 	for _, ri := range v.Rows() {
 		v1Index.add(codes1[ri])
 		v2Index.add(codes2[ri])
 	}
-	groups := v.GroupBy(st.X1.Union(st.X2))
-	reps, err := s.solveBlocks(v, groups, depth)
+	g := v.GroupByArena(s.c, st.X1.Union(st.X2))
+	defer g.Release(s.c)
+	reps, err := s.solveBlocks(v, g.Groups, depth)
 	if err != nil {
 		return nil, err
 	}
+	defer s.c.PutInt32Slices(reps)
 	// Edge gi joins the block's X1-node to its X2-node, weighted by the
 	// block's optimal S-repair; distinct blocks have distinct endpoint
 	// pairs, so edge indices and group indices coincide.
-	edges := make([]graph.Edge, len(groups))
-	for gi, g := range groups {
-		first := g[0]
+	edges := getEdges(s.c, len(g.Groups))
+	defer putEdges(s.c, edges)
+	for gi, grp := range g.Groups {
+		first := grp[0]
 		edges[gi] = graph.Edge{
 			I: v1Index.of(codes1[first]),
 			J: v2Index.of(codes2[first]),
@@ -201,7 +244,7 @@ func (s solver) marriageRep(st fd.Simplification, v table.View, depth int) ([]in
 	if err != nil {
 		return nil, err
 	}
-	sm.Runner = forEachBlock
+	sm.Ctx = s.c
 	res, err := sm.Solve()
 	if err != nil {
 		return nil, err
@@ -218,26 +261,54 @@ func (s solver) marriageRep(st fd.Simplification, v table.View, depth int) ([]in
 	return keep, nil
 }
 
+// edgeKey pools marriage edge lists on the solve context, one list per
+// recursion node actually running Subroutine 3.
+type edgeKey struct{}
+
+func getEdges(c *solve.Ctx, n int) []graph.Edge {
+	if v := c.GetScratch(edgeKey{}); v != nil {
+		return solve.Grow(*v.(*[]graph.Edge), n)
+	}
+	return solve.Grow[graph.Edge](nil, n)
+}
+
+func putEdges(c *solve.Ctx, s []graph.Edge) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	c.PutScratch(edgeKey{}, &s)
+}
+
 // codeIndex maps dense projection codes to local node indices assigned
 // by first appearance (the matching's node numbering). Dense scratch
-// when the table-wide code space is comparable to the view, a map when
-// the view is a sliver of a huge table (so per-block cost stays
-// O(block size), not O(table cardinality)).
+// (drawn from the solve arena) when the table-wide code space is
+// comparable to the view, a map when the view is a sliver of a huge
+// table (so per-block cost stays O(block size), not O(table
+// cardinality)).
 type codeIndex struct {
 	local []int32
 	m     map[int32]int32
 	n     int
 }
 
-func newCodeIndex(codes, viewLen int) *codeIndex {
+func newCodeIndex(c *solve.Ctx, codes, viewLen int) *codeIndex {
 	if codes > 4*viewLen+64 {
 		return &codeIndex{m: make(map[int32]int32, viewLen)}
 	}
-	local := make([]int32, codes)
+	local := c.Int32s(codes)
 	for i := range local {
 		local[i] = -1
 	}
 	return &codeIndex{local: local}
+}
+
+// release recycles the dense scratch; the index is dead afterwards.
+func (ci *codeIndex) release(c *solve.Ctx) {
+	if ci.local != nil {
+		c.PutInt32s(ci.local)
+		ci.local = nil
+	}
 }
 
 func (ci *codeIndex) add(code int32) {
@@ -324,13 +395,24 @@ func coverToSubset(t *table.Table, ids []int, cover map[int]bool) *table.Table {
 // Exact computes an optimal S-repair for any FD set by solving minimum-
 // weight vertex cover on the conflict graph exactly. Exponential in the
 // worst case; it is the validation baseline for the hard side of the
-// dichotomy and refuses very large instances.
+// dichotomy and refuses very large instances. Runs on the process-
+// default solve context; see ExactCtx.
 func Exact(ds *fd.Set, t *table.Table) (*table.Table, error) {
+	return ExactCtx(solve.Default(), ds, t)
+}
+
+// ExactCtx is Exact under an explicit solve context: the branch-and-
+// bound cover search honors cancellation, so a deadline bounds the
+// exponential worst case.
+func ExactCtx(c *solve.Ctx, ds *fd.Set, t *table.Table) (*table.Table, error) {
 	if !ds.Schema().SameAs(t.Schema()) {
 		return nil, fmt.Errorf("srepair: FD set and table have different schemas")
 	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
 	g, ids := conflictProblem(ds, t)
-	cover, err := g.ExactMinVertexCover()
+	cover, err := g.ExactMinVertexCoverCtx(c)
 	if err != nil {
 		return nil, err
 	}
@@ -340,10 +422,20 @@ func Exact(ds *fd.Set, t *table.Table) (*table.Table, error) {
 // Approx2 computes a 2-optimal S-repair in polynomial time for any FD
 // set (Proposition 3.3): Bar-Yehuda–Even weighted vertex cover on the
 // conflict graph. The result is always a consistent subset with
-// dist_sub at most twice the optimum.
+// dist_sub at most twice the optimum. Runs on the process-default
+// solve context; see Approx2Ctx.
 func Approx2(ds *fd.Set, t *table.Table) (*table.Table, error) {
+	return Approx2Ctx(solve.Default(), ds, t)
+}
+
+// Approx2Ctx is Approx2 under an explicit solve context (cancellation
+// checked before the conflict graph is built).
+func Approx2Ctx(c *solve.Ctx, ds *fd.Set, t *table.Table) (*table.Table, error) {
 	if !ds.Schema().SameAs(t.Schema()) {
 		return nil, fmt.Errorf("srepair: FD set and table have different schemas")
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
 	}
 	g, ids := conflictProblem(ds, t)
 	cover := g.ApproxVertexCoverBE()

@@ -1,89 +1,26 @@
 package srepair
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "repro/internal/solve"
 
-// The opt-in worker pool parallelizes the independent blocks of
-// Subroutines 1–3. Blocks within one recursion node never share state:
-// they read disjoint row sets of the (immutable during a solve) backing
-// table, whose dictionary encoding is built under a mutex, so the only
-// coordination needed is bounding the number of goroutines.
+// The block worker pool lives in internal/solve since the Solver
+// refactor: every solve carries its own solve.Ctx owning the worker
+// budget, scratch arenas, cancellation and stats, and sibling blocks
+// of Subroutines 1–3 are fanned out through Ctx.ForEachBlock. The
+// functions below remain as deprecated shims over the process-default
+// context for callers that predate per-solve configuration.
+
+// SetWorkers configures the worker budget of the process-default solve
+// context used by the ctx-less entry points (OptSRepair, Exact,
+// Approx2); n ≤ 1 restores the serial default. Do not call
+// concurrently with a running default-context solve.
 //
-// The pool uses try-acquire semantics: a block runs in a goroutine when
-// a slot is free and inline otherwise, so nested recursion can never
-// deadlock on pool slots, and a saturated pool degrades to the serial
-// algorithm. Results are collected per block index, which keeps the
-// combined repair deterministic and identical to the serial result.
+// Deprecated: construct a per-solve context instead (fdrepair.NewSolver
+// with WithParallelism, or solve.New for internal callers). This shim
+// only reconfigures the default context; no solve hot path reads
+// package-level pool state.
+func SetWorkers(n int) { solve.SetDefaultWorkers(n) }
 
-// extraWorkers holds the pool, sized workers-1 (the calling goroutine
-// is the first worker). nil means serial (the default).
-var extraWorkers atomic.Pointer[chan struct{}]
-
-// SetWorkers configures the block-solver parallelism: n ≤ 1 restores
-// the serial default. Do not call concurrently with a running solve.
-func SetWorkers(n int) {
-	if n <= 1 {
-		extraWorkers.Store(nil)
-		return
-	}
-	ch := make(chan struct{}, n-1)
-	extraWorkers.Store(&ch)
-}
-
-// Workers returns the configured parallelism (1 = serial).
-func Workers() int {
-	if p := extraWorkers.Load(); p != nil {
-		return cap(*p) + 1
-	}
-	return 1
-}
-
-// parallelMinBlockRows gates goroutine handoff: blocks below this size
-// finish faster than the scheduling round-trip costs, so they always
-// run inline.
-const parallelMinBlockRows = 96
-
-// forEachBlock runs fn(0..n-1), handing blocks of at least
-// parallelMinBlockRows rows (per the size callback) to pool slots when
-// available. The returned error is the first (by block index) failure;
-// all blocks run to completion either way.
-func forEachBlock(n int, size func(i int) int, fn func(i int) error) error {
-	p := extraWorkers.Load()
-	if p == nil || n < 2 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	slots := *p
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		if size(i) < parallelMinBlockRows {
-			errs[i] = fn(i)
-			continue
-		}
-		select {
-		case slots <- struct{}{}:
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-slots }()
-				errs[i] = fn(i)
-			}(i)
-		default:
-			errs[i] = fn(i)
-		}
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// Workers returns the default context's worker budget (1 = serial).
+//
+// Deprecated: ask the Solver (or solve.Ctx) you configured instead.
+func Workers() int { return solve.Default().Workers() }

@@ -1,0 +1,79 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// TestAppendRowsMatchesInsertLoop: the bulk path is observationally
+// identical to a loop of Append calls — same identifiers, rows,
+// weights and grouping behavior.
+func TestAppendRowsMatchesInsertLoop(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	tuples := make([]Tuple, 100)
+	weights := make([]float64, 100)
+	for i := range tuples {
+		tuples[i] = Tuple{fmt.Sprintf("a%d", i%7), fmt.Sprintf("b%d", i%3)}
+		weights[i] = float64(1 + i%5)
+	}
+
+	loop := New(sc)
+	for i, tup := range tuples {
+		if _, err := loop.Append(tup, weights[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bulk := New(sc)
+	first, err := bulk.AppendRows(tuples, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Fatalf("first id = %d, want 1", first)
+	}
+	if !bulk.IsSubsetOf(loop) || !loop.IsSubsetOf(bulk) {
+		t.Fatal("bulk and loop tables differ")
+	}
+	// The watermark must be advanced past the batch.
+	id, err := bulk.Append(Tuple{"x", "y"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 101 {
+		t.Fatalf("post-batch Append id = %d, want 101", id)
+	}
+	// Mixed usage: a second batch lands after everything else.
+	if first := bulk.MustAppendRows(tuples[:3], nil); first != 102 {
+		t.Fatalf("second batch first id = %d, want 102", first)
+	}
+	if w := bulk.Weight(102); w != 1 {
+		t.Fatalf("nil-weights batch weight = %v, want 1", w)
+	}
+}
+
+// TestAppendRowsValidation: errors leave the table untouched.
+func TestAppendRowsValidation(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B")
+	base := New(sc)
+	base.MustInsert(1, Tuple{"a", "b"}, 2)
+
+	for name, tc := range map[string]struct {
+		tuples  []Tuple
+		weights []float64
+	}{
+		"arity":           {[]Tuple{{"a"}}, nil},
+		"weight-count":    {[]Tuple{{"a", "b"}}, []float64{1, 2}},
+		"non-positive":    {[]Tuple{{"a", "b"}}, []float64{0}},
+		"reserved-value":  {[]Tuple{{"\x00zz", "b"}}, nil},
+		"later-entry-bad": {[]Tuple{{"a", "b"}, {"c"}}, nil},
+	} {
+		if _, err := base.AppendRows(tc.tuples, tc.weights); err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+		if base.Len() != 1 {
+			t.Fatalf("%s: failed AppendRows mutated the table to %d rows", name, base.Len())
+		}
+	}
+}

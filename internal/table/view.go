@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fd"
 	"repro/internal/schema"
+	"repro/internal/solve"
 )
 
 // View is a zero-copy selection of a table's rows: the backing table
@@ -106,18 +107,69 @@ func (v View) TotalWeight() float64 {
 // (matching Table.GroupBy). All group slices share one backing array;
 // treat them as read-only.
 func (v View) GroupBy(attrs schema.AttrSet) [][]int32 {
+	return v.GroupByArena(nil, attrs).Groups
+}
+
+// groupScratch is the pooled working set of one GroupByArena call: the
+// dense code→local translation table, the count/start cursors, the
+// flat bucket array and the group-header slice. It recycles as one
+// object (a single arena Get/Put per recursion node of the repair
+// engine, which visits one grouping per node).
+type groupScratch struct {
+	codeToLocal []int32
+	counts      []int32
+	starts      []int32
+	flat        []int32
+	out         [][]int32
+}
+
+// groupKey pools groupScratch values on the solve context.
+type groupKey struct{}
+
+// Grouping is a GroupBy result whose backing storage may come from a
+// solve arena. Groups holds one row-index slice per group, in order of
+// first appearance; all group slices share one backing array and must
+// be treated as read-only. Release recycles the storage — after it,
+// every group slice is invalid.
+type Grouping struct {
+	Groups [][]int32
+	scr    *groupScratch // arena-owned storage; nil when not pooled
+}
+
+// Release returns the grouping's backing storage to the context arena.
+// A grouping built over the cached whole-table buckets (or with a nil
+// context) owns nothing and Release is a no-op. Callers returning a
+// group bucket upward (or retaining one) must copy it out first.
+func (g Grouping) Release(c *solve.Ctx) {
+	if g.scr != nil {
+		c.PutScratch(groupKey{}, g.scr)
+	}
+}
+
+// GroupByArena is GroupBy drawing its scratch and result storage from
+// the solve context's arena (a nil context degrades to plain
+// allocation, with Release a no-op). The grouping algorithms run once
+// per recursion node of the repair engine, so recycling the flat
+// bucket array and the group-header slice is the difference between
+// O(depth) and O(nodes) garbage on deep recursions.
+func (v View) GroupByArena(c *solve.Ctx, attrs schema.AttrSet) Grouping {
 	n := len(v.rows)
 	if n == 0 {
-		return nil
+		return Grouping{}
 	}
 	p := v.t.projection(attrs)
 	if v.isWholeTable() {
 		// Identity view: projection codes are already dense and in
-		// first-appearance order; reuse the cached whole-table grouping.
-		return v.t.groupRowIndexes(p)
+		// first-appearance order; reuse the cached whole-table grouping
+		// (shared with every other caller — never released).
+		return Grouping{Groups: v.t.groupRowIndexes(p)}
 	}
 	if n == 1 || p.groups == 1 {
-		return [][]int32{v.rows}
+		return Grouping{Groups: [][]int32{v.rows}}
+	}
+	scr, _ := c.GetScratch(groupKey{}).(*groupScratch)
+	if scr == nil {
+		scr = new(groupScratch)
 	}
 	// Map whole-table codes to local group indices in first-appearance
 	// order. Dense scratch when the code space is comparable to the
@@ -126,7 +178,8 @@ func (v View) GroupBy(attrs schema.AttrSet) [][]int32 {
 	var lookup func(int32) int32
 	var assign func(int32, int32)
 	if p.groups <= 4*n+64 {
-		codeToLocal := make([]int32, p.groups)
+		codeToLocal := solve.Grow(scr.codeToLocal, p.groups)
+		scr.codeToLocal = codeToLocal
 		for i := range codeToLocal {
 			codeToLocal[i] = -1
 		}
@@ -142,34 +195,42 @@ func (v View) GroupBy(attrs schema.AttrSet) [][]int32 {
 		}
 		assign = func(c, l int32) { codeToLocal[c] = l }
 	}
-	var counts []int32
+	counts := scr.counts[:0]
 	for _, ri := range v.rows {
-		c := p.codes[ri]
-		l := lookup(c)
+		cd := p.codes[ri]
+		l := lookup(cd)
 		if l < 0 {
 			l = int32(len(counts))
-			assign(c, l)
+			assign(cd, l)
 			counts = append(counts, 0)
 		}
 		counts[l]++
 	}
+	scr.counts = counts
 	ng := len(counts)
-	starts := make([]int32, ng+1)
+	starts := solve.Grow(scr.starts, ng+1)
+	scr.starts = starts
+	starts[0] = 0
 	for l := 0; l < ng; l++ {
 		starts[l+1] = starts[l] + counts[l]
 	}
 	copy(counts, starts[:ng]) // reuse counts as fill cursors
-	flat := make([]int32, n)
+	flat := solve.Grow(scr.flat, n)
+	scr.flat = flat
 	for _, ri := range v.rows {
 		l := lookup(p.codes[ri])
 		flat[counts[l]] = ri
 		counts[l]++
 	}
-	out := make([][]int32, ng)
+	out := solve.Grow(scr.out, ng)
+	scr.out = out
 	for l := 0; l < ng; l++ {
 		out[l] = flat[starts[l]:starts[l+1]:starts[l+1]]
 	}
-	return out
+	if c == nil {
+		return Grouping{Groups: out}
+	}
+	return Grouping{Groups: out, scr: scr}
 }
 
 // Satisfies reports whether the selected rows satisfy every FD of the

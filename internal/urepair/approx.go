@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fd"
+	"repro/internal/solve"
 	"repro/internal/srepair"
 	"repro/internal/table"
 )
@@ -13,12 +14,18 @@ import (
 // Theorem 4.12 and the KL-style heuristic, keep the cheaper update.
 // The guaranteed ratio is the 2·mlc bound (the heuristic can only
 // improve the incumbent).
-func approxComponent(comp *fd.Set, t *table.Table) Result {
-	u1, ratio := Approx2MLC(comp, t)
+func approxComponent(c *solve.Ctx, comp *fd.Set, t *table.Table) (Result, error) {
+	u1, ratio, err := approx2MLCCtx(c, comp, t)
+	if err != nil {
+		return Result{}, err
+	}
 	cost1 := table.DistUpd(u1, t)
 	best, bestCost := u1, cost1
 	method := fmt.Sprintf("approx-2mlc (ratio ≤ %g)", ratio)
 
+	if err := c.Err(); err != nil {
+		return Result{}, err
+	}
 	if u2, ok := KLHeuristic(comp, t); ok {
 		if cost2 := table.DistUpd(u2, t); table.WeightLess(cost2, bestCost) {
 			best, bestCost = u2, cost2
@@ -31,7 +38,7 @@ func approxComponent(comp *fd.Set, t *table.Table) Result {
 		Exact:      false,
 		RatioBound: ratio,
 		Method:     method,
-	}
+	}, nil
 }
 
 // Approx2MLC is Theorem 4.12: a (2·mlc(Δ))-optimal U-repair for a
@@ -39,15 +46,28 @@ func approxComponent(comp *fd.Set, t *table.Table) Result {
 // S-repair of Proposition 3.3 with the subset→update construction of
 // Proposition 4.4. Returns the update and the guaranteed ratio.
 func Approx2MLC(ds *fd.Set, t *table.Table) (*table.Table, float64) {
+	u, ratio, err := approx2MLCCtx(solve.Default(), ds, t)
+	if err != nil {
+		panic(err) // the default context is non-cancellable
+	}
+	return u, ratio
+}
+
+// approx2MLCCtx is Approx2MLC under a solve context; the only error it
+// can return is the context's cancellation error.
+func approx2MLCCtx(c *solve.Ctx, ds *fd.Set, t *table.Table) (*table.Table, float64, error) {
 	cover, size, ok := ds.MinLHSCover()
 	if !ok {
 		panic("urepair: Approx2MLC requires a consensus-free FD set")
 	}
-	s, err := srepair.Approx2(ds, t)
+	s, err := srepair.Approx2Ctx(c, ds, t)
 	if err != nil {
+		if cerr := c.Err(); cerr != nil {
+			return nil, 0, cerr
+		}
 		panic(err) // Approx2 fails only on schema mismatch, checked upstream
 	}
-	return SubsetToUpdate(t, s, cover), 2 * float64(size)
+	return SubsetToUpdate(t, s, cover), 2 * float64(size), nil
 }
 
 // klPassBudgetFactor bounds the number of majority-chase passes.

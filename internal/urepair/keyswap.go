@@ -2,6 +2,7 @@ package urepair
 
 import (
 	"repro/internal/fd"
+	"repro/internal/solve"
 	"repro/internal/srepair"
 	"repro/internal/table"
 )
@@ -29,15 +30,18 @@ func isKeySwap(comp *fd.Set) bool {
 // (otherwise t could be added to S*, contradicting optimality); the
 // other attribute of t is overwritten with s's value, a single-cell
 // change.
-func keySwapRepair(comp *fd.Set, t *table.Table) (Result, bool) {
+func keySwapRepair(c *solve.Ctx, comp *fd.Set, t *table.Table) (Result, bool, error) {
 	can := comp.Canonical()
 	f1 := can.FDs()[0]
 	a := f1.LHS.First()
 	b := f1.RHS.First()
 
-	s, err := srepair.OptSRepair(comp, t)
+	s, err := srepair.OptSRepairCtx(c, comp, t)
 	if err != nil {
-		return Result{}, false
+		if cerr := c.Err(); cerr != nil {
+			return Result{}, false, cerr
+		}
+		return Result{}, false, nil
 	}
 	// Index kept values: A value -> representative B value and vice versa.
 	bOfA := map[string]string{}
@@ -64,10 +68,10 @@ func keySwapRepair(comp *fd.Set, t *table.Table) (Result, bool) {
 		}
 		// Unreachable for an optimal S-repair: the tuple conflicts with
 		// nothing kept and could have been retained.
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	if !u.Satisfies(comp) {
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	return Result{
 		Update:     u,
@@ -75,5 +79,5 @@ func keySwapRepair(comp *fd.Set, t *table.Table) (Result, bool) {
 		Exact:      true,
 		RatioBound: 1,
 		Method:     "key-swap (Prop 4.9 via OptSRepair)",
-	}, true
+	}, true, nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/fd"
 	"repro/internal/schema"
+	"repro/internal/solve"
 	"repro/internal/srepair"
 	"repro/internal/table"
 )
@@ -43,12 +44,24 @@ type Result struct {
 // falls into one of the paper's tractable cases (after consensus
 // elimination and attribute-disjoint decomposition), and the best of
 // the 2·mlc approximation and the KL-style heuristic otherwise. The
-// result is always a consistent update.
+// result is always a consistent update. Runs on the process-default
+// solve context; see RepairCtx.
 func Repair(ds *fd.Set, t *table.Table) (Result, error) {
+	return RepairCtx(solve.Default(), ds, t)
+}
+
+// RepairCtx is Repair under an explicit solve context: the S-repair
+// solves inside the planner (key swap, common lhs, 2-approximation)
+// inherit c's worker budget and arenas, and cancellation is honored
+// between planner phases and inside the solves.
+func RepairCtx(c *solve.Ctx, ds *fd.Set, t *table.Table) (Result, error) {
 	if !ds.Schema().SameAs(t.Schema()) {
 		return Result{}, fmt.Errorf("urepair: FD set and table have different schemas")
 	}
-	res := repairFull(ds, t)
+	res, err := repairFull(c, ds, t)
+	if err != nil {
+		return Result{}, err
+	}
 	if !res.Update.Satisfies(ds) {
 		return Result{}, fmt.Errorf("urepair: internal error: produced an inconsistent update")
 	}
@@ -57,7 +70,7 @@ func Repair(ds *fd.Set, t *table.Table) (Result, error) {
 
 // repairFull handles consensus elimination (Theorem 4.3) and then
 // decomposes into attribute-disjoint components (Theorem 4.1).
-func repairFull(ds *fd.Set, t *table.Table) Result {
+func repairFull(c *solve.Ctx, ds *fd.Set, t *table.Table) (Result, error) {
 	u := t.Clone()
 	var cost float64
 	exact := true
@@ -66,15 +79,21 @@ func repairFull(ds *fd.Set, t *table.Table) Result {
 
 	consensus := ds.ConsensusAttrs()
 	if !consensus.IsEmpty() {
-		c, changed := consensusRepairInto(u, t, consensus)
-		cost += c
+		cc, changed := consensusRepairInto(u, t, consensus)
+		cost += cc
 		if changed {
 			methods = append(methods, "consensus-majority")
 		}
 	}
 	rest := ds.Minus(consensus)
 	for _, comp := range rest.Components() {
-		r := repairComponent(comp, t)
+		if err := c.Err(); err != nil {
+			return Result{}, err
+		}
+		r, err := repairComponent(c, comp, t)
+		if err != nil {
+			return Result{}, err
+		}
 		// Merge the component's cell changes (its attributes are disjoint
 		// from every other component and from the consensus attributes).
 		attrs := comp.AttrsUsed()
@@ -102,35 +121,46 @@ func repairFull(ds *fd.Set, t *table.Table) Result {
 		Exact:      exact,
 		RatioBound: ratio,
 		Method:     strings.Join(methods, " + "),
-	}
+	}, nil
 }
 
 // repairComponent solves one consensus-free, attribute-connected
 // component of the FD set against the full table.
-func repairComponent(comp *fd.Set, t *table.Table) Result {
+func repairComponent(c *solve.Ctx, comp *fd.Set, t *table.Table) (Result, error) {
 	if comp.IsTrivialSet() {
-		return Result{Update: t.Clone(), Exact: true, RatioBound: 1, Method: "trivial"}
+		return Result{Update: t.Clone(), Exact: true, RatioBound: 1, Method: "trivial"}, nil
 	}
 	if isKeySwap(comp) {
-		if r, ok := keySwapRepair(comp, t); ok {
-			return r
+		r, ok, err := keySwapRepair(c, comp, t)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			return r, nil
 		}
 	}
 	if !comp.CommonLHS().IsEmpty() && srepair.OSRSucceeds(comp) {
-		if r, ok := commonLHSRepair(comp, t); ok {
-			return r
+		r, ok, err := commonLHSRepair(c, comp, t)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			return r, nil
 		}
 	}
-	return approxComponent(comp, t)
+	return approxComponent(c, comp, t)
 }
 
 // commonLHSRepair implements Corollary 4.6 for sets with a common lhs
 // (mlc = 1) on the tractable side of the S-repair dichotomy: an optimal
 // S-repair transfers to an optimal U-repair with identical cost.
-func commonLHSRepair(comp *fd.Set, t *table.Table) (Result, bool) {
-	s, err := srepair.OptSRepair(comp, t)
+func commonLHSRepair(c *solve.Ctx, comp *fd.Set, t *table.Table) (Result, bool, error) {
+	s, err := srepair.OptSRepairCtx(c, comp, t)
 	if err != nil {
-		return Result{}, false
+		if cerr := c.Err(); cerr != nil {
+			return Result{}, false, cerr
+		}
+		return Result{}, false, nil
 	}
 	cover := schema.Singleton(comp.CommonLHS().First())
 	u := SubsetToUpdate(t, s, cover)
@@ -140,7 +170,7 @@ func commonLHSRepair(comp *fd.Set, t *table.Table) (Result, bool) {
 		Exact:      true,
 		RatioBound: 1,
 		Method:     "common-lhs (Cor 4.6 via OptSRepair)",
-	}, true
+	}, true, nil
 }
 
 // UpdateToSubset is Proposition 4.4 (1): from a consistent update u of

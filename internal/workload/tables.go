@@ -36,13 +36,16 @@ func RandomTable(sc *schema.Schema, n, domain int, rng *rand.Rand) *table.Table 
 }
 
 // RandomWeightedTable is RandomTable with integer weights drawn
-// uniformly from 1..maxWeight.
+// uniformly from 1..maxWeight. Rows are generated into a batch and
+// appended in one AppendRows call (same RNG draw order as the
+// historical per-row inserts, so seeds reproduce identical tables).
 func RandomWeightedTable(sc *schema.Schema, n, domain, maxWeight int, rng *rand.Rand) *table.Table {
 	if domain < 1 {
 		panic("workload: domain must be ≥ 1")
 	}
-	t := table.New(sc)
-	for i := 1; i <= n; i++ {
+	tuples := make([]table.Tuple, n)
+	weights := make([]float64, n)
+	for i := range tuples {
 		tup := make(table.Tuple, sc.Arity())
 		for a := range tup {
 			tup[a] = fmt.Sprintf("v%d", rng.Intn(domain))
@@ -51,8 +54,10 @@ func RandomWeightedTable(sc *schema.Schema, n, domain, maxWeight int, rng *rand.
 		if maxWeight > 1 {
 			w = float64(1 + rng.Intn(maxWeight))
 		}
-		t.MustInsert(i, tup, w)
+		tuples[i], weights[i] = tup, w
 	}
+	t := table.New(sc)
+	t.MustAppendRows(tuples, weights)
 	return t
 }
 
@@ -63,9 +68,9 @@ func RandomWeightedTable(sc *schema.Schema, n, domain, maxWeight int, rng *rand.
 // first attribute); dirtyFrac of the cells are then overwritten with
 // random domain values.
 func DirtyTable(sc *schema.Schema, ds *fd.Set, n, domain int, dirtyFrac float64, rng *rand.Rand) *table.Table {
-	t := table.New(sc)
 	k := sc.Arity()
-	for i := 1; i <= n; i++ {
+	tuples := make([]table.Tuple, n)
+	for i := range tuples {
 		// Derive every attribute deterministically from a group id: any
 		// such table satisfies every FD (all attributes are functions of
 		// the group id and of each other within a group).
@@ -74,8 +79,10 @@ func DirtyTable(sc *schema.Schema, ds *fd.Set, n, domain int, dirtyFrac float64,
 		for a := 0; a < k; a++ {
 			tup[a] = fmt.Sprintf("g%d_a%d", g, a)
 		}
-		t.MustInsert(i, tup, 1)
+		tuples[i] = tup
 	}
+	t := table.New(sc)
+	t.MustAppendRows(tuples, nil)
 	// Corrupt cells.
 	for _, r := range t.Rows() {
 		for a := 0; a < k; a++ {
@@ -112,14 +119,16 @@ func ZipfTable(sc *schema.Schema, n, domain int, rng *rand.Rand) *table.Table {
 		}
 		return domain - 1
 	}
-	t := table.New(sc)
-	for i := 1; i <= n; i++ {
+	tuples := make([]table.Tuple, n)
+	for i := range tuples {
 		tup := make(table.Tuple, sc.Arity())
 		for a := range tup {
 			tup[a] = fmt.Sprintf("z%d", draw())
 		}
-		t.MustInsert(i, tup, 1)
+		tuples[i] = tup
 	}
+	t := table.New(sc)
+	t.MustAppendRows(tuples, nil)
 	return t
 }
 
@@ -139,21 +148,23 @@ func MarriageSparseTable(sc *schema.Schema, n, blockRows, rhsDomain int, rng *ra
 		panic("workload: blockRows and rhsDomain must be ≥ 1")
 	}
 	blocks := (n + blockRows - 1) / blockRows
-	t := table.New(sc)
-	id := 1
-	for b := 0; b < blocks && id <= n; b++ {
+	tuples := make([]table.Tuple, 0, n)
+	weights := make([]float64, 0, n)
+	for b := 0; b < blocks && len(tuples) < n; b++ {
 		a := fmt.Sprintf("a%d", rng.Intn(blocks))
 		bv := fmt.Sprintf("b%d", rng.Intn(blocks))
-		for r := 0; r < blockRows && id <= n; r++ {
+		for r := 0; r < blockRows && len(tuples) < n; r++ {
 			tup := make(table.Tuple, sc.Arity())
 			tup[0], tup[1] = a, bv
 			for c := 2; c < len(tup); c++ {
 				tup[c] = fmt.Sprintf("c%d", rng.Intn(rhsDomain))
 			}
-			t.MustInsert(id, tup, float64(1+rng.Intn(4)))
-			id++
+			tuples = append(tuples, tup)
+			weights = append(weights, float64(1+rng.Intn(4)))
 		}
 	}
+	t := table.New(sc)
+	t.MustAppendRows(tuples, weights)
 	return t
 }
 
