@@ -10,9 +10,11 @@ import (
 
 	"repro/internal/fd"
 	"repro/internal/graph"
+	"repro/internal/schema"
 	"repro/internal/solve"
 	"repro/internal/srepair"
 	"repro/internal/table"
+	"repro/internal/urepair"
 	"repro/internal/workload"
 )
 
@@ -121,6 +123,23 @@ func writeBenchJSON(path string) error {
 		}, optSRepairStats(marriageDS, sparseTab)})
 	}
 
+	// U-repair planner over a multi-component FD set (key swap +
+	// common-lhs + approximation): the per-component solves ride the
+	// work-stealing scheduler, and the attached solve_stats record the
+	// planner's per-component decisions (which subroutine won, component
+	// count and sizes).
+	planSC := schema.MustNew("R", "A", "B", "C", "D", "E", "F", "G", "H")
+	planDS := fd.MustParseSet(planSC, "A -> B", "B -> A", "C -> D", "C -> E", "F -> G", "H -> G")
+	planTab := workload.RandomTable(planSC, 400, 9, rand.New(rand.NewSource(400)))
+	cases = append(cases, benchCase{"URepairPlanner/multi-component/n=400", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := urepair.Repair(planDS, planTab); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, uRepairStats(planDS, planTab)})
+
 	// Matching engines head to head on one sparse instance (~4 edges per
 	// left node): the dense Hungarian pays O(n³) on the padded matrix,
 	// the sparse engine O(V·E·log V) on the real edges. Same generator
@@ -188,6 +207,21 @@ func optSRepairStats(ds *fd.Set, tab *table.Table) func() *solve.Snapshot {
 			// stats field (the CI schema smoke would otherwise report a
 			// misleading "no solve_stats").
 			fmt.Fprintf(os.Stderr, "benchjson: stats solve failed for %v: %v\n", ds, err)
+			return nil
+		}
+		snap := st.Snapshot()
+		return &snap
+	}
+}
+
+// uRepairStats is optSRepairStats for the Section-4 planner: one
+// untimed, instrumented U-repair whose snapshot carries the planner's
+// per-component decisions.
+func uRepairStats(ds *fd.Set, tab *table.Table) func() *solve.Snapshot {
+	return func() *solve.Snapshot {
+		st := new(solve.Stats)
+		if _, err := urepair.RepairCtx(solve.New(1, nil, st), ds, tab); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: stats urepair failed for %v: %v\n", ds, err)
 			return nil
 		}
 		snap := st.Snapshot()

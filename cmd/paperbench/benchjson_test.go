@@ -41,6 +41,23 @@ func TestBenchJSONSchema(t *testing.T) {
 	if _, ok := byName["OptSRepairScaling/marriage-sparse/n=102400"]; !ok {
 		t.Fatal("missing OptSRepairScaling/marriage-sparse/n=102400")
 	}
+	// The planner case added with the work-stealing scheduler must
+	// carry the per-component decision counters.
+	plan, ok := byName["URepairPlanner/multi-component/n=400"]
+	if !ok {
+		t.Fatal("missing URepairPlanner/multi-component/n=400")
+	}
+	if plan.SolveStats == nil {
+		t.Fatal("URepairPlanner case has no solve_stats")
+	}
+	if plan.SolveStats.PlannerComponents <= 0 {
+		t.Fatalf("URepairPlanner solve_stats records no components: %+v", plan.SolveStats)
+	}
+	if got := plan.SolveStats.PlannerTrivial + plan.SolveStats.PlannerKeySwap +
+		plan.SolveStats.PlannerCommonLHS + plan.SolveStats.PlannerApprox; got != plan.SolveStats.PlannerComponents {
+		t.Fatalf("URepairPlanner decisions (%d) don't cover components (%d): %+v",
+			got, plan.SolveStats.PlannerComponents, plan.SolveStats)
+	}
 	statsCases := 0
 	for name, r := range byName {
 		if !strings.Contains(name, "optsrepair") && !strings.Contains(name, "OptSRepairScaling") {

@@ -48,24 +48,46 @@
 // once, recurses over views, and materializes only the final repair.
 //
 // Execution is organized around per-solve contexts (internal/solve,
-// surfaced publicly as fdrepair.Solver with functional options): each
-// Solver owns a worker budget (WithParallelism — independent blocks of
-// the three subroutines and connected components of the marriage
-// matching fan out on a try-acquire pool that can never deadlock on
-// nested recursion), sync.Pool-backed scratch arenas (group-by
-// buffers, block result slices, matcher CSR/potential/distance arrays
-// and heap storage, recycled across recursion levels, components and
-// sequential solves), cooperative cancellation (WithContext — checked
-// at recursion and component boundaries and inside the exponential
-// vertex-cover search, so a deadline-exceeded solve returns the
-// context error promptly without touching the input table), and an
-// optional SolveStats record (WithStats — recursion nodes, serial vs
-// parallel blocks, matcher path dispatches, arena reuse). Nothing on
-// the solve hot path reads package-level pool state, so any number of
-// Solvers with different settings run concurrently; results are
-// byte-identical to the serial engine in every configuration. The
-// deprecated fdrepair.SetParallelism shim merely reconfigures the
-// default Solver backing the package-level entry points.
+// surfaced publicly as fdrepair.Solver with functional options). Each
+// Solver owns a worker budget (WithParallelism) executed by a
+// work-stealing task scheduler: the algorithm's natural tree of
+// independent subproblems — OptSRepair blocks at every recursion
+// depth, marriage-matching connected components, U-repair planner
+// components — becomes explicit tasks on per-worker bounded deques,
+// popped LIFO by their producer (depth-first, data still hot) and
+// stolen FIFO by idle workers (breadth-first, the largest pending
+// subtree). A parent awaiting its blocks never parks while work is
+// pending anywhere: it helps execute queued tasks — its own or stolen
+// ones from any recursion level — so nested recursion cannot deadlock
+// on the budget and cannot idle a worker the way a try-acquire pool
+// does (a worker acquired high in the tree used to park in the join
+// while the subtree below it, finding the pool saturated, ran
+// serially). Helper goroutines spawn per free worker slot while tasks
+// are queued and exit when the deques drain, so an idle Solver holds
+// no goroutines. Block results are joined in deterministic index
+// order, so results are byte-identical to the serial engine at every
+// worker count.
+//
+// Each Solver also owns scratch arenas in two tiers — a private
+// lock-free shard per scheduler worker (hot buffers stay in the
+// executing worker's cache even when tasks are stolen) over sync.Pool
+// overflow (group-by buffers, block result slices, marriage edge
+// lists, matcher CSR/potential/distance arrays and heap storage,
+// recycled across recursion levels, components and sequential solves),
+// pre-sized on first use from solve.Hints (row count, distinct-code
+// estimate) taken from the input table; cooperative cancellation
+// (WithContext — checked at task dispatch, recursion and component
+// boundaries, every few augmenting phases inside the sparse matching
+// loop, and inside the exponential vertex-cover search, so a
+// deadline-exceeded solve returns the context error promptly without
+// touching the input table); and an optional SolveStats record
+// (WithStats — recursion nodes, tasks inline/executed/stolen, matcher
+// path dispatches, U-repair planner decisions per component, arena
+// reuse). Nothing on the solve hot path reads package-level pool
+// state, so any number of Solvers with different settings run
+// concurrently. The deprecated fdrepair.SetParallelism shim merely
+// reconfigures the default Solver backing the package-level entry
+// points.
 //
 // MarriageRep (Subroutine 3) runs on a sparse matching engine
 // (internal/graph.SparseMatcher): the marriage graph has exactly one

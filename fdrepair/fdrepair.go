@@ -35,6 +35,7 @@ import (
 	"repro/internal/fd"
 	"repro/internal/mpd"
 	"repro/internal/schema"
+	"repro/internal/solve"
 	"repro/internal/srepair"
 	"repro/internal/table"
 	"repro/internal/urepair"
@@ -168,12 +169,12 @@ func urepairExact(ds *FDSet) bool {
 // Solver owns its worker budget, scratch arenas, deadline and stats,
 // so independent solves no longer share process-wide state. This shim
 // only reconfigures the default solver.
-func SetParallelism(n int) { srepair.SetWorkers(n) }
+func SetParallelism(n int) { solve.SetDefaultWorkers(n) }
 
 // Parallelism returns the default solver's worker budget (1 = serial).
 //
 // Deprecated: ask the Solver you configured (Solver.Parallelism).
-func Parallelism() int { return srepair.Workers() }
+func Parallelism() int { return solve.Default().Workers() }
 
 // OptimalSRepair computes an optimal S-repair with the paper's
 // polynomial algorithm (Algorithm 1). It fails with an error wrapping

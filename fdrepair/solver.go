@@ -11,18 +11,26 @@ import (
 )
 
 // SolveStats is a snapshot of a Solver's counters: recursion nodes
-// visited by OptSRepair, sibling blocks solved inline vs on a pool
-// worker, matcher path dispatches (singleton/star fast path, dense
-// Hungarian, sparse Jonker–Volgenant) and scratch-arena reuse. All
-// fields are cumulative across the solver's solves since the last
-// ResetStats; the zero value means stats were not enabled.
+// visited by OptSRepair, scheduler task accounting (blocks run inline
+// vs executed as enqueued tasks, and how many of those were stolen by
+// a worker other than their producer), matcher path dispatches
+// (singleton/star fast path, dense Hungarian, sparse
+// Jonker–Volgenant), the U-repair planner's per-component decisions,
+// and scratch-arena reuse. All fields are cumulative across the
+// solver's solves since the last ResetStats; the zero value means
+// stats were not enabled.
 type SolveStats = solve.Snapshot
 
 // Solver is a per-configuration repair engine: it owns a worker
-// budget, sync.Pool-backed scratch arenas (recycled across recursion
-// levels, matching components and sequential solves), an optional
-// cancellation context and an optional stats record. Construct with
-// NewSolver; the zero value is not usable.
+// budget executed by a work-stealing task scheduler (independent
+// blocks at every recursion depth, matching components and planner
+// components become stealable tasks; a parent awaiting its blocks
+// helps execute pending work instead of parking), scratch arenas
+// sharded per scheduler worker over sync.Pool overflow (recycled
+// across recursion levels, matching components and sequential solves,
+// pre-sized from the input table's shape), an optional cancellation
+// context and an optional stats record. Construct with NewSolver; the
+// zero value is not usable.
 //
 // A Solver is safe for concurrent use: multiple goroutines may run
 // solves on one Solver, and multiple Solvers with different settings
@@ -55,9 +63,10 @@ type solverConfig struct {
 type SolverOption func(*solverConfig)
 
 // WithParallelism sets the solver's worker budget: independent blocks
-// of the repair recursion (and connected components of the marriage
-// matching graph) are solved concurrently by up to n workers. n ≤ 1
-// means serial (the default). Results are identical to the serial
+// of the repair recursion (at every depth), connected components of
+// the marriage matching graph and U-repair planner components are
+// solved concurrently by up to n work-stealing workers. n ≤ 1 means
+// serial (the default). Results are identical to the serial
 // algorithm.
 func WithParallelism(n int) SolverOption {
 	return func(c *solverConfig) { c.workers = n }

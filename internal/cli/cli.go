@@ -96,7 +96,7 @@ func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
 func solverFlags(fs *flag.FlagSet) func(stderr io.Writer) (*fdrepair.Solver, func(), func()) {
 	workers := fs.Int("workers", 1, "worker budget for independent repair blocks (1 = serial)")
 	timeout := fs.Duration("timeout", 0, "abort the solve after this duration (0 = no deadline)")
-	stats := fs.Bool("stats", false, "print solve counters (nodes, blocks, matcher paths, arena reuse) to stderr")
+	stats := fs.Bool("stats", false, "print solve counters (nodes, scheduler tasks, matcher paths, planner decisions, arena reuse) to stderr")
 	return func(stderr io.Writer) (*fdrepair.Solver, func(), func()) {
 		opts := []fdrepair.SolverOption{fdrepair.WithParallelism(*workers)}
 		cancel := func() {}
@@ -113,10 +113,16 @@ func solverFlags(fs *flag.FlagSet) func(stderr io.Writer) (*fdrepair.Solver, fun
 		if *stats {
 			report = func() {
 				s := sv.Stats()
-				fmt.Fprintf(stderr, "solve stats: nodes=%d blocks(serial/parallel)=%d/%d matcher(fast/dense/sparse)=%d/%d/%d arena(hit/miss)=%d/%d\n",
-					s.Nodes, s.BlocksSerial, s.BlocksParallel,
+				fmt.Fprintf(stderr, "solve stats: nodes=%d tasks(inline/executed/stolen)=%d/%d/%d matcher(fast/dense/sparse)=%d/%d/%d arena(hit/miss)=%d/%d\n",
+					s.Nodes, s.BlocksSerial, s.BlocksParallel, s.Steals,
 					s.MatcherFastPath, s.MatcherDense, s.MatcherSparse,
 					s.ArenaHits, s.ArenaMisses)
+				if s.PlannerComponents > 0 {
+					fmt.Fprintf(stderr, "planner stats: components=%d won(trivial/keyswap/commonlhs/approx)=%d/%d/%d/%d consensus=%d max-component-fds=%d\n",
+						s.PlannerComponents, s.PlannerTrivial, s.PlannerKeySwap,
+						s.PlannerCommonLHS, s.PlannerApprox, s.PlannerConsensus,
+						s.PlannerMaxCompFDs)
+				}
 			}
 		}
 		return sv, cancel, report

@@ -103,11 +103,18 @@ func (sm *SparseMatcher) Solve() (MatchResult, error) {
 		return res, nil
 	}
 	picked := make([][]int32, len(comps))
-	one := func(c int) error {
-		if err := sm.Ctx.Err(); err != nil {
+	// Components become tasks on the same work-stealing scheduler as
+	// the repair blocks; each runs on the Ctx of whichever worker
+	// executes it, so its scratch comes from that worker's arena shard.
+	one := func(wc *solve.Ctx, c int) error {
+		if err := wc.Err(); err != nil {
 			return err
 		}
-		picked[c] = solveComponent(comps[c], sm.Ctx)
+		p, err := solveComponent(comps[c], wc)
+		if err != nil {
+			return err
+		}
+		picked[c] = p
 		return nil
 	}
 	if err := sm.Ctx.ForEachBlock(len(comps), func(i int) int { return len(comps[i].edges) }, one); err != nil {
@@ -201,11 +208,13 @@ func (sm *SparseMatcher) components() []component {
 const denseComponentLimit = 64
 
 // solveComponent solves one connected component and returns the matched
-// edge indices (into the original edge list).
-func solveComponent(c component, ctx *solve.Ctx) []int32 {
+// edge indices (into the original edge list). The error is always the
+// context's cancellation error, surfaced from inside the sparse
+// solver's phase loop.
+func solveComponent(c component, ctx *solve.Ctx) ([]int32, error) {
 	if len(c.edges) == 1 {
 		ctx.Stats().MatcherPath(solve.MatcherFast)
-		return []int32{c.edges[0].ei} // a single positive edge is always matched
+		return []int32{c.edges[0].ei}, nil // a single positive edge is always matched
 	}
 	if c.nL == 1 || c.nR == 1 {
 		// One-sided star: every edge shares a node, so a matching picks
@@ -217,11 +226,11 @@ func solveComponent(c component, ctx *solve.Ctx) []int32 {
 				best = e
 			}
 		}
-		return []int32{best.ei}
+		return []int32{best.ei}, nil
 	}
 	if c.nL*c.nR <= denseComponentLimit {
 		ctx.Stats().MatcherPath(solve.MatcherDensePath)
-		return solveDense(c, ctx)
+		return solveDense(c, ctx), nil
 	}
 	ctx.Stats().MatcherPath(solve.MatcherSparsePath)
 	return solveSparse(c, ctx)
@@ -285,6 +294,50 @@ type jvScratch struct {
 // jvKey pools jvScratch values on the solve context.
 type jvKey struct{}
 
+// newJVScratch builds a fresh scratch set, pre-sizing the CSR edge
+// arrays and per-node buffers from the context's size hints so the
+// first large component allocates at the high-water size instead of
+// climbing a grow-realloc ladder (subsequent components recycle the
+// grown buffers through the arena either way).
+func newJVScratch(ctx *solve.Ctx) *jvScratch {
+	scr := new(jvScratch)
+	h := ctx.Hints()
+	if h.Rows > 0 {
+		// Edge-indexed arrays: edges ≤ marriage blocks ≤ rows.
+		ecap := solve.RoundCap(h.Rows)
+		scr.adj = make([]locEdge, 0, ecap)
+		scr.flip = make([]locEdge, 0, ecap)
+	}
+	if h.Codes > 0 {
+		// Node-indexed arrays: component sides ≤ distinct codes.
+		ncap := solve.RoundCap(h.Codes + 1)
+		scr.deg = make([]int32, 0, ncap)
+		scr.fill = make([]int32, 0, ncap)
+		scr.pL = make([]float64, 0, ncap)
+		scr.pR = make([]float64, 0, ncap)
+		scr.pV = make([]float64, 0, ncap)
+		scr.dL = make([]float64, 0, ncap)
+		scr.dR = make([]float64, 0, ncap)
+		scr.dV = make([]float64, 0, ncap)
+		scr.mL = make([]int32, 0, ncap)
+		scr.mR = make([]int32, 0, ncap)
+		scr.eL = make([]int32, 0, ncap)
+		scr.parentR = make([]int32, 0, ncap)
+		scr.doneL = make([]bool, 0, ncap)
+		scr.doneR = make([]bool, 0, ncap)
+		scr.doneV = make([]bool, 0, ncap)
+	}
+	return scr
+}
+
+// jvCancelInterval is how many augmenting phases run between
+// cooperative cancellation checks inside the sparse solver, so one
+// very large component no longer runs to completion after the
+// deadline. A phase is one Dijkstra over the component; checking every
+// phase would be nearly free too, but batching keeps the check out of
+// profiles entirely.
+const jvCancelInterval = 32
+
 // solveSparse is the sparse Jonker–Volgenant solver: shortest
 // augmenting paths with potentials over CSR adjacency lists, one row
 // inserted per phase, Dijkstra with a 4-ary heap over pooled storage.
@@ -301,11 +354,13 @@ type jvKey struct{}
 // reduced cost ≥ 0 with matched edges tight. O(V·E·log V) per
 // component worst case, with phases that in practice stay local to the
 // inserted row. The smaller side always plays the rows, so phase count
-// is min(nL, nR).
-func solveSparse(c component, ctx *solve.Ctx) []int32 {
+// is min(nL, nR). Cancellation is checked every jvCancelInterval
+// phases; a cancelled solve returns the context error with the
+// matching state abandoned.
+func solveSparse(c component, ctx *solve.Ctx) ([]int32, error) {
 	scr, _ := ctx.GetScratch(jvKey{}).(*jvScratch)
 	if scr == nil {
-		scr = new(jvScratch)
+		scr = newJVScratch(ctx)
 	}
 	defer ctx.PutScratch(jvKey{}, scr)
 	if c.nR < c.nL {
@@ -414,6 +469,12 @@ func solveSparse(c component, ctx *solve.Ctx) []int32 {
 
 	pq := nodeHeap{s: scr.heap[:0]}
 	for row := 0; row < nL; row++ {
+		if row%jvCancelInterval == jvCancelInterval-1 {
+			if err := ctx.Err(); err != nil {
+				scr.heap = pq.s[:0]
+				return nil, err
+			}
+		}
 		// Per-phase reinit as single-purpose loops: the bool resets
 		// compile to memclr and the constant fills stay tight, where a
 		// fused multi-slice loop pays interleaved-store stalls.
@@ -552,7 +613,7 @@ func solveSparse(c component, ctx *solve.Ctx) []int32 {
 			picked = append(picked, eL[i])
 		}
 	}
-	return picked
+	return picked, nil
 }
 
 // nodeDist is a Dijkstra heap entry; nodes < nL are left, the rest

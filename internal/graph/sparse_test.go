@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -324,5 +326,45 @@ func TestSparseMatcherLargeSparse(t *testing.T) {
 	_, greedy := GreedyMatching(n, m, edges)
 	if res.Total < greedy-1e-9 {
 		t.Fatalf("optimal %v below greedy %v", res.Total, greedy)
+	}
+}
+
+// TestSparseSolverCancelMidComponent: the Jonker–Volgenant phase loop
+// checks cancellation every jvCancelInterval augmenting phases, so one
+// very large component stops promptly after the deadline instead of
+// running to completion. We call the component solver directly with an
+// already-cancelled context: the entry-point checks (Solve,
+// ForEachBlock) are bypassed, proving the check inside the inner loop
+// fires.
+func TestSparseSolverCancelMidComponent(t *testing.T) {
+	// One connected component, both sides ≥ 2·jvCancelInterval so the
+	// phase loop runs past the first check.
+	n := 4 * jvCancelInterval
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{I: i, J: i, W: 2})
+		edges = append(edges, Edge{I: i, J: (i + 1) % n, W: 1})
+	}
+	sm, err := NewSparseMatcher(n, n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := sm.components()
+	if len(comps) != 1 {
+		t.Fatalf("expected one component, got %d", len(comps))
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctx := solve.New(1, cctx, nil)
+	if _, err := solveSparse(comps[0], ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("solveSparse under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := solveComponent(comps[0], ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("solveComponent under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	// And end to end: a Solve started after cancellation fails fast.
+	sm.Ctx = ctx
+	if _, err := sm.Solve(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Solve under cancelled ctx: err = %v", err)
 	}
 }

@@ -1,0 +1,240 @@
+package solve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// big is a size callback that makes every block a scheduler task.
+func big(int) int { return MinParallelBlock }
+
+func TestDequeLIFOPopFIFOSteal(t *testing.T) {
+	var d deque
+	j := &join{}
+	for i := 0; i < 5; i++ {
+		if !d.push(task{j: j, i: int32(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	// Owner pops the most recently pushed task.
+	if tk, ok := d.pop(); !ok || tk.i != 4 {
+		t.Fatalf("pop = %v, want i=4 (LIFO)", tk.i)
+	}
+	// Thieves take the oldest.
+	if tk, ok := d.steal(); !ok || tk.i != 0 {
+		t.Fatalf("steal = %v, want i=0 (FIFO)", tk.i)
+	}
+	if tk, ok := d.steal(); !ok || tk.i != 1 {
+		t.Fatalf("steal = %v, want i=1", tk.i)
+	}
+	if tk, ok := d.pop(); !ok || tk.i != 3 {
+		t.Fatalf("pop = %v, want i=3", tk.i)
+	}
+	if tk, ok := d.pop(); !ok || tk.i != 2 {
+		t.Fatalf("pop = %v, want i=2", tk.i)
+	}
+	if _, ok := d.pop(); ok {
+		t.Fatal("pop on empty deque")
+	}
+	if _, ok := d.steal(); ok {
+		t.Fatal("steal on empty deque")
+	}
+}
+
+func TestDequeBoundedOverflow(t *testing.T) {
+	var d deque
+	j := &join{}
+	for i := 0; i < dequeCap; i++ {
+		if !d.push(task{j: j, i: int32(i)}) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	if d.push(task{j: j}) {
+		t.Fatal("push beyond capacity succeeded")
+	}
+	if _, ok := d.steal(); !ok {
+		t.Fatal("steal from full deque")
+	}
+	if !d.push(task{j: j, i: 999}) {
+		t.Fatal("push after drain failed")
+	}
+}
+
+// TestNestedFanOutCompletes drives deep nested fan-outs through a tiny
+// worker budget: every level enqueues scheduler tasks, so a parent
+// that parked instead of helping would deadlock (the budget is far
+// smaller than the number of simultaneously blocked parents).
+func TestNestedFanOutCompletes(t *testing.T) {
+	for _, workers := range []int{2, 4} {
+		c := New(workers, nil, nil)
+		var leaves atomic.Int64
+		var recurse func(wc *Ctx, depth int) error
+		recurse = func(wc *Ctx, depth int) error {
+			if depth == 0 {
+				leaves.Add(1)
+				return nil
+			}
+			return wc.ForEachBlock(3, big, func(cc *Ctx, _ int) error {
+				return recurse(cc, depth-1)
+			})
+		}
+		done := make(chan error, 1)
+		go func() { done <- recurse(c, 6) }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("workers=%d: nested fan-out deadlocked", workers)
+		}
+		if got := leaves.Load(); got != 729 {
+			t.Fatalf("workers=%d: %d leaves, want 729", workers, got)
+		}
+		leaves.Store(0)
+	}
+}
+
+// TestBlockedParentHelps pins the core scheduler property the old
+// try-acquire pool lacked: a parent blocked on its join executes other
+// pending tasks. One root task fans out below the root while the
+// other root task blocks until a deep child has run — with the old
+// pool (parent parks in wg.Wait, nested fan-out finds the budget
+// saturated and serializes) this shape cannot finish.
+func TestBlockedParentHelps(t *testing.T) {
+	c := New(2, nil, nil)
+	deepRan := make(chan struct{})
+	err := c.ForEachBlock(2, big, func(wc *Ctx, i int) error {
+		if i == 1 {
+			// Blocks until the other branch's *nested* task has run.
+			// Only a helping (not parking) executor can run it: both
+			// worker slots are occupied by the two root blocks.
+			select {
+			case <-deepRan:
+				return nil
+			case <-time.After(30 * time.Second):
+				return fmt.Errorf("deep task never ran: executor parked instead of helping")
+			}
+		}
+		return wc.ForEachBlock(2, big, func(_ *Ctx, k int) error {
+			if k == 1 {
+				close(deepRan)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStealCounters: with a deep chain whose fan-out happens below the
+// root, idle workers must steal across recursion levels (the executed
+// and stolen counters prove tasks moved between workers).
+func TestStealCounters(t *testing.T) {
+	st := new(Stats)
+	c := New(4, nil, st)
+	var recurse func(wc *Ctx, depth int) error
+	recurse = func(wc *Ctx, depth int) error {
+		if depth == 0 {
+			time.Sleep(100 * time.Microsecond) // keep tasks alive long enough to be stolen
+			return nil
+		}
+		return wc.ForEachBlock(4, big, func(cc *Ctx, _ int) error {
+			return recurse(cc, depth-1)
+		})
+	}
+	if err := recurse(c, 4); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if snap.BlocksParallel == 0 {
+		t.Fatalf("no tasks executed from deques: %+v", snap)
+	}
+	if snap.Steals == 0 {
+		t.Fatalf("no steals on a 4-level fan-out with 4 workers: %+v", snap)
+	}
+	if snap.Steals > snap.BlocksParallel {
+		t.Fatalf("steals %d > executed %d", snap.Steals, snap.BlocksParallel)
+	}
+}
+
+// TestSaturatedBudgetDegradesSerial: more concurrent top-level solves
+// than worker slots must degrade the extras to the serial path, never
+// block them.
+func TestSaturatedBudgetDegradesSerial(t *testing.T) {
+	c := New(2, nil, nil)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = c.ForEachBlock(16, big, func(_ *Ctx, i int) error {
+				time.Sleep(10 * time.Microsecond)
+				return nil
+			})
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("solve %d: %v", g, err)
+		}
+	}
+}
+
+// TestWorkerArenaShard: scratch released on a worker-bound Ctx is
+// served back from the worker's private shard, and the shard never
+// leaks buffers across worker identities unsafely (exercised under
+// -race by the scheduler tests above; here we pin the hit behavior).
+func TestWorkerArenaShard(t *testing.T) {
+	c := New(2, nil, nil)
+	err := c.ForEachBlock(2, big, func(wc *Ctx, i int) error {
+		if wc.w == nil {
+			return fmt.Errorf("block %d: fn received an unbound Ctx", i)
+		}
+		s := wc.Int32s(64)
+		wc.PutInt32s(s)
+		s2 := wc.Int32s(32)
+		if cap(s2) < 64 {
+			return fmt.Errorf("block %d: shard lost the pooled buffer (cap %d)", i, cap(s2))
+		}
+		got, ok := wc.w.ar.getInt32s(1)
+		if ok {
+			// s2 is still checked out; the shard should be empty now.
+			return fmt.Errorf("block %d: unexpected extra shard buffer %v", i, got)
+		}
+		wc.PutInt32s(s2)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerIdleNoGoroutines: helpers exit once the deques drain, so
+// an idle Ctx needs no Close. We can't count goroutines portably, but
+// we can assert all worker slots return to the free list.
+func TestSchedulerIdleNoGoroutines(t *testing.T) {
+	c := New(4, nil, nil)
+	err := c.ForEachBlock(32, big, func(*Ctx, int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.s.sched
+	deadline := time.After(10 * time.Second)
+	for got := 0; got < 4; got++ {
+		select {
+		case <-s.free:
+		case <-deadline:
+			t.Fatalf("only %d of 4 worker slots returned to the free list", got)
+		}
+	}
+	if q := s.queued.Load(); q != 0 {
+		t.Fatalf("queued = %d after drain", q)
+	}
+}

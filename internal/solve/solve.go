@@ -1,6 +1,6 @@
 // Package solve provides the per-solve execution context threaded
 // through every layer of the repair engine: the fdrepair public API,
-// the OptSRepair recursion and block pool (internal/srepair), the
+// the OptSRepair recursion and block fan-out (internal/srepair), the
 // U-repair planner (internal/urepair) and MPD (internal/mpd), the
 // matching engines (internal/graph) and the view grouping scratch
 // (internal/table).
@@ -8,16 +8,23 @@
 // A Ctx bundles what used to be process-wide state into one per-solve
 // value:
 //
-//   - the worker budget of the opt-in block pool (formerly the
-//     srepair.SetWorkers global);
-//   - sync.Pool-backed scratch arenas recycled across recursion levels
-//     and matching components, so hot paths stop allocating fresh
-//     scratch on every call;
+//   - the worker budget, executed by a work-stealing task scheduler
+//     (sched.go): independent blocks at every recursion depth become
+//     tasks on per-worker deques, popped LIFO by their producer and
+//     stolen FIFO by idle workers, and a parent awaiting its blocks
+//     helps execute pending tasks instead of parking;
+//   - scratch arenas recycled across recursion levels and matching
+//     components: a private per-worker shard first (so steals do not
+//     bounce hot buffers across caches), sync.Pool overflow behind it;
 //   - cooperative cancellation: an optional context.Context checked at
-//     recursion and component boundaries, so a deadline-exceeded solve
-//     returns promptly instead of burning CPU;
-//   - an optional Stats record (recursion nodes, blocks solved
-//     serial/parallel, matcher path hits, arena reuse counts).
+//     task dispatch, recursion and component boundaries, so a
+//     deadline-exceeded solve returns promptly instead of burning CPU;
+//   - size hints from the input table (row count, distinct-code
+//     estimate) that pre-size scratch on first use, eliminating the
+//     grow-realloc ladder of a cold first solve;
+//   - an optional Stats record (recursion nodes, tasks inline /
+//     executed / stolen, matcher path hits, U-repair planner
+//     decisions, arena reuse).
 //
 // The package depends only on the standard library so every internal
 // package can import it without cycles. All Ctx methods are safe on a
@@ -35,20 +42,36 @@ import (
 // Ctx is the per-solve context. The zero value is not useful; construct
 // with New (or use Default for the process-default serial context).
 // A single Ctx may be shared by many goroutines and many sequential
-// solves: the arenas are concurrency-safe and reuse improves the more
-// solves share them.
+// solves: the shared state is concurrency-safe and arena reuse improves
+// the more solves share it.
+//
+// A Ctx value is two words: the shared per-solve state, plus an
+// optional binding to the scheduler worker executing the current task.
+// ForEachBlock hands every block a worker-bound Ctx, so the arena
+// getters below transparently hit the executing worker's private shard;
+// code simply threads whatever *Ctx it was given.
 type Ctx struct {
+	s *shared
+	w *worker
+}
+
+// shared is the state common to every worker binding of one Ctx.
+type shared struct {
 	workers int
-	slots   chan struct{} // cap workers-1; nil = serial
+	sched   *sched // non-nil exactly when workers > 1
 
 	done <-chan struct{} // cancellation signal; nil = non-cancellable
 	cctx context.Context // source of done, for Err()
 
 	stats *Stats // nil = not collected
 
-	// Typed arenas get dedicated pools (one pointer indirection on the
-	// hot path); composite scratch structs of other packages go through
-	// the keyed pools map.
+	// Scratch-presizing hints (atomic max), see SetHints.
+	hintRows  atomic.Int64
+	hintCodes atomic.Int64
+
+	// Shared arena overflow: typed pools plus keyed pools for composite
+	// per-package scratch structs. The per-worker shards in front of
+	// these live on the scheduler workers (sched.go).
 	int32s sync.Pool
 	slices sync.Pool
 	f64s   sync.Pool
@@ -59,53 +82,62 @@ type Ctx struct {
 // serial), cancellation source (nil means non-cancellable) and stats
 // sink (nil means stats are not collected).
 func New(workers int, cctx context.Context, stats *Stats) *Ctx {
-	c := &Ctx{workers: 1, cctx: cctx, stats: stats}
+	sh := &shared{workers: 1, cctx: cctx, stats: stats}
 	if workers > 1 {
-		c.workers = workers
-		c.slots = make(chan struct{}, workers-1)
+		sh.workers = workers
+		sh.sched = newSched(sh, workers)
 	}
 	if cctx != nil {
-		c.done = cctx.Done()
+		sh.done = cctx.Done()
 	}
-	return c
+	return &Ctx{s: sh}
 }
 
 // Workers returns the configured worker budget (1 = serial).
 func (c *Ctx) Workers() int {
-	if c == nil || c.workers < 1 {
+	if c == nil || c.s == nil || c.s.workers < 1 {
 		return 1
 	}
-	return c.workers
+	return c.s.workers
 }
 
 // Stats returns the stats sink, or nil when stats are not collected.
 func (c *Ctx) Stats() *Stats {
-	if c == nil {
+	if c == nil || c.s == nil {
 		return nil
 	}
-	return c.stats
+	return c.s.stats
 }
 
-// Err reports the cancellation state: nil while the solve may proceed,
-// context.Canceled or context.DeadlineExceeded once the solve's context
-// is done. The algorithms call it at recursion and component
-// boundaries; the fast path is one channel poll.
-func (c *Ctx) Err() error {
-	if c == nil || c.done == nil {
+// ctxErr is Err on the shared state (used by the scheduler, which holds
+// no Ctx binding of its own).
+func (sh *shared) ctxErr() error {
+	if sh == nil || sh.done == nil {
 		return nil
 	}
 	select {
-	case <-c.done:
-		return c.cctx.Err()
+	case <-sh.done:
+		return sh.cctx.Err()
 	default:
 		return nil
 	}
 }
 
+// Err reports the cancellation state: nil while the solve may proceed,
+// context.Canceled or context.DeadlineExceeded once the solve's context
+// is done. The algorithms call it at task dispatch, recursion and
+// component boundaries; the fast path is one channel poll.
+func (c *Ctx) Err() error {
+	if c == nil {
+		return nil
+	}
+	return c.s.ctxErr()
+}
+
 // defaultCtx is the process-default context: serial, non-cancellable,
-// no stats. The deprecated fdrepair.SetParallelism /
-// srepair.SetWorkers shims reconfigure it; everything else receives
-// its Ctx explicitly, so no solve hot path consults package state.
+// no stats. The deprecated fdrepair.SetParallelism shim reconfigures
+// it; everything else receives its Ctx explicitly, so no solve hot path
+// consults package state.
 var defaultCtx atomic.Pointer[Ctx]
 
 func init() { defaultCtx.Store(New(1, nil, nil)) }
@@ -115,100 +147,70 @@ func init() { defaultCtx.Store(New(1, nil, nil)) }
 func Default() *Ctx { return defaultCtx.Load() }
 
 // SetDefaultWorkers reconfigures the default context's worker budget.
-// It exists only to back the deprecated SetParallelism/SetWorkers
-// shims; new code should construct a per-solve Ctx instead. Do not
-// call concurrently with a running default-context solve.
+// It exists only to back the deprecated fdrepair.SetParallelism shim;
+// new code should construct a per-solve Ctx instead. Do not call
+// concurrently with a running default-context solve.
 func SetDefaultWorkers(n int) {
 	old := defaultCtx.Load()
-	defaultCtx.Store(New(n, old.cctx, old.stats))
+	defaultCtx.Store(New(n, old.s.cctx, old.s.stats))
 }
 
-// MinParallelBlock gates goroutine handoff in ForEachBlock: blocks
-// below this size (rows, edges, ...) finish faster than the scheduling
-// round-trip costs, so they always run inline.
-const MinParallelBlock = 96
+// ---- Size hints ----
 
-// ForEachBlock runs fn(0..n-1), handing blocks of at least
-// MinParallelBlock units (per the size callback) to pool slots when
-// available. The pool uses try-acquire semantics: a block runs in a
-// goroutine when a slot is free and inline otherwise, so nested
-// recursion can never deadlock on pool slots, and a saturated pool
-// degrades to the serial algorithm. Results are collected per block
-// index, which keeps every caller deterministic and identical to the
-// serial result. The returned error is the first (by block index)
-// failure; the serial path stops there, while the parallel path drains
-// every started block before reporting. A cancelled Ctx fails fast
-// before any block runs.
-func (c *Ctx) ForEachBlock(n int, size func(i int) int, fn func(i int) error) error {
-	if err := c.Err(); err != nil {
-		return err
+// Hints carries scratch-presizing estimates for the solves sharing a
+// Ctx: Rows is the input row count (bounds group buckets, block result
+// lists, marriage edge lists and CSR edge arrays), Codes the largest
+// distinct-code count of any projection (bounds code→local translation
+// tables and per-node matching arrays). Zero fields mean "unknown".
+type Hints struct{ Rows, Codes int }
+
+// SetHints records size hints, keeping the maximum of every hint seen
+// (a Ctx shared by solves of different sizes pre-sizes for the
+// largest). The entry points call it with the input table's shape; the
+// arenas consult the hints when creating fresh scratch, so the first
+// solve allocates at the high-water size instead of climbing a
+// grow-realloc ladder.
+func (c *Ctx) SetHints(h Hints) {
+	if c == nil || c.s == nil {
+		return
 	}
-	var slots chan struct{}
-	var stats *Stats
-	if c != nil {
-		slots, stats = c.slots, c.stats
+	atomicMax(&c.s.hintRows, int64(h.Rows))
+	atomicMax(&c.s.hintCodes, int64(h.Codes))
+}
+
+// Hints returns the recorded hints (zero when none were set).
+func (c *Ctx) Hints() Hints {
+	if c == nil || c.s == nil {
+		return Hints{}
 	}
-	if slots == nil || n < 2 {
-		// Count blocks actually run (the serial path stops at the first
-		// failure), matching the parallel path's semantics.
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				if stats != nil {
-					stats.BlocksSerial.Add(int64(i + 1))
-				}
-				return err
-			}
-		}
-		if stats != nil {
-			stats.BlocksSerial.Add(int64(n))
-		}
-		return nil
+	return Hints{
+		Rows:  int(c.s.hintRows.Load()),
+		Codes: int(c.s.hintCodes.Load()),
 	}
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	var inline, handed int64
-	for i := 0; i < n; i++ {
-		if size(i) < MinParallelBlock {
-			inline++
-			errs[i] = fn(i)
-			continue
-		}
-		select {
-		case slots <- struct{}{}:
-			handed++
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-slots }()
-				errs[i] = fn(i)
-			}(i)
-		default:
-			inline++
-			errs[i] = fn(i)
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	if v <= 0 {
+		return
+	}
+	for {
+		old := a.Load()
+		if v <= old || a.CompareAndSwap(old, v) {
+			return
 		}
 	}
-	wg.Wait()
-	if stats != nil {
-		stats.BlocksSerial.Add(inline)
-		stats.BlocksParallel.Add(handed)
-	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // ---- Scratch arenas ----
 //
-// The arena is a set of sync.Pools owned by the Ctx, one per caller-
-// chosen key (typed getters below use private keys; packages with
-// composite scratch structs bring their own). Pools are created on
-// first Put, so a Get on a fresh Ctx is a counted miss, and objects
-// recycle across recursion levels, matching components and sequential
-// solves sharing the Ctx. Because sync.Pool is per-P, concurrent block
-// workers get and put scratch without contending.
+// The arena has two tiers. In front: a private shard on the scheduler
+// worker executing the current task (wArena in sched.go) — single-
+// goroutine, lock-free, so the hot buffers of a worker stay in that
+// worker's cache even when the tasks themselves are stolen. Behind it:
+// sync.Pools on the shared state, one per caller-chosen key (typed
+// getters below use private keys; packages with composite scratch
+// structs bring their own). Objects recycle across recursion levels,
+// matching components and sequential solves sharing the Ctx.
 
 // GetScratch returns an object previously stored under key, or nil
 // when the arena has none (the caller then allocates). Hits and misses
@@ -219,13 +221,19 @@ func (c *Ctx) GetScratch(key any) any {
 	if c == nil {
 		return nil
 	}
-	if p, ok := c.keyed.Load(key); ok {
-		if v := p.(*sync.Pool).Get(); v != nil {
-			c.stats.arena(true)
+	if c.w != nil {
+		if v := c.w.ar.getKeyed(key); v != nil {
+			c.s.stats.arena(true)
 			return v
 		}
 	}
-	c.stats.arena(false)
+	if p, ok := c.s.keyed.Load(key); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			c.s.stats.arena(true)
+			return v
+		}
+	}
+	c.s.stats.arena(false)
 	return nil
 }
 
@@ -234,9 +242,12 @@ func (c *Ctx) PutScratch(key any, v any) {
 	if c == nil {
 		return
 	}
-	p, ok := c.keyed.Load(key)
+	if c.w != nil && c.w.ar.putKeyed(key, v) {
+		return
+	}
+	p, ok := c.s.keyed.Load(key)
 	if !ok {
-		p, _ = c.keyed.LoadOrStore(key, &sync.Pool{})
+		p, _ = c.s.keyed.LoadOrStore(key, &sync.Pool{})
 	}
 	p.(*sync.Pool).Put(v)
 }
@@ -249,6 +260,11 @@ func ceilPow2(n int) int {
 	}
 	return 1 << bits.Len(uint(n-1))
 }
+
+// RoundCap is the arena's capacity-rounding rule (next power of two,
+// minimum 8), exported so packages pre-sizing their own scratch from
+// Hints allocate the same converged sizes the pools would.
+func RoundCap(n int) int { return ceilPow2(n) }
 
 // Grow returns a slice of length n over s's storage, allocating (with
 // power-of-two capacity, so pooled buffers converge on a high-water
@@ -266,10 +282,16 @@ func Grow[T any](s []T, n int) []T {
 // the arena when possible. Release with PutInt32s.
 func (c *Ctx) Int32s(n int) []int32 {
 	if c != nil {
-		if v := c.int32s.Get(); v != nil {
+		if c.w != nil {
+			if s, ok := c.w.ar.getInt32s(n); ok {
+				c.s.stats.arena(true)
+				return s[:n]
+			}
+		}
+		if v := c.s.int32s.Get(); v != nil {
 			s := *v.(*[]int32)
 			if cap(s) >= n {
-				c.stats.arena(true)
+				c.s.stats.arena(true)
 				return s[:n]
 			}
 			// Too small: drop it. Re-putting would park it in the
@@ -277,7 +299,7 @@ func (c *Ctx) Int32s(n int) []int32 {
 			// every later request on this P — churning small buffers
 			// is cheaper than persistently missing on the big ones.
 		}
-		c.stats.arena(false)
+		c.s.stats.arena(false)
 	}
 	return make([]int32, n, ceilPow2(n))
 }
@@ -289,23 +311,32 @@ func (c *Ctx) PutInt32s(s []int32) {
 		return
 	}
 	s = s[:0]
-	c.int32s.Put(&s)
+	if c.w != nil && c.w.ar.putInt32s(s) {
+		return
+	}
+	c.s.int32s.Put(&s)
 }
 
 // Int32Slices returns a [][]int32 of length n with nil entries, from
 // the arena when possible. Release with PutInt32Slices.
 func (c *Ctx) Int32Slices(n int) [][]int32 {
 	if c != nil {
-		if v := c.slices.Get(); v != nil {
+		if c.w != nil {
+			if s, ok := c.w.ar.getSlices(n); ok {
+				c.s.stats.arena(true)
+				return s[:n]
+			}
+		}
+		if v := c.s.slices.Get(); v != nil {
 			s := *v.(*[][]int32)
 			if cap(s) >= n {
-				c.stats.arena(true)
+				c.s.stats.arena(true)
 				// Entries were nilled by PutInt32Slices.
 				return s[:n]
 			}
 			// Too small: drop (see Int32s).
 		}
-		c.stats.arena(false)
+		c.s.stats.arena(false)
 	}
 	return make([][]int32, n, ceilPow2(n))
 }
@@ -325,22 +356,31 @@ func (c *Ctx) PutInt32Slices(s [][]int32) {
 		s[i] = nil
 	}
 	s = s[:0]
-	c.slices.Put(&s)
+	if c.w != nil && c.w.ar.putSlices(s) {
+		return
+	}
+	c.s.slices.Put(&s)
 }
 
 // Float64s returns a []float64 of length n with arbitrary contents,
 // from the arena when possible. Release with PutFloat64s.
 func (c *Ctx) Float64s(n int) []float64 {
 	if c != nil {
-		if v := c.f64s.Get(); v != nil {
+		if c.w != nil {
+			if s, ok := c.w.ar.getFloat64s(n); ok {
+				c.s.stats.arena(true)
+				return s[:n]
+			}
+		}
+		if v := c.s.f64s.Get(); v != nil {
 			s := *v.(*[]float64)
 			if cap(s) >= n {
-				c.stats.arena(true)
+				c.s.stats.arena(true)
 				return s[:n]
 			}
 			// Too small: drop (see Int32s).
 		}
-		c.stats.arena(false)
+		c.s.stats.arena(false)
 	}
 	return make([]float64, n, ceilPow2(n))
 }
@@ -351,7 +391,10 @@ func (c *Ctx) PutFloat64s(s []float64) {
 		return
 	}
 	s = s[:0]
-	c.f64s.Put(&s)
+	if c.w != nil && c.w.ar.putFloat64s(s) {
+		return
+	}
+	c.s.f64s.Put(&s)
 }
 
 // ---- Stats ----
@@ -363,15 +406,32 @@ func (c *Ctx) PutFloat64s(s []float64) {
 type Stats struct {
 	// Nodes counts recursion nodes visited by OptSRepair.
 	Nodes atomic.Int64
-	// BlocksSerial / BlocksParallel count sibling blocks (and matching
-	// components) solved inline vs handed to a pool worker.
+	// BlocksSerial counts sibling blocks (and matching components, and
+	// planner components) run inline — on the serial path, below the
+	// task-size threshold, or when the scheduler was saturated.
+	// BlocksParallel counts blocks enqueued as scheduler tasks and
+	// executed from a deque (by any worker). Steals counts the subset
+	// of those executed by a worker other than their producer, i.e.
+	// FIFO steals across the task graph; Steals ≤ BlocksParallel.
 	BlocksSerial   atomic.Int64
 	BlocksParallel atomic.Int64
+	Steals         atomic.Int64
 	// Matcher path counters: singleton/star fast paths, dense Hungarian
 	// fallbacks, and sparse Jonker–Volgenant component solves.
 	MatcherFastPath atomic.Int64
 	MatcherDense    atomic.Int64
 	MatcherSparse   atomic.Int64
+	// U-repair planner decisions: components seen, which subroutine won
+	// each (trivial / key-swap / common-lhs via OptSRepair / combined
+	// approximation), whether consensus elimination changed cells, and
+	// the largest component's FD count.
+	PlannerComponents atomic.Int64
+	PlannerTrivial    atomic.Int64
+	PlannerKeySwap    atomic.Int64
+	PlannerCommonLHS  atomic.Int64
+	PlannerApprox     atomic.Int64
+	PlannerConsensus  atomic.Int64
+	PlannerMaxCompFDs atomic.Int64
 	// ArenaHits / ArenaMisses count scratch requests served from the
 	// arena vs freshly allocated.
 	ArenaHits   atomic.Int64
@@ -420,17 +480,69 @@ const (
 	MatcherSparsePath
 )
 
+// PlannerPath names the subroutine that won a U-repair planner
+// component.
+type PlannerPath int
+
+const (
+	PlannerPathTrivial PlannerPath = iota
+	PlannerPathKeySwap
+	PlannerPathCommonLHS
+	PlannerPathApprox
+)
+
+// Planner counts one planner component solved by the named path; fds
+// is the component's FD count (the largest seen is retained).
+func (s *Stats) Planner(kind PlannerPath, fds int) {
+	if s == nil {
+		return
+	}
+	s.PlannerComponents.Add(1)
+	switch kind {
+	case PlannerPathTrivial:
+		s.PlannerTrivial.Add(1)
+	case PlannerPathKeySwap:
+		s.PlannerKeySwap.Add(1)
+	case PlannerPathCommonLHS:
+		s.PlannerCommonLHS.Add(1)
+	case PlannerPathApprox:
+		s.PlannerApprox.Add(1)
+	}
+	atomicMax(&s.PlannerMaxCompFDs, int64(fds))
+}
+
+// PlannerConsensusApplied counts one consensus-elimination phase that
+// changed cells.
+func (s *Stats) PlannerConsensusApplied() {
+	if s != nil {
+		s.PlannerConsensus.Add(1)
+	}
+}
+
 // Snapshot is a plain-value copy of Stats, JSON-taggable for bench
 // snapshots and reports.
 type Snapshot struct {
-	Nodes           int64 `json:"nodes"`
-	BlocksSerial    int64 `json:"blocks_serial"`
-	BlocksParallel  int64 `json:"blocks_parallel"`
+	Nodes int64 `json:"nodes"`
+	// Task scheduler: blocks run inline, executed as enqueued tasks,
+	// and (of those) stolen by a non-producer worker.
+	BlocksSerial   int64 `json:"blocks_serial"`
+	BlocksParallel int64 `json:"blocks_parallel"`
+	Steals         int64 `json:"task_steals"`
+	// Matcher dispatch paths.
 	MatcherFastPath int64 `json:"matcher_fast_path"`
 	MatcherDense    int64 `json:"matcher_dense"`
 	MatcherSparse   int64 `json:"matcher_sparse"`
-	ArenaHits       int64 `json:"arena_hits"`
-	ArenaMisses     int64 `json:"arena_misses"`
+	// U-repair planner decisions.
+	PlannerComponents int64 `json:"planner_components"`
+	PlannerTrivial    int64 `json:"planner_trivial"`
+	PlannerKeySwap    int64 `json:"planner_key_swap"`
+	PlannerCommonLHS  int64 `json:"planner_common_lhs"`
+	PlannerApprox     int64 `json:"planner_approx"`
+	PlannerConsensus  int64 `json:"planner_consensus"`
+	PlannerMaxCompFDs int64 `json:"planner_max_component_fds"`
+	// Arena reuse.
+	ArenaHits   int64 `json:"arena_hits"`
+	ArenaMisses int64 `json:"arena_misses"`
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each
@@ -441,14 +553,22 @@ func (s *Stats) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	return Snapshot{
-		Nodes:           s.Nodes.Load(),
-		BlocksSerial:    s.BlocksSerial.Load(),
-		BlocksParallel:  s.BlocksParallel.Load(),
-		MatcherFastPath: s.MatcherFastPath.Load(),
-		MatcherDense:    s.MatcherDense.Load(),
-		MatcherSparse:   s.MatcherSparse.Load(),
-		ArenaHits:       s.ArenaHits.Load(),
-		ArenaMisses:     s.ArenaMisses.Load(),
+		Nodes:             s.Nodes.Load(),
+		BlocksSerial:      s.BlocksSerial.Load(),
+		BlocksParallel:    s.BlocksParallel.Load(),
+		Steals:            s.Steals.Load(),
+		MatcherFastPath:   s.MatcherFastPath.Load(),
+		MatcherDense:      s.MatcherDense.Load(),
+		MatcherSparse:     s.MatcherSparse.Load(),
+		PlannerComponents: s.PlannerComponents.Load(),
+		PlannerTrivial:    s.PlannerTrivial.Load(),
+		PlannerKeySwap:    s.PlannerKeySwap.Load(),
+		PlannerCommonLHS:  s.PlannerCommonLHS.Load(),
+		PlannerApprox:     s.PlannerApprox.Load(),
+		PlannerConsensus:  s.PlannerConsensus.Load(),
+		PlannerMaxCompFDs: s.PlannerMaxCompFDs.Load(),
+		ArenaHits:         s.ArenaHits.Load(),
+		ArenaMisses:       s.ArenaMisses.Load(),
 	}
 }
 
@@ -460,9 +580,17 @@ func (s *Stats) Reset() {
 	s.Nodes.Store(0)
 	s.BlocksSerial.Store(0)
 	s.BlocksParallel.Store(0)
+	s.Steals.Store(0)
 	s.MatcherFastPath.Store(0)
 	s.MatcherDense.Store(0)
 	s.MatcherSparse.Store(0)
+	s.PlannerComponents.Store(0)
+	s.PlannerTrivial.Store(0)
+	s.PlannerKeySwap.Store(0)
+	s.PlannerCommonLHS.Store(0)
+	s.PlannerApprox.Store(0)
+	s.PlannerConsensus.Store(0)
+	s.PlannerMaxCompFDs.Store(0)
 	s.ArenaHits.Store(0)
 	s.ArenaMisses.Store(0)
 }

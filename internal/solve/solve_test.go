@@ -44,7 +44,7 @@ func TestForEachBlockSerialAndParallel(t *testing.T) {
 		c := New(workers, nil, nil)
 		n := 200
 		out := make([]int, n)
-		err := c.ForEachBlock(n, func(i int) int { return i }, func(i int) error {
+		err := c.ForEachBlock(n, func(i int) int { return i }, func(_ *Ctx, i int) error {
 			out[i] = i * i
 			return nil
 		})
@@ -63,7 +63,7 @@ func TestForEachBlockFirstErrorByIndex(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		c := New(workers, nil, nil)
 		var ran atomic.Int64
-		err := c.ForEachBlock(50, func(i int) int { return 1000 }, func(i int) error {
+		err := c.ForEachBlock(50, func(i int) int { return 1000 }, func(_ *Ctx, i int) error {
 			ran.Add(1)
 			if i == 7 || i == 31 {
 				return fmt.Errorf("block %d failed", i)
@@ -90,7 +90,7 @@ func TestForEachBlockCancelFailsFast(t *testing.T) {
 	cancel()
 	c := New(4, cctx, nil)
 	ran := false
-	err := c.ForEachBlock(10, func(int) int { return 1 }, func(int) error {
+	err := c.ForEachBlock(10, func(int) int { return 1 }, func(*Ctx, int) error {
 		ran = true
 		return nil
 	})
@@ -113,12 +113,17 @@ func TestArenaReuseAndStats(t *testing.T) {
 		t.Fatal("first Get must be a miss")
 	}
 	c.PutInt32s(s)
-	s2 := c.Int32s(64)
-	if st.ArenaHits.Load() == 0 {
-		t.Fatal("second Get should hit the pooled slice")
+	// sync.Pool is allowed to drop a Put (and does so randomly under
+	// the race detector), so assert reuse over a few Put/Get cycles —
+	// re-seeding a large buffer each round — rather than on a single
+	// pair.
+	hit := false
+	for i := 0; i < 20 && !hit; i++ {
+		hit = cap(c.Int32s(64)) >= 100 && st.ArenaHits.Load() > 0
+		c.PutInt32s(make([]int32, 128))
 	}
-	if cap(s2) < 100 {
-		t.Fatalf("pooled capacity lost: %d", cap(s2))
+	if !hit {
+		t.Fatal("pooled slice never reused across 20 Put/Get cycles")
 	}
 	// Requesting more than the pooled capacity falls back to a fresh
 	// allocation (counted as a miss, not a failure).
@@ -127,10 +132,14 @@ func TestArenaReuseAndStats(t *testing.T) {
 		t.Fatalf("len = %d", len(big))
 	}
 
-	f := c.Float64s(10)
-	c.PutFloat64s(f)
-	if got := c.Float64s(10); cap(got) < 10 {
-		t.Fatalf("float64 pool broken: %d", cap(got))
+	hit = false
+	c.PutFloat64s(c.Float64s(10))
+	for i := 0; i < 20 && !hit; i++ {
+		hit = cap(c.Float64s(5)) >= 10
+		c.PutFloat64s(make([]float64, 16))
+	}
+	if !hit {
+		t.Fatal("float64 pool never reused across 20 Put/Get cycles")
 	}
 
 	g := c.Int32Slices(5)
@@ -156,8 +165,46 @@ func TestArenaNilCtxSafe(t *testing.T) {
 		t.Fatal("nil ctx GetScratch")
 	}
 	c.PutScratch("k", 1)
-	if err := c.ForEachBlock(3, func(int) int { return 1 }, func(int) error { return nil }); err != nil {
+	if err := c.ForEachBlock(3, func(int) int { return 1 }, func(*Ctx, int) error { return nil }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSerialCancelBetweenBlocks: the serial path checks cancellation
+// at every block boundary (the same dispatch check the scheduler
+// performs), so a deadline stops a serial fan-out even when the block
+// bodies carry no internal check.
+func TestSerialCancelBetweenBlocks(t *testing.T) {
+	cctx, cancel := context.WithCancel(context.Background())
+	c := New(1, cctx, nil)
+	var ran []int
+	err := c.ForEachBlock(3, func(int) int { return 1 }, func(_ *Ctx, i int) error {
+		ran = append(ran, i)
+		cancel() // fires mid-fan-out; later blocks must not run
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(ran) != 1 || ran[0] != 0 {
+		t.Fatalf("blocks ran after cancellation: %v", ran)
+	}
+}
+
+func TestHintsAtomicMaxAndNilSafety(t *testing.T) {
+	var nilCtx *Ctx
+	nilCtx.SetHints(Hints{Rows: 10, Codes: 10})
+	if h := nilCtx.Hints(); h != (Hints{}) {
+		t.Fatalf("nil ctx hints = %+v", h)
+	}
+	c := New(1, nil, nil)
+	if h := c.Hints(); h != (Hints{}) {
+		t.Fatalf("fresh ctx hints = %+v", h)
+	}
+	c.SetHints(Hints{Rows: 100, Codes: 40})
+	c.SetHints(Hints{Rows: 50, Codes: 90}) // max per field, not last-wins
+	if h := c.Hints(); h.Rows != 100 || h.Codes != 90 {
+		t.Fatalf("hints = %+v, want {100 90}", h)
 	}
 }
 

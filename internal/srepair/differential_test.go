@@ -10,6 +10,7 @@ import (
 	"repro/internal/fd"
 	"repro/internal/graph"
 	"repro/internal/schema"
+	"repro/internal/solve"
 	"repro/internal/table"
 	"repro/internal/workload"
 )
@@ -353,25 +354,26 @@ func TestDifferentialMakeMaximal(t *testing.T) {
 	}
 }
 
-// TestParallelMatchesSerial runs the block solver with a worker pool
-// and asserts repairs identical to the serial solve. Under -race this
-// doubles as the race-detector test for the shared dictionary encoding
-// and the try-acquire pool.
+// TestParallelMatchesSerial runs the block solver on a work-stealing
+// scheduler context and asserts repairs identical to the serial solve.
+// Under -race this doubles as the race-detector test for the shared
+// dictionary encoding and the scheduler (many goroutines sharing one
+// scheduled Ctx exercises slot acquisition, stealing and the worker
+// arena shards).
 func TestParallelMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(45))
-	defer SetWorkers(1)
 	for name, ds := range workload.TractableSets() {
 		sc := ds.Schema()
 		for _, n := range []int{50, 400} {
 			tab := workload.RandomWeightedTable(sc, n, n/8+2, 4, rng)
-			SetWorkers(1)
 			serial, err := OptSRepair(ds, tab)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
-			SetWorkers(8)
-			// Solve concurrently from several goroutines too: the lazy
-			// encoding build and projection cache must be race-free.
+			// Solve concurrently from several goroutines sharing one
+			// scheduled context too: the lazy encoding build and
+			// projection cache must be race-free.
+			sched := solve.New(8, nil, nil)
 			var wg sync.WaitGroup
 			results := make([]*table.Table, 4)
 			errs := make([]error, 4)
@@ -379,7 +381,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					results[i], errs[i] = OptSRepair(ds, tab.Clone())
+					results[i], errs[i] = OptSRepairCtx(sched, ds, tab.Clone())
 				}(i)
 			}
 			wg.Wait()

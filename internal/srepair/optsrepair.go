@@ -68,6 +68,7 @@ func OptSRepairCtx(c *solve.Ctx, ds *fd.Set, t *table.Table) (*table.Table, erro
 		// Line 1–2: Δ is trivial, T is its own optimal S-repair.
 		return t, nil
 	}
+	c.SetHints(solve.Hints{Rows: t.Len(), Codes: t.DistinctEstimate()})
 	sv := solver{steps: steps, c: c}
 	keep, err := sv.solve(table.NewView(t), 0)
 	if err != nil {
@@ -111,15 +112,19 @@ func (s solver) solve(v table.View, depth int) ([]int32, error) {
 	}
 }
 
-// solveBlocks solves every group at depth+1, fanning independent
-// blocks out on the context's worker budget. The returned block-result
-// slice comes from the context arena; the caller releases it with
-// PutInt32Slices after combining (the entries themselves may alias
-// group storage and are copied out before any release).
+// solveBlocks solves every group at depth+1, enqueuing independent
+// blocks as tasks on the context's work-stealing scheduler — blocks at
+// every recursion depth land on the same deques, so a deep chain whose
+// fan-out happens far below the root still saturates the worker
+// budget. Each block's recursion continues on the Ctx of whichever
+// worker executes it (its deque, its arena shard). The returned
+// block-result slice comes from the context arena; the caller releases
+// it with PutInt32Slices after combining (the entries themselves may
+// alias group storage and are copied out before any release).
 func (s solver) solveBlocks(v table.View, groups [][]int32, depth int) ([][]int32, error) {
 	reps := s.c.Int32Slices(len(groups))
-	err := s.c.ForEachBlock(len(groups), func(i int) int { return len(groups[i]) }, func(i int) error {
-		rep, err := s.solve(v.Subview(groups[i]), depth+1)
+	err := s.c.ForEachBlock(len(groups), func(i int) int { return len(groups[i]) }, func(wc *solve.Ctx, i int) error {
+		rep, err := solver{steps: s.steps, c: wc}.solve(v.Subview(groups[i]), depth+1)
 		if err != nil {
 			return err
 		}
@@ -201,8 +206,8 @@ func (s solver) consensusRep(st fd.Simplification, v table.View, depth int) ([]i
 // so the edge list goes straight to the sparse engine — cost scales
 // with the number of blocks the data contains, not with the product of
 // distinct-value counts a dense matrix would pad to. Connected
-// components of the marriage graph are solved independently on the same
-// worker pool as the repair blocks.
+// components of the marriage graph become tasks on the same
+// work-stealing scheduler as the repair blocks.
 func (s solver) marriageRep(st fd.Simplification, v table.View, depth int) ([]int32, error) {
 	if v.Len() == 0 {
 		return v.Rows(), nil
@@ -268,6 +273,11 @@ type edgeKey struct{}
 func getEdges(c *solve.Ctx, n int) []graph.Edge {
 	if v := c.GetScratch(edgeKey{}); v != nil {
 		return solve.Grow(*v.(*[]graph.Edge), n)
+	}
+	// Fresh list: pre-size at the hinted row count (edges ≤ blocks ≤
+	// rows), so the first solve skips the grow-realloc ladder.
+	if h := c.Hints(); h.Rows > n {
+		return make([]graph.Edge, n, solve.RoundCap(h.Rows))
 	}
 	return solve.Grow[graph.Edge](nil, n)
 }

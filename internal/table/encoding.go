@@ -210,6 +210,34 @@ func (t *Table) ProjectionCodes(attrs schema.AttrSet) (codes []int32, groups int
 	return p.codes, p.groups
 }
 
+// DistinctEstimate estimates the largest distinct-code count any
+// projection of the table will produce, for pre-sizing solve scratch
+// (solve.Hints). It reads the already-built encoding snapshot — the
+// max over built column dictionaries and projection group counts —
+// and falls back to the row count (a hard upper bound on any distinct
+// count) when the encoding is cold. Never forces an encoding build.
+func (t *Table) DistinctEstimate() int {
+	e := t.enc.Load()
+	if e == nil {
+		return len(t.rows)
+	}
+	best := 0
+	for _, card := range e.card {
+		if card > best {
+			best = card
+		}
+	}
+	for _, p := range e.proj {
+		if p.groups > best {
+			best = p.groups
+		}
+	}
+	if best == 0 {
+		return len(t.rows)
+	}
+	return best
+}
+
 // IndexOf returns the position of the identifier in insertion order
 // (the row index used by ProjectionCodes and View).
 func (t *Table) IndexOf(id int) (int, bool) {

@@ -1,0 +1,151 @@
+package urepair
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/solve"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// multiComponentInstance builds an FD set whose consensus-free part
+// decomposes into three attribute-disjoint components exercising three
+// planner paths — a key swap {A↔B}, a common-lhs set {C→D, C→E}, and a
+// two-FD chain-free set {F→G, H→G} that needs the combined
+// approximation — over a randomized table large enough that every
+// component becomes a scheduler task.
+func multiComponentInstance(n int, seed int64) (*fd.Set, *table.Table) {
+	sc := schema.MustNew("R", "A", "B", "C", "D", "E", "F", "G", "H")
+	ds := fd.MustParseSet(sc, "A -> B", "B -> A", "C -> D", "C -> E", "F -> G", "H -> G")
+	rng := rand.New(rand.NewSource(seed))
+	tab := table.New(sc)
+	for i := 1; i <= n; i++ {
+		tab.MustInsert(i, table.Tuple{
+			fmt.Sprintf("a%d", rng.Intn(8)), fmt.Sprintf("b%d", rng.Intn(8)),
+			fmt.Sprintf("c%d", rng.Intn(6)), fmt.Sprintf("d%d", rng.Intn(4)),
+			fmt.Sprintf("e%d", rng.Intn(4)), fmt.Sprintf("f%d", rng.Intn(6)),
+			fmt.Sprintf("g%d", rng.Intn(4)), fmt.Sprintf("h%d", rng.Intn(6)),
+		}, float64(1+rng.Intn(3)))
+	}
+	return ds, tab
+}
+
+// sameUpdate asserts two updates are byte-identical: same identifiers
+// and same tuple values everywhere.
+func sameUpdate(t *testing.T, name string, got, want *table.Table) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d rows vs %d", name, got.Len(), want.Len())
+	}
+	for _, r := range want.Rows() {
+		gr, ok := got.Row(r.ID)
+		if !ok {
+			t.Fatalf("%s: id %d missing", name, r.ID)
+		}
+		if !gr.Tuple.Equal(r.Tuple) {
+			t.Fatalf("%s: id %d tuple %v vs %v", name, r.ID, gr.Tuple, r.Tuple)
+		}
+	}
+}
+
+// TestPlannerParallelDeterminism: the planner's per-component solves
+// ride the work-stealing scheduler; the update, cost, exactness and
+// method string must be byte-identical to the serial planner at every
+// worker count (components merge in index order regardless of
+// execution order).
+func TestPlannerParallelDeterminism(t *testing.T) {
+	ds, tab := multiComponentInstance(400, 9)
+	serial, err := Repair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		res, err := RepairCtx(solve.New(w, nil, nil), ds, tab)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		name := fmt.Sprintf("planner/workers=%d", w)
+		sameUpdate(t, name, res.Update, serial.Update)
+		if !table.WeightEq(res.Cost, serial.Cost) {
+			t.Fatalf("%s: cost %v vs serial %v", name, res.Cost, serial.Cost)
+		}
+		if res.Exact != serial.Exact || res.RatioBound != serial.RatioBound {
+			t.Fatalf("%s: exact/ratio %v/%v vs %v/%v", name,
+				res.Exact, res.RatioBound, serial.Exact, serial.RatioBound)
+		}
+		if res.Method != serial.Method {
+			t.Fatalf("%s: method %q vs %q", name, res.Method, serial.Method)
+		}
+	}
+}
+
+// TestPlannerStats: the per-component decisions (which subroutine won,
+// component count and sizes) surface in the solve stats.
+func TestPlannerStats(t *testing.T) {
+	ds, tab := multiComponentInstance(200, 23)
+	st := new(solve.Stats)
+	res, err := RepairCtx(solve.New(1, nil, st), ds, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if snap.PlannerComponents != 3 {
+		t.Fatalf("planner components = %d, want 3 (stats %+v)", snap.PlannerComponents, snap)
+	}
+	if snap.PlannerKeySwap != 1 || snap.PlannerCommonLHS != 1 || snap.PlannerApprox != 1 {
+		t.Fatalf("planner paths keyswap/commonlhs/approx = %d/%d/%d, want 1/1/1 (method %q)",
+			snap.PlannerKeySwap, snap.PlannerCommonLHS, snap.PlannerApprox, res.Method)
+	}
+	if snap.PlannerMaxCompFDs != 2 {
+		t.Fatalf("planner max component FDs = %d, want 2", snap.PlannerMaxCompFDs)
+	}
+	// Consensus elimination is recorded only when it changes cells.
+	cds := fd.MustParseSet(ds.Schema(), "-> A")
+	st.Reset()
+	if _, err := RepairCtx(solve.New(1, nil, st), cds, tab); err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshot().PlannerConsensus != 1 {
+		t.Fatalf("consensus application not recorded: %+v", st.Snapshot())
+	}
+}
+
+// TestPlannerParallelRandomized mirrors the srepair determinism
+// property test over the planner's tractable catalogue shapes.
+func TestPlannerParallelRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	sc := schema.MustNew("R", "A", "B", "C")
+	sets := []*fd.Set{
+		fd.MustParseSet(sc, "A -> B", "B -> A"),
+		fd.MustParseSet(sc, "A -> B", "A -> C"),
+		fd.MustParseSet(sc, "-> C", "A -> B"),
+		fd.MustParseSet(sc, "A -> B", "B -> C"), // hard side: approximation
+	}
+	for si, ds := range sets {
+		for trial := 0; trial < 3; trial++ {
+			tab := workload.RandomWeightedTable(sc, 60+rng.Intn(200), 6, 4, rng)
+			serial, err := Repair(ds, tab)
+			if err != nil {
+				t.Fatalf("set %d: %v", si, err)
+			}
+			for _, w := range []int{2, 8} {
+				res, err := RepairCtx(solve.New(w, nil, nil), ds, tab)
+				if err != nil {
+					t.Fatalf("set %d workers=%d: %v", si, w, err)
+				}
+				name := fmt.Sprintf("set=%d/trial=%d/workers=%d", si, trial, w)
+				sameUpdate(t, name, res.Update, serial.Update)
+				if !table.WeightEq(res.Cost, serial.Cost) {
+					t.Fatalf("%s: cost %v vs %v", name, res.Cost, serial.Cost)
+				}
+				if res.Method != serial.Method {
+					t.Fatalf("%s: method %q vs %q", name, res.Method, serial.Method)
+				}
+			}
+		}
+	}
+}

@@ -70,7 +70,15 @@ func RepairCtx(c *solve.Ctx, ds *fd.Set, t *table.Table) (Result, error) {
 
 // repairFull handles consensus elimination (Theorem 4.3) and then
 // decomposes into attribute-disjoint components (Theorem 4.1).
+// Components are independent — they touch disjoint attribute sets and
+// only read the input table — so they become tasks on the solve
+// context's work-stealing scheduler, alongside the S-repair blocks the
+// component solves spawn internally. Their cell changes are merged
+// serially in component index order after the join, which (together
+// with index-ordered cost summation) keeps the result byte-identical
+// to the serial planner at any worker count.
 func repairFull(c *solve.Ctx, ds *fd.Set, t *table.Table) (Result, error) {
+	c.SetHints(solve.Hints{Rows: t.Len(), Codes: t.DistinctEstimate()})
 	u := t.Clone()
 	var cost float64
 	exact := true
@@ -83,17 +91,33 @@ func repairFull(c *solve.Ctx, ds *fd.Set, t *table.Table) (Result, error) {
 		cost += cc
 		if changed {
 			methods = append(methods, "consensus-majority")
+			c.Stats().PlannerConsensusApplied()
 		}
 	}
 	rest := ds.Minus(consensus)
-	for _, comp := range rest.Components() {
-		if err := c.Err(); err != nil {
-			return Result{}, err
-		}
-		r, err := repairComponent(c, comp, t)
-		if err != nil {
-			return Result{}, err
-		}
+	comps := rest.Components()
+	// Every Result holds a full-table update, so peak memory is one
+	// clone per component until the merge; components have pairwise
+	// disjoint attribute sets, so their count is bounded by the schema
+	// arity, not the data.
+	results := make([]Result, len(comps))
+	err := c.ForEachBlock(len(comps),
+		// Every component scans the full table, so its cost scales with
+		// the row count regardless of its FD count.
+		func(int) int { return t.Len() },
+		func(wc *solve.Ctx, i int) error {
+			r, err := repairComponent(wc, comps[i], t)
+			if err != nil {
+				return err
+			}
+			results[i] = r
+			return nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	for i, comp := range comps {
+		r := results[i]
 		// Merge the component's cell changes (its attributes are disjoint
 		// from every other component and from the consensus attributes).
 		attrs := comp.AttrsUsed()
@@ -125,9 +149,11 @@ func repairFull(c *solve.Ctx, ds *fd.Set, t *table.Table) (Result, error) {
 }
 
 // repairComponent solves one consensus-free, attribute-connected
-// component of the FD set against the full table.
+// component of the FD set against the full table, recording which
+// subroutine won (and the component's FD count) in the solve stats.
 func repairComponent(c *solve.Ctx, comp *fd.Set, t *table.Table) (Result, error) {
 	if comp.IsTrivialSet() {
+		c.Stats().Planner(solve.PlannerPathTrivial, comp.Len())
 		return Result{Update: t.Clone(), Exact: true, RatioBound: 1, Method: "trivial"}, nil
 	}
 	if isKeySwap(comp) {
@@ -136,6 +162,7 @@ func repairComponent(c *solve.Ctx, comp *fd.Set, t *table.Table) (Result, error)
 			return Result{}, err
 		}
 		if ok {
+			c.Stats().Planner(solve.PlannerPathKeySwap, comp.Len())
 			return r, nil
 		}
 	}
@@ -145,10 +172,15 @@ func repairComponent(c *solve.Ctx, comp *fd.Set, t *table.Table) (Result, error)
 			return Result{}, err
 		}
 		if ok {
+			c.Stats().Planner(solve.PlannerPathCommonLHS, comp.Len())
 			return r, nil
 		}
 	}
-	return approxComponent(c, comp, t)
+	r, err := approxComponent(c, comp, t)
+	if err == nil {
+		c.Stats().Planner(solve.PlannerPathApprox, comp.Len())
+	}
+	return r, err
 }
 
 // commonLHSRepair implements Corollary 4.6 for sets with a common lhs
