@@ -6,8 +6,10 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"sync"
 	"testing"
 
+	"repro/fdrepair"
 	"repro/internal/fd"
 	"repro/internal/graph"
 	"repro/internal/schema"
@@ -164,6 +166,86 @@ func writeBenchJSON(path string) error {
 					b.Fatal(err)
 				}
 				if _, err := sm.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, nil},
+	)
+
+	// Mixed-size batch workload: interleaved n=100 and n=102400 tables
+	// run as one SolveBatch on one Solver, the request-serving shape the
+	// batch entry point exists for. The companion small-after-large case
+	// measures a small solve on a Solver that has already repaired the
+	// 102400-row table; with per-request solve scopes its B/op must
+	// track the small table, not the large one (the sticky-hints bug
+	// pre-sized every cold buffer at the biggest table ever seen — the
+	// schema smoke asserts the ratio, and fdrepair's
+	// TestStickyHintsRegression pins it at 2× against a fresh Solver).
+	// These cases run last, and their tables are generated lazily on
+	// first use: they keep a 102400-row table live, and anything
+	// measured after that heap shift would pay its GC noise.
+	var batchOnce sync.Once
+	var smallBatchTab, largeBatchTab *table.Table
+	var batchReqs []fdrepair.Request
+	initBatch := func() {
+		batchOnce.Do(func() {
+			smallBatchTab = workload.MarriageSparseTable(chainSC, 100, 3, 3, rand.New(rand.NewSource(100)))
+			largeBatchTab = workload.MarriageSparseTable(chainSC, 102400, 3, 3, rand.New(rand.NewSource(102400)))
+			for i := 0; i < 10; i++ {
+				tab := smallBatchTab
+				if i == 2 || i == 7 {
+					tab = largeBatchTab
+				}
+				batchReqs = append(batchReqs, fdrepair.Request{FDs: marriageDS, Table: tab})
+			}
+		})
+	}
+	cases = append(cases,
+		benchCase{"SolveBatch/mixed-size/interleaved-8x100+2x102400", func(b *testing.B) {
+			initBatch()
+			b.ResetTimer()
+			b.ReportAllocs()
+			sv := fdrepair.NewSolver()
+			for i := 0; i < b.N; i++ {
+				for _, res := range sv.SolveBatch(batchReqs) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+		}, func() *solve.Snapshot {
+			initBatch()
+			sv := fdrepair.NewSolver(fdrepair.WithStats())
+			for _, res := range sv.SolveBatch(batchReqs) {
+				if res.Err != nil {
+					fmt.Fprintf(os.Stderr, "benchjson: stats batch failed: %v\n", res.Err)
+					return nil
+				}
+			}
+			snap := sv.Stats()
+			return &snap
+		}},
+		benchCase{"SolveBatch/small-solo/n=100", func(b *testing.B) {
+			initBatch()
+			b.ResetTimer()
+			b.ReportAllocs()
+			sv := fdrepair.NewSolver()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sv.OptimalSRepair(marriageDS, smallBatchTab); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, nil},
+		benchCase{"SolveBatch/small-after-large/n=100", func(b *testing.B) {
+			initBatch()
+			b.ReportAllocs()
+			sv := fdrepair.NewSolver()
+			if _, _, err := sv.OptimalSRepair(marriageDS, largeBatchTab); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sv.OptimalSRepair(marriageDS, smallBatchTab); err != nil {
 					b.Fatal(err)
 				}
 			}

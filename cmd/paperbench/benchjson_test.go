@@ -38,8 +38,33 @@ func TestBenchJSONSchema(t *testing.T) {
 		byName[r.Name] = r
 	}
 	// The scaling point unlocked by batched workload generation.
-	if _, ok := byName["OptSRepairScaling/marriage-sparse/n=102400"]; !ok {
+	large, ok := byName["OptSRepairScaling/marriage-sparse/n=102400"]
+	if !ok {
 		t.Fatal("missing OptSRepairScaling/marriage-sparse/n=102400")
+	}
+	// The mixed-size batch workload added with per-request solve scopes
+	// must be present, carry aggregate solve stats, and prove the
+	// sticky-hints fix in the snapshot itself: a small solve on a
+	// Solver that already repaired the 102400-row table must allocate
+	// like a small solve, not like the large one (pre-fix, cold scratch
+	// was pre-sized at the sticky 102400-row hint).
+	batch, ok := byName["SolveBatch/mixed-size/interleaved-8x100+2x102400"]
+	if !ok {
+		t.Fatal("missing SolveBatch/mixed-size/interleaved-8x100+2x102400")
+	}
+	if batch.SolveStats == nil || batch.SolveStats.Nodes <= 0 {
+		t.Fatalf("mixed-size batch case has no solve_stats: %+v", batch.SolveStats)
+	}
+	smallAfterLarge, ok := byName["SolveBatch/small-after-large/n=100"]
+	if !ok {
+		t.Fatal("missing SolveBatch/small-after-large/n=100")
+	}
+	if _, ok := byName["SolveBatch/small-solo/n=100"]; !ok {
+		t.Fatal("missing SolveBatch/small-solo/n=100")
+	}
+	if large.BytesPerOp > 0 && smallAfterLarge.BytesPerOp > large.BytesPerOp/10 {
+		t.Fatalf("small solve after a 102400-row solve allocates %d B/op (large case: %d B/op): sticky-hints bloat",
+			smallAfterLarge.BytesPerOp, large.BytesPerOp)
 	}
 	// The planner case added with the work-stealing scheduler must
 	// carry the per-component decision counters.

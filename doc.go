@@ -89,6 +89,42 @@
 // reconfigures the default Solver backing the package-level entry
 // points.
 //
+// # Request scopes and batching
+//
+// Solver state is split along lifetimes. Solver-lifetime state — the
+// worker budget and scheduler, the scratch arenas, the aggregate stats
+// sink — persists across solves; that persistence is the point of a
+// long-lived Solver (arena buffers converge on high-water sizes, the
+// scheduler holds the budget). Per-request state — the scratch
+// pre-sizing hints taken from the input table, the request's
+// cancellation snapshot and deadline, an optional per-request stats
+// record — lives in a solve scope (internal/solve.Scope) begun afresh
+// by every entry point. Scoping the hints fixes a real bug: hints used
+// to accumulate as a sticky maximum on the shared context, so a Solver
+// that once repaired a 100k-row table pre-sized every cold buffer of
+// every later 10-row solve at 100k rows — unbounded memory
+// amplification in precisely the multi-tenant, many-table setting the
+// Solver targets. A scope pre-sizes at the table actually being
+// solved; pooled buffers grown by big solves are still reused by small
+// ones, which costs nothing.
+//
+// On top of scopes sits the batch/stream entry point for many-table
+// traffic: Solver.SolveBatch runs a slice of (FDSet, Table, Algorithm)
+// requests as tasks on the solver's one work-stealing scheduler —
+// request-level tasks interleave with the block-level tasks their own
+// recursions spawn, so a mixed-size batch saturates the budget without
+// over-subscribing it — and returns index-ordered, per-request results:
+// each request carries its own error (one expired deadline, hard FD
+// set or cancelled context never poisons its siblings), its own
+// deadline (WithRequestTimeout or Request.Context) and its own
+// SolveStats slice, while results remain byte-identical to solo solves
+// at any worker count. Solver.NewStream is the queue form: Submit
+// enqueues requests as they arrive (in-flight work bounded by the
+// worker budget, natural backpressure past it), Results delivers each
+// outcome as it completes, tagged with its submission index. The CLI's
+// batch subcommand and the SolveBatch cases in paperbench -benchjson
+// ride this path.
+//
 // MarriageRep (Subroutine 3) runs on a sparse matching engine
 // (internal/graph.SparseMatcher): the marriage graph has exactly one
 // edge per observed (X1, X2) block, so marriageRep emits that edge list

@@ -1,0 +1,328 @@
+package fdrepair
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/mpd"
+	"repro/internal/solve"
+	"repro/internal/srepair"
+	"repro/internal/table"
+	"repro/internal/urepair"
+)
+
+// Algorithm selects the repair computation a batch Request runs.
+type Algorithm int
+
+const (
+	// AlgoOptimalSRepair is Solver.OptimalSRepair (Algorithm 1; fails
+	// with srepair.ErrNoSimplification on the hard side of the
+	// dichotomy). The zero value, so the default for a Request.
+	AlgoOptimalSRepair Algorithm = iota
+	// AlgoExactSRepair is Solver.ExactSRepair (exponential baseline).
+	AlgoExactSRepair
+	// AlgoApproxSRepair is Solver.ApproxSRepair (2-approximation).
+	AlgoApproxSRepair
+	// AlgoOptimalURepair is Solver.OptimalURepair; the update and its
+	// guarantees are returned in BatchResult.URepair.
+	AlgoOptimalURepair
+	// AlgoMostProbable is Solver.MostProbableDatabase; Cost carries the
+	// probability.
+	AlgoMostProbable
+)
+
+// String names the algorithm for reports and CLI summaries.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoOptimalSRepair:
+		return "optimal-srepair"
+	case AlgoExactSRepair:
+		return "exact-srepair"
+	case AlgoApproxSRepair:
+		return "approx-srepair"
+	case AlgoOptimalURepair:
+		return "optimal-urepair"
+	case AlgoMostProbable:
+		return "most-probable"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Request is one unit of batch/stream work: a table, the FD set to
+// repair it under, the algorithm to run, and an optional per-request
+// cancellation context. A Request with a nil Context inherits the
+// solver's base context (WithContext); a non-nil Context replaces it
+// for this request, and WithRequestTimeout derives a deadline from
+// whichever applies.
+type Request struct {
+	FDs       *FDSet
+	Table     *Table
+	Algorithm Algorithm
+	Context   context.Context
+}
+
+// BatchResult is the outcome of one Request. Exactly one of Table (for
+// the S-repair and MPD algorithms) or URepair (for AlgoOptimalURepair)
+// is set on success; Err carries the request's own failure — a
+// cancelled or failed request never poisons its batch siblings.
+type BatchResult struct {
+	// Index is the request's position in the SolveBatch input slice (or
+	// its Stream submission order), so streamed results can be
+	// correlated out of completion order.
+	Index int
+	// Table is the repair: a consistent subset for the S-repair
+	// algorithms, the most probable database for AlgoMostProbable.
+	Table *Table
+	// Cost is dist_sub for the S-repair algorithms and the subset's
+	// probability for AlgoMostProbable; for AlgoOptimalURepair see
+	// URepair.Cost.
+	Cost float64
+	// URepair is the full update-repair outcome for AlgoOptimalURepair.
+	URepair *URepairResult
+	// Err is the request's error (context.DeadlineExceeded on a missed
+	// per-request deadline, srepair.ErrNoSimplification on a hard FD
+	// set under AlgoOptimalSRepair, ...).
+	Err error
+	// Stats is this request's own counter slice (zero unless the Solver
+	// was built WithStats). The solver's aggregate Stats still
+	// accumulates every request.
+	Stats SolveStats
+}
+
+// batchConfig collects per-batch option values.
+type batchConfig struct {
+	timeout time.Duration
+}
+
+// BatchOption configures SolveBatch and NewStream.
+type BatchOption func(*batchConfig)
+
+// WithRequestTimeout gives every request in the batch (or stream) its
+// own deadline of d, measured from the moment the request starts
+// running: one slow or huge table times out alone while the rest of
+// the batch completes. The deadline is derived from the request's
+// Context when set, else from the solver's base context, so an
+// explicit request deadline composes with outer cancellation.
+func WithRequestTimeout(d time.Duration) BatchOption {
+	return func(c *batchConfig) { c.timeout = d }
+}
+
+// SolveBatch runs many repair requests on this Solver and returns one
+// BatchResult per request, index-aligned with reqs (and with Index set,
+// so callers may also sort or merge streamed copies). The requests are
+// admitted as tasks on the solver's one work-stealing scheduler —
+// alongside the block-level tasks their own recursions spawn — so a
+// mixed-size batch keeps every worker busy without over-subscribing
+// the budget; on a serial Solver the batch runs sequentially.
+//
+// Each request executes under its own solve scope: its own size hints
+// (a 100-row request next to a 100k-row request pre-sizes scratch at
+// 100 rows, not 100k), its own deadline (WithRequestTimeout or
+// Request.Context) and its own error slot — one cancelled or failed
+// request never poisons the others. Results are byte-identical to
+// running each request alone, at any worker count. Scratch arenas are
+// still shared across the batch (that sharing is the point of
+// batching: buffers grown by one request are reused by the next).
+func (s *Solver) SolveBatch(reqs []Request, opts ...BatchOption) []BatchResult {
+	var cfg batchConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	out := make([]BatchResult, len(reqs))
+	ran := make([]bool, len(reqs))
+	err := s.ctx.ForEachBlock(len(reqs),
+		func(i int) int {
+			// A malformed request still sizes as 0 so it reaches
+			// runRequest's nil-guard as a per-request error instead of
+			// panicking the whole batch here.
+			if reqs[i].Table == nil {
+				return 0
+			}
+			return reqs[i].Table.Len()
+		},
+		func(wc *solve.Ctx, i int) error {
+			out[i] = s.runRequest(wc, i, reqs[i], cfg)
+			ran[i] = true
+			// Per-request isolation: the request's error lives in its
+			// BatchResult, never in the batch-level join.
+			return nil
+		})
+	// The batch-level fan-out only fails when the solver's own base
+	// context is done; requests skipped by that drain still owe the
+	// caller an answer.
+	if err != nil {
+		for i := range out {
+			if !ran[i] {
+				out[i] = BatchResult{Index: i, Err: err}
+			}
+		}
+	}
+	return out
+}
+
+// runRequest executes one request under a fresh per-request solve
+// scope on wc's worker binding.
+func (s *Solver) runRequest(wc *solve.Ctx, i int, r Request, cfg batchConfig) BatchResult {
+	res := BatchResult{Index: i}
+	if r.FDs == nil || r.Table == nil {
+		res.Err = fmt.Errorf("fdrepair: batch request %d: nil FDs or Table", i)
+		return res
+	}
+	rctx := r.Context
+	if cfg.timeout > 0 {
+		base := rctx
+		if base == nil {
+			// Same fallback Scoped applies: a request without its own
+			// context derives its deadline from the solver's base.
+			base = wc.Base()
+		}
+		if base == nil {
+			base = context.Background()
+		}
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(base, cfg.timeout)
+		defer cancel()
+	}
+	var st *solve.Stats
+	if s.stats != nil {
+		st = new(solve.Stats)
+	}
+	c := wc.Scoped(rctx, st)
+	switch r.Algorithm {
+	case AlgoOptimalSRepair:
+		var rep *table.Table
+		rep, res.Err = srepair.OptSRepairCtx(c, r.FDs, r.Table)
+		if res.Err == nil {
+			res.Table, res.Cost = rep, table.DistSub(rep, r.Table)
+		}
+	case AlgoExactSRepair:
+		var rep *table.Table
+		rep, res.Err = srepair.ExactCtx(c, r.FDs, r.Table)
+		if res.Err == nil {
+			res.Table, res.Cost = rep, table.DistSub(rep, r.Table)
+		}
+	case AlgoApproxSRepair:
+		var rep *table.Table
+		rep, res.Err = srepair.Approx2Ctx(c, r.FDs, r.Table)
+		if res.Err == nil {
+			res.Table, res.Cost = rep, table.DistSub(rep, r.Table)
+		}
+	case AlgoOptimalURepair:
+		var ur URepairResult
+		ur, res.Err = urepair.RepairCtx(c, r.FDs, r.Table)
+		if res.Err == nil {
+			res.URepair = &ur
+			res.Table, res.Cost = ur.Update, ur.Cost
+		}
+	case AlgoMostProbable:
+		var rep *table.Table
+		rep, res.Err = mpd.SolveCtx(c, r.FDs, r.Table)
+		if res.Err == nil {
+			res.Table, res.Cost = rep, mpd.Probability(r.Table, rep)
+		}
+	default:
+		res.Err = fmt.Errorf("fdrepair: batch request %d: unknown algorithm %v", i, r.Algorithm)
+	}
+	if st != nil {
+		res.Stats = st.Snapshot()
+		s.stats.Merge(res.Stats)
+	}
+	return res
+}
+
+// Stream is the queue form of SolveBatch for serving request traffic:
+// Submit enqueues repair requests as they arrive, Results delivers
+// each BatchResult as its request completes (completion order, with
+// Index recording submission order). In-flight work is bounded by the
+// solver's worker budget; beyond it, Submit's goroutines queue behind
+// a semaphore, and the inner recursions of running requests share the
+// solver's one work-stealing scheduler and arenas exactly like
+// SolveBatch. Construct with Solver.NewStream.
+//
+// The consumer must drain Results; once the channel's buffer (one slot
+// per worker) is full, completed requests block their slot until read.
+// Submit and Close may be called from any goroutine, but Submit after
+// Close panics (like sending on a closed channel).
+type Stream struct {
+	sv      *Solver
+	cfg     batchConfig
+	results chan BatchResult
+	sem     chan struct{}
+
+	mu     sync.Mutex
+	next   int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewStream opens a streaming submission queue over this Solver's
+// scheduler and arenas. The same per-request options as SolveBatch
+// apply (WithRequestTimeout). Close the stream after the last Submit;
+// Results closes once every submitted request has been delivered.
+func (s *Solver) NewStream(opts ...BatchOption) *Stream {
+	var cfg batchConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	workers := s.Parallelism()
+	return &Stream{
+		sv:      s,
+		cfg:     cfg,
+		results: make(chan BatchResult, workers),
+		sem:     make(chan struct{}, workers),
+	}
+}
+
+// Submit enqueues one request and returns its index (submission
+// order), which its BatchResult will carry. Submit blocks only while
+// the stream's in-flight budget (= the solver's worker budget) is
+// exhausted — natural backpressure for a producer outrunning the
+// engine; it never waits for its own request to complete.
+func (st *Stream) Submit(r Request) int {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		panic("fdrepair: Submit on a closed Stream")
+	}
+	i := st.next
+	st.next++
+	st.wg.Add(1)
+	st.mu.Unlock()
+	st.sem <- struct{}{} // bound in-flight requests
+	go func() {
+		defer st.wg.Done()
+		res := st.sv.runRequest(st.sv.ctx, i, r, st.cfg)
+		// Deliver before releasing the in-flight slot: a completed
+		// request keeps its slot until the consumer reads it (past the
+		// channel buffer), so a slow consumer throttles Submit instead
+		// of accumulating unread results without bound.
+		st.results <- res
+		<-st.sem
+	}()
+	return i
+}
+
+// Results returns the delivery channel. It yields one BatchResult per
+// submitted request in completion order and closes after Close once
+// every in-flight request has been delivered.
+func (st *Stream) Results() <-chan BatchResult { return st.results }
+
+// Close marks the stream complete: no further Submits are accepted,
+// and Results closes once the in-flight requests drain. Close returns
+// immediately; it is safe to call once from any goroutine.
+func (st *Stream) Close() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	st.mu.Unlock()
+	go func() {
+		st.wg.Wait()
+		close(st.results)
+	}()
+}

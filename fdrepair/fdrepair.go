@@ -163,7 +163,14 @@ func urepairExact(ds *FDSet) bool {
 // the per-process Solver backing the package-level entry points
 // (OptimalSRepair, OptimalURepair, MostProbableDatabase, ...). n ≤ 1
 // restores the serial default. Results are identical to the serial
-// algorithm. Do not call while a default-solver repair is running.
+// algorithm.
+//
+// Calling SetParallelism concurrently with in-flight default-context
+// solves is safe: the default context is swapped atomically and a
+// running solve keeps the context (budget, scheduler, arenas) it
+// captured at entry, so it completes unchanged — only solves started
+// after the call see the new budget. Pinned by a -race regression test
+// (TestSetParallelismShimConcurrentWithSolves).
 //
 // Deprecated: construct a Solver with WithParallelism instead — each
 // Solver owns its worker budget, scratch arenas, deadline and stats,

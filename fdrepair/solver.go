@@ -64,10 +64,11 @@ type SolverOption func(*solverConfig)
 
 // WithParallelism sets the solver's worker budget: independent blocks
 // of the repair recursion (at every depth), connected components of
-// the marriage matching graph and U-repair planner components are
-// solved concurrently by up to n work-stealing workers. n ≤ 1 means
-// serial (the default). Results are identical to the serial
-// algorithm.
+// the marriage matching graph, U-repair planner components and batch
+// requests (SolveBatch) are solved concurrently by up to n
+// work-stealing workers. Values of n ≤ 1 — including 0 and negatives —
+// are clamped to 1, meaning serial (the default); Parallelism reports
+// the clamped value. Results are identical to the serial algorithm.
 func WithParallelism(n int) SolverOption {
 	return func(c *solverConfig) { c.workers = n }
 }
@@ -95,6 +96,12 @@ func NewSolver(opts ...SolverOption) *Solver {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if cfg.workers < 1 {
+		// WithParallelism(0) and negative values mean serial, explicitly:
+		// the clamp happens here (not buried in the scheduler gate) so
+		// Parallelism() reports what the solver actually runs with.
+		cfg.workers = 1
+	}
 	s := &Solver{}
 	if cfg.stats {
 		s.stats = new(solve.Stats)
@@ -103,7 +110,9 @@ func NewSolver(opts ...SolverOption) *Solver {
 	return s
 }
 
-// Parallelism returns the solver's worker budget (1 = serial).
+// Parallelism returns the solver's worker budget (1 = serial). The
+// value is the clamped budget the solver actually runs with:
+// WithParallelism(0) and negative values report 1.
 func (s *Solver) Parallelism() int { return s.ctx.Workers() }
 
 // Stats returns a snapshot of the solver's counters (zero when

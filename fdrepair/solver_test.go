@@ -284,14 +284,34 @@ func TestSolverStats(t *testing.T) {
 }
 
 // TestSolverParallelism: option plumbing.
+// TestSolverParallelism pins the clamp semantics of WithParallelism:
+// 0 and negative values mean serial — explicitly clamped in NewSolver,
+// not silently dropped by a `workers > 1` gate — and Parallelism
+// reports the clamped value the solver actually runs with. Each
+// clamped solver must still solve correctly.
 func TestSolverParallelism(t *testing.T) {
 	if got := NewSolver().Parallelism(); got != 1 {
 		t.Fatalf("default parallelism = %d", got)
 	}
-	if got := NewSolver(WithParallelism(8)).Parallelism(); got != 8 {
-		t.Fatalf("parallelism = %d, want 8", got)
+	ds, tab := solverTestInstance(120)
+	want, wantCost, err := OptimalSRepair(ds, tab)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := NewSolver(WithParallelism(-3)).Parallelism(); got != 1 {
-		t.Fatalf("negative parallelism = %d, want 1", got)
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {-1, 1}, {-3, 1}, {1, 1}, {8, 8},
+	} {
+		sv := NewSolver(WithParallelism(tc.in))
+		if got := sv.Parallelism(); got != tc.want {
+			t.Fatalf("WithParallelism(%d).Parallelism() = %d, want %d", tc.in, got, tc.want)
+		}
+		got, cost, err := sv.OptimalSRepair(ds, tab)
+		if err != nil {
+			t.Fatalf("WithParallelism(%d): %v", tc.in, err)
+		}
+		if cost != wantCost {
+			t.Fatalf("WithParallelism(%d): cost %v != %v", tc.in, cost, wantCost)
+		}
+		sameRepair(t, want, got)
 	}
 }

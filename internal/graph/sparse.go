@@ -298,7 +298,9 @@ type jvKey struct{}
 // arrays and per-node buffers from the context's size hints so the
 // first large component allocates at the high-water size instead of
 // climbing a grow-realloc ladder (subsequent components recycle the
-// grown buffers through the arena either way).
+// grown buffers through the arena either way). The hints are scoped to
+// the current solve, so the pre-size is capped at the table actually
+// being repaired, not at the largest table the Ctx ever saw.
 func newJVScratch(ctx *solve.Ctx) *jvScratch {
 	scr := new(jvScratch)
 	h := ctx.Hints()

@@ -53,12 +53,21 @@ type task struct {
 }
 
 // join tracks one ForEachBlock fan-out: the block function, the
-// per-index error slots, and the count of blocks not yet finished.
-// done closes when pending reaches zero; the atomic decrement orders
-// every task's writes before the parent's reads.
+// per-index error slots, the producing request's scope and stats sink,
+// and the count of blocks not yet finished. done closes when pending
+// reaches zero; the atomic decrement orders every task's writes before
+// the parent's reads.
+//
+// The scope rides the join (not the worker) because one scheduler
+// serves every request of a Solver concurrently: tasks from different
+// batch requests interleave on the same deques, and each must be
+// dispatched under — and report its counters to — its own request's
+// scope, whichever worker ends up executing or stealing it.
 type join struct {
 	fn      func(*Ctx, int) error
 	errs    []error
+	sc      *Scope
+	stats   *Stats
 	pending atomic.Int32
 	done    chan struct{}
 }
@@ -225,7 +234,7 @@ func (s *sched) findTask(w *worker) (task, bool) {
 		v := s.workers[(int(w.id)+off)%n]
 		if t, ok := v.dq.steal(); ok {
 			s.queued.Add(-1)
-			if st := s.sh.stats; st != nil {
+			if st := t.j.stats; st != nil {
 				st.Steals.Add(1)
 			}
 			return t, true
@@ -234,18 +243,25 @@ func (s *sched) findTask(w *worker) (task, bool) {
 	return task{}, false
 }
 
-// run executes one dispatched task on w. A cancelled solve records the
-// context error without running the block body, so queued work drains
-// promptly after the deadline.
+// run executes one dispatched task on w under the task's own scope: the
+// worker's bound Ctx is re-pointed at the join's scope for the duration
+// of the body (and restored afterwards, so a parent that helped on a
+// foreign request's task resumes under its own scope). A cancelled
+// request records its context error without running the block body, so
+// its queued work drains promptly after the deadline — without
+// poisoning tasks of other requests sharing the scheduler.
 func (s *sched) run(w *worker, t task) {
-	err := s.sh.ctxErr()
+	prev := w.bctx.sc
+	w.bctx.sc = t.j.sc
+	err := t.j.sc.err()
 	if err == nil {
 		err = t.j.fn(&w.bctx, int(t.i))
 	}
+	w.bctx.sc = prev
 	if err != nil {
 		t.j.errs[t.i] = err
 	}
-	if st := s.sh.stats; st != nil {
+	if st := t.j.stats; st != nil {
 		st.BlocksParallel.Add(1)
 	}
 	t.j.finish(1)
@@ -307,7 +323,7 @@ func (c *Ctx) ForEachBlock(n int, size func(i int) int, fn func(c *Ctx, i int) e
 		sh = c.s
 	}
 	if sh == nil || sh.sched == nil || n < 2 {
-		return serialBlocks(c, sh, n, fn)
+		return serialBlocks(c, n, fn)
 	}
 	s := sh.sched
 	w := c.w
@@ -318,11 +334,17 @@ func (c *Ctx) ForEachBlock(n int, size func(i int) int, fn func(c *Ctx, i int) e
 		// saturated by other solves on this Ctx, degrade to the serial
 		// algorithm exactly like a full deque would.
 		if w = s.tryAcquire(); w == nil {
-			return serialBlocks(c, sh, n, fn)
+			return serialBlocks(c, n, fn)
 		}
 		acquired = true
 	}
-	j := &join{fn: fn, errs: make([]error, n), done: make(chan struct{})}
+	// Bind the worker to this fan-out's scope for the inline calls below
+	// (c may be a freshly scoped Ctx riding a worker whose bound Ctx
+	// still points at an enclosing request's scope), and restore on the
+	// way out so an enclosing fan-out resumes under its own scope.
+	prevScope := w.bctx.sc
+	w.bctx.sc = c.sc
+	j := &join{fn: fn, errs: make([]error, n), sc: c.sc, stats: c.Stats(), done: make(chan struct{})}
 	j.pending.Store(1) // producer guard: keeps done from closing mid-enqueue
 	var inline int64
 	for i := 0; i < n; i++ {
@@ -336,7 +358,7 @@ func (c *Ctx) ForEachBlock(n int, size func(i int) int, fn func(c *Ctx, i int) e
 			j.pending.Add(-1) // deque full: run inline below
 		}
 		inline++
-		err := sh.ctxErr()
+		err := j.sc.err()
 		if err == nil {
 			err = fn(&w.bctx, i)
 		}
@@ -346,10 +368,11 @@ func (c *Ctx) ForEachBlock(n int, size func(i int) int, fn func(c *Ctx, i int) e
 	}
 	j.finish(1) // drop the producer guard
 	s.helpUntil(w, j)
+	w.bctx.sc = prevScope
 	if acquired {
 		s.release(w)
 	}
-	if st := sh.stats; st != nil && inline > 0 {
+	if st := j.stats; st != nil && inline > 0 {
 		st.BlocksSerial.Add(inline)
 	}
 	for _, err := range j.errs {
@@ -366,13 +389,10 @@ func (c *Ctx) ForEachBlock(n int, size func(i int) int, fn func(c *Ctx, i int) e
 // block — the same dispatch check the scheduler's run() performs — so
 // serial solves stop at block boundaries after a deadline even when
 // the block bodies carry no internal check.
-func serialBlocks(c *Ctx, sh *shared, n int, fn func(*Ctx, int) error) error {
-	var st *Stats
-	if sh != nil {
-		st = sh.stats
-	}
+func serialBlocks(c *Ctx, n int, fn func(*Ctx, int) error) error {
+	st := c.Stats()
 	for i := 0; i < n; i++ {
-		err := sh.ctxErr()
+		err := c.Err()
 		if err == nil {
 			err = fn(c, i)
 		}

@@ -45,29 +45,31 @@ import (
 // solves: the shared state is concurrency-safe and arena reuse improves
 // the more solves share it.
 //
-// A Ctx value is two words: the shared per-solve state, plus an
-// optional binding to the scheduler worker executing the current task.
-// ForEachBlock hands every block a worker-bound Ctx, so the arena
-// getters below transparently hit the executing worker's private shard;
-// code simply threads whatever *Ctx it was given.
+// A Ctx value is three words: the solver-lifetime shared state, the
+// per-request scope (scope.go: hints, cancellation snapshot, optional
+// stats override), plus an optional binding to the scheduler worker
+// executing the current task. ForEachBlock hands every block a
+// worker-bound Ctx carrying the block's scope, so the arena getters
+// below transparently hit the executing worker's private shard and
+// cancellation/hints stay those of the block's own request; code simply
+// threads whatever *Ctx it was given.
 type Ctx struct {
-	s *shared
-	w *worker
+	s  *shared
+	sc *Scope
+	w  *worker
 }
 
-// shared is the state common to every worker binding of one Ctx.
+// shared is the solver-lifetime state common to every scope and worker
+// binding of one Ctx: the worker budget and scheduler, the arena pools
+// (which deliberately converge on high-water sizes across solves) and
+// the aggregate stats sink. Per-request state lives on Scope.
 type shared struct {
 	workers int
 	sched   *sched // non-nil exactly when workers > 1
 
-	done <-chan struct{} // cancellation signal; nil = non-cancellable
-	cctx context.Context // source of done, for Err()
+	base context.Context // solver-lifetime cancellation source; scopes inherit it
 
-	stats *Stats // nil = not collected
-
-	// Scratch-presizing hints (atomic max), see SetHints.
-	hintRows  atomic.Int64
-	hintCodes atomic.Int64
+	stats *Stats // aggregate sink; nil = not collected
 
 	// Shared arena overflow: typed pools plus keyed pools for composite
 	// per-package scratch structs. The per-worker shards in front of
@@ -78,19 +80,19 @@ type shared struct {
 	keyed  sync.Map // any (key) -> *sync.Pool
 }
 
-// New builds a context with the given worker budget (n ≤ 1 means
+// New builds a context with the given worker budget (n ≤ 1 clamps to
 // serial), cancellation source (nil means non-cancellable) and stats
-// sink (nil means stats are not collected).
+// sink (nil means stats are not collected). The returned Ctx carries a
+// root scope bound to cctx; the entry points begin a fresh scope per
+// solve on top of it (BeginSolve), and batch layers derive per-request
+// scopes with Scoped.
 func New(workers int, cctx context.Context, stats *Stats) *Ctx {
-	sh := &shared{workers: 1, cctx: cctx, stats: stats}
+	sh := &shared{workers: 1, base: cctx, stats: stats}
 	if workers > 1 {
 		sh.workers = workers
 		sh.sched = newSched(sh, workers)
 	}
-	if cctx != nil {
-		sh.done = cctx.Done()
-	}
-	return &Ctx{s: sh}
+	return &Ctx{s: sh, sc: newScope(cctx, nil)}
 }
 
 // Workers returns the configured worker budget (1 = serial).
@@ -101,37 +103,29 @@ func (c *Ctx) Workers() int {
 	return c.s.workers
 }
 
-// Stats returns the stats sink, or nil when stats are not collected.
+// Stats returns the stats sink receiving this Ctx's counters — the
+// scope's per-request override when one is set, the solver's aggregate
+// sink otherwise — or nil when stats are not collected.
 func (c *Ctx) Stats() *Stats {
 	if c == nil || c.s == nil {
 		return nil
 	}
+	if c.sc != nil && c.sc.stats != nil {
+		return c.sc.stats
+	}
 	return c.s.stats
 }
 
-// ctxErr is Err on the shared state (used by the scheduler, which holds
-// no Ctx binding of its own).
-func (sh *shared) ctxErr() error {
-	if sh == nil || sh.done == nil {
-		return nil
-	}
-	select {
-	case <-sh.done:
-		return sh.cctx.Err()
-	default:
-		return nil
-	}
-}
-
-// Err reports the cancellation state: nil while the solve may proceed,
-// context.Canceled or context.DeadlineExceeded once the solve's context
-// is done. The algorithms call it at task dispatch, recursion and
-// component boundaries; the fast path is one channel poll.
+// Err reports the cancellation state of the current scope: nil while
+// the solve may proceed, context.Canceled or context.DeadlineExceeded
+// once the request's context is done. The algorithms call it at task
+// dispatch, recursion and component boundaries; the fast path is one
+// channel poll.
 func (c *Ctx) Err() error {
 	if c == nil {
 		return nil
 	}
-	return c.s.ctxErr()
+	return c.sc.err()
 }
 
 // defaultCtx is the process-default context: serial, non-cancellable,
@@ -148,44 +142,51 @@ func Default() *Ctx { return defaultCtx.Load() }
 
 // SetDefaultWorkers reconfigures the default context's worker budget.
 // It exists only to back the deprecated fdrepair.SetParallelism shim;
-// new code should construct a per-solve Ctx instead. Do not call
-// concurrently with a running default-context solve.
+// new code should construct a per-solve Ctx instead. Safe to call
+// concurrently with running default-context solves: the swap is an
+// atomic pointer store, and an in-flight solve keeps (and completes
+// on) the context it loaded at entry.
 func SetDefaultWorkers(n int) {
 	old := defaultCtx.Load()
-	defaultCtx.Store(New(n, old.s.cctx, old.s.stats))
+	defaultCtx.Store(New(n, old.s.base, old.s.stats))
 }
 
 // ---- Size hints ----
 
-// Hints carries scratch-presizing estimates for the solves sharing a
-// Ctx: Rows is the input row count (bounds group buckets, block result
-// lists, marriage edge lists and CSR edge arrays), Codes the largest
-// distinct-code count of any projection (bounds code→local translation
-// tables and per-node matching arrays). Zero fields mean "unknown".
+// Hints carries scratch-presizing estimates for one solve: Rows is the
+// input row count (bounds group buckets, block result lists, marriage
+// edge lists and CSR edge arrays), Codes the largest distinct-code
+// count of any projection (bounds code→local translation tables and
+// per-node matching arrays). Zero fields mean "unknown".
 type Hints struct{ Rows, Codes int }
 
-// SetHints records size hints, keeping the maximum of every hint seen
-// (a Ctx shared by solves of different sizes pre-sizes for the
-// largest). The entry points call it with the input table's shape; the
+// SetHints records size hints on the current scope, keeping the
+// maximum of every hint seen within that scope (nested entry points —
+// the U-repair planner running S-repair solves — describe the same
+// request). The entry points call it with the input table's shape; the
 // arenas consult the hints when creating fresh scratch, so the first
 // solve allocates at the high-water size instead of climbing a
 // grow-realloc ladder.
+//
+// Because every entry point begins a fresh scope (BeginSolve), hints
+// never outlive their request: fresh scratch is capped at the current
+// table's shape, never at the largest table the solver ever saw.
 func (c *Ctx) SetHints(h Hints) {
-	if c == nil || c.s == nil {
+	if c == nil || c.sc == nil {
 		return
 	}
-	atomicMax(&c.s.hintRows, int64(h.Rows))
-	atomicMax(&c.s.hintCodes, int64(h.Codes))
+	atomicMax(&c.sc.hintRows, int64(h.Rows))
+	atomicMax(&c.sc.hintCodes, int64(h.Codes))
 }
 
-// Hints returns the recorded hints (zero when none were set).
+// Hints returns the current scope's hints (zero when none were set).
 func (c *Ctx) Hints() Hints {
-	if c == nil || c.s == nil {
+	if c == nil || c.sc == nil {
 		return Hints{}
 	}
 	return Hints{
-		Rows:  int(c.s.hintRows.Load()),
-		Codes: int(c.s.hintCodes.Load()),
+		Rows:  int(c.sc.hintRows.Load()),
+		Codes: int(c.sc.hintCodes.Load()),
 	}
 }
 
@@ -223,17 +224,17 @@ func (c *Ctx) GetScratch(key any) any {
 	}
 	if c.w != nil {
 		if v := c.w.ar.getKeyed(key); v != nil {
-			c.s.stats.arena(true)
+			c.Stats().arena(true)
 			return v
 		}
 	}
 	if p, ok := c.s.keyed.Load(key); ok {
 		if v := p.(*sync.Pool).Get(); v != nil {
-			c.s.stats.arena(true)
+			c.Stats().arena(true)
 			return v
 		}
 	}
-	c.s.stats.arena(false)
+	c.Stats().arena(false)
 	return nil
 }
 
@@ -284,14 +285,14 @@ func (c *Ctx) Int32s(n int) []int32 {
 	if c != nil {
 		if c.w != nil {
 			if s, ok := c.w.ar.getInt32s(n); ok {
-				c.s.stats.arena(true)
+				c.Stats().arena(true)
 				return s[:n]
 			}
 		}
 		if v := c.s.int32s.Get(); v != nil {
 			s := *v.(*[]int32)
 			if cap(s) >= n {
-				c.s.stats.arena(true)
+				c.Stats().arena(true)
 				return s[:n]
 			}
 			// Too small: drop it. Re-putting would park it in the
@@ -299,7 +300,7 @@ func (c *Ctx) Int32s(n int) []int32 {
 			// every later request on this P — churning small buffers
 			// is cheaper than persistently missing on the big ones.
 		}
-		c.s.stats.arena(false)
+		c.Stats().arena(false)
 	}
 	return make([]int32, n, ceilPow2(n))
 }
@@ -323,20 +324,20 @@ func (c *Ctx) Int32Slices(n int) [][]int32 {
 	if c != nil {
 		if c.w != nil {
 			if s, ok := c.w.ar.getSlices(n); ok {
-				c.s.stats.arena(true)
+				c.Stats().arena(true)
 				return s[:n]
 			}
 		}
 		if v := c.s.slices.Get(); v != nil {
 			s := *v.(*[][]int32)
 			if cap(s) >= n {
-				c.s.stats.arena(true)
+				c.Stats().arena(true)
 				// Entries were nilled by PutInt32Slices.
 				return s[:n]
 			}
 			// Too small: drop (see Int32s).
 		}
-		c.s.stats.arena(false)
+		c.Stats().arena(false)
 	}
 	return make([][]int32, n, ceilPow2(n))
 }
@@ -368,19 +369,19 @@ func (c *Ctx) Float64s(n int) []float64 {
 	if c != nil {
 		if c.w != nil {
 			if s, ok := c.w.ar.getFloat64s(n); ok {
-				c.s.stats.arena(true)
+				c.Stats().arena(true)
 				return s[:n]
 			}
 		}
 		if v := c.s.f64s.Get(); v != nil {
 			s := *v.(*[]float64)
 			if cap(s) >= n {
-				c.s.stats.arena(true)
+				c.Stats().arena(true)
 				return s[:n]
 			}
 			// Too small: drop (see Int32s).
 		}
-		c.s.stats.arena(false)
+		c.Stats().arena(false)
 	}
 	return make([]float64, n, ceilPow2(n))
 }
@@ -570,6 +571,33 @@ func (s *Stats) Snapshot() Snapshot {
 		ArenaHits:         s.ArenaHits.Load(),
 		ArenaMisses:       s.ArenaMisses.Load(),
 	}
+}
+
+// Merge accumulates a snapshot into s (sum per counter, max for the
+// high-water PlannerMaxCompFDs). The batch layer collects each request
+// into its own Stats and merges the snapshot into the solver's
+// aggregate sink, so per-request slices and the cumulative Solver view
+// stay consistent without double-counting on the hot path.
+func (s *Stats) Merge(o Snapshot) {
+	if s == nil {
+		return
+	}
+	s.Nodes.Add(o.Nodes)
+	s.BlocksSerial.Add(o.BlocksSerial)
+	s.BlocksParallel.Add(o.BlocksParallel)
+	s.Steals.Add(o.Steals)
+	s.MatcherFastPath.Add(o.MatcherFastPath)
+	s.MatcherDense.Add(o.MatcherDense)
+	s.MatcherSparse.Add(o.MatcherSparse)
+	s.PlannerComponents.Add(o.PlannerComponents)
+	s.PlannerTrivial.Add(o.PlannerTrivial)
+	s.PlannerKeySwap.Add(o.PlannerKeySwap)
+	s.PlannerCommonLHS.Add(o.PlannerCommonLHS)
+	s.PlannerApprox.Add(o.PlannerApprox)
+	s.PlannerConsensus.Add(o.PlannerConsensus)
+	atomicMax(&s.PlannerMaxCompFDs, o.PlannerMaxCompFDs)
+	s.ArenaHits.Add(o.ArenaHits)
+	s.ArenaMisses.Add(o.ArenaMisses)
 }
 
 // Reset zeroes every counter.

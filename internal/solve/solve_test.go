@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -188,6 +189,127 @@ func TestSerialCancelBetweenBlocks(t *testing.T) {
 	}
 	if len(ran) != 1 || ran[0] != 0 {
 		t.Fatalf("blocks ran after cancellation: %v", ran)
+	}
+}
+
+// TestScopeIsolatesHints pins the sticky-hints bugfix at the solve
+// layer: hints recorded inside one solve scope are invisible to sibling
+// and later scopes, so a solver that once saw a huge table no longer
+// pre-sizes every later small solve at that table's shape. Within one
+// scope the atomic-max behavior is retained (nested entry points).
+func TestScopeIsolatesHints(t *testing.T) {
+	c := New(1, nil, nil)
+	big := c.BeginSolve()
+	big.SetHints(Hints{Rows: 102400, Codes: 50000})
+	if h := big.Hints(); h.Rows != 102400 {
+		t.Fatalf("big scope hints = %+v", h)
+	}
+	// The root ctx and a later solve scope must not see the big solve.
+	if h := c.Hints(); h != (Hints{}) {
+		t.Fatalf("hints leaked to the root ctx: %+v", h)
+	}
+	small := c.BeginSolve()
+	if h := small.Hints(); h != (Hints{}) {
+		t.Fatalf("hints leaked across scopes: %+v", h)
+	}
+	small.SetHints(Hints{Rows: 10, Codes: 4})
+	if h := small.Hints(); h.Rows != 10 || h.Codes != 4 {
+		t.Fatalf("small scope hints = %+v", h)
+	}
+	if h := big.Hints(); h.Rows != 102400 {
+		t.Fatalf("sibling scope clobbered: %+v", h)
+	}
+	// Nil safety.
+	var nilCtx *Ctx
+	if nilCtx.BeginSolve() != nil {
+		t.Fatal("nil ctx BeginSolve")
+	}
+	if nilCtx.Scoped(nil, nil) != nil {
+		t.Fatal("nil ctx Scoped")
+	}
+}
+
+// TestScopedCancellationAndStats: a Scoped ctx carries its own
+// cancellation and stats sink; the parent ctx is unaffected, and a
+// cancelled request does not cancel its siblings.
+func TestScopedCancellationAndStats(t *testing.T) {
+	base := New(4, nil, nil)
+	cctx, cancel := context.WithCancel(context.Background())
+	st := new(Stats)
+	req := base.Scoped(cctx, st)
+	if err := req.Err(); err != nil {
+		t.Fatalf("live request Err = %v", err)
+	}
+	if req.Stats() != st {
+		t.Fatal("scoped stats sink not honored")
+	}
+	sibling := base.Scoped(context.Background(), nil)
+	cancel()
+	if err := req.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled request Err = %v", err)
+	}
+	if err := sibling.Err(); err != nil {
+		t.Fatalf("sibling poisoned by cancelled request: %v", err)
+	}
+	if err := base.Err(); err != nil {
+		t.Fatalf("parent poisoned by cancelled request: %v", err)
+	}
+	// A cancelled request's fan-out fails fast; a sibling's proceeds,
+	// and each fan-out's counters land in its own scope's sink.
+	if err := req.ForEachBlock(4, func(int) int { return 1000 }, func(*Ctx, int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled request fan-out = %v", err)
+	}
+	if err := sibling.ForEachBlock(4, func(int) int { return 1000 }, func(*Ctx, int) error { return nil }); err != nil {
+		t.Fatalf("sibling fan-out = %v", err)
+	}
+	snap := st.Snapshot()
+	if snap.BlocksSerial+snap.BlocksParallel != 0 {
+		t.Fatalf("cancelled request ran blocks: %+v", snap)
+	}
+}
+
+// TestInterleavedScopesOnOneScheduler runs many concurrent requests —
+// each under its own scope with its own hints and stats — over one
+// shared scheduler, and checks that every request's counters land in
+// its own sink and its hints stay its own. This is the admission shape
+// SolveBatch uses.
+func TestInterleavedScopesOnOneScheduler(t *testing.T) {
+	base := New(4, nil, nil)
+	const requests = 16
+	var wg sync.WaitGroup
+	errs := make([]error, requests)
+	stats := make([]*Stats, requests)
+	for r := 0; r < requests; r++ {
+		r := r
+		stats[r] = new(Stats)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := base.Scoped(context.Background(), stats[r])
+			c.SetHints(Hints{Rows: 100 * (r + 1)})
+			blocks := 3 + r%4
+			err := c.ForEachBlock(blocks, func(int) int { return 1000 }, func(wc *Ctx, i int) error {
+				// The worker-bound ctx handed to the block must carry the
+				// request's scope, not a neighbor's.
+				if h := wc.Hints(); h.Rows != 100*(r+1) {
+					return fmt.Errorf("request %d block %d sees hints %+v", r, i, h)
+				}
+				return nil
+			})
+			errs[r] = err
+			if err == nil {
+				snap := stats[r].Snapshot()
+				if got := snap.BlocksSerial + snap.BlocksParallel; got != int64(blocks) {
+					errs[r] = fmt.Errorf("request %d counted %d blocks, want %d", r, got, blocks)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", r, err)
+		}
 	}
 }
 

@@ -68,6 +68,10 @@ func OptSRepairCtx(c *solve.Ctx, ds *fd.Set, t *table.Table) (*table.Table, erro
 		// Line 1–2: Δ is trivial, T is its own optimal S-repair.
 		return t, nil
 	}
+	// One solve = one scope: the hints below describe this table only,
+	// so a Ctx reused across tables of different sizes never pre-sizes a
+	// small solve's fresh scratch at a bigger table's shape.
+	c = c.BeginSolve()
 	c.SetHints(solve.Hints{Rows: t.Len(), Codes: t.DistinctEstimate()})
 	sv := solver{steps: steps, c: c}
 	keep, err := sv.solve(table.NewView(t), 0)
@@ -275,7 +279,9 @@ func getEdges(c *solve.Ctx, n int) []graph.Edge {
 		return solve.Grow(*v.(*[]graph.Edge), n)
 	}
 	// Fresh list: pre-size at the hinted row count (edges ≤ blocks ≤
-	// rows), so the first solve skips the grow-realloc ladder.
+	// rows), so the first solve skips the grow-realloc ladder. The hints
+	// come from the per-solve scope, so h.Rows is this table's length —
+	// never the sticky maximum of a previous, larger solve.
 	if h := c.Hints(); h.Rows > n {
 		return make([]graph.Edge, n, solve.RoundCap(h.Rows))
 	}
