@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -250,6 +251,169 @@ func writeBenchJSON(path string) error {
 				}
 			}
 		}, nil},
+	)
+
+	// Resident-session incremental repair: mutate a 102400-row table a
+	// little (append 1% duplicate-shaped rows, or touch 0.1% of cells)
+	// and re-repair through fdrepair.Session, which re-solves only the
+	// dirty blocks and splices the cached clean-block repairs back in.
+	// Each measured iteration is one mutation batch plus one Repair; the
+	// session is rebuilt (fresh clone, untimed warm solve) every 8
+	// rounds so the table never drifts far from the named size. The
+	// companion append-1%-resolve points are the sessionless controls:
+	// the identical mutation stream through the plain table mutators
+	// (which drop the cached encoding) followed by a from-scratch
+	// OptSRepair — what a caller without a resident session pays per
+	// round-trip. The schema smoke holds each session case to 1/5 of its
+	// control. Tables are generated lazily for the same GC-noise reason
+	// as the batch cases.
+	var incOnce sync.Once
+	var chainBigTab, marriageBigTab *table.Table
+	initInc := func() {
+		incOnce.Do(func() {
+			chainBigTab = workload.RandomWeightedTable(chainSC, 102400, 10240, 4, rand.New(rand.NewSource(31)))
+			marriageBigTab = workload.MarriageSparseTable(chainSC, 102400, 3, 3, rand.New(rand.NewSource(102400)))
+		})
+	}
+	appendRows := func(frac float64) func(*fdrepair.Session, *rand.Rand) error {
+		return func(s *fdrepair.Session, rng *rand.Rand) error {
+			rows := s.Table().Rows()
+			k := int(float64(len(rows)) * frac)
+			if k < 1 {
+				k = 1
+			}
+			tuples := make([]table.Tuple, k)
+			weights := make([]float64, k)
+			for i := range tuples {
+				src := rows[rng.Intn(len(rows))]
+				tuples[i] = src.Tuple
+				weights[i] = src.Weight
+			}
+			_, err := s.AppendRows(tuples, weights)
+			return err
+		}
+	}
+	// touchCells models corrections: each touched cell gets a fresh
+	// value the table has never seen (a typo fix, a late-arriving true
+	// value). Fresh values split equality classes, preserving the
+	// workload's sparse block shape across rounds; copying values
+	// between random rows instead would progressively merge blocks and
+	// coalesce the marriage graph into giant matching components — a
+	// denser instance than the one the case is named for.
+	touchSeq := 0
+	touchCells := func(frac float64) func(*fdrepair.Session, *rand.Rand) error {
+		return func(s *fdrepair.Session, rng *rand.Rand) error {
+			rows := s.Table().Rows()
+			arity := s.Table().Schema().Arity()
+			k := int(float64(len(rows)*arity) * frac)
+			if k < 1 {
+				k = 1
+			}
+			updates := make([]table.CellUpdate, k)
+			for i := range updates {
+				touchSeq++
+				updates[i] = table.CellUpdate{
+					ID:   rows[rng.Intn(len(rows))].ID,
+					Attr: rng.Intn(arity),
+					Val:  fmt.Sprintf("fix-%d", touchSeq),
+				}
+			}
+			return s.SetCells(updates)
+		}
+	}
+	incCase := func(name string, ds *fd.Set, tab **table.Table, mutate func(*fdrepair.Session, *rand.Rand) error) benchCase {
+		return benchCase{name, func(b *testing.B) {
+			initInc()
+			sv := fdrepair.NewSolver()
+			rng := rand.New(rand.NewSource(9))
+			var sess *fdrepair.Session
+			round := 0
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if round == 0 {
+					b.StopTimer()
+					var err error
+					sess, err = fdrepair.NewSession(sv, ds, (*tab).Clone())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, _, err := sess.Repair(); err != nil { // warm the block cache
+						b.Fatal(err)
+					}
+					// Collect the setup garbage (table clone, cold encoding,
+					// full solve) outside the timed window so background
+					// marking does not bleed into the incremental iterations.
+					runtime.GC()
+					b.StartTimer()
+				}
+				if err := mutate(sess, rng); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := sess.Repair(); err != nil {
+					b.Fatal(err)
+				}
+				round = (round + 1) % 8
+			}
+		}, nil}
+	}
+	coldResolveCase := func(name string, ds *fd.Set, tab **table.Table) benchCase {
+		return benchCase{name, func(b *testing.B) {
+			initInc()
+			rng := rand.New(rand.NewSource(9))
+			var cur *table.Table
+			round := 0
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if round == 0 {
+					b.StopTimer()
+					cur = (*tab).Clone()
+					runtime.GC()
+					b.StartTimer()
+				}
+				rows := cur.Rows()
+				k := len(rows) / 100
+				tuples := make([]table.Tuple, k)
+				weights := make([]float64, k)
+				for j := range tuples {
+					src := rows[rng.Intn(len(rows))]
+					tuples[j] = src.Tuple
+					weights[j] = src.Weight
+				}
+				if _, err := cur.AppendRows(tuples, weights); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := srepair.OptSRepair(ds, cur); err != nil {
+					b.Fatal(err)
+				}
+				round = (round + 1) % 8
+			}
+		}, func() *solve.Snapshot {
+			initInc()
+			return optSRepairStats(ds, *tab)()
+		}}
+	}
+	cases = append(cases,
+		benchCase{"OptSRepairScaling/chain/n=102400", func(b *testing.B) {
+			initInc()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := srepair.OptSRepair(chainDS, chainBigTab); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, func() *solve.Snapshot {
+			initInc()
+			return optSRepairStats(chainDS, chainBigTab)()
+		}},
+		coldResolveCase("OptSRepairScaling/append-1%-resolve/chain/n=102400", chainDS, &chainBigTab),
+		coldResolveCase("OptSRepairScaling/append-1%-resolve/marriage-sparse/n=102400", marriageDS, &marriageBigTab),
+		incCase("IncrementalRepair/append-1%/chain/n=102400", chainDS, &chainBigTab, appendRows(0.01)),
+		incCase("IncrementalRepair/touch-0.1%-cells/chain/n=102400", chainDS, &chainBigTab, touchCells(0.001)),
+		incCase("IncrementalRepair/append-1%/marriage-sparse/n=102400", marriageDS, &marriageBigTab, appendRows(0.01)),
+		incCase("IncrementalRepair/touch-0.1%-cells/marriage-sparse/n=102400", marriageDS, &marriageBigTab, touchCells(0.001)),
 	)
 
 	var out []benchResult

@@ -66,6 +66,42 @@ func TestBenchJSONSchema(t *testing.T) {
 		t.Fatalf("small solve after a 102400-row solve allocates %d B/op (large case: %d B/op): sticky-hints bloat",
 			smallAfterLarge.BytesPerOp, large.BytesPerOp)
 	}
+	// The resident-session cases added with incremental dirty-block
+	// repair: each mutate-then-re-repair point must beat its sessionless
+	// control by at least 5× (the feature's reason to exist). The
+	// control runs the identical mutation stream through the plain
+	// table mutators — which invalidate the cached encoding — and
+	// re-solves from scratch each round, so the pair compares what the
+	// same workload costs with and without a resident session.
+	if _, ok := byName["OptSRepairScaling/chain/n=102400"]; !ok {
+		t.Fatal("missing OptSRepairScaling/chain/n=102400")
+	}
+	chainCold, ok := byName["OptSRepairScaling/append-1%-resolve/chain/n=102400"]
+	if !ok {
+		t.Fatal("missing OptSRepairScaling/append-1%-resolve/chain/n=102400")
+	}
+	marriageCold, ok := byName["OptSRepairScaling/append-1%-resolve/marriage-sparse/n=102400"]
+	if !ok {
+		t.Fatal("missing OptSRepairScaling/append-1%-resolve/marriage-sparse/n=102400")
+	}
+	for _, tc := range []struct {
+		inc  string
+		cold benchResult
+	}{
+		{"IncrementalRepair/append-1%/chain/n=102400", chainCold},
+		{"IncrementalRepair/touch-0.1%-cells/chain/n=102400", chainCold},
+		{"IncrementalRepair/append-1%/marriage-sparse/n=102400", marriageCold},
+		{"IncrementalRepair/touch-0.1%-cells/marriage-sparse/n=102400", marriageCold},
+	} {
+		inc, ok := byName[tc.inc]
+		if !ok {
+			t.Fatalf("missing %s", tc.inc)
+		}
+		if inc.NsPerOp > tc.cold.NsPerOp/5 {
+			t.Fatalf("%s = %.0f ns/op, over 1/5 of the cold solve (%s = %.0f ns/op): incremental repair not incremental",
+				tc.inc, inc.NsPerOp, tc.cold.Name, tc.cold.NsPerOp)
+		}
+	}
 	// The planner case added with the work-stealing scheduler must
 	// carry the per-component decision counters.
 	plan, ok := byName["URepairPlanner/multi-component/n=400"]

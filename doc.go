@@ -125,6 +125,47 @@
 // batch subcommand and the SolveBatch cases in paperbench -benchjson
 // ride this path.
 //
+// # Resident sessions and incremental repair
+//
+// For tables that mutate between solves, fdrepair.Session binds one
+// Solver, one table and one FD set into a resident handle that keeps
+// the expensive intermediate state of a repair alive across calls:
+// the table's dictionary-encoding snapshot, the FD set's simplification
+// chain, the top-step block partition, and every block's previous
+// repair. Mutations route through Session.AppendRows and
+// Session.SetCells, which extend the live encoding in place —
+// appends intern only new dictionary entries and bucket only new rows;
+// cell updates re-intern the touched cells and re-code only the
+// projections whose attribute sets intersect the touched attributes
+// (a packed-key width overflow falls back to rebuilding that one
+// projection) — and record a dirty row set instead of invalidating the
+// encoding wholesale.
+//
+// Session.Repair then exploits the block decomposition: the first
+// simplification step of the chain is data-independent, so the table
+// partitions into blocks (common-lhs groups, consensus groups, or
+// marriage (X1, X2) groups) that are solved independently. A block
+// containing no dirty row and unchanged membership has, provably, the
+// same optimal repair as last time — non-dirty rows never change
+// equality class, and blocks are keyed by their smallest row index —
+// so only dirty blocks are re-solved (as tasks on the Solver's
+// work-stealing scheduler, under a fresh per-request solve.Scope) and
+// clean blocks splice their cached result in. The root combine —
+// union, heaviest block, or marriage matching — is replayed over the
+// mix of cached and fresh block repairs in block order, so the output
+// is byte-identical to a from-scratch solve at any worker count
+// (pinned by a differential test suite running randomized mutation
+// scripts at workers 1/2/4/8 under -race). When the dirty fraction
+// exceeds a threshold (WithDirtyFallback, default 30%), when the FD
+// set changes (SetFDs), or on the first call, the session falls back
+// to a full solve and repopulates the cache. Sessions also feed the
+// live dictionary to the solver as a cardinality source (solve.Hints.
+// Cards), so scratch pre-sizing uses exact projection cardinalities
+// instead of worst-case estimates. WithImpactRecording makes every
+// Repair also produce an Impact report — violations per FD and cells
+// changed per block, before vs after — surfaced by the CLI's verify
+// subcommand.
+//
 // MarriageRep (Subroutine 3) runs on a sparse matching engine
 // (internal/graph.SparseMatcher): the marriage graph has exactly one
 // edge per observed (X1, X2) block, so marriageRep emits that edge list

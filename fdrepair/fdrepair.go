@@ -59,6 +59,9 @@ type Table = table.Table
 // Tuple is a sequence of attribute values.
 type Tuple = table.Tuple
 
+// CellUpdate is one cell assignment for Session.SetCells.
+type CellUpdate = table.CellUpdate
+
 // URepairResult reports an update repair, its cost, and its guarantee.
 type URepairResult = urepair.Result
 
@@ -183,10 +186,17 @@ func SetParallelism(n int) { solve.SetDefaultWorkers(n) }
 // Deprecated: ask the Solver you configured (Solver.Parallelism).
 func Parallelism() int { return solve.Default().Workers() }
 
+// ErrNoSimplification is returned by the polynomial S-repair entry
+// points (OptimalSRepair, Session.Repair) when the FD set cannot be
+// reduced to a trivial set by the paper's three simplifications — the
+// APX-hard side of the dichotomy. Fall back to ExactSRepair (small
+// instances) or ApproxSRepair.
+var ErrNoSimplification = srepair.ErrNoSimplification
+
 // OptimalSRepair computes an optimal S-repair with the paper's
 // polynomial algorithm (Algorithm 1). It fails with an error wrapping
-// srepair.ErrNoSimplification when the FD set is on the hard side of
-// the dichotomy; use ExactSRepair or ApproxSRepair then.
+// ErrNoSimplification when the FD set is on the hard side of the
+// dichotomy; use ExactSRepair or ApproxSRepair then.
 func OptimalSRepair(ds *FDSet, t *Table) (*Table, float64, error) {
 	s, err := srepair.OptSRepair(ds, t)
 	if err != nil {

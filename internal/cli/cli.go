@@ -42,6 +42,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		err = cmdClassify(args[1:], stdout, stderr)
 	case "srepair":
 		err = cmdSRepair(args[1:], stdout, stderr)
+	case "verify":
+		err = cmdVerify(args[1:], stdout, stderr)
 	case "batch":
 		err = cmdBatch(args[1:], stdout, stderr)
 	case "urepair":
@@ -70,9 +72,11 @@ func Run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: fdrepair <classify|srepair|batch|urepair|mpd|count|gen|entails|demo> [flags]
+	fmt.Fprintln(w, `usage: fdrepair <classify|srepair|verify|batch|urepair|mpd|count|gen|entails|demo> [flags]
   classify -attrs A,B,C -fd "A -> B" [-fd ...]     explain the dichotomy for an FD set
   srepair  -in t.csv -fd "A -> B" [-mode auto|exact|approx] [-out s.csv]
+  verify   -in t.csv -fd "A -> B" [-out s.csv]     impact report of an optimal S-repair:
+           violations per FD and cells changed per block, before vs after
   batch    -in a.csv -in b.csv ... -fd "A -> B" [-mode auto|exact|approx|urepair|mpd]
            [-outdir DIR] [-workers N] [-timeout 30s]   repair many CSVs as one batch
   urepair  -in t.csv -fd "A -> B" [-out u.csv]
@@ -263,6 +267,78 @@ func cmdSRepair(args []string, stdout, stderr io.Writer) error {
 		return writeDiff(t, rep, stdout)
 	}
 	return writeOut(rep, *out, stdout)
+}
+
+// cmdVerify runs an optimal S-repair through a resident session with
+// impact recording and prints the before/after report the session's
+// dirty-set machinery collects: violation counts per FD and cells
+// changed per block.
+func cmdVerify(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("verify", stderr)
+	in := fs.String("in", "", "input CSV")
+	out := fs.String("out", "", "also write the repaired table to this CSV")
+	newSolver := solverFlags(fs)
+	var specs fdFlags
+	fs.Var(&specs, "fd", "functional dependency (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("-in is required")
+	}
+	t, err := loadTable(*in)
+	if err != nil {
+		return err
+	}
+	ds, err := parseFDs(t.Schema(), specs)
+	if err != nil {
+		return err
+	}
+	sv, cancel, report := newSolver(stderr)
+	defer cancel()
+	sess, err := fdrepair.NewSession(sv, ds, t, fdrepair.WithImpactRecording())
+	if err != nil {
+		return err
+	}
+	rep, cost, err := sess.Repair()
+	if err != nil {
+		return err
+	}
+	report()
+	im := sess.LastImpact()
+	st := sess.Stats()
+	fmt.Fprintf(stdout, "impact: %d rows, %d blocks (%d solved, %d reused), deleted weight (dist_sub) %g\n",
+		st.Rows, st.Blocks, st.BlocksSolved, st.BlocksReused, cost)
+	fmt.Fprintf(stdout, "%-40s %8s %8s\n", "FD", "before", "after")
+	for _, v := range im.Violations {
+		fmt.Fprintf(stdout, "%-40s %8d %8d\n", v.FD, v.Before, v.After)
+	}
+	changed, cells := 0, 0
+	for _, b := range im.Blocks {
+		if b.CellsChanged > 0 {
+			changed++
+			cells += b.CellsChanged
+		}
+	}
+	if changed > 0 {
+		fmt.Fprintf(stdout, "%-10s %6s %6s %14s %7s\n", "block@row", "rows", "kept", "cells-changed", "reused")
+		for _, b := range im.Blocks {
+			if b.CellsChanged == 0 {
+				continue
+			}
+			reused := "no"
+			if b.Reused {
+				reused = "yes"
+			}
+			fmt.Fprintf(stdout, "%-10d %6d %6d %14d %7s\n", b.FirstRow, b.Rows, b.Kept, b.CellsChanged, reused)
+		}
+	}
+	fmt.Fprintf(stdout, "total: %d of %d blocks changed, %d cells changed, kept %d of %d tuples\n",
+		changed, st.Blocks, cells, rep.Len(), t.Len())
+	if *out != "" {
+		return writeOut(rep, *out, stdout)
+	}
+	return nil
 }
 
 // cmdBatch repairs many CSV files as one batch on a single Solver:

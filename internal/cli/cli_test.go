@@ -320,3 +320,54 @@ func TestEntails(t *testing.T) {
 		t.Error("bad -check must fail")
 	}
 }
+
+// TestVerifyImpact: the verify subcommand prints the before/after
+// impact report of an optimal S-repair — violations per FD, cells
+// changed per block — and can write the repaired table out.
+func TestVerifyImpact(t *testing.T) {
+	in := writeCSV(t, "office.csv", officeCSV)
+	dest := filepath.Join(t.TempDir(), "repaired.csv")
+	out, errOut, code := run("verify", "-in", in, "-out", dest,
+		"-fd", "facility -> city", "-fd", "facility room -> floor",
+		"-workers", "2")
+	if code != 0 {
+		t.Fatalf("verify failed: %d, stderr %q", code, errOut)
+	}
+	for _, want := range []string{
+		"impact: 4 rows",
+		"deleted weight (dist_sub) 2",
+		"FD",
+		"facility → city",
+		"facility room → floor",
+		"cells-changed",
+		"blocks changed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verify output missing %q:\n%s", want, out)
+		}
+	}
+	// Both FDs start violated on Office and end clean.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "facility") {
+			continue
+		}
+		f := strings.Fields(line)
+		before, after := f[len(f)-2], f[len(f)-1]
+		if before == "0" || after != "0" {
+			t.Errorf("violations before/after = %s/%s in %q", before, after, line)
+		}
+	}
+	data, err := os.ReadFile(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "\n"); got != 3 { // header + 2 kept tuples
+		t.Errorf("repaired CSV has %d lines:\n%s", got, data)
+	}
+	if _, _, code := run("verify", "-fd", "A -> B"); code != 1 {
+		t.Error("missing -in must fail")
+	}
+	if _, _, code := run("verify", "-in", in, "-fd", "facility -> room", "-fd", "room -> floor"); code != 1 {
+		t.Error("hard FD set must fail with the dichotomy error")
+	}
+}

@@ -98,6 +98,25 @@ func (s *Set) IsTrivialSet() bool {
 	return true
 }
 
+// EqualTo reports whether two sets hold the same FD sequence over the
+// same schema (syntactic equality, order-sensitive — the cheap check a
+// resident session uses to detect an FD-set change and drop its cached
+// block repairs, whose partition derives from the chain).
+func (s *Set) EqualTo(o *Set) bool {
+	if s == o {
+		return true
+	}
+	if s == nil || o == nil || !s.sc.SameAs(o.sc) || len(s.fds) != len(o.fds) {
+		return false
+	}
+	for i, f := range s.fds {
+		if f != o.fds[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // AttrsUsed returns attr(Δ): the union of lhs and rhs over all FDs.
 func (s *Set) AttrsUsed() schema.AttrSet {
 	var out schema.AttrSet

@@ -349,7 +349,7 @@ func TestSparseSolverCancelMidComponent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	comps := sm.components()
+	comps := sm.components(new(compScratch))
 	if len(comps) != 1 {
 		t.Fatalf("expected one component, got %d", len(comps))
 	}

@@ -49,6 +49,7 @@ type Scope struct {
 	// direction.
 	hintRows  atomic.Int64
 	hintCodes atomic.Int64
+	cards     atomic.Pointer[CardSource] // exact per-projection counts; nil = none
 
 	done  <-chan struct{} // cancellation signal; nil = non-cancellable
 	cctx  context.Context // source of done, for Err()

@@ -37,6 +37,8 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/schema"
 )
 
 // Ctx is the per-solve context. The zero value is not useful; construct
@@ -158,7 +160,22 @@ func SetDefaultWorkers(n int) {
 // edge lists and CSR edge arrays), Codes the largest distinct-code
 // count of any projection (bounds code→local translation tables and
 // per-node matching arrays). Zero fields mean "unknown".
-type Hints struct{ Rows, Codes int }
+//
+// Cards, when non-nil, is an exact per-projection cardinality source —
+// typically a resident session's live dictionary (its
+// table.ProjectionCardinality) — that refines the single worst-case
+// Codes bound with the real distinct count of the one projection a
+// consumer is about to materialize. The algorithms query it through
+// Ctx.ProjectionCard.
+type Hints struct {
+	Rows, Codes int
+	Cards       CardSource
+}
+
+// CardSource reports the exact distinct-count bound of the projection
+// onto attrs, when known. Implementations must be safe for concurrent
+// use and cheap (the solve hot paths consult them per block step).
+type CardSource func(attrs schema.AttrSet) (int, bool)
 
 // SetHints records size hints on the current scope, keeping the
 // maximum of every hint seen within that scope (nested entry points —
@@ -177,6 +194,9 @@ func (c *Ctx) SetHints(h Hints) {
 	}
 	atomicMax(&c.sc.hintRows, int64(h.Rows))
 	atomicMax(&c.sc.hintCodes, int64(h.Codes))
+	if h.Cards != nil {
+		c.sc.cards.Store(&h.Cards)
+	}
 }
 
 // Hints returns the current scope's hints (zero when none were set).
@@ -184,10 +204,37 @@ func (c *Ctx) Hints() Hints {
 	if c == nil || c.sc == nil {
 		return Hints{}
 	}
-	return Hints{
+	h := Hints{
 		Rows:  int(c.sc.hintRows.Load()),
 		Codes: int(c.sc.hintCodes.Load()),
 	}
+	if p := c.sc.cards.Load(); p != nil {
+		h.Cards = *p
+	}
+	return h
+}
+
+// ProjectionCard returns the best available bound on the distinct
+// count of the projection onto attrs: the scope's exact cardinality
+// source when one answers, otherwise the fallback the caller derived
+// from the coarse hints. Either way the result is clamped to the
+// scope's row-count hint when one is set — no projection of an n-row
+// table has more than n distinct values, and a resident session's
+// dictionary retains vanished values, so its raw counts can exceed the
+// live table.
+func (c *Ctx) ProjectionCard(attrs schema.AttrSet, fallback int) int {
+	card := fallback
+	if c != nil && c.sc != nil {
+		if p := c.sc.cards.Load(); p != nil {
+			if exact, ok := (*p)(attrs); ok {
+				card = exact
+			}
+		}
+		if rows := int(c.sc.hintRows.Load()); rows > 0 && card > rows {
+			card = rows
+		}
+	}
+	return card
 }
 
 func atomicMax(a *atomic.Int64, v int64) {

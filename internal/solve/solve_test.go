@@ -205,11 +205,11 @@ func TestScopeIsolatesHints(t *testing.T) {
 		t.Fatalf("big scope hints = %+v", h)
 	}
 	// The root ctx and a later solve scope must not see the big solve.
-	if h := c.Hints(); h != (Hints{}) {
+	if h := c.Hints(); h.Rows != 0 || h.Codes != 0 {
 		t.Fatalf("hints leaked to the root ctx: %+v", h)
 	}
 	small := c.BeginSolve()
-	if h := small.Hints(); h != (Hints{}) {
+	if h := small.Hints(); h.Rows != 0 || h.Codes != 0 {
 		t.Fatalf("hints leaked across scopes: %+v", h)
 	}
 	small.SetHints(Hints{Rows: 10, Codes: 4})
@@ -316,11 +316,11 @@ func TestInterleavedScopesOnOneScheduler(t *testing.T) {
 func TestHintsAtomicMaxAndNilSafety(t *testing.T) {
 	var nilCtx *Ctx
 	nilCtx.SetHints(Hints{Rows: 10, Codes: 10})
-	if h := nilCtx.Hints(); h != (Hints{}) {
+	if h := nilCtx.Hints(); h.Rows != 0 || h.Codes != 0 || h.Cards != nil {
 		t.Fatalf("nil ctx hints = %+v", h)
 	}
 	c := New(1, nil, nil)
-	if h := c.Hints(); h != (Hints{}) {
+	if h := c.Hints(); h.Rows != 0 || h.Codes != 0 || h.Cards != nil {
 		t.Fatalf("fresh ctx hints = %+v", h)
 	}
 	c.SetHints(Hints{Rows: 100, Codes: 40})

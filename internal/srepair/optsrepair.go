@@ -72,7 +72,15 @@ func OptSRepairCtx(c *solve.Ctx, ds *fd.Set, t *table.Table) (*table.Table, erro
 	// so a Ctx reused across tables of different sizes never pre-sizes a
 	// small solve's fresh scratch at a bigger table's shape.
 	c = c.BeginSolve()
-	c.SetHints(solve.Hints{Rows: t.Len(), Codes: t.DistinctEstimate()})
+	// Clamp the distinct-count estimate to the table's length: no
+	// projection has more distinct values than rows, but the dictionary
+	// of an incrementally mutated table retains vanished values, so the
+	// estimate can exceed the live row count.
+	codes := t.DistinctEstimate()
+	if codes > t.Len() {
+		codes = t.Len()
+	}
+	c.SetHints(solve.Hints{Rows: t.Len(), Codes: codes})
 	sv := solver{steps: steps, c: c}
 	keep, err := sv.solve(table.NewView(t), 0)
 	if err != nil {
@@ -238,8 +246,10 @@ func (s solver) marriageRep(st fd.Simplification, v table.View, depth int) ([]in
 	defer s.c.PutInt32Slices(reps)
 	// Edge gi joins the block's X1-node to its X2-node, weighted by the
 	// block's optimal S-repair; distinct blocks have distinct endpoint
-	// pairs, so edge indices and group indices coincide.
-	edges := getEdges(s.c, len(g.Groups))
+	// pairs, so edge indices and group indices coincide. A session's
+	// exact cardinality source bounds fresh edge scratch at the real
+	// block count instead of the row count.
+	edges := getEdges(s.c, len(g.Groups), s.c.ProjectionCard(st.X1.Union(st.X2), s.c.Hints().Rows))
 	defer putEdges(s.c, edges)
 	for gi, grp := range g.Groups {
 		first := grp[0]
@@ -274,16 +284,17 @@ func (s solver) marriageRep(st fd.Simplification, v table.View, depth int) ([]in
 // recursion node actually running Subroutine 3.
 type edgeKey struct{}
 
-func getEdges(c *solve.Ctx, n int) []graph.Edge {
+func getEdges(c *solve.Ctx, n, capHint int) []graph.Edge {
 	if v := c.GetScratch(edgeKey{}); v != nil {
 		return solve.Grow(*v.(*[]graph.Edge), n)
 	}
-	// Fresh list: pre-size at the hinted row count (edges ≤ blocks ≤
-	// rows), so the first solve skips the grow-realloc ladder. The hints
-	// come from the per-solve scope, so h.Rows is this table's length —
-	// never the sticky maximum of a previous, larger solve.
-	if h := c.Hints(); h.Rows > n {
-		return make([]graph.Edge, n, solve.RoundCap(h.Rows))
+	// Fresh list: pre-size at the caller's cardinality bound (edges ≤
+	// blocks, and blocks ≤ rows when nothing better is known), so the
+	// first solve skips the grow-realloc ladder. The bound comes from
+	// the per-solve scope, so it reflects this table only — never the
+	// sticky maximum of a previous, larger solve.
+	if capHint > n {
+		return make([]graph.Edge, n, solve.RoundCap(capHint))
 	}
 	return solve.Grow[graph.Edge](nil, n)
 }

@@ -2,6 +2,7 @@ package table
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/schema"
 )
@@ -17,30 +18,94 @@ import (
 // The encoding is built lazily and published copy-on-write through an
 // atomic pointer: lookups are lock-free (the parallel block solver hits
 // this path constantly), builds take the table's encMu and publish a
-// fresh immutable snapshot, and any table mutation drops the snapshot.
+// fresh immutable snapshot, and any plain table mutation drops the
+// snapshot. The incremental mutators (incremental.go) instead extend
+// the snapshot in place under encMu — the per-column dictionaries and
+// per-projection key maps are retained for exactly that purpose — so a
+// resident session never re-interns columns it already encoded.
 
 // projection is the dictionary code of one attribute-set projection:
-// codes[rowIndex] identifies the row's projection, codes are dense in
-// [0, groups) and assigned in order of first appearance, so iterating
-// rows in insertion order visits group codes in increasing order of
-// first occurrence. rowGroups buckets the row indices by code, in code
-// order; all buckets share one backing array. Immutable after build.
+// codes[rowIndex] identifies the row's projection; equal codes iff
+// equal projections. On a fresh build, codes are dense in [0, groups)
+// and assigned in order of first appearance. After incremental cell
+// updates, groups remains only an exclusive upper bound on the codes —
+// a code whose last carrier was overwritten leaves a hole — and code
+// numeric order may diverge from first-appearance order. Nothing
+// downstream depends on density or numeric order: algorithms use codes
+// as equality labels, groups as an array bound, and the lazily
+// materialized rowGrouping (always canonical first-appearance order
+// with no empty buckets) for ordered iteration.
+//
+// width/seen/sseen are the retained state of incremental extension for
+// multi-attribute projections (nil for single-attribute and empty
+// projections, whose codes derive from the column dictionaries). They
+// are touched only under the table's encMu.
 type projection struct {
-	codes     []int32
-	groups    int
-	rowGroups [][]int32
+	codes  []int32
+	groups int
+
+	// rg is the lazily materialized whole-table row grouping. Most
+	// projections are only ever read for their codes (equality labels),
+	// so the grouping builds on first demand — under encMu, published
+	// through the atomic pointer for later lock-free readers — and a
+	// projection nobody groups by never pays for bucketing at all. An
+	// incremental append extends an aligned materialized grouping in
+	// place of a rebuild; cell recodes drop it back to lazy.
+	rg atomic.Pointer[rowGrouping]
+
+	width []uint           // packed-key bit widths (multi-attr, packed)
+	seen  map[uint64]int32 // packed key -> code (multi-attr, packed)
+	sseen map[string]int32 // string key -> code (multi-attr, wide fallback)
+}
+
+// rowGrouping is one projection's whole-table row grouping: one bucket
+// of ascending row indices per live code, buckets ordered by first
+// appearance, no empty buckets. aligned records that buckets[c] is
+// exactly the bucket of code c — codes dense in [0, groups) and
+// numbered in first-appearance order — which holds after a fresh build,
+// is preserved by pure appends (new codes are assigned sequentially, so
+// new buckets land at the end in canonical order), and is broken by
+// cell recodes, which can orphan codes and reorder first appearances.
+type rowGrouping struct {
+	buckets [][]int32
+	aligned bool
 }
 
 // encoding holds the per-column dictionaries and the cached projections
-// of one table snapshot. A published *encoding is immutable; builds
-// replace it wholesale.
+// of one table snapshot covering rows [0, n). A published *encoding is
+// immutable for readers; builds and incremental extensions replace it
+// wholesale under encMu (the dictionary maps are shared across
+// snapshots and mutated only under that lock — readers never touch
+// them).
 type encoding struct {
-	cols [][]int32 // per attribute: value code per row (nil until needed)
-	card []int     // per attribute: dictionary size
-	proj map[schema.AttrSet]*projection
+	n     int
+	cols  [][]int32         // per attribute: value code per row (nil until needed)
+	card  []int             // per attribute: dictionary size
+	dicts []map[Value]int32 // per attribute: value -> code (encMu only)
+	proj  map[schema.AttrSet]*projection
 }
 
-// invalidate drops the cached encoding; called by every mutation.
+// clone returns a shallow working copy for copy-on-write extension:
+// fresh headers and a fresh projection map, shared column storage and
+// dictionaries.
+func (e *encoding) clone(arity int) *encoding {
+	next := &encoding{
+		n:     e.n,
+		cols:  make([][]int32, arity),
+		card:  make([]int, arity),
+		dicts: make([]map[Value]int32, arity),
+		proj:  make(map[schema.AttrSet]*projection, len(e.proj)+1),
+	}
+	copy(next.cols, e.cols)
+	copy(next.card, e.card)
+	copy(next.dicts, e.dicts)
+	for a, p := range e.proj {
+		next.proj[a] = p
+	}
+	return next
+}
+
+// invalidate drops the cached encoding; called by every plain mutation.
 func (t *Table) invalidate() {
 	t.enc.Store(nil)
 }
@@ -66,16 +131,16 @@ func (t *Table) projection(attrs schema.AttrSet) *projection {
 	// one. Column slices are themselves immutable once built, so the
 	// copies share them.
 	k := t.sc.Arity()
-	next := &encoding{
-		cols: make([][]int32, k),
-		card: make([]int, k),
-		proj: make(map[schema.AttrSet]*projection),
-	}
+	var next *encoding
 	if old != nil {
-		copy(next.cols, old.cols)
-		copy(next.card, old.card)
-		for a, p := range old.proj {
-			next.proj[a] = p
+		next = old.clone(k)
+	} else {
+		next = &encoding{
+			n:     len(t.rows),
+			cols:  make([][]int32, k),
+			card:  make([]int, k),
+			dicts: make([]map[Value]int32, k),
+			proj:  make(map[schema.AttrSet]*projection),
 		}
 	}
 	p := t.buildProjection(next, attrs)
@@ -103,12 +168,14 @@ func (t *Table) column(e *encoding, a int) []int32 {
 	}
 	e.cols[a] = col
 	e.card[a] = len(dict)
+	e.dicts[a] = dict
 	return col
 }
 
-// buildProjection computes the dense group codes of the projection onto
-// attrs, plus the whole-table row grouping. Caller must hold encMu and
-// own e.
+// buildProjection computes the group codes of the projection onto
+// attrs. The whole-table row grouping is not built here — it
+// materializes on first demand (see grouping). Caller must hold encMu
+// and own e.
 func (t *Table) buildProjection(e *encoding, attrs schema.AttrSet) *projection {
 	n := len(t.rows)
 	if n == 0 {
@@ -125,14 +192,32 @@ func (t *Table) buildProjection(e *encoding, attrs schema.AttrSet) *projection {
 	default:
 		p = t.buildMultiProjection(e, attrs, pos)
 	}
-	p.rowGroups = bucketByCode(p.codes, p.groups)
 	return p
+}
+
+// grouping returns the projection's whole-table row grouping,
+// materializing it on first demand. Lock-free once built.
+func (t *Table) grouping(p *projection) *rowGrouping {
+	if g := p.rg.Load(); g != nil {
+		return g
+	}
+	t.encMu.Lock()
+	defer t.encMu.Unlock()
+	if g := p.rg.Load(); g != nil {
+		return g
+	}
+	buckets, aligned := canonicalGroups(p.codes, p.groups)
+	g := &rowGrouping{buckets: buckets, aligned: aligned}
+	p.rg.Store(g)
+	return g
 }
 
 // buildMultiProjection packs the per-column codes of a multi-attribute
 // projection into one uint64 key when the dictionary widths fit (they
 // essentially always do), assigning dense group codes by first
 // appearance; pathologically wide projections fall back to string keys.
+// The key map and bit widths are retained on the projection so an
+// incremental append extends the codes instead of re-interning.
 func (t *Table) buildMultiProjection(e *encoding, attrs schema.AttrSet, pos []int) *projection {
 	n := len(t.rows)
 	width := make([]uint, len(pos))
@@ -159,55 +244,131 @@ func (t *Table) buildMultiProjection(e *encoding, attrs schema.AttrSet, pos []in
 			p.codes[ri] = c
 		}
 		p.groups = len(seen)
+		p.width = width
+		p.seen = seen
 		return p
 	}
-	seen := make(map[string]int32, n)
+	sseen := make(map[string]int32, n)
 	for ri := 0; ri < n; ri++ {
 		k := KeyOf(t.rows[ri].Tuple, attrs)
-		c, ok := seen[k]
+		c, ok := sseen[k]
 		if !ok {
-			c = int32(len(seen))
-			seen[k] = c
+			c = int32(len(sseen))
+			sseen[k] = c
 		}
 		p.codes[ri] = c
 	}
-	p.groups = len(seen)
+	p.groups = len(sseen)
+	p.sseen = sseen
 	return p
 }
 
-// bucketByCode partitions row indices by their dense code, in code
-// order (= first-appearance order). All buckets share one backing array.
-func bucketByCode(codes []int32, groups int) [][]int32 {
-	counts := make([]int32, groups)
-	for _, c := range codes {
-		counts[c]++
+// canonicalGroups buckets row indices by code (ascending within each
+// bucket), drops codes no row carries, and orders the buckets by their
+// first row index — exactly the grouping a cold first-appearance build
+// produces. On a fresh encoding codes are dense and already in
+// first-appearance order, so nothing is dropped and the sort check is
+// one linear no-op pass; after incremental cell updates codes may have
+// holes and sit out of first-appearance order, and this restores the
+// canonical grouping so every order-sensitive consumer (GroupBy,
+// identity-view GroupByArena, block enumeration) stays byte-identical
+// to a from-scratch rebuild. All buckets share one backing array.
+//
+// aligned reports whether bucket index equals code throughout: no code
+// in [0, bound) was dropped and the buckets are already in code order.
+func canonicalGroups(codes []int32, bound int) (groups [][]int32, aligned bool) {
+	if len(codes) == 0 {
+		return nil, true
 	}
-	starts := make([]int32, groups+1)
-	for g := 0; g < groups; g++ {
+	// Rank codes by first appearance, then counting-sort on the rank:
+	// the buckets come out in canonical order directly, with no
+	// comparison sort even when cell recodes have left the code values
+	// out of first-appearance order or with holes.
+	rank := make([]int32, bound)
+	for i := range rank {
+		rank[i] = -1
+	}
+	live := int32(0)
+	aligned = true
+	for _, c := range codes {
+		if rank[c] < 0 {
+			if c != live {
+				aligned = false
+			}
+			rank[c] = live
+			live++
+		}
+	}
+	counts := make([]int32, live)
+	for _, c := range codes {
+		counts[rank[c]]++
+	}
+	starts := make([]int32, live+1)
+	for g := int32(0); g < live; g++ {
 		starts[g+1] = starts[g] + counts[g]
 	}
 	flat := make([]int32, len(codes))
 	next := counts // reuse as cursors
-	copy(next, starts[:groups])
+	copy(next, starts[:live])
 	for ri, c := range codes {
-		flat[next[c]] = int32(ri)
-		next[c]++
+		r := rank[c]
+		flat[next[r]] = int32(ri)
+		next[r]++
 	}
-	out := make([][]int32, groups)
-	for g := 0; g < groups; g++ {
+	out := make([][]int32, live)
+	for g := int32(0); g < live; g++ {
 		out[g] = flat[starts[g]:starts[g+1]:starts[g+1]]
 	}
-	return out
+	return out, aligned && int(live) == bound
 }
 
-// ProjectionCodes returns one dense int32 code per row (in insertion
-// order) such that two rows receive equal codes iff their projections
-// onto attrs are equal. Codes lie in [0, groups) and are assigned in
-// order of first appearance. The returned slice is shared and must not
-// be mutated; it is invalidated by any table mutation.
+// ProjectionCodes returns one int32 code per row (in insertion order)
+// such that two rows receive equal codes iff their projections onto
+// attrs are equal. Codes lie in [0, groups); on a freshly built table
+// they are dense and assigned in order of first appearance, while after
+// incremental cell updates groups is only an exclusive bound (see
+// projection). The returned slice is shared and must not be mutated; it
+// is invalidated by any table mutation.
 func (t *Table) ProjectionCodes(attrs schema.AttrSet) (codes []int32, groups int) {
 	p := t.projection(attrs)
 	return p.codes, p.groups
+}
+
+// RowGroups returns the whole-table grouping of rows by their
+// projection onto attrs: one bucket of ascending row indices per
+// distinct projection value, buckets ordered by first appearance. This
+// is the canonical block partition Session.Repair classifies into clean
+// and dirty blocks. The buckets share one backing array, must be
+// treated as read-only, and are invalidated by any table mutation.
+func (t *Table) RowGroups(attrs schema.AttrSet) [][]int32 {
+	return t.grouping(t.projection(attrs)).buckets
+}
+
+// ProjectionCardinality returns the exact code-space bound of the
+// projection onto attrs from the live encoding snapshot, without
+// forcing a build: the dictionary size for a single attribute, the
+// group bound for a cached projection, 1 for the empty set. ok is false
+// when the snapshot has not encoded attrs yet. Resident sessions feed
+// this to solve.Hints as the cardinality source, replacing the
+// DistinctEstimate guess with the dictionary's real counts.
+func (t *Table) ProjectionCardinality(attrs schema.AttrSet) (card int, ok bool) {
+	e := t.enc.Load()
+	if e == nil {
+		return 0, false
+	}
+	if p, okp := e.proj[attrs]; okp {
+		return p.groups, true
+	}
+	pos := attrs.Positions()
+	switch len(pos) {
+	case 0:
+		return 1, true
+	case 1:
+		if e.cols[pos[0]] != nil {
+			return e.card[pos[0]], true
+		}
+	}
+	return 0, false
 }
 
 // DistinctEstimate estimates the largest distinct-code count any
@@ -216,6 +377,9 @@ func (t *Table) ProjectionCodes(attrs schema.AttrSet) (codes []int32, groups int
 // max over built column dictionaries and projection group counts —
 // and falls back to the row count (a hard upper bound on any distinct
 // count) when the encoding is cold. Never forces an encoding build.
+// Dictionaries of an incrementally mutated table retain vanished
+// values, so the estimate can exceed the row count; entry points clamp
+// it to the current table's length when recording hints.
 func (t *Table) DistinctEstimate() int {
 	e := t.enc.Load()
 	if e == nil {
@@ -241,6 +405,6 @@ func (t *Table) DistinctEstimate() int {
 // IndexOf returns the position of the identifier in insertion order
 // (the row index used by ProjectionCodes and View).
 func (t *Table) IndexOf(id int) (int, bool) {
-	i, ok := t.byID[id]
+	i, ok := t.index()[id]
 	return i, ok
 }

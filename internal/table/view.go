@@ -42,7 +42,7 @@ func ViewOfRows(t *Table, rows []int32) View { return View{t: t, rows: rows} }
 func ViewOfIDs(t *Table, ids []int) (View, error) {
 	rows := make([]int32, 0, len(ids))
 	for _, id := range ids {
-		i, ok := t.byID[id]
+		i, ok := t.index()[id]
 		if !ok {
 			return View{}, fmt.Errorf("table: identifier %d not in table", id)
 		}
@@ -267,7 +267,34 @@ func (v View) SatisfiesFD(f fd.FD) bool {
 }
 
 // Materialize builds the *Table holding exactly the selected rows (in
-// ascending identifier order, like SubsetByIDs).
+// ascending identifier order, like SubsetByIDs). The row store is
+// built in bulk — one backing array for all tuple values, the id index
+// left to build lazily on first lookup, no per-row validation (every
+// selected row is already a valid row of the backing table) — so
+// materializing a large repair result costs a copy, not n inserts.
 func (v View) Materialize() *Table {
-	return v.t.MustSubsetByIDs(v.IDs())
+	src := v.t.rows
+	ordered := v.rows
+	for k := 1; k < len(ordered); k++ {
+		if src[ordered[k]].ID < src[ordered[k-1]].ID {
+			ordered = append([]int32(nil), v.rows...)
+			sort.Slice(ordered, func(a, b int) bool { return src[ordered[a]].ID < src[ordered[b]].ID })
+			break
+		}
+	}
+	out := New(v.t.sc)
+	out.fresh = v.t.fresh
+	out.rows = make([]Row, len(ordered))
+	arity := v.t.sc.Arity()
+	vals := make([]Value, len(ordered)*arity)
+	for k, ri := range ordered {
+		r := src[ri]
+		tup := Tuple(vals[k*arity : (k+1)*arity : (k+1)*arity])
+		copy(tup, r.Tuple)
+		out.rows[k] = Row{ID: r.ID, Tuple: tup, Weight: r.Weight}
+		if r.ID >= out.nextID {
+			out.nextID = r.ID + 1
+		}
+	}
+	return out
 }

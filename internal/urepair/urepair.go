@@ -81,7 +81,14 @@ func repairFull(c *solve.Ctx, ds *fd.Set, t *table.Table) (Result, error) {
 	// One solve = one scope (the inner S-repair solves run over the same
 	// table, so their nested BeginSolve records the same shape).
 	c = c.BeginSolve()
-	c.SetHints(solve.Hints{Rows: t.Len(), Codes: t.DistinctEstimate()})
+	// Clamp the estimate to the row count: dictionaries of incrementally
+	// mutated tables retain vanished values, so the raw estimate can
+	// exceed any projection's live distinct count.
+	codes := t.DistinctEstimate()
+	if codes > t.Len() {
+		codes = t.Len()
+	}
+	c.SetHints(solve.Hints{Rows: t.Len(), Codes: codes})
 	u := t.Clone()
 	var cost float64
 	exact := true
