@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/solve/failpoint"
+	"repro/internal/workload"
+)
+
+// chaosBody renders a deep tractable instance as a CSV request body;
+// its solve recurses through enough block dispatches for mid-recursion
+// failpoints to land.
+func chaosBody(t *testing.T, n int) string {
+	t.Helper()
+	sc, err := schema.New("R", "A", "B", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := workload.RandomTable(sc, n, n/10+2, rand.New(rand.NewSource(int64(n))))
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+var chaosFDs = url.Values{"fd": {"A -> B", "B -> A", "B -> C"}, "algo": {"optimal"}}
+
+// TestChaosPanicIsolation floods the daemon with concurrent solves
+// while the panic-in-block failpoint fires mid-recursion, at every
+// worker count. Every request must get a response: either 200 or an
+// isolated 500; the daemon, solver and scheduler survive to serve a
+// clean request afterwards, and no goroutines leak.
+func TestChaosPanicIsolation(t *testing.T) {
+	defer failpoint.DisableAll()
+	body := chaosBody(t, 400)
+	baseline := runtime.NumGoroutine()
+
+	for _, workers := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.workers = workers
+			cfg.queueDepth = 32
+			s := newServer(cfg)
+			ts := httptest.NewServer(s.routes())
+
+			// Fire sparsely but repeatedly: some requests absorb a panic,
+			// the rest must complete untouched.
+			failpoint.Enable(failpoint.PanicInBlock, failpoint.Spec{After: 40, Every: 301, Count: 6})
+
+			const reqs = 12
+			statuses := make([]int, reqs)
+			bodies := make([]string, reqs)
+			var wg sync.WaitGroup
+			for i := 0; i < reqs; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					resp := postSolve(t, ts, chaosFDs.Encode(), fmt.Sprintf("t%d", i%3), body)
+					statuses[i] = resp.StatusCode
+					bodies[i] = readAll(t, resp)
+				}(i)
+			}
+			wg.Wait()
+			failpoint.DisableAll()
+
+			ok, panicked := 0, 0
+			for i, st := range statuses {
+				switch {
+				case st == http.StatusOK:
+					ok++
+				case st == http.StatusInternalServerError && strings.Contains(bodies[i], "panicked"):
+					panicked++
+				default:
+					t.Fatalf("request %d: status %d body %q — not OK and not an isolated panic", i, st, bodies[i])
+				}
+			}
+			if ok == 0 {
+				t.Fatal("no request survived the chaos run")
+			}
+			t.Logf("workers=%d: %d ok, %d isolated panics", workers, ok, panicked)
+
+			// The scrape must agree with what the clients saw.
+			resp, err := ts.Client().Get(ts.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			metrics := readAll(t, resp)
+			if want := fmt.Sprintf(`fdrepaird_requests_total{outcome="panicked"} %d`, panicked); !strings.Contains(metrics, want) {
+				t.Fatalf("metrics missing %q:\n%s", want, metrics)
+			}
+
+			// Availability after chaos: a clean request on the same daemon.
+			resp2 := postSolve(t, ts, chaosFDs.Encode(), "", body)
+			b := readAll(t, resp2)
+			if resp2.StatusCode != http.StatusOK {
+				t.Fatalf("post-chaos request: status %d: %s", resp2.StatusCode, b)
+			}
+
+			// Drain and check for leaked goroutines: the scheduler parks
+			// its helpers at idle and Close quiesces in-flight work.
+			ts.Close()
+			if err := s.sv.Close(context.Background()); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for runtime.NumGoroutine() > baseline+3 && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			if n := runtime.NumGoroutine(); n > baseline+3 {
+				buf := make([]byte, 1<<16)
+				t.Fatalf("goroutines leaked: %d > baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
+			}
+		})
+	}
+}
+
+// TestChaosSlowBlockDeadline: with every block dispatch stalled, a
+// short per-request timeout surfaces as 504 and the daemon keeps
+// serving.
+func TestChaosSlowBlockDeadline(t *testing.T) {
+	defer failpoint.DisableAll()
+	s := newServer(testConfig())
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+	body := chaosBody(t, 400)
+
+	failpoint.Enable(failpoint.SlowBlock, failpoint.Spec{Sleep: 2 * time.Millisecond})
+	q := url.Values{"fd": {"A -> B", "B -> A", "B -> C"}, "algo": {"optimal"}, "timeout": {"25ms"}}
+	resp := postSolve(t, ts, q.Encode(), "", body)
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("stalled solve: status %d, want 504", resp.StatusCode)
+	}
+	failpoint.DisableAll()
+
+	resp = postSolve(t, ts, chaosFDs.Encode(), "", body)
+	b := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after stall: status %d: %s", resp.StatusCode, b)
+	}
+}
+
+// TestChaosCancelMidRecursion: the cancel failpoint poisons one
+// request's scope mid-solve; the daemon maps it to 408 and later
+// requests are unaffected.
+func TestChaosCancelMidRecursion(t *testing.T) {
+	defer failpoint.DisableAll()
+	s := newServer(testConfig())
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+	body := chaosBody(t, 400)
+
+	failpoint.Enable(failpoint.CancelMidRecursion, failpoint.Spec{After: 20, Count: 1})
+	resp := postSolve(t, ts, chaosFDs.Encode(), "", body)
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("canceled solve: status %d, want 408", resp.StatusCode)
+	}
+	failpoint.DisableAll()
+
+	resp = postSolve(t, ts, chaosFDs.Encode(), "", body)
+	b := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after cancel: status %d: %s", resp.StatusCode, b)
+	}
+}

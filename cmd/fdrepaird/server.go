@@ -1,0 +1,303 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/fdrepair"
+	"repro/internal/srepair"
+	"repro/internal/table"
+)
+
+// config freezes the daemon's operational knobs.
+type config struct {
+	workers        int           // solver worker budget
+	queueDepth     int           // admitted-request bound; beyond it requests are shed
+	tenantRate     float64       // per-tenant sustained requests/second (0 = unlimited)
+	tenantBurst    float64       // per-tenant burst allowance
+	defaultTimeout time.Duration // per-request deadline when the client asks for none
+	maxTimeout     time.Duration // ceiling for client-requested ?timeout=
+	approxFallback time.Duration // exact→approx degradation budget (0 = off)
+	maxBody        int64         // request body cap in bytes
+	logf           func(format string, args ...any)
+}
+
+// counters are the daemon's per-request outcome counters, exported at
+// /metrics. Admission outcomes (admitted vs the shed_* family) sum to
+// every /solve request seen; completion outcomes describe admitted
+// requests only.
+type counters struct {
+	admitted         atomic.Int64
+	shedQueue        atomic.Int64
+	shedQuota        atomic.Int64
+	shedDraining     atomic.Int64
+	completed        atomic.Int64
+	failed           atomic.Int64
+	deadlineExceeded atomic.Int64
+	panicked         atomic.Int64
+	degraded         atomic.Int64
+}
+
+// server is the repair daemon: admission control and lifecycle around
+// one shared fdrepair.Solver.
+type server struct {
+	cfg      config
+	sv       *fdrepair.Solver
+	sem      chan struct{} // admission queue slots
+	quotas   *quotas
+	draining atomic.Bool
+	m        counters
+}
+
+func newServer(cfg config) *server {
+	if cfg.logf == nil {
+		cfg.logf = func(string, ...any) {}
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.queueDepth < 1 {
+		cfg.queueDepth = 1
+	}
+	return &server{
+		cfg:    cfg,
+		sv:     fdrepair.NewSolver(fdrepair.WithParallelism(cfg.workers), fdrepair.WithStats()),
+		sem:    make(chan struct{}, cfg.queueDepth),
+		quotas: newQuotas(cfg.tenantRate, cfg.tenantBurst),
+	}
+}
+
+// routes builds the daemon's handler.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	return mux
+}
+
+// startDrain flips the server into draining: /readyz reports 503 so
+// load balancers stop routing here, and new /solve requests are shed.
+// In-flight requests keep running; the HTTP shutdown and Solver.Close
+// in main wait for them.
+func (s *server) startDrain() { s.draining.Store(true) }
+
+// handleHealthz: liveness — the process is up and serving.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz: readiness — 200 while admitting, 503 once draining.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleSolve admits and runs one repair request:
+//
+//	POST /solve?fd=A+-%3E+B&algo=auto&timeout=5s
+//	X-Tenant: team-a
+//	<CSV table body>
+//
+// The body is the table (header row = attributes; optional id/w
+// columns). Repeatable fd params give the FD set; algo is one of
+// auto (default), optimal, exact, approx, urepair, mpd. The response
+// is the repaired table as CSV with X-Repair-* headers.
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	// Admission, cheapest gate first: drain state, then the tenant
+	// quota (token bucket), then a queue slot.
+	if s.draining.Load() {
+		s.m.shedDraining.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	if ok, wait := s.quotas.allow(tenant); !ok {
+		s.m.shedQuota.Add(1)
+		w.Header().Set("Retry-After", retryAfter(wait))
+		http.Error(w, fmt.Sprintf("tenant %q over quota", tenant), http.StatusTooManyRequests)
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.m.shedQueue.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "request queue full", http.StatusTooManyRequests)
+		return
+	}
+	s.m.admitted.Add(1)
+
+	// Parse outside the solver: a malformed request must cost nothing
+	// but the parse.
+	q := r.URL.Query()
+	algoName := q.Get("algo")
+	if algoName == "" {
+		algoName = "auto"
+	}
+	algo, err := parseAlgo(algoName)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	timeout := s.cfg.defaultTimeout
+	if ts := q.Get("timeout"); ts != "" {
+		d, err := time.ParseDuration(ts)
+		if err != nil || d <= 0 {
+			http.Error(w, fmt.Sprintf("bad timeout %q", ts), http.StatusBadRequest)
+			return
+		}
+		timeout = d
+	}
+	if s.cfg.maxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.maxTimeout) {
+		timeout = s.cfg.maxTimeout
+	}
+	tab, err := table.ReadCSV(io.LimitReader(http.MaxBytesReader(w, r.Body, s.cfg.maxBody), s.cfg.maxBody), "T")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad table: %v", err), http.StatusBadRequest)
+		return
+	}
+	fdSpecs := q["fd"]
+	if len(fdSpecs) == 0 {
+		http.Error(w, "at least one fd query parameter is required", http.StatusBadRequest)
+		return
+	}
+	ds, err := fdrepair.ParseFDs(tab.Schema(), fdSpecs...)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad fd: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	// One request = one single-element batch on the shared Solver: its
+	// own scope, deadline and stats; its recursion's tasks interleave
+	// with every other in-flight request on the one scheduler.
+	// Request.Context is the connection's context, so a vanished client
+	// cancels its own solve and nothing else.
+	req := fdrepair.Request{FDs: ds, Table: tab, Algorithm: algo.algo, Context: r.Context()}
+	opts := []fdrepair.BatchOption{fdrepair.WithRequestTimeout(timeout)}
+	if s.cfg.approxFallback > 0 {
+		opts = append(opts, fdrepair.WithApproxFallback(s.cfg.approxFallback))
+	}
+	res := s.sv.SolveBatch([]fdrepair.Request{req}, opts...)[0]
+	ranAlgo := algo.algo
+
+	// algo=auto degrades a hard FD set to the 2-approximation instead
+	// of failing the request.
+	if algo.auto && errors.Is(res.Err, srepair.ErrNoSimplification) {
+		req.Algorithm = fdrepair.AlgoApproxSRepair
+		res = s.sv.SolveBatch([]fdrepair.Request{req}, opts...)[0]
+		res.Degraded = true
+		ranAlgo = fdrepair.AlgoApproxSRepair
+	}
+
+	if res.Err != nil {
+		s.writeSolveError(w, r, res.Err)
+		return
+	}
+	s.m.completed.Add(1)
+	if res.Degraded {
+		s.m.degraded.Add(1)
+	}
+	out, cost := res.Table, res.Cost
+	h := w.Header()
+	if res.URepair != nil {
+		out, cost = res.URepair.Update, res.URepair.Cost
+		h.Set("X-Urepair-Exact", strconv.FormatBool(res.URepair.Exact))
+		h.Set("X-Urepair-Ratio", strconv.FormatFloat(res.URepair.RatioBound, 'g', -1, 64))
+		h.Set("X-Urepair-Method", res.URepair.Method)
+	}
+	h.Set("Content-Type", "text/csv")
+	h.Set("X-Repair-Algorithm", ranAlgo.String())
+	h.Set("X-Repair-Cost", strconv.FormatFloat(cost, 'g', -1, 64))
+	h.Set("X-Repair-Kept", strconv.Itoa(out.Len()))
+	h.Set("X-Repair-Input-Rows", strconv.Itoa(tab.Len()))
+	h.Set("X-Repair-Degraded", strconv.FormatBool(res.Degraded))
+	if err := out.WriteCSV(w); err != nil {
+		// Headers are gone; all we can do is log.
+		s.cfg.logf("fdrepaird: writing response: %v", err)
+	}
+}
+
+// writeSolveError maps a request's failure to an HTTP status and
+// counts the outcome.
+func (s *server) writeSolveError(w http.ResponseWriter, r *http.Request, err error) {
+	var pe *fdrepair.PanicError
+	switch {
+	case errors.As(err, &pe):
+		// The panic was isolated to this request; the daemon, solver and
+		// scheduler are intact. The stack goes to the log, not the
+		// client.
+		s.m.panicked.Add(1)
+		s.cfg.logf("fdrepaird: %s %s: isolated panic: %v", r.Method, r.URL.Path, err)
+		http.Error(w, fmt.Sprintf("solve panicked (isolated): %v", pe.Value), http.StatusInternalServerError)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.m.deadlineExceeded.Add(1)
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499 is nginx-speak, 408 is the closest
+		// standard status.
+		s.m.failed.Add(1)
+		http.Error(w, "canceled", http.StatusRequestTimeout)
+	case errors.Is(err, fdrepair.ErrSolverClosed):
+		s.m.shedDraining.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case errors.Is(err, srepair.ErrNoSimplification):
+		s.m.failed.Add(1)
+		http.Error(w, "FD set is APX-hard for exact S-repair; use algo=auto, approx or exact", http.StatusUnprocessableEntity)
+	default:
+		s.m.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// algoChoice is a parsed algo parameter; auto marks the
+// optimal-with-approx-degradation mode.
+type algoChoice struct {
+	algo fdrepair.Algorithm
+	auto bool
+}
+
+func parseAlgo(name string) (algoChoice, error) {
+	switch name {
+	case "auto":
+		return algoChoice{fdrepair.AlgoOptimalSRepair, true}, nil
+	case "optimal", "optimal-srepair":
+		return algoChoice{algo: fdrepair.AlgoOptimalSRepair}, nil
+	case "exact", "exact-srepair":
+		return algoChoice{algo: fdrepair.AlgoExactSRepair}, nil
+	case "approx", "approx-srepair":
+		return algoChoice{algo: fdrepair.AlgoApproxSRepair}, nil
+	case "urepair", "optimal-urepair":
+		return algoChoice{algo: fdrepair.AlgoOptimalURepair}, nil
+	case "mpd", "most-probable":
+		return algoChoice{algo: fdrepair.AlgoMostProbable}, nil
+	default:
+		return algoChoice{}, fmt.Errorf("unknown algo %q (auto|optimal|exact|approx|urepair|mpd)", name)
+	}
+}
+
+// retryAfter renders a wait as whole seconds, rounding up, minimum 1 —
+// Retry-After takes integral seconds.
+func retryAfter(wait time.Duration) string {
+	secs := int64((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

@@ -1,0 +1,327 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testConfig is a permissive baseline the individual tests tighten.
+func testConfig() config {
+	return config{
+		workers:        2,
+		queueDepth:     8,
+		defaultTimeout: 10 * time.Second,
+		maxBody:        1 << 20,
+	}
+}
+
+// conflicted is a table with one A-group conflict under "A -> B": the
+// optimal S-repair drops one of the first two rows (cost 1, 2 kept).
+const conflicted = "id,A,B,w\n1,a1,x,1\n2,a1,y,1\n3,a2,z,1\n"
+
+func postSolve(t *testing.T, ts *httptest.Server, query, tenant, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/solve?"+query, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestSolveRoundtrip(t *testing.T) {
+	s := newServer(testConfig())
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	q := url.Values{"fd": {"A -> B"}}.Encode()
+	resp := postSolve(t, ts, q, "", conflicted)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Repair-Cost"); got != "1" {
+		t.Fatalf("X-Repair-Cost = %q, want 1", got)
+	}
+	if got := resp.Header.Get("X-Repair-Kept"); got != "2" {
+		t.Fatalf("X-Repair-Kept = %q, want 2", got)
+	}
+	if got := resp.Header.Get("X-Repair-Degraded"); got != "false" {
+		t.Fatalf("X-Repair-Degraded = %q", got)
+	}
+	// Round-trippable CSV: header + 2 rows, the consistent pair kept.
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("response CSV has %d lines, want 3:\n%s", len(lines), body)
+	}
+	if !strings.Contains(body, "a2,z") {
+		t.Fatalf("conflict-free row missing from repair:\n%s", body)
+	}
+}
+
+func TestSolveURepairAlgo(t *testing.T) {
+	s := newServer(testConfig())
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	q := url.Values{"fd": {"A -> B"}, "algo": {"urepair"}}.Encode()
+	resp := postSolve(t, ts, q, "", conflicted)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	// An update repair keeps all three rows and reports its guarantee.
+	if got := resp.Header.Get("X-Repair-Kept"); got != "3" {
+		t.Fatalf("X-Repair-Kept = %q, want 3", got)
+	}
+	if resp.Header.Get("X-Urepair-Exact") == "" || resp.Header.Get("X-Urepair-Method") == "" {
+		t.Fatalf("U-repair guarantee headers missing: %v", resp.Header)
+	}
+}
+
+func TestSolveAutoDegradesHardFDSet(t *testing.T) {
+	s := newServer(testConfig())
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	// "A -> B","B -> C" is on the hard side of the S-repair dichotomy:
+	// optimal refuses, auto degrades to the 2-approximation.
+	tab := "id,A,B,C,w\n1,a,b,c,1\n2,a,b2,c,1\n"
+	hard := url.Values{"fd": {"A -> B", "B -> C"}}
+
+	resp := postSolve(t, ts, hard.Encode(), "", tab)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("auto on hard set: status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Repair-Degraded") != "true" {
+		t.Fatal("auto on hard set did not mark degraded")
+	}
+	if resp.Header.Get("X-Repair-Algorithm") != "approx-srepair" {
+		t.Fatalf("degraded algo = %q", resp.Header.Get("X-Repair-Algorithm"))
+	}
+
+	// algo=optimal on the same set is an explicit client error.
+	hard.Set("algo", "optimal")
+	resp = postSolve(t, ts, hard.Encode(), "", tab)
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("optimal on hard set: status %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestSolveBadRequests(t *testing.T) {
+	s := newServer(testConfig())
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name, query, body string
+	}{
+		{"no fd", "", conflicted},
+		{"bad fd", url.Values{"fd": {"A -> Nope"}}.Encode(), conflicted},
+		{"bad algo", url.Values{"fd": {"A -> B"}, "algo": {"quantum"}}.Encode(), conflicted},
+		{"bad timeout", url.Values{"fd": {"A -> B"}, "timeout": {"soon"}}.Encode(), conflicted},
+		{"bad csv", url.Values{"fd": {"A -> B"}}.Encode(), "id,A,B\n1,only-two"},
+	} {
+		resp := postSolve(t, ts, tc.query, "", tc.body)
+		readAll(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+func TestQueueShedding(t *testing.T) {
+	cfg := testConfig()
+	cfg.queueDepth = 1
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	// Occupy the single queue slot directly; the next request must be
+	// shed with 429 + Retry-After rather than block.
+	s.sem <- struct{}{}
+	resp := postSolve(t, ts, url.Values{"fd": {"A -> B"}}.Encode(), "", conflicted)
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	<-s.sem
+	resp = postSolve(t, ts, url.Values{"fd": {"A -> B"}}.Encode(), "", conflicted)
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after slot freed: status %d", resp.StatusCode)
+	}
+}
+
+func TestTenantQuota(t *testing.T) {
+	cfg := testConfig()
+	cfg.tenantRate = 0.0001 // effectively no refill within the test
+	cfg.tenantBurst = 2
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	q := url.Values{"fd": {"A -> B"}}.Encode()
+	for i := 0; i < 2; i++ {
+		resp := postSolve(t, ts, q, "team-a", conflicted)
+		readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("team-a request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp := postSolve(t, ts, q, "team-a", conflicted)
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("team-a over burst: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("quota response missing Retry-After")
+	}
+	// Quotas are per tenant: team-b is unaffected.
+	resp = postSolve(t, ts, q, "team-b", conflicted)
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("team-b: status %d", resp.StatusCode)
+	}
+}
+
+func TestDrainRefusesNewWork(t *testing.T) {
+	s := newServer(testConfig())
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	get := func(path string) *http.Response {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, resp)
+		return resp
+	}
+	if resp := get("/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d", resp.StatusCode)
+	}
+
+	s.startDrain()
+	if resp := get("/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain: %d, want 503", resp.StatusCode)
+	}
+	// Liveness stays green — the process is healthy, just not admitting.
+	if resp := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz during drain: %d", resp.StatusCode)
+	}
+	resp := postSolve(t, ts, url.Values{"fd": {"A -> B"}}.Encode(), "", conflicted)
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/solve during drain: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("drain shed missing Retry-After")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := newServer(testConfig())
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	// One completed solve and one shed request, then scrape.
+	resp := postSolve(t, ts, url.Values{"fd": {"A -> B"}}.Encode(), "", conflicted)
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d", resp.StatusCode)
+	}
+	s.startDrain()
+	resp = postSolve(t, ts, url.Values{"fd": {"A -> B"}}.Encode(), "", conflicted)
+	readAll(t, resp)
+	s.draining.Store(false)
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	for _, want := range []string{
+		`fdrepaird_requests_total{outcome="admitted"} 1`,
+		`fdrepaird_requests_total{outcome="completed"} 1`,
+		`fdrepaird_requests_total{outcome="shed_draining"} 1`,
+		`fdrepaird_requests_total{outcome="panicked"} 0`,
+		"fdrepaird_solve_nodes_total",
+		"fdrepaird_solve_panics_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestRetryAfterRounding(t *testing.T) {
+	for _, tc := range []struct {
+		in   time.Duration
+		want string
+	}{
+		{0, "1"},
+		{200 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1700 * time.Millisecond, "2"},
+	} {
+		if got := retryAfter(tc.in); got != tc.want {
+			t.Errorf("retryAfter(%v) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestQuotaRefill(t *testing.T) {
+	q := newQuotas(10, 1) // 10 tokens/s, burst 1
+	now := time.Unix(0, 0)
+	q.now = func() time.Time { return now }
+
+	if ok, _ := q.allow("t"); !ok {
+		t.Fatal("first request denied")
+	}
+	ok, wait := q.allow("t")
+	if ok {
+		t.Fatal("bucket not drained after burst")
+	}
+	if wait <= 0 || wait > 100*time.Millisecond {
+		t.Fatalf("wait = %v, want (0, 100ms]", wait)
+	}
+	now = now.Add(100 * time.Millisecond) // exactly one token refilled
+	if ok, _ := q.allow("t"); !ok {
+		t.Fatal("request denied after refill")
+	}
+	// The bucket never exceeds burst.
+	now = now.Add(time.Hour)
+	if ok, _ := q.allow("t"); !ok {
+		t.Fatal("denied after long idle")
+	}
+	if ok, _ := q.allow("t"); ok {
+		t.Fatal("burst cap not enforced after long idle")
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"sync"
+	"time"
+)
+
+// quotas is a per-tenant token-bucket rate limiter. Each tenant gets a
+// bucket holding up to burst tokens, refilled at rate tokens/second; a
+// request spends one token. rate <= 0 disables limiting entirely.
+type quotas struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // test hook
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rate, burst float64) *quotas {
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotas{
+		rate:    rate,
+		burst:   burst,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow spends one token from tenant's bucket. When the bucket is dry
+// it reports false and how long until a full token accrues.
+func (q *quotas) allow(tenant string) (ok bool, wait time.Duration) {
+	if q.rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false, time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	}
+	b.tokens--
+	return true, 0
+}

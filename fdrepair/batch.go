@@ -2,6 +2,7 @@ package fdrepair
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -12,6 +13,11 @@ import (
 	"repro/internal/table"
 	"repro/internal/urepair"
 )
+
+// ErrStreamClosed is returned by Stream.Submit after Close: the stream
+// admits no further requests (results of already-submitted requests
+// still drain through Results).
+var ErrStreamClosed = errors.New("fdrepair: Submit on a closed Stream")
 
 // Algorithm selects the repair computation a batch Request runs.
 type Algorithm int
@@ -84,8 +90,13 @@ type BatchResult struct {
 	URepair *URepairResult
 	// Err is the request's error (context.DeadlineExceeded on a missed
 	// per-request deadline, srepair.ErrNoSimplification on a hard FD
-	// set under AlgoOptimalSRepair, ...).
+	// set under AlgoOptimalSRepair, a *PanicError when the request's
+	// solve panicked and was isolated, ...).
 	Err error
+	// Degraded reports that WithApproxFallback kicked in: the exact
+	// solve exceeded its budget and Table/Cost carry the polynomial
+	// 2-approximation instead.
+	Degraded bool
 	// Stats is this request's own counter slice (zero unless the Solver
 	// was built WithStats). The solver's aggregate Stats still
 	// accumulates every request.
@@ -94,7 +105,8 @@ type BatchResult struct {
 
 // batchConfig collects per-batch option values.
 type batchConfig struct {
-	timeout time.Duration
+	timeout     time.Duration
+	approxAfter time.Duration
 }
 
 // BatchOption configures SolveBatch and NewStream.
@@ -103,11 +115,24 @@ type BatchOption func(*batchConfig)
 // WithRequestTimeout gives every request in the batch (or stream) its
 // own deadline of d, measured from the moment the request starts
 // running: one slow or huge table times out alone while the rest of
-// the batch completes. The deadline is derived from the request's
-// Context when set, else from the solver's base context, so an
-// explicit request deadline composes with outer cancellation.
+// the batch completes. The deadline composes with the request's own
+// Context (when set; else with the solver's base context) to the
+// earliest deadline: whichever of the two expires first cancels the
+// request, in either order.
 func WithRequestTimeout(d time.Duration) BatchOption {
 	return func(c *batchConfig) { c.timeout = d }
+}
+
+// WithApproxFallback bounds AlgoExactSRepair requests with a budget d:
+// the exponential exact solve runs under its own deadline of d and, if
+// it exceeds it while the request's overall deadline still has room,
+// the request degrades to the polynomial 2-approximation
+// (AlgoApproxSRepair semantics) instead of failing — BatchResult
+// carries the approximate repair with Degraded set. A request whose
+// own deadline expired (not just the exact budget) still fails with
+// context.DeadlineExceeded. Other algorithms are unaffected.
+func WithApproxFallback(d time.Duration) BatchOption {
+	return func(c *batchConfig) { c.approxAfter = d }
 }
 
 // SolveBatch runs many repair requests on this Solver and returns one
@@ -132,6 +157,14 @@ func (s *Solver) SolveBatch(reqs []Request, opts ...BatchOption) []BatchResult {
 		opt(&cfg)
 	}
 	out := make([]BatchResult, len(reqs))
+	if err := s.begin(); err != nil {
+		// A closed solver still owes one result per request.
+		for i := range out {
+			out[i] = BatchResult{Index: i, Err: err}
+		}
+		return out
+	}
+	defer s.end()
 	ran := make([]bool, len(reqs))
 	err := s.ctx.ForEachBlock(len(reqs),
 		func(i int) int {
@@ -164,9 +197,14 @@ func (s *Solver) SolveBatch(reqs []Request, opts ...BatchOption) []BatchResult {
 }
 
 // runRequest executes one request under a fresh per-request solve
-// scope on wc's worker binding.
-func (s *Solver) runRequest(wc *solve.Ctx, i int, r Request, cfg batchConfig) BatchResult {
-	res := BatchResult{Index: i}
+// scope on wc's worker binding. A panic escaping the request body —
+// whether from a poisoned table, an algorithm bug, or an injected
+// failpoint — is recovered here (the scheduler additionally recovers
+// panics inside enqueued block tasks) and becomes this request's
+// *PanicError; it never unwinds into the scheduler, sibling requests,
+// or the daemon serving the batch.
+func (s *Solver) runRequest(wc *solve.Ctx, i int, r Request, cfg batchConfig) (res BatchResult) {
+	res = BatchResult{Index: i}
 	if r.FDs == nil || r.Table == nil {
 		res.Err = fmt.Errorf("fdrepair: batch request %d: nil FDs or Table", i)
 		return res
@@ -183,6 +221,9 @@ func (s *Solver) runRequest(wc *solve.Ctx, i int, r Request, cfg batchConfig) Ba
 			base = context.Background()
 		}
 		var cancel context.CancelFunc
+		// context.WithTimeout keeps the parent's deadline when it is
+		// earlier, so Request.Context and WithRequestTimeout compose to
+		// the earliest deadline in either order.
 		rctx, cancel = context.WithTimeout(base, cfg.timeout)
 		defer cancel()
 	}
@@ -190,7 +231,27 @@ func (s *Solver) runRequest(wc *solve.Ctx, i int, r Request, cfg batchConfig) Ba
 	if s.stats != nil {
 		st = new(solve.Stats)
 	}
-	c := wc.Scoped(rctx, st)
+	defer func() {
+		if rec := recover(); rec != nil {
+			res.Err = solve.NewPanicError(rec)
+			if st != nil {
+				st.Panics.Add(1)
+			}
+		}
+		if st != nil {
+			res.Stats = st.Snapshot()
+			s.stats.Merge(res.Stats)
+		}
+	}()
+	s.execute(wc.Scoped(rctx, st), rctx, st, i, r, cfg, &res)
+	return res
+}
+
+// execute dispatches one request's algorithm under its scoped Ctx.
+// rctx is the request's effective cancellation source (nil = the
+// solver's base), needed to derive the exact-solve sub-budget for
+// WithApproxFallback.
+func (s *Solver) execute(c *solve.Ctx, rctx context.Context, st *solve.Stats, i int, r Request, cfg batchConfig, res *BatchResult) {
 	switch r.Algorithm {
 	case AlgoOptimalSRepair:
 		var rep *table.Table
@@ -199,6 +260,10 @@ func (s *Solver) runRequest(wc *solve.Ctx, i int, r Request, cfg batchConfig) Ba
 			res.Table, res.Cost = rep, table.DistSub(rep, r.Table)
 		}
 	case AlgoExactSRepair:
+		if cfg.approxAfter > 0 {
+			s.exactWithFallback(c, rctx, st, r, cfg, res)
+			return
+		}
 		var rep *table.Table
 		rep, res.Err = srepair.ExactCtx(c, r.FDs, r.Table)
 		if res.Err == nil {
@@ -226,11 +291,42 @@ func (s *Solver) runRequest(wc *solve.Ctx, i int, r Request, cfg batchConfig) Ba
 	default:
 		res.Err = fmt.Errorf("fdrepair: batch request %d: unknown algorithm %v", i, r.Algorithm)
 	}
-	if st != nil {
-		res.Stats = st.Snapshot()
-		s.stats.Merge(res.Stats)
+}
+
+// exactWithFallback runs an AlgoExactSRepair request under the
+// WithApproxFallback budget: the exact solve gets its own deadline of
+// cfg.approxAfter (clamped by the request's deadline, which stays in
+// force); if the budget — and only the budget — expires, the request
+// degrades to the 2-approximation under the request's remaining
+// deadline instead of failing.
+func (s *Solver) exactWithFallback(c *solve.Ctx, rctx context.Context, st *solve.Stats, r Request, cfg batchConfig, res *BatchResult) {
+	base := rctx
+	if base == nil {
+		base = c.Base()
 	}
-	return res
+	if base == nil {
+		base = context.Background()
+	}
+	sub, cancel := context.WithTimeout(base, cfg.approxAfter)
+	rep, err := srepair.ExactCtx(c.Scoped(sub, st), r.FDs, r.Table)
+	cancel()
+	if err == nil {
+		res.Table, res.Cost = rep, table.DistSub(rep, r.Table)
+		return
+	}
+	if !errors.Is(err, context.DeadlineExceeded) || (rctx != nil && rctx.Err() != nil) {
+		// A genuine failure, or the request's own deadline (not the
+		// exact budget) is what expired: no point degrading.
+		res.Err = err
+		return
+	}
+	rep, err = srepair.Approx2Ctx(c, r.FDs, r.Table)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	res.Table, res.Cost = rep, table.DistSub(rep, r.Table)
+	res.Degraded = true
 }
 
 // Stream is the queue form of SolveBatch for serving request traffic:
@@ -244,8 +340,9 @@ func (s *Solver) runRequest(wc *solve.Ctx, i int, r Request, cfg batchConfig) Ba
 //
 // The consumer must drain Results; once the channel's buffer (one slot
 // per worker) is full, completed requests block their slot until read.
-// Submit and Close may be called from any goroutine, but Submit after
-// Close panics (like sending on a closed channel).
+// Submit and Close may be called from any goroutine, concurrently:
+// Submit after (or racing) Close fails with ErrStreamClosed instead of
+// panicking, so producers never need to coordinate with shutdown.
 type Stream struct {
 	sv      *Solver
 	cfg     batchConfig
@@ -281,11 +378,22 @@ func (s *Solver) NewStream(opts ...BatchOption) *Stream {
 // the stream's in-flight budget (= the solver's worker budget) is
 // exhausted — natural backpressure for a producer outrunning the
 // engine; it never waits for its own request to complete.
-func (st *Stream) Submit(r Request) int {
+//
+// Submit fails with ErrStreamClosed after Close (it used to panic;
+// returning the sentinel lets producers race shutdown safely) and with
+// ErrSolverClosed once the stream's Solver has been Closed. A failed
+// Submit consumes no index.
+func (st *Stream) Submit(r Request) (int, error) {
 	st.mu.Lock()
 	if st.closed {
 		st.mu.Unlock()
-		panic("fdrepair: Submit on a closed Stream")
+		return 0, ErrStreamClosed
+	}
+	// Each streamed request counts as one in-flight solve on the
+	// Solver, so Solver.Close waits for it like any other.
+	if err := st.sv.begin(); err != nil {
+		st.mu.Unlock()
+		return 0, err
 	}
 	i := st.next
 	st.next++
@@ -294,6 +402,7 @@ func (st *Stream) Submit(r Request) int {
 	st.sem <- struct{}{} // bound in-flight requests
 	go func() {
 		defer st.wg.Done()
+		defer st.sv.end()
 		res := st.sv.runRequest(st.sv.ctx, i, r, st.cfg)
 		// Deliver before releasing the in-flight slot: a completed
 		// request keeps its slot until the consumer reads it (past the
@@ -302,7 +411,7 @@ func (st *Stream) Submit(r Request) int {
 		st.results <- res
 		<-st.sem
 	}()
-	return i
+	return i, nil
 }
 
 // Results returns the delivery channel. It yields one BatchResult per

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -249,7 +250,11 @@ func TestStreamDeliversAll(t *testing.T) {
 			}
 		}()
 		for i, tab := range tabs {
-			if got := st.Submit(Request{FDs: ds, Table: tab}); got != i {
+			got, err := st.Submit(Request{FDs: ds, Table: tab})
+			if err != nil {
+				t.Fatalf("workers=%d: Submit: %v", workers, err)
+			}
+			if got != i {
 				t.Fatalf("workers=%d: Submit returned %d, want %d", workers, got, i)
 			}
 		}
@@ -263,19 +268,75 @@ func TestStreamDeliversAll(t *testing.T) {
 	}
 }
 
-// TestStreamSubmitAfterClosePanics pins the contract that a stream is
-// closed exactly once, after the last submission.
-func TestStreamSubmitAfterClosePanics(t *testing.T) {
+// TestStreamSubmitAfterClose pins the shutdown contract: Submit after
+// Close returns ErrStreamClosed (it must not panic — a serving daemon
+// races producers against drain), Close is idempotent, and Results
+// still closes cleanly.
+func TestStreamSubmitAfterClose(t *testing.T) {
 	ds, tab := solverTestInstance(20)
 	st := NewSolver().NewStream()
 	st.Close()
 	st.Close() // idempotent
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Submit after Close did not panic")
+	if _, err := st.Submit(Request{FDs: ds, Table: tab}); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrStreamClosed", err)
+	}
+	for range st.Results() {
+		t.Fatal("unexpected result on an empty closed stream")
+	}
+}
+
+// TestStreamSubmitCloseRace races concurrent producers against Close:
+// every Submit either succeeds (its result must be delivered exactly
+// once) or fails with ErrStreamClosed; nothing panics, every accepted
+// request is accounted for, and indexes stay dense.
+func TestStreamSubmitCloseRace(t *testing.T) {
+	ds, tab := solverTestInstance(60)
+	for _, workers := range []int{1, 4} {
+		sv := NewSolver(WithParallelism(workers))
+		st := sv.NewStream()
+
+		var accepted atomic.Int64
+		var rejected atomic.Int64
+		var producers sync.WaitGroup
+		for p := 0; p < 4; p++ {
+			producers.Add(1)
+			go func() {
+				defer producers.Done()
+				for k := 0; k < 8; k++ {
+					if _, err := st.Submit(Request{FDs: ds, Table: tab}); err != nil {
+						if !errors.Is(err, ErrStreamClosed) {
+							t.Errorf("Submit: unexpected error %v", err)
+						}
+						rejected.Add(1)
+						return
+					}
+					accepted.Add(1)
+				}
+			}()
 		}
-	}()
-	st.Submit(Request{FDs: ds, Table: tab})
+		// Close lands somewhere in the middle of the submissions.
+		time.Sleep(time.Millisecond)
+		st.Close()
+
+		var delivered int64
+		var consumer sync.WaitGroup
+		consumer.Add(1)
+		go func() {
+			defer consumer.Done()
+			for res := range st.Results() {
+				if res.Err != nil {
+					t.Errorf("request %d: %v", res.Index, res.Err)
+				}
+				delivered++
+			}
+		}()
+		producers.Wait()
+		consumer.Wait()
+		if delivered != accepted.Load() {
+			t.Fatalf("workers=%d: %d results delivered for %d accepted Submits (%d rejected)",
+				workers, delivered, accepted.Load(), rejected.Load())
+		}
+	}
 }
 
 // measureSmallSolveBytes reports mean B/op of repeated small solves on

@@ -1,0 +1,82 @@
+// Package fdrepair is the public API of the library: computing optimal
+// and approximate repairs of an inconsistent single-relation database
+// under functional dependencies, after Livshits, Kimelfeld and Roy,
+// "Computing Optimal Repairs for Functional Dependencies" (PODS 2018).
+//
+// The package exposes the underlying machinery through type aliases and
+// a small set of high-level entry points:
+//
+//	sc := fdrepair.MustSchema("Office", "facility", "room", "floor", "city")
+//	ds := fdrepair.MustFDs(sc, "facility -> city", "facility room -> floor")
+//	t := fdrepair.NewTable(sc)
+//	t.MustInsert(1, fdrepair.Tuple{"HQ", "322", "3", "Paris"}, 2)
+//	...
+//	info := fdrepair.Classify(ds)            // dichotomy (Theorem 3.4)
+//	s, cost, _ := fdrepair.OptimalSRepair(ds, t)  // Algorithm 1
+//	u, _ := fdrepair.OptimalURepair(ds, t)        // Section 4 planner
+//	m, _ := fdrepair.MostProbableDatabase(ds, pt) // Theorem 3.10
+//
+// Deletion repairs: OptimalSRepair runs the paper's polynomial
+// algorithm OptSRepair and succeeds exactly when the FD set is on the
+// tractable side of the dichotomy; ExactSRepair is an exponential
+// baseline for any FD set; ApproxSRepair is the polynomial
+// 2-approximation of Proposition 3.3.
+//
+// Update repairs: OptimalURepair composes the paper's tractable cases
+// (consensus elimination, attribute-disjoint decomposition, common-lhs
+// sets, chains, key swaps) and falls back to the combined approximation
+// of Section 4.4, reporting exactness and the guaranteed ratio.
+//
+// # Operating fdrepaird
+//
+// Command fdrepaird (cmd/fdrepaird) serves this package over HTTP: one
+// shared Solver, one scheduler, every request a single-element
+// SolveBatch with its own scope, deadline and failure domain.
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness: 200 while the process serves
+//	GET  /readyz    readiness: 200 while admitting, 503 once draining
+//	GET  /metrics   Prometheus text: per-request outcome counters
+//	                (fdrepaird_requests_total{outcome=...}) and the
+//	                solver's SolveStats (fdrepaird_solve_*_total)
+//	POST /solve     body: the table as CSV (header row names the
+//	                attributes; optional id and w columns); query:
+//	                repeatable fd=<spec>, algo=auto|optimal|exact|
+//	                approx|urepair|mpd, timeout=<duration>; response:
+//	                the repair as CSV with X-Repair-* headers
+//
+// Admission and quotas. A request passes three gates in order: the
+// drain flag (503 + Retry-After once shutdown has begun), the
+// per-tenant token bucket (-tenant-rate/-tenant-burst, keyed by the
+// X-Tenant header; 429 + Retry-After when dry), and the bounded
+// request queue (-queue; 429 when full). Shedding is always
+// immediate — an overloaded daemon refuses fast rather than queueing
+// unboundedly.
+//
+// Failure isolation. A panic inside one request's solve is recovered
+// at the block boundary, reported as that request's 500 with the stack
+// in the daemon log, and counted in fdrepaird_requests_total and
+// fdrepaird_solve_panics_total; concurrent requests on the same
+// scheduler are unaffected. A missed per-request deadline is a 504;
+// with -approx-fallback set, an exact solve that exhausts its budget
+// degrades to the 2-approximation instead (X-Repair-Degraded: true),
+// as does algo=auto on an FD set that is hard for optimal S-repair.
+//
+// Drain semantics. On SIGTERM or SIGINT the daemon flips /readyz to
+// 503, sheds new solves, lets in-flight requests finish within the
+// -drain budget (http.Server.Shutdown followed by Solver.Close), then
+// exits 0 on a clean quiesce and 1 when the budget expires with work
+// still running.
+//
+// Fault injection. The FDREPAIR_FAILPOINTS environment variable arms
+// the failpoints of internal/solve/failpoint inside the solve engine,
+// e.g.
+//
+//	FDREPAIR_FAILPOINTS='panic-in-block=after:100,count:1;slow-block=sleep:2ms,every:8'
+//
+// Available points: panic-in-block, slow-block, alloc-spike,
+// cancel-mid-recursion, each with after/every/count/sleep/bytes knobs.
+// Disarmed points cost one atomic load per block dispatch; production
+// binaries simply leave the variable unset.
+package fdrepair

@@ -1,31 +1,3 @@
-// Package fdrepair is the public API of the library: computing optimal
-// and approximate repairs of an inconsistent single-relation database
-// under functional dependencies, after Livshits, Kimelfeld and Roy,
-// "Computing Optimal Repairs for Functional Dependencies" (PODS 2018).
-//
-// The package exposes the underlying machinery through type aliases and
-// a small set of high-level entry points:
-//
-//	sc := fdrepair.MustSchema("Office", "facility", "room", "floor", "city")
-//	ds := fdrepair.MustFDs(sc, "facility -> city", "facility room -> floor")
-//	t := fdrepair.NewTable(sc)
-//	t.MustInsert(1, fdrepair.Tuple{"HQ", "322", "3", "Paris"}, 2)
-//	...
-//	info := fdrepair.Classify(ds)            // dichotomy (Theorem 3.4)
-//	s, cost, _ := fdrepair.OptimalSRepair(ds, t)  // Algorithm 1
-//	u, _ := fdrepair.OptimalURepair(ds, t)        // Section 4 planner
-//	m, _ := fdrepair.MostProbableDatabase(ds, pt) // Theorem 3.10
-//
-// Deletion repairs: OptimalSRepair runs the paper's polynomial
-// algorithm OptSRepair and succeeds exactly when the FD set is on the
-// tractable side of the dichotomy; ExactSRepair is an exponential
-// baseline for any FD set; ApproxSRepair is the polynomial
-// 2-approximation of Proposition 3.3.
-//
-// Update repairs: OptimalURepair composes the paper's tractable cases
-// (consensus elimination, attribute-disjoint decomposition, common-lhs
-// sets, chains, key swaps) and falls back to the combined approximation
-// of Section 4.4, reporting exactness and the guaranteed ratio.
 package fdrepair
 
 import (

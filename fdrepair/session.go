@@ -281,6 +281,10 @@ func (s *Session) SetFDs(ds *FDSet) error {
 // error (cancellation included) the session state is unchanged and
 // Repair may be retried.
 func (s *Session) Repair() (*Table, float64, error) {
+	if err := s.sv.begin(); err != nil {
+		return nil, 0, err
+	}
+	defer s.sv.end()
 	if !s.tractable {
 		return nil, 0, srepair.ErrNoSimplification
 	}

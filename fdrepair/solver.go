@@ -2,6 +2,9 @@ package fdrepair
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"sync"
 
 	"repro/internal/mpd"
 	"repro/internal/solve"
@@ -9,6 +12,22 @@ import (
 	"repro/internal/table"
 	"repro/internal/urepair"
 )
+
+// ErrSolverClosed is returned by every solve entry point (and by
+// Stream.Submit) after Solver.Close: the solver is quiescing or
+// quiesced and admits no new work.
+var ErrSolverClosed = errors.New("fdrepair: solver is closed")
+
+// PanicError is a panic recovered inside a solve and converted into
+// that block's or request's error: it carries the panic value and the
+// stack of the panicking goroutine. The scheduler isolates task panics
+// (one poisoned table never takes down the shared scheduler), and the
+// batch/stream layer isolates request-body panics; aggregate counts
+// land in SolveStats.Panics. Detect with errors.As:
+//
+//	var pe *fdrepair.PanicError
+//	if errors.As(res.Err, &pe) { log.Printf("poisoned input: %v", pe.Value) }
+type PanicError = solve.PanicError
 
 // SolveStats is a snapshot of a Solver's counters: recursion nodes
 // visited by OptSRepair, scheduler task accounting (blocks run inline
@@ -49,6 +68,14 @@ type SolveStats = solve.Snapshot
 type Solver struct {
 	stats *solve.Stats
 	ctx   *solve.Ctx
+
+	// Lifecycle: begin/end bracket every solve (including each batch or
+	// stream request); Close flips closed and waits for inflight to
+	// drain, after which the scheduler is idle by construction (helper
+	// goroutines exit when the deques empty).
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
 }
 
 // solverConfig collects option values until NewSolver freezes them
@@ -115,6 +142,54 @@ func NewSolver(opts ...SolverOption) *Solver {
 // WithParallelism(0) and negative values report 1.
 func (s *Solver) Parallelism() int { return s.ctx.Workers() }
 
+// begin admits one solve, failing with ErrSolverClosed once Close has
+// been called. Every admitted solve must be paired with end.
+func (s *Solver) begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSolverClosed
+	}
+	s.inflight.Add(1)
+	return nil
+}
+
+// end retires one solve admitted by begin.
+func (s *Solver) end() { s.inflight.Done() }
+
+// Close quiesces the solver: new solves (and stream Submits) are
+// refused with ErrSolverClosed, and Close blocks until every in-flight
+// solve has finished — at which point the work-stealing scheduler is
+// idle (its helper goroutines exit when the deques drain, so a
+// quiesced Solver holds no goroutines and no queued tasks). In-flight
+// solves are not cancelled: pair Close with per-request deadlines (or
+// a cancellable WithContext) to bound the drain, and pass a ctx with a
+// deadline to bound the wait itself — Close returns ctx.Err() if the
+// drain outlives it, with the stragglers still draining in the
+// background.
+//
+// Close is idempotent; concurrent and repeated calls all wait for the
+// same drain.
+func (s *Solver) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("fdrepair: Close: %w", ctx.Err())
+	}
+}
+
 // Stats returns a snapshot of the solver's counters (zero when
 // WithStats was not given).
 func (s *Solver) Stats() SolveStats { return s.stats.Snapshot() }
@@ -126,6 +201,10 @@ func (s *Solver) ResetStats() { s.stats.Reset() }
 // paper's polynomial Algorithm 1 under this solver's budget, arenas,
 // cancellation and stats.
 func (s *Solver) OptimalSRepair(ds *FDSet, t *Table) (*Table, float64, error) {
+	if err := s.begin(); err != nil {
+		return nil, 0, err
+	}
+	defer s.end()
 	rep, err := srepair.OptSRepairCtx(s.ctx, ds, t)
 	if err != nil {
 		return nil, 0, err
@@ -137,6 +216,10 @@ func (s *Solver) OptimalSRepair(ds *FDSet, t *Table) (*Table, float64, error) {
 // branch-and-bound cover search honors the solver's deadline, which
 // bounds its exponential worst case.
 func (s *Solver) ExactSRepair(ds *FDSet, t *Table) (*Table, float64, error) {
+	if err := s.begin(); err != nil {
+		return nil, 0, err
+	}
+	defer s.end()
 	rep, err := srepair.ExactCtx(s.ctx, ds, t)
 	if err != nil {
 		return nil, 0, err
@@ -146,6 +229,10 @@ func (s *Solver) ExactSRepair(ds *FDSet, t *Table) (*Table, float64, error) {
 
 // ApproxSRepair is the Solver-scoped fdrepair.ApproxSRepair.
 func (s *Solver) ApproxSRepair(ds *FDSet, t *Table) (*Table, float64, error) {
+	if err := s.begin(); err != nil {
+		return nil, 0, err
+	}
+	defer s.end()
 	rep, err := srepair.Approx2Ctx(s.ctx, ds, t)
 	if err != nil {
 		return nil, 0, err
@@ -157,12 +244,20 @@ func (s *Solver) ApproxSRepair(ds *FDSet, t *Table) (*Table, float64, error) {
 // Section-4 planner's inner S-repair solves inherit the solver's
 // budget and arenas.
 func (s *Solver) OptimalURepair(ds *FDSet, t *Table) (URepairResult, error) {
+	if err := s.begin(); err != nil {
+		return URepairResult{}, err
+	}
+	defer s.end()
 	return urepair.RepairCtx(s.ctx, ds, t)
 }
 
 // MostProbableDatabase is the Solver-scoped
 // fdrepair.MostProbableDatabase.
 func (s *Solver) MostProbableDatabase(ds *FDSet, t *Table) (*Table, float64, error) {
+	if err := s.begin(); err != nil {
+		return nil, 0, err
+	}
+	defer s.end()
 	rep, err := mpd.SolveCtx(s.ctx, ds, t)
 	if err != nil {
 		return nil, 0, err

@@ -1,0 +1,118 @@
+package failpoint
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParse(t *testing.T) {
+	specs, err := Parse("panic-in-block=after:100,count:1; slow-block=sleep:5ms,every:8 ;alloc-spike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := specs[PanicInBlock]; got.After != 100 || got.Count != 1 {
+		t.Fatalf("panic-in-block spec = %+v", got)
+	}
+	if got := specs[SlowBlock]; got.Sleep != 5*time.Millisecond || got.Every != 8 {
+		t.Fatalf("slow-block spec = %+v", got)
+	}
+	if _, ok := specs[AllocSpike]; !ok {
+		t.Fatal("bare name did not arm with zero spec")
+	}
+	for _, bad := range []string{"=after:1", "x=after", "x=after:-1", "x=sleep:zzz", "x=frob:1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEnableFromEnv(t *testing.T) {
+	defer DisableAll()
+	names, err := EnableFromEnv("slow-block=sleep:1ms;cancel-mid-recursion=count:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(names, ",") != "cancel-mid-recursion,slow-block" {
+		t.Fatalf("names = %v", names)
+	}
+	if !Active() {
+		t.Fatal("not active after EnableFromEnv")
+	}
+	if names, err := EnableFromEnv(""); err != nil || len(names) != 0 {
+		t.Fatalf("empty env: %v, %v", names, err)
+	}
+}
+
+// TestTriggerSchedule pins after/every/count semantics on a
+// caller-interpreted point.
+func TestTriggerSchedule(t *testing.T) {
+	defer DisableAll()
+	Enable(CancelMidRecursion, Spec{After: 3, Every: 2, Count: 2})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if Eval(CancelMidRecursion) {
+			fired = append(fired, i)
+		}
+	}
+	// Evaluations 1–3 skipped; then every 2nd starting at 4 (4, 6, ...)
+	// capped at 2 fires.
+	if len(fired) != 2 || fired[0] != 4 || fired[1] != 6 {
+		t.Fatalf("fired at %v, want [4 6]", fired)
+	}
+	if Fires(CancelMidRecursion) != 2 {
+		t.Fatalf("Fires = %d, want 2", Fires(CancelMidRecursion))
+	}
+}
+
+func TestDisarmedFastPath(t *testing.T) {
+	DisableAll()
+	if Active() {
+		t.Fatal("active with no points armed")
+	}
+	if Eval(PanicInBlock) {
+		t.Fatal("disarmed point fired")
+	}
+	if Fires(PanicInBlock) != 0 {
+		t.Fatal("disarmed point counted fires")
+	}
+}
+
+func TestPanicEffect(t *testing.T) {
+	defer DisableAll()
+	Enable(PanicInBlock, Spec{})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic-in-block did not panic")
+		}
+	}()
+	Eval(PanicInBlock)
+}
+
+// TestConcurrentEval drives one point from many goroutines; the count
+// cap must hold exactly under the race detector.
+func TestConcurrentEval(t *testing.T) {
+	defer DisableAll()
+	Enable(CancelMidRecursion, Spec{Count: 7})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if Eval(CancelMidRecursion) {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 7 {
+		t.Fatalf("fired %d times, want exactly 7", fired)
+	}
+}

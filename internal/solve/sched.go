@@ -255,7 +255,7 @@ func (s *sched) run(w *worker, t task) {
 	w.bctx.sc = t.j.sc
 	err := t.j.sc.err()
 	if err == nil {
-		err = t.j.fn(&w.bctx, int(t.i))
+		err = runBlock(&w.bctx, t.j.fn, int(t.i))
 	}
 	w.bctx.sc = prev
 	if err != nil {
@@ -360,7 +360,7 @@ func (c *Ctx) ForEachBlock(n int, size func(i int) int, fn func(c *Ctx, i int) e
 		inline++
 		err := j.sc.err()
 		if err == nil {
-			err = fn(&w.bctx, i)
+			err = runBlock(&w.bctx, fn, i)
 		}
 		if err != nil {
 			j.errs[i] = err
@@ -394,7 +394,7 @@ func serialBlocks(c *Ctx, n int, fn func(*Ctx, int) error) error {
 	for i := 0; i < n; i++ {
 		err := c.Err()
 		if err == nil {
-			err = fn(c, i)
+			err = runBlock(c, fn, i)
 		}
 		if err != nil {
 			if st != nil {

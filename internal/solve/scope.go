@@ -54,6 +54,12 @@ type Scope struct {
 	done  <-chan struct{} // cancellation signal; nil = non-cancellable
 	cctx  context.Context // source of done, for Err()
 	stats *Stats          // per-request sink; nil = use the solver's
+
+	// failErr is an error injected into the scope out of band — the
+	// cancel-mid-recursion failpoint poisons the scope through it. It
+	// wins over the context snapshot so a poisoned request fails at the
+	// next dispatch/recursion check even without a real deadline.
+	failErr atomic.Pointer[error]
 }
 
 // newScope builds a scope bound to the given cancellation source and
@@ -67,9 +73,15 @@ func newScope(cctx context.Context, stats *Stats) *Scope {
 }
 
 // err reports the scope's cancellation state (nil receiver = never
-// cancelled). The fast path is one channel poll.
+// cancelled). The fast path is one atomic load and one channel poll.
 func (sc *Scope) err() error {
-	if sc == nil || sc.done == nil {
+	if sc == nil {
+		return nil
+	}
+	if p := sc.failErr.Load(); p != nil {
+		return *p
+	}
+	if sc.done == nil {
 		return nil
 	}
 	select {
@@ -78,6 +90,15 @@ func (sc *Scope) err() error {
 	default:
 		return nil
 	}
+}
+
+// fail injects a terminal error into the scope (first writer wins);
+// subsequent err() calls return it. Safe on a nil receiver.
+func (sc *Scope) fail(err error) {
+	if sc == nil || err == nil {
+		return
+	}
+	sc.failErr.CompareAndSwap(nil, &err)
 }
 
 // Base returns the solver-lifetime cancellation source the Ctx was

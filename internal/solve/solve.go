@@ -484,6 +484,10 @@ type Stats struct {
 	// arena vs freshly allocated.
 	ArenaHits   atomic.Int64
 	ArenaMisses atomic.Int64
+	// Panics counts panics recovered at block-dispatch and request
+	// boundaries (panic isolation): each one failed a single block or
+	// request instead of the process.
+	Panics atomic.Int64
 }
 
 func (s *Stats) arena(hit bool) {
@@ -591,6 +595,8 @@ type Snapshot struct {
 	// Arena reuse.
 	ArenaHits   int64 `json:"arena_hits"`
 	ArenaMisses int64 `json:"arena_misses"`
+	// Panics recovered and converted into per-block/per-request errors.
+	Panics int64 `json:"panics"`
 }
 
 // Snapshot returns a consistent-enough copy of the counters (each
@@ -617,6 +623,7 @@ func (s *Stats) Snapshot() Snapshot {
 		PlannerMaxCompFDs: s.PlannerMaxCompFDs.Load(),
 		ArenaHits:         s.ArenaHits.Load(),
 		ArenaMisses:       s.ArenaMisses.Load(),
+		Panics:            s.Panics.Load(),
 	}
 }
 
@@ -645,6 +652,7 @@ func (s *Stats) Merge(o Snapshot) {
 	atomicMax(&s.PlannerMaxCompFDs, o.PlannerMaxCompFDs)
 	s.ArenaHits.Add(o.ArenaHits)
 	s.ArenaMisses.Add(o.ArenaMisses)
+	s.Panics.Add(o.Panics)
 }
 
 // Reset zeroes every counter.
@@ -668,4 +676,5 @@ func (s *Stats) Reset() {
 	s.PlannerMaxCompFDs.Store(0)
 	s.ArenaHits.Store(0)
 	s.ArenaMisses.Store(0)
+	s.Panics.Store(0)
 }
