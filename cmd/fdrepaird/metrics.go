@@ -39,6 +39,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "fdrepaird_requests_total{outcome=%q} %d\n", o.name, o.v)
 	}
 
+	fmt.Fprintln(w, "# HELP fdrepaird_ingest_rows_total Rows accepted by the streaming CSV ingester.")
+	fmt.Fprintln(w, "# TYPE fdrepaird_ingest_rows_total counter")
+	fmt.Fprintf(w, "fdrepaird_ingest_rows_total %d\n", s.m.ingestRows.Load())
+	fmt.Fprintln(w, "# HELP fdrepaird_ingest_bytes_total Request body bytes consumed by the streaming CSV ingester.")
+	fmt.Fprintln(w, "# TYPE fdrepaird_ingest_bytes_total counter")
+	fmt.Fprintf(w, "fdrepaird_ingest_bytes_total %d\n", s.m.ingestBytes.Load())
+
 	fmt.Fprintln(w, "# HELP fdrepaird_solve_total Cumulative solver counters (SolveStats).")
 	snap := s.sv.Stats()
 	rv := reflect.ValueOf(snap)

@@ -42,6 +42,12 @@ type counters struct {
 	deadlineExceeded atomic.Int64
 	panicked         atomic.Int64
 	degraded         atomic.Int64
+
+	// Ingestion volume: rows and raw body bytes accepted by the
+	// streaming CSV ingester across all /solve requests (including
+	// requests whose solve later failed; a table was still built).
+	ingestRows  atomic.Int64
+	ingestBytes atomic.Int64
 }
 
 // server is the repair daemon: admission control and lifecycle around
@@ -167,11 +173,18 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.maxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.maxTimeout) {
 		timeout = s.cfg.maxTimeout
 	}
-	tab, err := table.ReadCSV(io.LimitReader(http.MaxBytesReader(w, r.Body, s.cfg.maxBody), s.cfg.maxBody), "T")
+	// The body streams straight through the chunked ingester: the
+	// daemon never holds the raw CSV in memory, only the dictionary
+	// encoding, so peak memory per request is bounded by the encoded
+	// table plus one chunk — not the body size.
+	cr := &countingReader{r: io.LimitReader(http.MaxBytesReader(w, r.Body, s.cfg.maxBody), s.cfg.maxBody)}
+	tab, err := table.IngestCSV(cr, "T")
 	if err != nil {
 		http.Error(w, fmt.Sprintf("bad table: %v", err), http.StatusBadRequest)
 		return
 	}
+	s.m.ingestRows.Add(int64(tab.Len()))
+	s.m.ingestBytes.Add(cr.n.Load())
 	fdSpecs := q["fd"]
 	if len(fdSpecs) == 0 {
 		http.Error(w, "at least one fd query parameter is required", http.StatusBadRequest)
@@ -290,6 +303,20 @@ func parseAlgo(name string) (algoChoice, error) {
 	default:
 		return algoChoice{}, fmt.Errorf("unknown algo %q (auto|optimal|exact|approx|urepair|mpd)", name)
 	}
+}
+
+// countingReader counts bytes as they stream through to the ingester,
+// so the volume metrics reflect what was actually read — not the
+// Content-Length header, which streaming clients may omit.
+type countingReader struct {
+	r io.Reader
+	n atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
 }
 
 // retryAfter renders a wait as whole seconds, rounding up, minimum 1 —

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/fdrepair"
 	"repro/internal/fd"
@@ -416,9 +418,126 @@ func writeBenchJSON(path string) error {
 		incCase("IncrementalRepair/touch-0.1%-cells/marriage-sparse/n=102400", marriageDS, &marriageBigTab, touchCells(0.001)),
 	)
 
+	// Sketch-fed hints vs the DistinctEstimate baseline on identical
+	// data: the sketch table is the marriage-sparse table round-tripped
+	// through the streaming ingester, so its solve pre-sizes arenas from
+	// exact per-projection cardinalities instead of the dictionary-size
+	// upper bound. The schema smoke asserts the sketch side's
+	// arena_misses never exceed the baseline's.
+	cases = append(cases,
+		benchCase{"OptSRepairScaling/hints/baseline/marriage-sparse/n=102400", func(b *testing.B) {
+			initInc()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := srepair.OptSRepair(marriageDS, marriageBigTab); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, func() *solve.Snapshot {
+			initInc()
+			return optSRepairStats(marriageDS, marriageBigTab)()
+		}},
+		benchCase{"OptSRepairScaling/hints/sketch/marriage-sparse/n=102400", func(b *testing.B) {
+			initInc()
+			sketchTab := ingestRoundTrip(marriageBigTab)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := srepair.OptSRepair(marriageDS, sketchTab); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, func() *solve.Snapshot {
+			initInc()
+			return optSRepairStats(marriageDS, ingestRoundTrip(marriageBigTab))()
+		}},
+	)
+
+	// Out-of-core ingestion at the ROADMAP's 10M-row scale. The chunked
+	// and buffered cases consume byte-identical streams (the generator is
+	// deterministic), so their bytes_per_op ratio is the tentpole's
+	// measurement: the chunked path allocates O(chunk + dictionary +
+	// encoding) while the seed path additionally materializes one Go
+	// string per cell. The scaling points solve tables built through the
+	// ingester (sketch-fed hints and all); they run last because each
+	// keeps a ~10M-row table live while it runs. Differential tests in
+	// internal/table pin the two ingest paths to byte-identical tables,
+	// so the pair here measures cost, not correctness.
+	const scale10M = 10_240_000
+	const ingestDomain, ingestWidth = 65536, 170
+	cases = append(cases,
+		benchCase{fmt.Sprintf("IngestCSV/chunked/n=%d", scale10M), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := table.IngestCSV(workload.IngestCSVInput(scale10M, ingestDomain, ingestWidth), "T"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, nil},
+		benchCase{fmt.Sprintf("IngestCSV/buffered-seed/n=%d", scale10M), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := table.ReadCSVBuffered(workload.IngestCSVInput(scale10M, ingestDomain, ingestWidth), "T"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, nil},
+	)
+	var scaleOnce sync.Once
+	var chain10M, marriage10M *table.Table
+	initScale10M := func() {
+		scaleOnce.Do(func() {
+			chain10M = ingestRoundTrip(workload.RandomWeightedTable(chainSC, scale10M, scale10M/10, 4, rand.New(rand.NewSource(31))))
+			marriage10M = ingestRoundTrip(workload.MarriageSparseTable(chainSC, scale10M, 3, 3, rand.New(rand.NewSource(scale10M))))
+		})
+	}
+	cases = append(cases,
+		benchCase{fmt.Sprintf("OptSRepairScaling/chain/n=%d", scale10M), func(b *testing.B) {
+			initScale10M()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := srepair.OptSRepair(chainDS, chain10M); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, func() *solve.Snapshot {
+			initScale10M()
+			return optSRepairStats(chainDS, chain10M)()
+		}},
+		benchCase{fmt.Sprintf("OptSRepairScaling/marriage-sparse/n=%d", scale10M), func(b *testing.B) {
+			initScale10M()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := srepair.OptSRepair(marriageDS, marriage10M); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, func() *solve.Snapshot {
+			initScale10M()
+			return optSRepairStats(marriageDS, marriage10M)()
+		}},
+	)
+
 	var out []benchResult
 	for _, c := range cases {
 		r := testing.Benchmark(c.fn)
+		// One measurement is noisy at millisecond scale (GC phase,
+		// pool warmth, the incremental cases' session-rebuild cadence
+		// all swing a run ±25%); re-measure short cases and keep the
+		// fastest run — the standard noise-robust estimator, since
+		// slowdowns are one-sided. Cases whose single measurement
+		// already runs multi-second (the 10M ingest and scaling
+		// points) stay single-shot: their per-op times dwarf the
+		// noise floor, and tripling them would dominate the wall.
+		for extra := 0; extra < 2 && r.T < 5*time.Second; extra++ {
+			r2 := testing.Benchmark(c.fn)
+			if float64(r2.T.Nanoseconds())/float64(r2.N) < float64(r.T.Nanoseconds())/float64(r.N) {
+				r = r2
+			}
+		}
 		br := benchResult{
 			Name:        c.name,
 			Iterations:  r.N,
@@ -439,6 +558,22 @@ func writeBenchJSON(path string) error {
 		return fmt.Errorf("writing %s: %w", path, err)
 	}
 	return nil
+}
+
+// ingestRoundTrip rebuilds a generated table through WriteCSV →
+// IngestCSV: same rows, IDs and weights, but with the streaming
+// builder's cardinality sketches attached, so solves on the result
+// pre-size arenas the way any ingested table would.
+func ingestRoundTrip(t *table.Table) *table.Table {
+	var buf bytes.Buffer
+	if err := t.WriteCSV(&buf); err != nil {
+		panic(fmt.Sprintf("benchjson: round-trip write: %v", err))
+	}
+	rt, err := table.IngestCSV(&buf, t.Schema().Name())
+	if err != nil {
+		panic(fmt.Sprintf("benchjson: round-trip ingest: %v", err))
+	}
+	return rt
 }
 
 // optSRepairStats runs one untimed, instrumented solve on a fresh

@@ -27,6 +27,33 @@
 // sets, chains, key swaps) and falls back to the combined approximation
 // of Section 4.4, reporting exactness and the guaranteed ratio.
 //
+// # Out-of-core ingestion and memory model
+//
+// Tables enter the library in one of two memory regimes. Programmatic
+// construction (NewTable + Insert/AppendRows) holds whatever strings
+// the caller passes. CSV ingestion — ReadCSV, or any path that loads
+// files or request bodies — streams through a chunked builder
+// (table.IngestCSV) that never materializes the raw string form of
+// the table: each cell is parsed from a reusable byte buffer, looked
+// up in the per-attribute dictionary without allocating, and stored
+// as an int32 code in a fixed-size column chunk. Only the first
+// occurrence of a distinct value allocates a string; every later
+// occurrence shares it. Transient memory is O(chunk + dictionary),
+// so peak heap while loading a table tracks the encoded size (int32
+// columns plus one string per distinct value), not the CSV size —
+// the property that makes 10M-row inputs loadable under a GOMEMLIMIT
+// a tuple-at-a-time reader cannot satisfy.
+//
+// Ingestion also builds per-attribute (and small-attribute-set)
+// cardinality sketches: exact sets below a few thousand distinct
+// values, an HLL-style register estimate above. Solves on an ingested
+// table feed these to the engine's arena preheating through
+// solve.Hints, replacing the dictionary-size upper bound with real
+// distinct counts, so scratch buffers for group-by and matching are
+// sized right the first time. Tables built programmatically carry no
+// sketches and keep the estimate-based behavior; mutating an ingested
+// table drops its sketches along with its cached encoding.
+//
 // # Operating fdrepaird
 //
 // Command fdrepaird (cmd/fdrepaird) serves this package over HTTP: one

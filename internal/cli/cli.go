@@ -124,8 +124,8 @@ func solverFlags(fs *flag.FlagSet) func(stderr io.Writer) (*fdrepair.Solver, fun
 		if *stats {
 			report = func() {
 				s := sv.Stats()
-				fmt.Fprintf(stderr, "solve stats: nodes=%d tasks(inline/executed/stolen)=%d/%d/%d matcher(fast/dense/sparse)=%d/%d/%d arena(hit/miss)=%d/%d\n",
-					s.Nodes, s.BlocksSerial, s.BlocksParallel, s.Steals,
+				fmt.Fprintf(stderr, "solve stats: nodes=%d tasks(inline/executed/stolen/tiny-inlined)=%d/%d/%d/%d matcher(fast/dense/sparse)=%d/%d/%d arena(hit/miss)=%d/%d\n",
+					s.Nodes, s.BlocksSerial, s.BlocksParallel, s.Steals, s.TasksInlined,
 					s.MatcherFastPath, s.MatcherDense, s.MatcherSparse,
 					s.ArenaHits, s.ArenaMisses)
 				if s.PlannerComponents > 0 {
@@ -140,13 +140,16 @@ func solverFlags(fs *flag.FlagSet) func(stderr io.Writer) (*fdrepair.Solver, fun
 	}
 }
 
+// loadTable streams a CSV file through the chunked ingester: peak
+// memory is the encoded table plus one chunk, not the file size (see
+// table.IngestCSV).
 func loadTable(path string) (*fdrepair.Table, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return table.ReadCSV(f, "T")
+	return table.IngestCSV(f, "T")
 }
 
 func parseFDs(sc *fdrepair.Schema, specs fdFlags) (*fdrepair.FDSet, error) {
@@ -464,8 +467,8 @@ func cmdBatch(args []string, stdout, stderr io.Writer) error {
 		}
 		if *stats {
 			s := res.Stats
-			fmt.Fprintf(stderr, "%s: solve stats: nodes=%d tasks(inline/executed/stolen)=%d/%d/%d arena(hit/miss)=%d/%d\n",
-				name, s.Nodes, s.BlocksSerial, s.BlocksParallel, s.Steals, s.ArenaHits, s.ArenaMisses)
+			fmt.Fprintf(stderr, "%s: solve stats: nodes=%d tasks(inline/executed/stolen/tiny-inlined)=%d/%d/%d/%d arena(hit/miss)=%d/%d\n",
+				name, s.Nodes, s.BlocksSerial, s.BlocksParallel, s.Steals, s.TasksInlined, s.ArenaHits, s.ArenaMisses)
 		}
 		if *outdir != "" {
 			if err := writeOut(res.Table, filepath.Join(*outdir, filepath.Base(name)), stdout); err != nil {

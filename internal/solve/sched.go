@@ -325,6 +325,26 @@ func (c *Ctx) ForEachBlock(n int, size func(i int) int, fn func(c *Ctx, i int) e
 	if sh == nil || sh.sched == nil || n < 2 {
 		return serialBlocks(c, n, fn)
 	}
+	// Tiny fan-out pre-pass: when no block reaches the task-size
+	// threshold, the scheduled path below would enqueue nothing and run
+	// every block inline anyway — while paying for a worker slot, the
+	// join allocation, and the help protocol. Detect that up front and
+	// run the plain serial loop; TasksInlined records the granularity
+	// decision. The scan stops at the first large block, so fan-outs
+	// with real parallel work pay O(prefix), not O(n).
+	allTiny := true
+	for i := 0; i < n; i++ {
+		if size(i) >= MinParallelBlock {
+			allTiny = false
+			break
+		}
+	}
+	if allTiny {
+		if st := c.Stats(); st != nil {
+			st.TasksInlined.Add(int64(n))
+		}
+		return serialBlocks(c, n, fn)
+	}
 	s := sh.sched
 	w := c.w
 	acquired := false
@@ -346,7 +366,7 @@ func (c *Ctx) ForEachBlock(n int, size func(i int) int, fn func(c *Ctx, i int) e
 	w.bctx.sc = c.sc
 	j := &join{fn: fn, errs: make([]error, n), sc: c.sc, stats: c.Stats(), done: make(chan struct{})}
 	j.pending.Store(1) // producer guard: keeps done from closing mid-enqueue
-	var inline int64
+	var inline, tiny int64
 	for i := 0; i < n; i++ {
 		if size(i) >= MinParallelBlock {
 			j.pending.Add(1)
@@ -356,6 +376,8 @@ func (c *Ctx) ForEachBlock(n int, size func(i int) int, fn func(c *Ctx, i int) e
 				continue
 			}
 			j.pending.Add(-1) // deque full: run inline below
+		} else {
+			tiny++ // below-threshold block: inline by granularity choice
 		}
 		inline++
 		err := j.sc.err()
@@ -374,6 +396,9 @@ func (c *Ctx) ForEachBlock(n int, size func(i int) int, fn func(c *Ctx, i int) e
 	}
 	if st := j.stats; st != nil && inline > 0 {
 		st.BlocksSerial.Add(inline)
+		if tiny > 0 {
+			st.TasksInlined.Add(tiny)
+		}
 	}
 	for _, err := range j.errs {
 		if err != nil {

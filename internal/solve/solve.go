@@ -161,20 +161,26 @@ func SetDefaultWorkers(n int) {
 // count of any projection (bounds code→local translation tables and
 // per-node matching arrays). Zero fields mean "unknown".
 //
-// Cards, when non-nil, is an exact per-projection cardinality source —
-// typically a resident session's live dictionary (its
-// table.ProjectionCardinality) — that refines the single worst-case
-// Codes bound with the real distinct count of the one projection a
-// consumer is about to materialize. The algorithms query it through
-// Ctx.ProjectionCard.
+// Cards, when non-nil, is a per-projection cardinality source — a
+// resident session's live dictionary (table.ProjectionCardinality,
+// exact) or a streaming ingestion's cardinality sketches
+// (table.CardSource, exact below the sketch overflow threshold and
+// within a few percent above it) — that refines the single worst-case
+// Codes bound with the distinct count of the one projection a consumer
+// is about to materialize. The algorithms query it through
+// Ctx.ProjectionCard and use the answers only for scratch pre-sizing,
+// so an estimate that is off costs one slice growth, never
+// correctness.
 type Hints struct {
 	Rows, Codes int
 	Cards       CardSource
 }
 
-// CardSource reports the exact distinct-count bound of the projection
-// onto attrs, when known. Implementations must be safe for concurrent
-// use and cheap (the solve hot paths consult them per block step).
+// CardSource reports a distinct-count estimate for the projection onto
+// attrs, when one is available. Answers feed capacity pre-sizing only
+// and may be approximate (sketch-derived); implementations must be
+// safe for concurrent use and cheap (the solve hot paths consult them
+// per block step).
 type CardSource func(attrs schema.AttrSet) (int, bool)
 
 // SetHints records size hints on the current scope, keeping the
@@ -464,6 +470,13 @@ type Stats struct {
 	BlocksSerial   atomic.Int64
 	BlocksParallel atomic.Int64
 	Steals         atomic.Int64
+	// TasksInlined counts blocks the scheduler chose to run inline
+	// because they fell below the task-size threshold
+	// (MinParallelBlock) — the granularity decision, as opposed to
+	// BlocksSerial which also counts serial-context and saturation
+	// fallbacks. Counted only when a scheduler was available to enqueue
+	// on; TasksInlined ≤ BlocksSerial.
+	TasksInlined atomic.Int64
 	// Matcher path counters: singleton/star fast paths, dense Hungarian
 	// fallbacks, and sparse Jonker–Volgenant component solves.
 	MatcherFastPath atomic.Int64
@@ -580,6 +593,7 @@ type Snapshot struct {
 	BlocksSerial   int64 `json:"blocks_serial"`
 	BlocksParallel int64 `json:"blocks_parallel"`
 	Steals         int64 `json:"task_steals"`
+	TasksInlined   int64 `json:"tasks_inlined"`
 	// Matcher dispatch paths.
 	MatcherFastPath int64 `json:"matcher_fast_path"`
 	MatcherDense    int64 `json:"matcher_dense"`
@@ -611,6 +625,7 @@ func (s *Stats) Snapshot() Snapshot {
 		BlocksSerial:      s.BlocksSerial.Load(),
 		BlocksParallel:    s.BlocksParallel.Load(),
 		Steals:            s.Steals.Load(),
+		TasksInlined:      s.TasksInlined.Load(),
 		MatcherFastPath:   s.MatcherFastPath.Load(),
 		MatcherDense:      s.MatcherDense.Load(),
 		MatcherSparse:     s.MatcherSparse.Load(),
@@ -640,6 +655,7 @@ func (s *Stats) Merge(o Snapshot) {
 	s.BlocksSerial.Add(o.BlocksSerial)
 	s.BlocksParallel.Add(o.BlocksParallel)
 	s.Steals.Add(o.Steals)
+	s.TasksInlined.Add(o.TasksInlined)
 	s.MatcherFastPath.Add(o.MatcherFastPath)
 	s.MatcherDense.Add(o.MatcherDense)
 	s.MatcherSparse.Add(o.MatcherSparse)
@@ -664,6 +680,7 @@ func (s *Stats) Reset() {
 	s.BlocksSerial.Store(0)
 	s.BlocksParallel.Store(0)
 	s.Steals.Store(0)
+	s.TasksInlined.Store(0)
 	s.MatcherFastPath.Store(0)
 	s.MatcherDense.Store(0)
 	s.MatcherSparse.Store(0)

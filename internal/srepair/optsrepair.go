@@ -75,12 +75,24 @@ func OptSRepairCtx(c *solve.Ctx, ds *fd.Set, t *table.Table) (*table.Table, erro
 	// Clamp the distinct-count estimate to the table's length: no
 	// projection has more distinct values than rows, but the dictionary
 	// of an incrementally mutated table retains vanished values, so the
-	// estimate can exceed the live row count.
+	// estimate can exceed the live row count. An ingested table refines
+	// the estimate with its full-tuple cardinality sketch (per-column
+	// maxima undercount multi-attribute projections) and threads its
+	// sketch set through as the per-projection cardinality source, so
+	// arena preheating sizes from measured distinct counts instead of
+	// the upper-bound guess.
 	codes := t.DistinctEstimate()
+	if full, ok := t.SketchCardinality(t.Schema().AllAttrs()); ok && full > codes {
+		codes = full
+	}
 	if codes > t.Len() {
 		codes = t.Len()
 	}
-	c.SetHints(solve.Hints{Rows: t.Len(), Codes: codes})
+	h := solve.Hints{Rows: t.Len(), Codes: codes}
+	if cs := t.CardSource(); cs != nil {
+		h.Cards = cs
+	}
+	c.SetHints(h)
 	sv := solver{steps: steps, c: c}
 	keep, err := sv.solve(table.NewView(t), 0)
 	if err != nil {

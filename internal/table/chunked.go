@@ -1,0 +1,303 @@
+package table
+
+// ChunkedBuilder is the streaming construction path behind IngestCSV:
+// it encodes rows straight into dictionary codes as they arrive, in
+// fixed-size column chunks, and never holds a raw (un-interned) string
+// form of the table. Each distinct value is allocated exactly once —
+// the interned copy lives in the per-attribute dictionary and is
+// shared by every tuple that carries the value — so transient memory
+// is O(chunk + dictionary) instead of O(table). Flush concatenates
+// the chunks into an exact-size row store and publishes the finished
+// dictionary encoding (and the cardinality sketches fed during the
+// stream) on the returned Table, so the first solve starts from a hot
+// encoding instead of re-interning every column.
+//
+// Validation matches Insert row for row — arity, then positive weight,
+// then duplicate identifier, then the reserved-value check, with
+// identical error messages — so a CSV rejected by the seed ReadCSV
+// path is rejected with the same error here. Duplicate detection is
+// O(1) without an id map while identifiers arrive in increasing order
+// (the common case: WriteCSV output and generated streams); the first
+// out-of-order identifier materializes the map once.
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// freshPrefixBytes is freshPrefix for []byte prefix checks.
+var freshPrefixBytes = []byte(freshPrefix)
+
+// chunkRows is the row granularity of the builder's segmented storage:
+// row structs, tuple backing, and column codes are allocated in chunks
+// of this many rows, then concatenated exactly-sized at Flush. Big
+// enough to amortize allocation, small enough that a partly filled
+// tail chunk is noise.
+const chunkRows = 1 << 16
+
+// pairSketch tracks one multi-attribute cardinality sketch fed during
+// the stream.
+type pairSketch struct {
+	i, j int // attribute positions
+	set  schema.AttrSet
+	s    *CardSketch
+}
+
+// ChunkedBuilder streams rows into a dictionary-encoded Table.
+// Not safe for concurrent use. Sealed by Flush.
+type ChunkedBuilder struct {
+	sc    *schema.Schema
+	arity int
+
+	// Per-attribute interning state.
+	dicts []map[Value]int32 // value -> code
+	revs  [][]Value         // code -> interned value (the single copy)
+
+	// Segmented storage: full chunks plus the currently filling one.
+	colChunks [][][]int32 // per attribute: completed chunks
+	colCur    [][]int32   // per attribute: current chunk
+	rowChunks [][]Row     // completed row chunks
+	rowCur    []Row       // current row chunk
+	tupCur    []Value     // current chunk's tuple backing (arity*chunkRows)
+
+	n      int              // rows accepted so far
+	nextID int              // watermark, same rule as Table.nextID
+	lastID int              // largest id seen; fast-path duplicate guard
+	idSeen map[int]struct{} // materialized on first out-of-order id
+
+	// Cardinality sketches fed per row: every attribute pair, plus the
+	// full attribute set when arity ≥ 3 (for arity 2 the pair is the
+	// full set). Singles are exact from the dictionaries.
+	pairs    []pairSketch
+	full     *CardSketch
+	fullSet  schema.AttrSet
+	codesScr []int32 // per-row scratch: this row's code per attribute
+
+	sealed bool
+}
+
+// NewChunkedBuilder returns a streaming builder for tables over sc.
+func NewChunkedBuilder(sc *schema.Schema) *ChunkedBuilder {
+	if sc == nil {
+		panic("table: nil schema")
+	}
+	k := sc.Arity()
+	b := &ChunkedBuilder{
+		sc:        sc,
+		arity:     k,
+		dicts:     make([]map[Value]int32, k),
+		revs:      make([][]Value, k),
+		colChunks: make([][][]int32, k),
+		colCur:    make([][]int32, k),
+		nextID:    1,
+		lastID:    -1 << 62,
+		codesScr:  make([]int32, k),
+	}
+	for a := 0; a < k; a++ {
+		b.dicts[a] = make(map[Value]int32, 256)
+	}
+	if k >= 2 && k <= sketchMaxArity {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				b.pairs = append(b.pairs, pairSketch{
+					i: i, j: j,
+					set: schema.Singleton(i).Union(schema.Singleton(j)),
+					s:   newCardSketch(),
+				})
+			}
+		}
+		if k >= 3 {
+			b.full = newCardSketch()
+			for i := 0; i < k; i++ {
+				b.fullSet = b.fullSet.Union(schema.Singleton(i))
+			}
+		}
+	}
+	return b
+}
+
+// Len returns the number of rows accepted so far.
+func (b *ChunkedBuilder) Len() int { return b.n }
+
+// AppendAuto adds a row under the next watermark identifier, like
+// Table.Append. cells are the attribute values in schema order; they
+// are interned, never retained.
+func (b *ChunkedBuilder) AppendAuto(cells [][]byte, weight float64) error {
+	return b.Append(b.nextID, cells, weight)
+}
+
+// Append adds a row with an explicit identifier, like Table.Insert.
+// cells are the attribute values in schema order; they are interned,
+// never retained — callers may reuse the backing buffers.
+func (b *ChunkedBuilder) Append(id int, cells [][]byte, weight float64) error {
+	if b.sealed {
+		panic("table: ChunkedBuilder used after Flush")
+	}
+	if len(cells) != b.arity {
+		return fmt.Errorf("table: tuple arity %d does not match schema %s", len(cells), b.sc)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("table: tuple %d has non-positive weight %v", id, weight)
+	}
+	if id <= b.lastID {
+		// Out-of-order identifier: fall back to the materialized set.
+		if b.idSeen == nil {
+			b.idSeen = make(map[int]struct{}, b.n)
+			for _, ch := range b.rowChunks {
+				for _, r := range ch {
+					b.idSeen[r.ID] = struct{}{}
+				}
+			}
+			for _, r := range b.rowCur {
+				b.idSeen[r.ID] = struct{}{}
+			}
+		}
+		if _, dup := b.idSeen[id]; dup {
+			return fmt.Errorf("table: duplicate tuple identifier %d", id)
+		}
+	}
+	for _, v := range cells {
+		if len(v) > 0 && v[0] == '\x00' && !bytes.HasPrefix(v, freshPrefixBytes) {
+			return fmt.Errorf("table: tuple %d uses a reserved value", id)
+		}
+	}
+
+	// Row accepted: intern cells and encode.
+	if b.rowCur == nil {
+		b.rowCur = make([]Row, 0, chunkRows)
+		if b.arity > 0 {
+			b.tupCur = make([]Value, 0, chunkRows*b.arity)
+		}
+	}
+	var tup Tuple
+	if b.arity > 0 {
+		start := len(b.tupCur)
+		for a, cell := range cells {
+			dict := b.dicts[a]
+			// The compiler elides the []byte→string conversion in the
+			// map lookup; a string is allocated only on a miss.
+			c, ok := dict[string(cell)]
+			if !ok {
+				v := Value(cell) // the single interned copy
+				c = int32(len(b.revs[a]))
+				dict[v] = c
+				b.revs[a] = append(b.revs[a], v)
+			}
+			b.codesScr[a] = c
+			b.tupCur = append(b.tupCur, b.revs[a][c])
+			if b.colCur[a] == nil {
+				b.colCur[a] = make([]int32, 0, chunkRows)
+			}
+			b.colCur[a] = append(b.colCur[a], c)
+		}
+		tup = Tuple(b.tupCur[start:len(b.tupCur):len(b.tupCur)])
+	}
+	b.rowCur = append(b.rowCur, Row{ID: id, Tuple: tup, Weight: weight})
+	b.n++
+	if id >= b.nextID {
+		b.nextID = id + 1
+	}
+	if id > b.lastID {
+		b.lastID = id
+	}
+	if b.idSeen != nil {
+		b.idSeen[id] = struct{}{}
+	}
+
+	// Feed the multi-attribute sketches from this row's codes.
+	for i := range b.pairs {
+		ps := &b.pairs[i]
+		ps.s.Add(mix64(uint64(uint32(b.codesScr[ps.i]))<<32 | uint64(uint32(b.codesScr[ps.j]))))
+	}
+	if b.full != nil {
+		h := uint64(0xcbf29ce484222325)
+		for _, c := range b.codesScr {
+			h ^= uint64(uint32(c))
+			h *= 0x100000001b3
+		}
+		b.full.Add(mix64(h))
+	}
+
+	if len(b.rowCur) == chunkRows {
+		b.flushChunk()
+	}
+	return nil
+}
+
+// flushChunk seals the current chunk. The tuple backing stays alive —
+// the rows reference it — only the chunk headers move.
+func (b *ChunkedBuilder) flushChunk() {
+	b.rowChunks = append(b.rowChunks, b.rowCur)
+	b.rowCur = nil
+	b.tupCur = nil
+	for a := 0; a < b.arity; a++ {
+		b.colChunks[a] = append(b.colChunks[a], b.colCur[a])
+		b.colCur[a] = nil
+	}
+}
+
+// Flush concatenates the chunks into an exact-size table, publishes
+// the dictionary encoding built during the stream, attaches the
+// cardinality sketches, and seals the builder.
+func (b *ChunkedBuilder) Flush() *Table {
+	if b.sealed {
+		panic("table: ChunkedBuilder used after Flush")
+	}
+	b.sealed = true
+	if len(b.rowCur) > 0 || b.colCurNonEmpty() {
+		b.flushChunk()
+	}
+	t := New(b.sc)
+	t.nextID = b.nextID
+	if b.n == 0 {
+		return t
+	}
+
+	rows := make([]Row, 0, b.n)
+	for ci, ch := range b.rowChunks {
+		rows = append(rows, ch...)
+		b.rowChunks[ci] = nil // free as we go: bound peak memory
+	}
+	t.rows = rows
+
+	e := &encoding{
+		n:     b.n,
+		cols:  make([][]int32, b.arity),
+		card:  make([]int, b.arity),
+		dicts: b.dicts,
+		proj:  make(map[schema.AttrSet]*projection),
+	}
+	for a := 0; a < b.arity; a++ {
+		col := make([]int32, 0, b.n)
+		for ci, ch := range b.colChunks[a] {
+			col = append(col, ch...)
+			b.colChunks[a][ci] = nil
+		}
+		e.cols[a] = col
+		e.card[a] = len(b.revs[a])
+	}
+	t.enc.Store(e)
+
+	if len(b.pairs) > 0 || b.full != nil {
+		sk := &tableSketches{bySet: make(map[schema.AttrSet]*CardSketch, len(b.pairs)+1)}
+		for i := range b.pairs {
+			sk.bySet[b.pairs[i].set] = b.pairs[i].s
+		}
+		if b.full != nil {
+			sk.bySet[b.fullSet] = b.full
+		}
+		t.sk.Store(sk)
+	}
+	return t
+}
+
+func (b *ChunkedBuilder) colCurNonEmpty() bool {
+	for a := 0; a < b.arity; a++ {
+		if len(b.colCur[a]) > 0 {
+			return true
+		}
+	}
+	return false
+}

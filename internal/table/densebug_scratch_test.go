@@ -1,0 +1,60 @@
+package table
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// Scratch repro: after SetCellsIncremental recodes a column in place, a
+// single-attribute projection built for the first time afterwards is
+// marked dense even though the column may have orphaned codes or codes
+// out of first-appearance order.
+func TestScratchDenseAfterIncrementalRecode(t *testing.T) {
+	sc, _ := schema.New("T", "A", "B")
+	tab := New(sc)
+	tab.MustInsert(1, Tuple{"x", "p"}, 1)
+	tab.MustInsert(2, Tuple{"y", "q"}, 1)
+	tab.MustInsert(3, Tuple{"x", "r"}, 1)
+
+	// Cache the multi-attribute projection {A,B}: this builds column A
+	// (codes x=0, y=1) without caching the single-attr {A} projection.
+	ab := schema.Singleton(0).Union(schema.Singleton(1))
+	tab.ProjectionCodes(ab)
+
+	// Recode row 0's A cell from "x" to "y": code 0 ("x") keeps one
+	// carrier (row 2), but row order of codes becomes [1,1,0] — no
+	// longer first-appearance order. Also orphan test: change row 2 too.
+	if err := tab.SetCellsIncremental([]CellUpdate{{ID: 1, Attr: 0, Val: "y"}, {ID: 3, Attr: 0, Val: "y"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Now column A codes are [1,1,1]; code 0 ("x") is orphaned.
+
+	// First-ever request of the single-attribute {A} grouping.
+	got := tab.GroupBy(schema.Singleton(0))
+
+	// A from-scratch table with the same final rows is the oracle.
+	fresh := New(sc)
+	fresh.MustInsert(1, Tuple{"y", "p"}, 1)
+	fresh.MustInsert(2, Tuple{"y", "q"}, 1)
+	fresh.MustInsert(3, Tuple{"y", "r"}, 1)
+	want := fresh.GroupBy(schema.Singleton(0))
+
+	t.Logf("incremental: %d groups", len(got))
+	for i, g := range got {
+		t.Logf("  group %d: ids=%v", i, g.IDs)
+	}
+	t.Logf("from-scratch: %d groups", len(want))
+	for i, g := range want {
+		t.Logf("  group %d: ids=%v", i, g.IDs)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("group count diverges: incremental %d vs from-scratch %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i].IDs, want[i].IDs) {
+			t.Fatalf("group %d diverges: %v vs %v", i, got[i].IDs, want[i].IDs)
+		}
+	}
+}

@@ -44,6 +44,17 @@ type projection struct {
 	codes  []int32
 	groups int
 
+	// dense records that codes are exactly canonical: every code in
+	// [0, groups) has at least one carrier and codes are numbered in
+	// first-appearance order. True for every fresh build (codes are
+	// assigned by first appearance) and preserved by pure appends (new
+	// codes are sequential); cleared by cell recodes, which can orphan
+	// codes and reorder first appearances. A dense projection's
+	// grouping skips canonicalGroups' rank detection pass and its
+	// O(bound) rank array — the allocation that triples the footprint
+	// of a 10M-row group-by.
+	dense bool
+
 	// rg is the lazily materialized whole-table row grouping. Most
 	// projections are only ever read for their codes (equality labels),
 	// so the grouping builds on first demand — under encMu, published
@@ -106,8 +117,10 @@ func (e *encoding) clone(arity int) *encoding {
 }
 
 // invalidate drops the cached encoding; called by every plain mutation.
+// Ingestion sketches go with it — they describe the pre-mutation rows.
 func (t *Table) invalidate() {
 	t.enc.Store(nil)
+	t.sk.Store(nil)
 }
 
 // projection returns the cached projection for attrs, building (and
@@ -185,10 +198,10 @@ func (t *Table) buildProjection(e *encoding, attrs schema.AttrSet) *projection {
 	var p *projection
 	switch len(pos) {
 	case 0:
-		p = &projection{codes: make([]int32, n), groups: 1}
+		p = &projection{codes: make([]int32, n), groups: 1, dense: true}
 	case 1:
 		col := t.column(e, pos[0])
-		p = &projection{codes: col, groups: e.card[pos[0]]}
+		p = &projection{codes: col, groups: e.card[pos[0]], dense: true}
 	default:
 		p = t.buildMultiProjection(e, attrs, pos)
 	}
@@ -206,10 +219,48 @@ func (t *Table) grouping(p *projection) *rowGrouping {
 	if g := p.rg.Load(); g != nil {
 		return g
 	}
-	buckets, aligned := canonicalGroups(p.codes, p.groups)
-	g := &rowGrouping{buckets: buckets, aligned: aligned}
+	var g *rowGrouping
+	if p.dense {
+		g = &rowGrouping{buckets: denseGroups(p.codes, p.groups), aligned: true}
+	} else {
+		buckets, aligned := canonicalGroups(p.codes, p.groups)
+		g = &rowGrouping{buckets: buckets, aligned: aligned}
+	}
 	p.rg.Store(g)
 	return g
+}
+
+// denseGroups is canonicalGroups for a projection known to be dense
+// (codes canonical: no holes in [0, bound), first-appearance order —
+// see projection.dense). Bucket index equals code by construction, so
+// the rank array and its detection pass are skipped: two passes over
+// the codes, counts + flat + headers allocated, nothing else. On a
+// 10M-row table this is the difference between two n-sized scratch
+// arrays and three.
+func denseGroups(codes []int32, bound int) [][]int32 {
+	if len(codes) == 0 {
+		return nil
+	}
+	counts := make([]int32, bound)
+	for _, c := range codes {
+		counts[c]++
+	}
+	starts := make([]int32, bound+1)
+	for g := 0; g < bound; g++ {
+		starts[g+1] = starts[g] + counts[g]
+	}
+	flat := make([]int32, len(codes))
+	next := counts // reuse as cursors
+	copy(next, starts[:bound])
+	for ri, c := range codes {
+		flat[next[c]] = int32(ri)
+		next[c]++
+	}
+	out := make([][]int32, bound)
+	for g := 0; g < bound; g++ {
+		out[g] = flat[starts[g]:starts[g+1]:starts[g+1]]
+	}
+	return out
 }
 
 // buildMultiProjection packs the per-column codes of a multi-attribute
@@ -228,7 +279,7 @@ func (t *Table) buildMultiProjection(e *encoding, attrs schema.AttrSet, pos []in
 		width[i] = w
 		total += w
 	}
-	p := &projection{codes: make([]int32, n)}
+	p := &projection{codes: make([]int32, n), dense: true}
 	if total <= 64 {
 		seen := make(map[uint64]int32, n)
 		for ri := 0; ri < n; ri++ {

@@ -195,7 +195,14 @@ func (v View) GroupByArena(c *solve.Ctx, attrs schema.AttrSet) Grouping {
 		}
 		assign = func(c, l int32) { codeToLocal[c] = l }
 	}
-	counts := scr.counts[:0]
+	// Pre-size the per-group counters from the projection's group bound
+	// (clamped to the view: a view can't have more groups than rows) so
+	// the append loop below never re-grows mid-pass on large blocks.
+	bound := p.groups
+	if bound > n {
+		bound = n
+	}
+	counts := solve.Grow(scr.counts, bound)[:0]
 	for _, ri := range v.rows {
 		cd := p.codes[ri]
 		l := lookup(cd)

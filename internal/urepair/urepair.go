@@ -83,12 +83,22 @@ func repairFull(c *solve.Ctx, ds *fd.Set, t *table.Table) (Result, error) {
 	c = c.BeginSolve()
 	// Clamp the estimate to the row count: dictionaries of incrementally
 	// mutated tables retain vanished values, so the raw estimate can
-	// exceed any projection's live distinct count.
+	// exceed any projection's live distinct count. Ingested tables
+	// refine the bound with their full-tuple cardinality sketch and
+	// supply their sketch set as the per-projection cardinality source
+	// (see srepair.OptSRepairCtx).
 	codes := t.DistinctEstimate()
+	if full, ok := t.SketchCardinality(t.Schema().AllAttrs()); ok && full > codes {
+		codes = full
+	}
 	if codes > t.Len() {
 		codes = t.Len()
 	}
-	c.SetHints(solve.Hints{Rows: t.Len(), Codes: codes})
+	h := solve.Hints{Rows: t.Len(), Codes: codes}
+	if cs := t.CardSource(); cs != nil {
+		h.Cards = cs
+	}
+	c.SetHints(h)
 	u := t.Clone()
 	var cost float64
 	exact := true

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+)
+
+// IngestCSVInput returns a fresh deterministic CSV stream with n data
+// rows over three attributes A, B, C and no id or weight columns —
+// the shape the out-of-core ingestion benchmarks and memory smokes
+// consume. Every cell is exactly width bytes, drawn from a per-column
+// domain of the given size, so the raw stream weighs about
+// n·(3·width+3) bytes while the dictionary encoding weighs about
+// 3·domain·width bytes plus the int32 columns. Rows are produced on
+// demand: the reader itself holds one small buffer regardless of n,
+// so even a multi-gigabyte stream never materializes. Two readers
+// with the same parameters yield byte-identical streams.
+func IngestCSVInput(n, domain, width int) io.Reader {
+	if n < 0 || domain < 1 {
+		panic("workload: IngestCSVInput needs n ≥ 0 and domain ≥ 1")
+	}
+	if width < 10 {
+		panic("workload: IngestCSVInput needs width ≥ 10 (cell prefix alone is up to 8 bytes)")
+	}
+	return &csvStream{n: n, domain: domain, width: width, state: 0x9E3779B97F4A7C15}
+}
+
+// IngestCSVInputSize is the exact byte length of the stream
+// IngestCSVInput(n, domain, width) produces (domain does not affect
+// the size: every cell is width bytes).
+func IngestCSVInputSize(n, width int) int64 {
+	return int64(len(ingestHeader)) + int64(n)*int64(3*width+3)
+}
+
+const ingestHeader = "A,B,C\n"
+
+// csvStream generates the IngestCSVInput rows lazily from a 64-bit
+// LCG (MMIX constants) with a splitmix-style output mix, refilling an
+// internal buffer a few hundred rows at a time.
+type csvStream struct {
+	n, domain, width int
+	row              int
+	state            uint64
+	buf              []byte
+	off              int
+	started          bool
+}
+
+func (s *csvStream) next() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	x := s.state
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+func (s *csvStream) Read(p []byte) (int, error) {
+	if s.off == len(s.buf) {
+		s.buf = s.buf[:0]
+		s.off = 0
+		if !s.started {
+			s.buf = append(s.buf, ingestHeader...)
+			s.started = true
+		}
+		for r := 0; r < 256 && s.row < s.n; r++ {
+			for c := 0; c < 3; c++ {
+				if c > 0 {
+					s.buf = append(s.buf, ',')
+				}
+				s.buf = s.appendCell(s.buf, c, int(s.next()%uint64(s.domain)))
+			}
+			s.buf = append(s.buf, '\n')
+			s.row++
+		}
+		if len(s.buf) == 0 {
+			return 0, io.EOF
+		}
+	}
+	n := copy(p, s.buf[s.off:])
+	s.off += n
+	return n, nil
+}
+
+// appendCell renders value v of column c as exactly s.width bytes:
+// a "<col><decimal>" prefix padded with filler that is a pure function
+// of (c, v), so equal draws are byte-identical (a requirement for the
+// dictionary encoding to see `domain` distinct values per column, no
+// more).
+func (s *csvStream) appendCell(dst []byte, c, v int) []byte {
+	start := len(dst)
+	dst = fmt.Appendf(dst, "%c%d", 'a'+c, v)
+	for len(dst)-start < s.width {
+		dst = append(dst, byte('f'+(v+len(dst)-start)%20))
+	}
+	return dst
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/table"
+)
+
+func TestIngestCSVInputDeterministicAndSized(t *testing.T) {
+	const n, domain, width = 500, 37, 24
+	a, err := io.ReadAll(IngestCSVInput(n, domain, width))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(IngestCSVInput(n, domain, width))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two streams with the same parameters differ")
+	}
+	if got, want := int64(len(a)), IngestCSVInputSize(n, width); got != want {
+		t.Fatalf("stream length %d, want %d", got, want)
+	}
+
+	tab, err := table.IngestCSV(bytes.NewReader(a), "W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != n {
+		t.Fatalf("ingested %d rows, want %d", tab.Len(), n)
+	}
+	if got := tab.Schema().Arity(); got != 3 {
+		t.Fatalf("arity %d, want 3", got)
+	}
+	// Every column must see at most `domain` distinct values, and with
+	// 500 draws over 37 values, almost surely all of them.
+	for a := 0; a < 3; a++ {
+		_, groups := tab.ProjectionCodes(schema.Singleton(a))
+		if groups > domain || groups < domain/2 {
+			t.Fatalf("column %d has %d distinct values, want ≈%d", a, groups, domain)
+		}
+	}
+	// Cells are fixed-width.
+	for _, r := range tab.Rows()[:5] {
+		for _, v := range r.Tuple {
+			if len(v) != width {
+				t.Fatalf("cell %q has length %d, want %d", v, len(v), width)
+			}
+		}
+	}
+}
