@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"reflect"
 	"sort"
+
+	"repro/fdrepair"
 )
 
 // handleMetrics renders the daemon's counters in Prometheus text
@@ -12,7 +14,8 @@ import (
 // Two families:
 //
 //   - fdrepaird_requests_total{outcome=...} — per-request admission and
-//     completion outcomes (S6).
+//     completion outcomes (S6); the {algo=...} series of the same
+//     family counts admitted requests by their parsed algorithm.
 //   - fdrepaird_solve_<counter>_total — the solver's own SolveStats
 //     snapshot, one series per counter, derived from the snapshot's
 //     JSON tags so new solver counters show up without touching this
@@ -37,6 +40,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"degraded", s.m.degraded.Load()},
 	} {
 		fmt.Fprintf(w, "fdrepaird_requests_total{outcome=%q} %d\n", o.name, o.v)
+	}
+	for i := range s.m.byAlgo {
+		fmt.Fprintf(w, "fdrepaird_requests_total{algo=%q} %d\n", fdrepair.Algorithm(i).String(), s.m.byAlgo[i].Load())
 	}
 
 	fmt.Fprintln(w, "# HELP fdrepaird_ingest_rows_total Rows accepted by the streaming CSV ingester.")

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -48,6 +49,12 @@ type counters struct {
 	// requests whose solve later failed; a table was still built).
 	ingestRows  atomic.Int64
 	ingestBytes atomic.Int64
+
+	// byAlgo counts admitted requests by their parsed algorithm
+	// (exported as fdrepaird_requests_total{algo=...}); a request that
+	// later fails or degrades still counts under the algorithm it asked
+	// for.
+	byAlgo [int(fdrepair.AlgoPriorityRepair) + 1]atomic.Int64
 }
 
 // server is the repair daemon: admission control and lifecycle around
@@ -185,15 +192,13 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.ingestRows.Add(int64(tab.Len()))
 	s.m.ingestBytes.Add(cr.n.Load())
-	fdSpecs := q["fd"]
-	if len(fdSpecs) == 0 {
-		http.Error(w, "at least one fd query parameter is required", http.StatusBadRequest)
-		return
-	}
-	ds, err := fdrepair.ParseFDs(tab.Schema(), fdSpecs...)
-	if err != nil {
-		http.Error(w, fmt.Sprintf("bad fd: %v", err), http.StatusBadRequest)
-		return
+	var ds *fdrepair.FDSet
+	if fdSpecs := q["fd"]; len(fdSpecs) > 0 {
+		ds, err = fdrepair.ParseFDs(tab.Schema(), fdSpecs...)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad fd: %v", err), http.StatusBadRequest)
+			return
+		}
 	}
 
 	// One request = one single-element batch on the shared Solver: its
@@ -202,6 +207,91 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// Request.Context is the connection's context, so a vanished client
 	// cancels its own solve and nothing else.
 	req := fdrepair.Request{FDs: ds, Table: tab, Algorithm: algo.algo, Context: r.Context()}
+	var cqaProject []string
+	switch algo.algo {
+	case fdrepair.AlgoCFDSRepair:
+		// algo=cfd repairs under cfd= constraints; fd= is not consulted.
+		specs := q["cfd"]
+		if len(specs) == 0 {
+			http.Error(w, "algo=cfd requires at least one cfd query parameter", http.StatusBadRequest)
+			return
+		}
+		for _, spec := range specs {
+			c, err := fdrepair.ParseConditionalFD(tab.Schema(), spec)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad cfd: %v", err), http.StatusBadRequest)
+				return
+			}
+			req.CFDs = append(req.CFDs, c)
+		}
+	case fdrepair.AlgoDenialSRepair:
+		// algo=denial repairs under dc= constraints, or under the fd=
+		// set translated to denial form when no dc= is given.
+		for _, spec := range q["dc"] {
+			c, err := fdrepair.ParseDenial(tab.Schema(), spec)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad dc: %v", err), http.StatusBadRequest)
+				return
+			}
+			req.Denial = append(req.Denial, c)
+		}
+		if len(req.Denial) == 0 && ds == nil {
+			http.Error(w, "algo=denial requires dc or fd query parameters", http.StatusBadRequest)
+			return
+		}
+	case fdrepair.AlgoCQA:
+		if ds == nil {
+			http.Error(w, "at least one fd query parameter is required", http.StatusBadRequest)
+			return
+		}
+		proj := q.Get("project")
+		if proj == "" {
+			http.Error(w, "algo=cqa requires a project query parameter (comma-separated attributes)", http.StatusBadRequest)
+			return
+		}
+		for _, a := range strings.Split(proj, ",") {
+			cqaProject = append(cqaProject, strings.TrimSpace(a))
+		}
+		var filters []fdrepair.CQAFilter
+		for _, cond := range q["where"] {
+			attr, val, ok := strings.Cut(cond, "=")
+			pos, known := tab.Schema().AttrIndex(strings.TrimSpace(attr))
+			if !ok || !known {
+				http.Error(w, fmt.Sprintf("bad where %q (want attr=value)", cond), http.StatusBadRequest)
+				return
+			}
+			filters = append(filters, fdrepair.CQAFilter{Attr: pos, Value: val})
+		}
+		query, err := fdrepair.NewCQAQuery(tab.Schema(), cqaProject, filters...)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad query: %v", err), http.StatusBadRequest)
+			return
+		}
+		req.Query = query
+	case fdrepair.AlgoPriorityRepair:
+		if ds == nil {
+			http.Error(w, "at least one fd query parameter is required", http.StatusBadRequest)
+			return
+		}
+		rel := fdrepair.NewPriority()
+		for _, p := range q["prefer"] {
+			a, b, ok := strings.Cut(p, ">")
+			ai, errA := strconv.Atoi(strings.TrimSpace(a))
+			bi, errB := strconv.Atoi(strings.TrimSpace(b))
+			if !ok || errA != nil || errB != nil {
+				http.Error(w, fmt.Sprintf("bad prefer %q (want id>id)", p), http.StatusBadRequest)
+				return
+			}
+			rel.Add(ai, bi)
+		}
+		req.Priority = rel
+	default:
+		if ds == nil {
+			http.Error(w, "at least one fd query parameter is required", http.StatusBadRequest)
+			return
+		}
+	}
+	s.m.byAlgo[int(algo.algo)].Add(1)
 	opts := []fdrepair.BatchOption{fdrepair.WithRequestTimeout(timeout)}
 	if s.cfg.approxFallback > 0 {
 		opts = append(opts, fdrepair.WithApproxFallback(s.cfg.approxFallback))
@@ -225,6 +315,22 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.m.completed.Add(1)
 	if res.Degraded {
 		s.m.degraded.Add(1)
+	}
+	if res.CQA != nil {
+		// algo=cqa produces answer sets, not a repair: the body is the
+		// certain answers as CSV over the projected attributes, counts in
+		// the headers.
+		h := w.Header()
+		h.Set("Content-Type", "text/csv")
+		h.Set("X-Repair-Algorithm", ranAlgo.String())
+		h.Set("X-Cqa-Certain", strconv.Itoa(len(res.CQA.Certain)))
+		h.Set("X-Cqa-Possible", strconv.Itoa(len(res.CQA.Possible)))
+		h.Set("X-Cqa-Repairs", strconv.Itoa(res.CQA.Repairs))
+		fmt.Fprintln(w, strings.Join(cqaProject, ","))
+		for _, tup := range res.CQA.Certain {
+			fmt.Fprintln(w, strings.Join(tup, ","))
+		}
+		return
 	}
 	out, cost := res.Table, res.Cost
 	h := w.Header()
@@ -286,6 +392,10 @@ type algoChoice struct {
 	auto bool
 }
 
+// supportedAlgos is the full algo= vocabulary, quoted back verbatim in
+// the 400 rejecting an unknown value.
+const supportedAlgos = "auto|optimal|exact|approx|urepair|mpd|cfd|denial|cqa|priority"
+
 func parseAlgo(name string) (algoChoice, error) {
 	switch name {
 	case "auto":
@@ -300,8 +410,16 @@ func parseAlgo(name string) (algoChoice, error) {
 		return algoChoice{algo: fdrepair.AlgoOptimalURepair}, nil
 	case "mpd", "most-probable":
 		return algoChoice{algo: fdrepair.AlgoMostProbable}, nil
+	case "cfd", "cfd-srepair":
+		return algoChoice{algo: fdrepair.AlgoCFDSRepair}, nil
+	case "denial", "denial-srepair":
+		return algoChoice{algo: fdrepair.AlgoDenialSRepair}, nil
+	case "cqa":
+		return algoChoice{algo: fdrepair.AlgoCQA}, nil
+	case "priority", "priority-repair":
+		return algoChoice{algo: fdrepair.AlgoPriorityRepair}, nil
 	default:
-		return algoChoice{}, fmt.Errorf("unknown algo %q (auto|optimal|exact|approx|urepair|mpd)", name)
+		return algoChoice{}, fmt.Errorf("unknown algo %q (%s)", name, supportedAlgos)
 	}
 }
 

@@ -13,8 +13,12 @@ import (
 	"time"
 
 	"repro/fdrepair"
+	"repro/internal/cfd"
+	"repro/internal/cqa"
+	"repro/internal/denial"
 	"repro/internal/fd"
 	"repro/internal/graph"
+	"repro/internal/priority"
 	"repro/internal/schema"
 	"repro/internal/solve"
 	"repro/internal/srepair"
@@ -144,6 +148,195 @@ func writeBenchJSON(path string) error {
 			}
 		}
 	}, uRepairStats(planDS, planTab)})
+
+	// Constraint-extension engines: each class pairs the seed
+	// string-tuple implementation (kept as the differential oracle)
+	// against the encoded Solver-core port on the same instance, plus an
+	// encoded-only 102400-row scaling point per class. Seed sizes sit
+	// where the quadratic pair scans (CFD, denial) and the
+	// clone-per-insertion admission loop (priority) still finish in
+	// seconds; the seed CQA enumerator is bounded at 64 tuples total, so
+	// its oracle point runs at n=48 while the encoded side's
+	// per-component bound carries the class to n=102400.
+	extStats := func(run func(*solve.Ctx) error) func() *solve.Snapshot {
+		return func() *solve.Snapshot {
+			st := new(solve.Stats)
+			if err := run(solve.New(1, nil, st)); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: stats solve failed: %v\n", err)
+				return nil
+			}
+			snap := st.Snapshot()
+			return &snap
+		}
+	}
+	extSV := fdrepair.NewSolver()
+
+	cfdSC := schema.MustNew("C", "P", "K", "V")
+	cfdEmb := fd.MustParseSet(cfdSC, "P K -> V").FDs()[0]
+	mustCFD := func(lhsPat []table.Value, rhsPat table.Value) *cfd.CFD {
+		c, err := cfd.New(cfdSC, cfdEmb, lhsPat, rhsPat)
+		if err != nil {
+			panic(fmt.Sprintf("benchjson: building CFD: %v", err))
+		}
+		return c
+	}
+	// One pattern-scoped wildcard CFD and one with a constant rhs, so the
+	// cases exercise both the grouped conflict scan and the forced
+	// (unary-violation) path.
+	cfdCs := []*cfd.CFD{
+		mustCFD([]table.Value{"p0", cfd.Wildcard}, cfd.Wildcard),
+		mustCFD([]table.Value{"p1", cfd.Wildcard}, "v0"),
+	}
+	cfdTab := workload.CFDTable(cfdSC, 3200, 4, 3, 2, rand.New(rand.NewSource(3200)))
+	cfdBigTab := workload.CFDTable(cfdSC, 102400, 4, 3, 2, rand.New(rand.NewSource(102400)))
+	cfdCase := func(name string, tab *table.Table, encoded bool) benchCase {
+		var stats func() *solve.Snapshot
+		if encoded {
+			stats = extStats(func(c *solve.Ctx) error {
+				_, err := cfd.Approx2SRepairCtx(c, cfdCs, tab)
+				return err
+			})
+		}
+		return benchCase{name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if encoded {
+					_, err = extSV.ApproxCFDSRepair(cfdCs, tab)
+				} else {
+					_, err = cfd.Approx2SRepair(cfdCs, tab)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, stats}
+	}
+	cases = append(cases,
+		cfdCase("ConstraintExtScaling/cfd/seed-oracle/n=3200", cfdTab, false),
+		cfdCase("ConstraintExtScaling/cfd/encoded/n=3200", cfdTab, true),
+		cfdCase("ConstraintExtScaling/cfd/encoded/n=102400", cfdBigTab, true),
+	)
+
+	denSC := schema.MustNew("S", "dept", "rank", "salary")
+	denC, err := denial.Parse(denSC, "t1.dept = t2.dept & t1.rank < t2.rank & t1.salary > t2.salary")
+	if err != nil {
+		return fmt.Errorf("benchjson: parsing denial constraint: %w", err)
+	}
+	denCs := []*denial.Constraint{denC}
+	denTab := workload.RankedTable(denSC, 1600, 4, 40, rand.New(rand.NewSource(1600)))
+	denBigTab := workload.RankedTable(denSC, 102400, 4, 40, rand.New(rand.NewSource(102400)))
+	denCase := func(name string, tab *table.Table, encoded bool) benchCase {
+		var stats func() *solve.Snapshot
+		if encoded {
+			stats = extStats(func(c *solve.Ctx) error {
+				_, err := denial.Approx2SRepairCtx(c, denCs, tab)
+				return err
+			})
+		}
+		return benchCase{name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if encoded {
+					_, _, err = extSV.ApproxDenialSRepair(denCs, tab)
+				} else {
+					_, err = denial.Approx2SRepair(denCs, tab)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, stats}
+	}
+	cases = append(cases,
+		denCase("ConstraintExtScaling/denial/seed-oracle/n=1600", denTab, false),
+		denCase("ConstraintExtScaling/denial/encoded/n=1600", denTab, true),
+		denCase("ConstraintExtScaling/denial/encoded/n=102400", denBigTab, true),
+	)
+
+	blockSC := schema.MustNew("Q", "K", "V")
+	blockDS := fd.MustParseSet(blockSC, "K -> V")
+	// Projecting the block key makes every certain-answer set nonempty:
+	// each conflict component keeps at least one tuple in every repair,
+	// so each block key survives everywhere.
+	blockProj, err := blockSC.Set("K")
+	if err != nil {
+		return fmt.Errorf("benchjson: cqa projection: %w", err)
+	}
+	blockQ, err := cqa.NewQuery(blockSC, blockProj)
+	if err != nil {
+		return fmt.Errorf("benchjson: cqa query: %w", err)
+	}
+	cqaTab := workload.SmallComponentTable(blockSC, 48, 2, 2, rand.New(rand.NewSource(48)))
+	cqaBigTab := workload.SmallComponentTable(blockSC, 102400, 3, 2, rand.New(rand.NewSource(102400)))
+	cqaCase := func(name string, tab *table.Table, encoded bool) benchCase {
+		var stats func() *solve.Snapshot
+		if encoded {
+			stats = extStats(func(c *solve.Ctx) error {
+				_, err := cqa.ConsistentAnswersCtx(c, blockDS, tab, blockQ)
+				return err
+			})
+		}
+		return benchCase{name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if encoded {
+					_, err = extSV.ConsistentAnswers(blockDS, tab, blockQ)
+				} else {
+					_, err = cqa.ConsistentAnswers(blockDS, tab, blockQ)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, stats}
+	}
+	cases = append(cases,
+		cqaCase("ConstraintExtScaling/cqa/seed-oracle/n=48", cqaTab, false),
+		cqaCase("ConstraintExtScaling/cqa/encoded/n=48", cqaTab, true),
+		cqaCase("ConstraintExtScaling/cqa/encoded/n=102400", cqaBigTab, true),
+	)
+
+	prioTab := workload.SmallComponentTable(blockSC, 1600, 3, 2, rand.New(rand.NewSource(1600)))
+	prioBigTab := workload.SmallComponentTable(blockSC, 102400, 3, 2, rand.New(rand.NewSource(7)))
+	buildPrio := func(tab *table.Table) *priority.Relation {
+		r := priority.NewRelation()
+		for _, p := range workload.PriorityPairs(tab.ConflictGraph(blockDS), 0.7, rand.New(rand.NewSource(11))) {
+			r.Add(p[0], p[1])
+		}
+		return r
+	}
+	prioRel, prioBigRel := buildPrio(prioTab), buildPrio(prioBigTab)
+	prioCase := func(name string, tab *table.Table, rel *priority.Relation, encoded bool) benchCase {
+		var stats func() *solve.Snapshot
+		if encoded {
+			stats = extStats(func(c *solve.Ctx) error {
+				_, err := priority.CRepairCtx(c, blockDS, tab, rel)
+				return err
+			})
+		}
+		return benchCase{name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if encoded {
+					_, err = extSV.PrioritizedRepair(blockDS, tab, rel)
+				} else {
+					_, err = priority.CRepair(blockDS, tab, rel)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, stats}
+	}
+	cases = append(cases,
+		prioCase("ConstraintExtScaling/priority/seed-oracle/n=1600", prioTab, prioRel, false),
+		prioCase("ConstraintExtScaling/priority/encoded/n=1600", prioTab, prioRel, true),
+		prioCase("ConstraintExtScaling/priority/encoded/n=102400", prioBigTab, prioBigRel, true),
+	)
 
 	// Matching engines head to head on one sparse instance (~4 edges per
 	// left node): the dense Hungarian pays O(n³) on the padded matrix,

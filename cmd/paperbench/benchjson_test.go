@@ -5,6 +5,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/solve"
 )
 
 // TestBenchJSONSchema is the CI smoke for the -benchjson artifact: the
@@ -152,6 +154,53 @@ func TestBenchJSONSchema(t *testing.T) {
 	if hintSketch.SolveStats.ArenaMisses > hintBase.SolveStats.ArenaMisses {
 		t.Fatalf("sketch-fed hints miss the arena more than the baseline: %d > %d",
 			hintSketch.SolveStats.ArenaMisses, hintBase.SolveStats.ArenaMisses)
+	}
+
+	// The constraint-extension port: every class must carry a seed-oracle
+	// point, an encoded point on the same instance, and an encoded
+	// 102400-row scaling point whose solve_stats record the class's own
+	// counter (proof the run went through the encoded engine, not the
+	// seed fallback). The port's acceptance ratio: at least two of the
+	// four classes must run ≥3× faster encoded than seed on the matched
+	// instance.
+	fast := 0
+	for _, c := range []struct {
+		class   string
+		seedN   string
+		counter func(s *solve.Snapshot) int64
+	}{
+		{"cfd", "n=3200", func(s *solve.Snapshot) int64 { return s.CFDPatterns }},
+		{"denial", "n=1600", func(s *solve.Snapshot) int64 { return s.DenialPredicates }},
+		{"cqa", "n=48", func(s *solve.Snapshot) int64 { return s.CQACertain }},
+		{"priority", "n=1600", func(s *solve.Snapshot) int64 { return s.PriorityLevels }},
+	} {
+		seed, ok := byName["ConstraintExtScaling/"+c.class+"/seed-oracle/"+c.seedN]
+		if !ok {
+			t.Fatalf("missing ConstraintExtScaling/%s/seed-oracle/%s", c.class, c.seedN)
+		}
+		enc, ok := byName["ConstraintExtScaling/"+c.class+"/encoded/"+c.seedN]
+		if !ok {
+			t.Fatalf("missing ConstraintExtScaling/%s/encoded/%s", c.class, c.seedN)
+		}
+		big, ok := byName["ConstraintExtScaling/"+c.class+"/encoded/n=102400"]
+		if !ok {
+			t.Fatalf("missing ConstraintExtScaling/%s/encoded/n=102400", c.class)
+		}
+		for _, r := range []benchResult{enc, big} {
+			if r.SolveStats == nil {
+				t.Fatalf("%s has no solve_stats", r.Name)
+			}
+			if c.counter(r.SolveStats) <= 0 {
+				t.Fatalf("%s solve_stats do not record the %s counter: %+v",
+					r.Name, c.class, r.SolveStats)
+			}
+		}
+		if enc.NsPerOp <= seed.NsPerOp/3 {
+			fast++
+		}
+	}
+	if fast < 2 {
+		t.Fatalf("only %d of 4 constraint-extension classes run ≥3× faster encoded than seed", fast)
 	}
 
 	// The planner case added with the work-stealing scheduler must

@@ -7,7 +7,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cfd"
+	"repro/internal/cqa"
+	"repro/internal/denial"
 	"repro/internal/mpd"
+	"repro/internal/priority"
 	"repro/internal/solve"
 	"repro/internal/srepair"
 	"repro/internal/table"
@@ -37,6 +41,23 @@ const (
 	// AlgoMostProbable is Solver.MostProbableDatabase; Cost carries the
 	// probability.
 	AlgoMostProbable
+	// AlgoCFDSRepair repairs under the request's conditional FDs
+	// (Request.CFDs) on the encoded engine: forced unary violators plus
+	// the polynomial 2-approximate conflict cover. The full
+	// forced-deletion accounting lands in BatchResult.CFD.
+	AlgoCFDSRepair
+	// AlgoDenialSRepair repairs under the request's binary denial
+	// constraints (Request.Denial; when empty, the request's FDs are
+	// translated via FDsAsDenial) with the polynomial 2-approximate
+	// cover on the encoded engine.
+	AlgoDenialSRepair
+	// AlgoCQA computes the certain/possible answers of Request.Query
+	// under the request's FDs on the encoded component-factorized
+	// engine; the answers land in BatchResult.CQA.
+	AlgoCQA
+	// AlgoPriorityRepair computes the completion-optimal repair under
+	// Request.Priority (nil = no preferences) on the encoded engine.
+	AlgoPriorityRepair
 )
 
 // String names the algorithm for reports and CLI summaries.
@@ -52,6 +73,14 @@ func (a Algorithm) String() string {
 		return "optimal-urepair"
 	case AlgoMostProbable:
 		return "most-probable"
+	case AlgoCFDSRepair:
+		return "cfd-srepair"
+	case AlgoDenialSRepair:
+		return "denial-srepair"
+	case AlgoCQA:
+		return "cqa"
+	case AlgoPriorityRepair:
+		return "priority-repair"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -68,6 +97,17 @@ type Request struct {
 	Table     *Table
 	Algorithm Algorithm
 	Context   context.Context
+
+	// CFDs is the constraint set for AlgoCFDSRepair (FDs is unused).
+	CFDs []*ConditionalFD
+	// Denial is the constraint set for AlgoDenialSRepair; when empty,
+	// the request's FDs are translated via FDsAsDenial.
+	Denial []*DenialConstraint
+	// Query is the selection–projection query for AlgoCQA.
+	Query *CQAQuery
+	// Priority is the preference relation for AlgoPriorityRepair; nil
+	// means no preferences (insertion order decides ties).
+	Priority *PriorityRelation
 }
 
 // BatchResult is the outcome of one Request. Exactly one of Table (for
@@ -97,6 +137,13 @@ type BatchResult struct {
 	// solve exceeded its budget and Table/Cost carry the polynomial
 	// 2-approximation instead.
 	Degraded bool
+	// CFD carries the full forced-deletion accounting of an
+	// AlgoCFDSRepair request (Table and Cost mirror its Repair and
+	// TotalCost).
+	CFD *CFDResult
+	// CQA carries the certain/possible answers of an AlgoCQA request
+	// (no Table is produced).
+	CQA *CQAAnswers
 	// Stats is this request's own counter slice (zero unless the Solver
 	// was built WithStats). The solver's aggregate Stats still
 	// accumulates every request.
@@ -196,6 +243,36 @@ func (s *Solver) SolveBatch(reqs []Request, opts ...BatchOption) []BatchResult {
 	return out
 }
 
+// validate checks that the request carries the inputs its algorithm
+// consumes, so a malformed request fails with a descriptive per-request
+// error instead of a recovered panic.
+func (r Request) validate(i int) error {
+	if r.Table == nil {
+		return fmt.Errorf("fdrepair: batch request %d: nil Table", i)
+	}
+	switch r.Algorithm {
+	case AlgoCFDSRepair:
+		if len(r.CFDs) == 0 {
+			return fmt.Errorf("fdrepair: batch request %d: no CFDs", i)
+		}
+	case AlgoDenialSRepair:
+		if len(r.Denial) == 0 && r.FDs == nil {
+			return fmt.Errorf("fdrepair: batch request %d: no denial constraints and nil FDs", i)
+		}
+	case AlgoCQA:
+		if r.FDs == nil || r.Query == nil {
+			return fmt.Errorf("fdrepair: batch request %d: nil FDs or Query", i)
+		}
+	default:
+		// The plain-FD algorithms and AlgoPriorityRepair (whose nil
+		// Priority means no preferences) all need an FD set.
+		if r.FDs == nil {
+			return fmt.Errorf("fdrepair: batch request %d: nil FDs or Table", i)
+		}
+	}
+	return nil
+}
+
 // runRequest executes one request under a fresh per-request solve
 // scope on wc's worker binding. A panic escaping the request body —
 // whether from a poisoned table, an algorithm bug, or an injected
@@ -205,8 +282,8 @@ func (s *Solver) SolveBatch(reqs []Request, opts ...BatchOption) []BatchResult {
 // or the daemon serving the batch.
 func (s *Solver) runRequest(wc *solve.Ctx, i int, r Request, cfg batchConfig) (res BatchResult) {
 	res = BatchResult{Index: i}
-	if r.FDs == nil || r.Table == nil {
-		res.Err = fmt.Errorf("fdrepair: batch request %d: nil FDs or Table", i)
+	if err := r.validate(i); err != nil {
+		res.Err = err
 		return res
 	}
 	rctx := r.Context
@@ -287,6 +364,37 @@ func (s *Solver) execute(c *solve.Ctx, rctx context.Context, st *solve.Stats, i 
 		rep, res.Err = mpd.SolveCtx(c, r.FDs, r.Table)
 		if res.Err == nil {
 			res.Table, res.Cost = rep, mpd.Probability(r.Table, rep)
+		}
+	case AlgoCFDSRepair:
+		var cr cfd.Result
+		cr, res.Err = cfd.Approx2SRepairCtx(c, r.CFDs, r.Table)
+		if res.Err == nil {
+			res.Table, res.Cost, res.CFD = cr.Repair, cr.TotalCost, &cr
+		}
+	case AlgoDenialSRepair:
+		cs := r.Denial
+		if len(cs) == 0 {
+			cs, res.Err = denial.FromFDSet(r.FDs)
+			if res.Err != nil {
+				return
+			}
+		}
+		var rep *table.Table
+		rep, res.Err = denial.Approx2SRepairCtx(c, cs, r.Table)
+		if res.Err == nil {
+			res.Table, res.Cost = rep, table.DistSub(rep, r.Table)
+		}
+	case AlgoCQA:
+		res.CQA, res.Err = cqa.ConsistentAnswersCtx(c, r.FDs, r.Table, r.Query)
+	case AlgoPriorityRepair:
+		rel := r.Priority
+		if rel == nil {
+			rel = priority.NewRelation()
+		}
+		var rep *table.Table
+		rep, res.Err = priority.CRepairCtx(c, r.FDs, r.Table, rel)
+		if res.Err == nil {
+			res.Table, res.Cost = rep, table.DistSub(rep, r.Table)
 		}
 	default:
 		res.Err = fmt.Errorf("fdrepair: batch request %d: unknown algorithm %v", i, r.Algorithm)

@@ -1,6 +1,9 @@
 package fdrepair
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/cfd"
 )
 
@@ -41,4 +44,57 @@ func ExactCFDSRepair(cs []*ConditionalFD, t *Table) (CFDResult, error) {
 // ApproxCFDSRepair is the polynomial 2-approximation under CFDs.
 func ApproxCFDSRepair(cs []*ConditionalFD, t *Table) (CFDResult, error) {
 	return cfd.Approx2SRepair(cs, t)
+}
+
+// ParseConditionalFD parses a CFD from one textual spec: the embedded
+// FD, optionally followed by "|" and a pattern tableau row, e.g.
+//
+//	"country areaCode -> city | 44,_ -> _"
+//
+// Pattern entries (constants or "_", one per lhs attribute in schema
+// order, then one for the rhs) condition when the FD applies; without a
+// "|" part every entry is a wildcard, i.e. the plain FD.
+func ParseConditionalFD(sc *Schema, spec string) (*ConditionalFD, error) {
+	embSpec, patSpec, hasPat := strings.Cut(spec, "|")
+	f, err := parseSingleFD(sc, strings.TrimSpace(embSpec))
+	if err != nil {
+		return nil, err
+	}
+	if !hasPat {
+		return cfd.FromFD(sc, f)
+	}
+	lhsPart, rhsPat, ok := strings.Cut(patSpec, "->")
+	if !ok {
+		return nil, fmt.Errorf("fdrepair: CFD pattern %q: missing \"->\"", strings.TrimSpace(patSpec))
+	}
+	var lhsPat []string
+	if s := strings.TrimSpace(lhsPart); s != "" {
+		for _, p := range strings.Split(s, ",") {
+			lhsPat = append(lhsPat, strings.TrimSpace(p))
+		}
+	}
+	return cfd.New(sc, f, lhsPat, strings.TrimSpace(rhsPat))
+}
+
+// ExactCFDSRepair is the Solver-scoped ExactCFDSRepair: the conflict
+// instance is built on the encoded engine under this solver's budget,
+// arenas, cancellation and stats, and the branch-and-bound cover search
+// honors the solver's deadline.
+func (s *Solver) ExactCFDSRepair(cs []*ConditionalFD, t *Table) (CFDResult, error) {
+	if err := s.begin(); err != nil {
+		return CFDResult{}, err
+	}
+	defer s.end()
+	return cfd.ExactSRepairCtx(s.ctx, cs, t)
+}
+
+// ApproxCFDSRepair is the Solver-scoped ApproxCFDSRepair on the encoded
+// engine: linear in rows and conflict edges instead of quadratic in
+// rows, with pattern groups fanned across the solver's workers.
+func (s *Solver) ApproxCFDSRepair(cs []*ConditionalFD, t *Table) (CFDResult, error) {
+	if err := s.begin(); err != nil {
+		return CFDResult{}, err
+	}
+	defer s.end()
+	return cfd.Approx2SRepairCtx(s.ctx, cs, t)
 }

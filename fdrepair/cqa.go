@@ -31,3 +31,17 @@ func NewCQAQuery(sc *Schema, project []string, filters ...CQAFilter) (*CQAQuery,
 func ConsistentAnswers(ds *FDSet, t *Table, q *CQAQuery) (*CQAAnswers, error) {
 	return cqa.ConsistentAnswers(ds, t, q)
 }
+
+// ConsistentAnswers is the Solver-scoped ConsistentAnswers on the
+// encoded engine: repairs are factorized over the conflict graph's
+// components (each enumerating as one scheduler task), so the
+// enumeration bound applies per component instead of per table —
+// tables far beyond the seed path's 64-tuple limit answer exactly as
+// long as every individual conflict component stays within it.
+func (s *Solver) ConsistentAnswers(ds *FDSet, t *Table, q *CQAQuery) (*CQAAnswers, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	return cqa.ConsistentAnswersCtx(s.ctx, ds, t, q)
+}

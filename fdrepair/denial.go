@@ -45,3 +45,34 @@ func ApproxDenialSRepair(cs []*DenialConstraint, t *Table) (*Table, float64, err
 	}
 	return s, DistSub(s, t), nil
 }
+
+// ExactDenialSRepair is the Solver-scoped ExactDenialSRepair: conflicts
+// are found on the encoded engine (per-column compiled keys, constraint
+// units fanned across the solver's workers) and the branch-and-bound
+// cover search honors the solver's deadline.
+func (sv *Solver) ExactDenialSRepair(cs []*DenialConstraint, t *Table) (*Table, float64, error) {
+	if err := sv.begin(); err != nil {
+		return nil, 0, err
+	}
+	defer sv.end()
+	s, err := denial.ExactSRepairCtx(sv.ctx, cs, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, DistSub(s, t), nil
+}
+
+// ApproxDenialSRepair is the Solver-scoped ApproxDenialSRepair on the
+// encoded engine: values parse once per cell instead of once per
+// compared pair, and equality atoms prune the pair scan to join groups.
+func (sv *Solver) ApproxDenialSRepair(cs []*DenialConstraint, t *Table) (*Table, float64, error) {
+	if err := sv.begin(); err != nil {
+		return nil, 0, err
+	}
+	defer sv.end()
+	s, err := denial.Approx2SRepairCtx(sv.ctx, cs, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, DistSub(s, t), nil
+}

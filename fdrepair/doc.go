@@ -27,6 +27,43 @@
 // sets, chains, key swaps) and falls back to the combined approximation
 // of Section 4.4, reporting exactness and the guaranteed ratio.
 //
+// # Constraint extensions on the Solver core
+//
+// The Section-5 extension classes — conditional FDs (ConditionalFD,
+// ExactCFDSRepair/ApproxCFDSRepair), binary denial constraints
+// (DenialConstraint, ExactDenialSRepair/ApproxDenialSRepair),
+// consistent query answering (CQAQuery, ConsistentAnswers) and
+// prioritized repairing (PriorityRelation, PrioritizedRepair) — exist
+// in two grades. The package-level functions are the seed
+// implementations: straightforward string-tuple code, quadratic pair
+// scans, clone-and-recheck admission, whole-table repair enumeration.
+// They remain in the tree as differential oracles.
+//
+// The same names as methods on a Solver run on the encoded core:
+// conflicts are found on the table's cached int32 projection codes
+// (values parse once per cell, not once per compared pair), independent
+// units — CFD pattern groups, denial join groups, conflict-graph
+// components — fan out across the solver's workers, and every call
+// honors the solver's cancellation, deadline, arenas and stats (the
+// cfd_patterns, denial_predicates, cqa_certain and priority_levels
+// counters). Results are byte-identical to the seed functions; the
+// differential suites pin this at workers 1, 2, 4 and 8.
+//
+// Two of the classes change asymptotic reach rather than just constant
+// factors. Solver.ConsistentAnswers factorizes the repair count over
+// conflict components, so the 64-tuple enumeration bound applies per
+// component instead of per table — a table of any size answers exactly
+// as long as each individual component stays within the bound.
+// Solver.PrioritizedRepair admits rows with per-FD code maps local to
+// each conflict component instead of cloning the repair and re-checking
+// consistency per insertion.
+//
+// The classes are also first-class batch citizens: Request.CFDs,
+// Request.Denial, Request.Query and Request.Priority select them in
+// SolveBatch (Algorithm AlgoCFDSRepair, AlgoDenialSRepair, AlgoCQA,
+// AlgoPriorityRepair), the fdrepair CLI accepts -mode cfd|denial|cqa|
+// priority, and fdrepaird serves them as algo=cfd|denial|cqa|priority.
+//
 // # Out-of-core ingestion and memory model
 //
 // Tables enter the library in one of two memory regimes. Programmatic
@@ -64,14 +101,18 @@
 //
 //	GET  /healthz   liveness: 200 while the process serves
 //	GET  /readyz    readiness: 200 while admitting, 503 once draining
-//	GET  /metrics   Prometheus text: per-request outcome counters
-//	                (fdrepaird_requests_total{outcome=...}) and the
-//	                solver's SolveStats (fdrepaird_solve_*_total)
+//	GET  /metrics   Prometheus text: per-request outcome and
+//	                per-algorithm counters (fdrepaird_requests_total
+//	                {outcome=...} and {algo=...}) and the solver's
+//	                SolveStats (fdrepaird_solve_*_total)
 //	POST /solve     body: the table as CSV (header row names the
 //	                attributes; optional id and w columns); query:
 //	                repeatable fd=<spec>, algo=auto|optimal|exact|
-//	                approx|urepair|mpd, timeout=<duration>; response:
-//	                the repair as CSV with X-Repair-* headers
+//	                approx|urepair|mpd|cfd|denial|cqa|priority,
+//	                timeout=<duration>, plus the per-class parameters
+//	                cfd=, dc=, project=/where=, prefer=; response: the
+//	                repair as CSV with X-Repair-* headers (algo=cqa:
+//	                the certain answers with X-Cqa-* headers)
 //
 // Admission and quotas. A request passes three gates in order: the
 // drain flag (503 + Retry-After once shutdown has begun), the

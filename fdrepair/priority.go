@@ -21,6 +21,22 @@ func PrioritizedRepair(ds *FDSet, t *Table, r *PriorityRelation) (*Table, error)
 	return priority.CRepair(ds, t, r)
 }
 
+// PrioritizedRepair is the Solver-scoped PrioritizedRepair on the
+// encoded engine: admission runs on cached projection codes instead of
+// a table clone and consistency re-check per insertion, and conflict
+// strata are processed as independent tasks across the solver's
+// workers. The result is byte-identical to the package-level function.
+func (s *Solver) PrioritizedRepair(ds *FDSet, t *Table, r *PriorityRelation) (*Table, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	if r == nil {
+		r = priority.NewRelation()
+	}
+	return priority.CRepairCtx(s.ctx, ds, t, r)
+}
+
 // PrioritizedOptimal enumerates all subset repairs and classifies them
 // into Pareto-optimal and globally-optimal ones under the priorities.
 // Enumeration-bounded; small instances only.

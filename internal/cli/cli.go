@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/fdrepair"
@@ -77,8 +78,12 @@ func usage(w io.Writer) {
   srepair  -in t.csv -fd "A -> B" [-mode auto|exact|approx] [-out s.csv]
   verify   -in t.csv -fd "A -> B" [-out s.csv]     impact report of an optimal S-repair:
            violations per FD and cells changed per block, before vs after
-  batch    -in a.csv -in b.csv ... -fd "A -> B" [-mode auto|exact|approx|urepair|mpd]
+  batch    -in a.csv -in b.csv ... -fd "A -> B"
+           [-mode auto|exact|approx|urepair|mpd|cfd|denial|cqa|priority]
            [-outdir DIR] [-workers N] [-timeout 30s]   repair many CSVs as one batch
+           constraint-extension modes: -mode cfd -cfd "X -> A | p,_ -> _";
+           -mode denial -dc "t1.a < t2.a & ...";  -mode cqa -project A,B
+           [-where attr=value];  -mode priority [-prefer id>id]
   urepair  -in t.csv -fd "A -> B" [-out u.csv]
   mpd      -in t.csv -fd "A -> B" [-out m.csv]     weights read as probabilities
   count    -in t.csv -fd "A -> B" [-list N]        count/enumerate subset repairs
@@ -354,12 +359,18 @@ func cmdBatch(args []string, stdout, stderr io.Writer) error {
 	var ins fdFlags
 	fs.Var(&ins, "in", "input CSV (repeatable; one request per file)")
 	outdir := fs.String("outdir", "", "write each repaired table to this directory under its input's base name (default: print)")
-	mode := fs.String("mode", "auto", "auto | exact | approx | urepair | mpd")
+	mode := fs.String("mode", "auto", "auto | exact | approx | urepair | mpd | cfd | denial | cqa | priority")
 	workers := fs.Int("workers", 1, "worker budget shared by the whole batch (1 = serial)")
 	timeout := fs.Duration("timeout", 0, "per-request deadline; a slow file times out alone (0 = none)")
 	stats := fs.Bool("stats", false, "print per-request solve counters to stderr")
 	var specs fdFlags
 	fs.Var(&specs, "fd", "functional dependency (repeatable; parsed against each file's header)")
+	var cfdSpecs, dcSpecs, whereSpecs, preferSpecs fdFlags
+	fs.Var(&cfdSpecs, "cfd", `conditional FD "X -> A | p1,p2 -> pA" (repeatable; -mode cfd)`)
+	fs.Var(&dcSpecs, "dc", `denial constraint such as "t1.rank < t2.rank & t1.salary > t2.salary" (repeatable; -mode denial)`)
+	project := fs.String("project", "", "comma-separated projection attributes (-mode cqa)")
+	fs.Var(&whereSpecs, "where", `equality filter "attr=value" (repeatable; -mode cqa)`)
+	fs.Var(&preferSpecs, "prefer", `tuple priority "id>id" (repeatable; -mode priority)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -378,6 +389,23 @@ func cmdBatch(args []string, stdout, stderr io.Writer) error {
 		algo = fdrepair.AlgoOptimalURepair
 	case "mpd":
 		algo = fdrepair.AlgoMostProbable
+	case "cfd":
+		algo = fdrepair.AlgoCFDSRepair
+		if len(cfdSpecs) == 0 {
+			return errors.New("at least one -cfd is required with -mode cfd")
+		}
+	case "denial":
+		algo = fdrepair.AlgoDenialSRepair
+		if len(dcSpecs) == 0 && len(specs) == 0 {
+			return errors.New("-mode denial needs -dc or -fd constraints")
+		}
+	case "cqa":
+		algo = fdrepair.AlgoCQA
+		if *project == "" {
+			return errors.New("-project is required with -mode cqa")
+		}
+	case "priority":
+		algo = fdrepair.AlgoPriorityRepair
 	default:
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
@@ -402,11 +430,60 @@ func cmdBatch(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		ds, err := parseFDs(t.Schema(), specs)
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+		req := fdrepair.Request{Table: t, Algorithm: algo}
+		// -mode cfd repairs under -cfd constraints alone; -mode denial
+		// may run from -dc constraints without an FD set.
+		if algo != fdrepair.AlgoCFDSRepair && (algo != fdrepair.AlgoDenialSRepair || len(specs) > 0) {
+			req.FDs, err = parseFDs(t.Schema(), specs)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
 		}
-		reqs = append(reqs, fdrepair.Request{FDs: ds, Table: t, Algorithm: algo})
+		switch algo {
+		case fdrepair.AlgoCFDSRepair:
+			for _, spec := range cfdSpecs {
+				c, err := fdrepair.ParseConditionalFD(t.Schema(), spec)
+				if err != nil {
+					return fmt.Errorf("%s: %w", path, err)
+				}
+				req.CFDs = append(req.CFDs, c)
+			}
+		case fdrepair.AlgoDenialSRepair:
+			for _, spec := range dcSpecs {
+				c, err := fdrepair.ParseDenial(t.Schema(), spec)
+				if err != nil {
+					return fmt.Errorf("%s: %w", path, err)
+				}
+				req.Denial = append(req.Denial, c)
+			}
+		case fdrepair.AlgoCQA:
+			var filters []fdrepair.CQAFilter
+			for _, cond := range whereSpecs {
+				attr, val, ok := strings.Cut(cond, "=")
+				pos, known := t.Schema().AttrIndex(strings.TrimSpace(attr))
+				if !ok || !known {
+					return fmt.Errorf("%s: bad -where %q (want attr=value)", path, cond)
+				}
+				filters = append(filters, fdrepair.CQAFilter{Attr: pos, Value: val})
+			}
+			req.Query, err = fdrepair.NewCQAQuery(t.Schema(), strings.Split(*project, ","), filters...)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+		case fdrepair.AlgoPriorityRepair:
+			rel := fdrepair.NewPriority()
+			for _, p := range preferSpecs {
+				a, b, ok := strings.Cut(p, ">")
+				ai, errA := strconv.Atoi(strings.TrimSpace(a))
+				bi, errB := strconv.Atoi(strings.TrimSpace(b))
+				if !ok || errA != nil || errB != nil {
+					return fmt.Errorf("%s: bad -prefer %q (want id>id)", path, p)
+				}
+				rel.Add(ai, bi)
+			}
+			req.Priority = rel
+		}
+		reqs = append(reqs, req)
 	}
 	opts := []fdrepair.SolverOption{fdrepair.WithParallelism(*workers)}
 	if *stats {
@@ -458,9 +535,15 @@ func cmdBatch(args []string, stdout, stderr io.Writer) error {
 				status = fmt.Sprintf("approximate (ratio ≤ %g)", res.URepair.RatioBound)
 			}
 			fmt.Fprintf(stderr, "%s: dist_upd=%g; %s; method: %s\n", name, res.Cost, status, res.URepair.Method)
+		case res.CQA != nil:
+			fmt.Fprintf(stderr, "%s: %d certain / %d possible answers across %d subset repairs\n",
+				name, len(res.CQA.Certain), len(res.CQA.Possible), res.CQA.Repairs)
 		case algo == fdrepair.AlgoMostProbable:
 			fmt.Fprintf(stderr, "%s: most probable database keeps %d of %d tuples, probability %.6g\n",
 				name, res.Table.Len(), in.Len(), res.Cost)
+		case res.CFD != nil:
+			fmt.Fprintf(stderr, "%s: dist_sub=%g (forced deletions: %d, weight %g); kept %d of %d tuples\n",
+				name, res.Cost, len(res.CFD.Forced), res.CFD.ForcedCost, res.Table.Len(), in.Len())
 		default:
 			fmt.Fprintf(stderr, "%s: dist_sub=%g; kept %d of %d tuples\n",
 				name, res.Cost, res.Table.Len(), in.Len())
@@ -469,6 +552,16 @@ func cmdBatch(args []string, stdout, stderr io.Writer) error {
 			s := res.Stats
 			fmt.Fprintf(stderr, "%s: solve stats: nodes=%d tasks(inline/executed/stolen/tiny-inlined)=%d/%d/%d/%d arena(hit/miss)=%d/%d\n",
 				name, s.Nodes, s.BlocksSerial, s.BlocksParallel, s.Steals, s.TasksInlined, s.ArenaHits, s.ArenaMisses)
+		}
+		if res.CQA != nil {
+			// CQA produces answer sets, not a repaired table: the certain
+			// answers print as projected CSV rows.
+			fmt.Fprintf(stdout, "== %s ==\n", name)
+			fmt.Fprintln(stdout, *project)
+			for _, tup := range res.CQA.Certain {
+				fmt.Fprintln(stdout, strings.Join(tup, ","))
+			}
+			continue
 		}
 		if *outdir != "" {
 			if err := writeOut(res.Table, filepath.Join(*outdir, filepath.Base(name)), stdout); err != nil {

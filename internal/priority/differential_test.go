@@ -1,0 +1,113 @@
+package priority
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/schema"
+	"repro/internal/solve"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// The component-local admission engine must reproduce the seed
+// clone-and-recheck greedy byte-identically: same accepted rows in the
+// same order — at every worker count, including relations that leave
+// whole components unconstrained and relations that chain preferences
+// across a component.
+
+var diffWorkers = []int{1, 2, 4, 8}
+
+func sameTables(t *testing.T, label string, want, got *table.Table) {
+	t.Helper()
+	wr, gr := want.Rows(), got.Rows()
+	if len(wr) != len(gr) {
+		t.Fatalf("%s: %d rows, oracle has %d", label, len(gr), len(wr))
+	}
+	for i := range wr {
+		if wr[i].ID != gr[i].ID || wr[i].Weight != gr[i].Weight ||
+			!reflect.DeepEqual(wr[i].Tuple, gr[i].Tuple) {
+			t.Fatalf("%s: row %d diverges: got %+v, oracle %+v", label, i, gr[i], wr[i])
+		}
+	}
+}
+
+func TestDifferentialPriorityCRepair(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		ds := fd.MustParseSet(sc, "A -> B")
+		if rng.Intn(2) == 0 {
+			ds = fd.MustParseSet(sc, "A -> B", "B -> C")
+		}
+		var tab *table.Table
+		switch rng.Intn(3) {
+		case 0:
+			tab = workload.SmallComponentTable(sc, rng.Intn(201), 1+rng.Intn(5), 1+rng.Intn(3), rng)
+		case 1:
+			tab = workload.RandomTable(sc, rng.Intn(161), 1+rng.Intn(4), rng)
+		default:
+			tab = workload.MarriageSparseTable(sc, rng.Intn(201), 3, 3, rng)
+		}
+		rel := NewRelation()
+		if rng.Intn(4) > 0 { // leave every fourth trial unconstrained
+			for _, p := range workload.PriorityPairs(tab.ConflictGraph(ds), 0.3+rng.Float64()*0.7, rng) {
+				rel.Add(p[0], p[1])
+			}
+		}
+		want, err := CRepair(ds, tab, rel)
+		if err != nil {
+			t.Fatalf("trial %d: seed repair: %v", trial, err)
+		}
+		for _, w := range diffWorkers {
+			got, err := CRepairCtx(solve.New(w, nil, nil), ds, tab, rel)
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: encoded repair: %v", trial, w, err)
+			}
+			sameTables(t, "prioritized repair", want, got)
+		}
+	}
+}
+
+// TestDifferentialPriorityValidation pins the validation parity: a
+// relation that relates non-conflicting tuples must be rejected by both
+// implementations.
+func TestDifferentialPriorityValidation(t *testing.T) {
+	sc := schema.MustNew("R", "A", "B", "C")
+	ds := fd.MustParseSet(sc, "A -> B")
+	tab := workload.SmallComponentTable(sc, 30, 3, 2, rand.New(rand.NewSource(73)))
+	ids := tab.IDs()
+	var a, b int
+	found := false
+	conflicts := map[[2]int]bool{}
+	for _, e := range tab.ConflictGraph(ds) {
+		conflicts[[2]int{e.ID1, e.ID2}] = true
+		conflicts[[2]int{e.ID2, e.ID1}] = true
+	}
+	for _, x := range ids {
+		for _, y := range ids {
+			if x != y && !conflicts[[2]int{x, y}] {
+				a, b, found = x, y, true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("workload produced a complete conflict graph")
+	}
+	rel := NewRelation()
+	rel.Add(a, b)
+	if _, err := CRepair(ds, tab, rel); err == nil {
+		t.Fatal("seed accepted a preference between non-conflicting tuples")
+	}
+	for _, w := range diffWorkers {
+		if _, err := CRepairCtx(solve.New(w, nil, nil), ds, tab, rel); err == nil {
+			t.Fatalf("workers=%d: encoded engine accepted a preference between non-conflicting tuples", w)
+		}
+	}
+}

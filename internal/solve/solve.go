@@ -493,6 +493,17 @@ type Stats struct {
 	PlannerApprox     atomic.Int64
 	PlannerConsensus  atomic.Int64
 	PlannerMaxCompFDs atomic.Int64
+	// Constraint-extension counters, one per class ported onto the
+	// solver core: CFDPatterns counts pattern tableaux evaluated against
+	// the encoded table, DenialPredicates counts compiled denial atoms
+	// (per constraint per solve), CQACertain counts certain answers
+	// established by the per-component factorization, and PriorityLevels
+	// counts the conflict strata (components) admitted independently by
+	// the prioritized greedy.
+	CFDPatterns      atomic.Int64
+	DenialPredicates atomic.Int64
+	CQACertain       atomic.Int64
+	PriorityLevels   atomic.Int64
 	// ArenaHits / ArenaMisses count scratch requests served from the
 	// arena vs freshly allocated.
 	ArenaHits   atomic.Int64
@@ -584,6 +595,35 @@ func (s *Stats) PlannerConsensusApplied() {
 	}
 }
 
+// CFDPattern counts n pattern tableaux evaluated by the CFD engine.
+func (s *Stats) CFDPattern(n int) {
+	if s != nil {
+		s.CFDPatterns.Add(int64(n))
+	}
+}
+
+// DenialPredicate counts n compiled denial atoms.
+func (s *Stats) DenialPredicate(n int) {
+	if s != nil {
+		s.DenialPredicates.Add(int64(n))
+	}
+}
+
+// CQACertainAnswers counts n certain answers established.
+func (s *Stats) CQACertainAnswers(n int) {
+	if s != nil {
+		s.CQACertain.Add(int64(n))
+	}
+}
+
+// PriorityLevel counts n conflict strata admitted by the prioritized
+// greedy.
+func (s *Stats) PriorityLevel(n int) {
+	if s != nil {
+		s.PriorityLevels.Add(int64(n))
+	}
+}
+
 // Snapshot is a plain-value copy of Stats, JSON-taggable for bench
 // snapshots and reports.
 type Snapshot struct {
@@ -606,6 +646,11 @@ type Snapshot struct {
 	PlannerApprox     int64 `json:"planner_approx"`
 	PlannerConsensus  int64 `json:"planner_consensus"`
 	PlannerMaxCompFDs int64 `json:"planner_max_component_fds"`
+	// Constraint-extension engines.
+	CFDPatterns      int64 `json:"cfd_patterns"`
+	DenialPredicates int64 `json:"denial_predicates"`
+	CQACertain       int64 `json:"cqa_certain"`
+	PriorityLevels   int64 `json:"priority_levels"`
 	// Arena reuse.
 	ArenaHits   int64 `json:"arena_hits"`
 	ArenaMisses int64 `json:"arena_misses"`
@@ -636,6 +681,10 @@ func (s *Stats) Snapshot() Snapshot {
 		PlannerApprox:     s.PlannerApprox.Load(),
 		PlannerConsensus:  s.PlannerConsensus.Load(),
 		PlannerMaxCompFDs: s.PlannerMaxCompFDs.Load(),
+		CFDPatterns:       s.CFDPatterns.Load(),
+		DenialPredicates:  s.DenialPredicates.Load(),
+		CQACertain:        s.CQACertain.Load(),
+		PriorityLevels:    s.PriorityLevels.Load(),
 		ArenaHits:         s.ArenaHits.Load(),
 		ArenaMisses:       s.ArenaMisses.Load(),
 		Panics:            s.Panics.Load(),
@@ -666,6 +715,10 @@ func (s *Stats) Merge(o Snapshot) {
 	s.PlannerApprox.Add(o.PlannerApprox)
 	s.PlannerConsensus.Add(o.PlannerConsensus)
 	atomicMax(&s.PlannerMaxCompFDs, o.PlannerMaxCompFDs)
+	s.CFDPatterns.Add(o.CFDPatterns)
+	s.DenialPredicates.Add(o.DenialPredicates)
+	s.CQACertain.Add(o.CQACertain)
+	s.PriorityLevels.Add(o.PriorityLevels)
 	s.ArenaHits.Add(o.ArenaHits)
 	s.ArenaMisses.Add(o.ArenaMisses)
 	s.Panics.Add(o.Panics)
@@ -691,6 +744,10 @@ func (s *Stats) Reset() {
 	s.PlannerApprox.Store(0)
 	s.PlannerConsensus.Store(0)
 	s.PlannerMaxCompFDs.Store(0)
+	s.CFDPatterns.Store(0)
+	s.DenialPredicates.Store(0)
+	s.CQACertain.Store(0)
+	s.PriorityLevels.Store(0)
 	s.ArenaHits.Store(0)
 	s.ArenaMisses.Store(0)
 	s.Panics.Store(0)

@@ -94,6 +94,14 @@ type encoding struct {
 	card  []int             // per attribute: dictionary size
 	dicts []map[Value]int32 // per attribute: value -> code (encMu only)
 	proj  map[schema.AttrSet]*projection
+
+	// recoded marks attributes whose column codes were rewritten in
+	// place by a cell update: the codes may have orphans or sit out of
+	// first-appearance order, so a single-attribute projection built
+	// over them afterwards must not claim density (canonicalGroups
+	// re-derives the true shape). The zero value — no column recoded —
+	// is correct for every fresh build.
+	recoded schema.AttrSet
 }
 
 // clone returns a shallow working copy for copy-on-write extension:
@@ -101,11 +109,12 @@ type encoding struct {
 // dictionaries.
 func (e *encoding) clone(arity int) *encoding {
 	next := &encoding{
-		n:     e.n,
-		cols:  make([][]int32, arity),
-		card:  make([]int, arity),
-		dicts: make([]map[Value]int32, arity),
-		proj:  make(map[schema.AttrSet]*projection, len(e.proj)+1),
+		n:       e.n,
+		cols:    make([][]int32, arity),
+		card:    make([]int, arity),
+		dicts:   make([]map[Value]int32, arity),
+		proj:    make(map[schema.AttrSet]*projection, len(e.proj)+1),
+		recoded: e.recoded,
 	}
 	copy(next.cols, e.cols)
 	copy(next.card, e.card)
@@ -201,7 +210,7 @@ func (t *Table) buildProjection(e *encoding, attrs schema.AttrSet) *projection {
 		p = &projection{codes: make([]int32, n), groups: 1, dense: true}
 	case 1:
 		col := t.column(e, pos[0])
-		p = &projection{codes: col, groups: e.card[pos[0]], dense: true}
+		p = &projection{codes: col, groups: e.card[pos[0]], dense: !e.recoded.Contains(pos[0])}
 	default:
 		p = t.buildMultiProjection(e, attrs, pos)
 	}

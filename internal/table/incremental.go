@@ -250,6 +250,7 @@ func (t *Table) extendEncodingCells(updates []CellUpdate) {
 		}
 		col[ri] = c
 		next.card[u.Attr] = len(dict)
+		next.recoded = next.recoded.Add(u.Attr)
 	}
 	rows := make([]int32, 0, len(rowSet))
 	for ri := range rowSet {

@@ -1,0 +1,143 @@
+package workload
+
+// Generators for the constraint-extension benches and differential
+// suites: CFD pattern workloads, order-constraint (denial) workloads,
+// bounded-component CQA workloads and priority orientations. They
+// return plain tables and identifier pairs — never constraint objects —
+// so the package stays importable from every engine's tests.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/schema"
+	"repro/internal/table"
+)
+
+// CFDTable generates the shape the encoded CFD engine targets: n rows
+// over sc (arity ≥ 3) where attribute 0 is a pattern column drawing
+// from patterns values ("p0".."p{patterns-1}"), attribute 1 is a block
+// key with ~blockRows rows per block, and the remaining attributes draw
+// from rhsDomain values so blocks are internally dirty. A CFD such as
+// "cond key -> val | p0,_ -> _" then applies to roughly 1/patterns of
+// the rows, with conflict groups of ~blockRows tuples. Weights are
+// integers in 1..4.
+func CFDTable(sc *schema.Schema, n, blockRows, rhsDomain, patterns int, rng *rand.Rand) *table.Table {
+	if sc.Arity() < 3 {
+		panic("workload: CFD table needs arity ≥ 3")
+	}
+	if blockRows < 1 || rhsDomain < 1 || patterns < 1 {
+		panic("workload: blockRows, rhsDomain and patterns must be ≥ 1")
+	}
+	blocks := (n + blockRows - 1) / blockRows
+	tuples := make([]table.Tuple, 0, n)
+	weights := make([]float64, 0, n)
+	for b := 0; b < blocks && len(tuples) < n; b++ {
+		key := fmt.Sprintf("k%d", b)
+		for r := 0; r < blockRows && len(tuples) < n; r++ {
+			tup := make(table.Tuple, sc.Arity())
+			tup[0] = fmt.Sprintf("p%d", rng.Intn(patterns))
+			tup[1] = key
+			for c := 2; c < len(tup); c++ {
+				tup[c] = fmt.Sprintf("v%d", rng.Intn(rhsDomain))
+			}
+			tuples = append(tuples, tup)
+			weights = append(weights, float64(1+rng.Intn(4)))
+		}
+	}
+	t := table.New(sc)
+	t.MustAppendRows(tuples, weights)
+	return t
+}
+
+// RankedTable generates an order-constraint workload over sc (arity
+// ≥ 3): attribute 0 is a department key with ~blockRows rows each,
+// attribute 1 a numeric rank within the department, and attribute 2 a
+// numeric salary from salaryDomain values. A denial constraint such as
+// "t1.dept = t2.dept & t1.rank < t2.rank & t1.salary > t2.salary"
+// (higher rank must not earn less) is then violated within departments
+// at a rate controlled by salaryDomain. Numeric cells exercise the
+// engines' numeric comparison path. Weights are integers in 1..4.
+func RankedTable(sc *schema.Schema, n, blockRows, salaryDomain int, rng *rand.Rand) *table.Table {
+	if sc.Arity() < 3 {
+		panic("workload: ranked table needs arity ≥ 3")
+	}
+	if blockRows < 1 || salaryDomain < 1 {
+		panic("workload: blockRows and salaryDomain must be ≥ 1")
+	}
+	blocks := (n + blockRows - 1) / blockRows
+	tuples := make([]table.Tuple, 0, n)
+	weights := make([]float64, 0, n)
+	for b := 0; b < blocks && len(tuples) < n; b++ {
+		dept := fmt.Sprintf("d%d", b)
+		for r := 0; r < blockRows && len(tuples) < n; r++ {
+			tup := make(table.Tuple, sc.Arity())
+			tup[0] = dept
+			tup[1] = fmt.Sprintf("%d", r)
+			tup[2] = fmt.Sprintf("%d", 100+rng.Intn(salaryDomain))
+			for c := 3; c < len(tup); c++ {
+				tup[c] = fmt.Sprintf("x%d", rng.Intn(4))
+			}
+			tuples = append(tuples, tup)
+			weights = append(weights, float64(1+rng.Intn(4)))
+		}
+	}
+	t := table.New(sc)
+	t.MustAppendRows(tuples, weights)
+	return t
+}
+
+// SmallComponentTable generates a CQA/priority workload whose conflict
+// components are guaranteed small: attribute 0 is a unique block key
+// per block (never reused, unlike MarriageSparseTable's sampled keys),
+// so under an FD keyed on it every conflict component has at most
+// blockRows tuples — within the per-component enumeration bound of the
+// encoded CQA engine at any table size. Remaining attributes draw from
+// rhsDomain values. Weights are integers in 1..4.
+func SmallComponentTable(sc *schema.Schema, n, blockRows, rhsDomain int, rng *rand.Rand) *table.Table {
+	if sc.Arity() < 2 {
+		panic("workload: small-component table needs arity ≥ 2")
+	}
+	if blockRows < 1 || rhsDomain < 1 {
+		panic("workload: blockRows and rhsDomain must be ≥ 1")
+	}
+	blocks := (n + blockRows - 1) / blockRows
+	tuples := make([]table.Tuple, 0, n)
+	weights := make([]float64, 0, n)
+	for b := 0; b < blocks && len(tuples) < n; b++ {
+		key := fmt.Sprintf("k%d", b)
+		for r := 0; r < blockRows && len(tuples) < n; r++ {
+			tup := make(table.Tuple, sc.Arity())
+			tup[0] = key
+			for c := 1; c < len(tup); c++ {
+				tup[c] = fmt.Sprintf("v%d", rng.Intn(rhsDomain))
+			}
+			tuples = append(tuples, tup)
+			weights = append(weights, float64(1+rng.Intn(4)))
+		}
+	}
+	t := table.New(sc)
+	t.MustAppendRows(tuples, weights)
+	return t
+}
+
+// PriorityPairs orients a sample of the table's conflict edges into an
+// acyclic preference: each edge is kept with probability p and oriented
+// lower identifier ≻ higher identifier, so the resulting relation is
+// acyclic by construction and relates only conflicting tuples — valid
+// input for the priority engines at any scale. Pairs are returned as
+// (preferred, inferior) identifier pairs in edge order.
+func PriorityPairs(edges []table.ConflictEdge, p float64, rng *rand.Rand) [][2]int {
+	var out [][2]int
+	for _, e := range edges {
+		if rng.Float64() >= p {
+			continue
+		}
+		a, b := e.ID1, e.ID2
+		if a > b {
+			a, b = b, a
+		}
+		out = append(out, [2]int{a, b})
+	}
+	return out
+}
