@@ -1,0 +1,70 @@
+// Command fdlint runs the repository's invariant analyzers (see
+// internal/lint) over the given packages and exits non-zero if any
+// finding survives suppression. CI gates merges on `fdlint ./...`
+// beside gofmt, vet and staticcheck.
+//
+// Usage:
+//
+//	fdlint [-list] [packages]
+//
+// Suppress a finding with a reasoned directive (the reason is
+// mandatory — see cmd/fdlint/README.md for policy):
+//
+//	//lint:ignore fdlint/<analyzer> <why this code is exempt>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fdlint [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := driver.Load(dir, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := driver.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s\n", d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fdlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fdlint:", err)
+	os.Exit(2)
+}

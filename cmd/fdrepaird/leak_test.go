@@ -1,0 +1,70 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShedPathGoroutineLeak hammers the admission queue's shed path:
+// with a single queue slot held, every request takes the 429 fast path,
+// which must complete without parking anything — a goroutine retained
+// per shed request would turn overload (exactly when shedding fires)
+// into a resource leak. After the slot frees, a real solve must still
+// succeed and the process must return to its goroutine baseline.
+func TestShedPathGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	cfg := testConfig()
+	cfg.queueDepth = 1
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.routes())
+
+	// Occupy the single queue slot so every concurrent request below is
+	// shed rather than admitted.
+	s.sem <- struct{}{}
+	const n = 32
+	var wg sync.WaitGroup
+	var shed sync.WaitGroup
+	shed.Add(n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postSolve(t, ts, url.Values{"fd": {"A -> B"}}.Encode(), "", conflicted)
+			readAll(t, resp)
+			if resp.StatusCode != http.StatusTooManyRequests {
+				t.Errorf("status %d, want 429", resp.StatusCode)
+			}
+			shed.Done()
+		}()
+	}
+	shed.Wait()
+	if got := s.m.shedQueue.Load(); got < n {
+		t.Errorf("shedQueue counter = %d, want >= %d", got, n)
+	}
+	<-s.sem
+
+	// The queue must still admit work after the storm.
+	resp := postSolve(t, ts, url.Values{"fd": {"A -> B"}}.Encode(), "", conflicted)
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after slot freed: status %d", resp.StatusCode)
+	}
+
+	wg.Wait()
+	ts.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+3 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+3 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+			n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}

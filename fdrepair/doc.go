@@ -137,6 +137,56 @@
 // exits 0 on a clean quiesce and 1 when the budget expires with work
 // still running.
 //
+// # Invariants and how they are enforced
+//
+// The engine's correctness under concurrency rests on a handful of
+// repo-wide conventions that ordinary tests exercise but cannot pin
+// mechanically. Command fdlint (cmd/fdlint, analyzers in internal/lint)
+// checks them on every build; CI runs `fdlint ./...` beside gofmt, vet
+// and staticcheck. One analyzer per invariant:
+//
+//   - fdlint/scopeentry — one solve = one scope. Every exported entry
+//     point that takes a *solve.Ctx must call BeginSolve (directly or
+//     via a same-package delegate) before doing work, so size hints and
+//     arenas from the caller's previous solve cannot leak into this
+//     one. Guards against the sticky-hints regression the per-solve
+//     scopes PR fixed: a second solve on a reused context inheriting
+//     the first solve's (larger) buffer estimates.
+//
+//   - fdlint/arenapair — every arena acquisition (solve.Ctx's Int32s,
+//     Float64s, Int32Slices, GetScratch, ...) must be released on every
+//     path to return, or explicitly handed off. A leaked buffer is not
+//     a memory error — the arena just allocates a fresh one next time —
+//     but it silently degrades the arena hit rate the perf snapshots
+//     gate on.
+//
+//   - fdlint/statsatomic — solve.Stats fields are atomic counters
+//     updated concurrently by worker goroutines; outside their owning
+//     package they may only be read via Load/Snapshot, never written,
+//     copied or dereferenced raw. Guards the concurrent stats sink the
+//     scheduler and the daemon's /metrics endpoint both feed from.
+//
+//   - fdlint/determinism — solve-path code may not read wall-clock
+//     time, use the package-global math/rand source, or feed map
+//     iteration order into a slice without sorting. Repairs must be
+//     byte-identical at workers ∈ {1, 2, 4, 8}; the differential suites
+//     test that property, this analyzer pins the code patterns that
+//     break it.
+//
+//   - fdlint/cancelcheck — long-running solve loops must poll Ctx.Err
+//     on the every-32-phases convention the Jaccard-style matcher
+//     established, and loops that dispatch ctx-threaded work must poll
+//     between dispatches. Keeps cancellation latency bounded so
+//     deadlines and drains observe it promptly.
+//
+// Findings are suppressed only with a reasoned directive on the
+// offending statement (the reason is mandatory; a bare directive is
+// itself a finding):
+//
+//	//lint:ignore fdlint/<analyzer> <why this code is exempt>
+//
+// See cmd/fdlint/README.md for the suppression policy.
+//
 // Fault injection. The FDREPAIR_FAILPOINTS environment variable arms
 // the failpoints of internal/solve/failpoint inside the solve engine,
 // e.g.

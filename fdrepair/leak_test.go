@@ -1,0 +1,111 @@
+package fdrepair
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// assertNoGoroutineLeak polls until the process goroutine count returns
+// to (near) the recorded baseline, then fails with a full stack dump if
+// it never does. The +3 slack absorbs runtime/testing helpers, matching
+// the chaos suite's convention.
+func assertNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+3 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+3 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+			n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestStreamSubmitCloseGoroutineLeak pins the Stream lifecycle: every
+// per-request goroutine Submit spawns, and the drain goroutine Close
+// spawns, must exit once results are consumed. A retained goroutine
+// here is a per-request leak in a serving daemon.
+func TestStreamSubmitCloseGoroutineLeak(t *testing.T) {
+	ds, tab := solverTestInstance(120)
+	baseline := runtime.NumGoroutine()
+
+	sv := NewSolver(WithParallelism(4))
+	st := sv.NewStream()
+	const n = 16
+	done := make(chan int)
+	go func() {
+		got := 0
+		for res := range st.Results() {
+			if res.Err != nil {
+				t.Errorf("request %d: %v", res.Index, res.Err)
+			}
+			got++
+		}
+		done <- got
+	}()
+	for i := 0; i < n; i++ {
+		if _, err := st.Submit(Request{FDs: ds, Table: tab}); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	st.Close()
+	if got := <-done; got != n {
+		t.Fatalf("drained %d results, want %d", got, n)
+	}
+	// Submit after Close must refuse cleanly — and must not spawn the
+	// request goroutine it refuses.
+	if _, err := st.Submit(Request{FDs: ds, Table: tab}); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrStreamClosed", err)
+	}
+	if err := sv.Close(context.Background()); err != nil {
+		t.Fatalf("Solver.Close: %v", err)
+	}
+
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// TestStreamSlowConsumerGoroutineLeak covers the sharper edge: a
+// consumer that arrives late. Request goroutines park on the full
+// results buffer (holding their in-flight slot, which in turn blocks
+// the producer's Submit — the stream's documented backpressure); once
+// the consumer drains, everything must unwind — nothing may stay
+// parked on the channel forever.
+func TestStreamSlowConsumerGoroutineLeak(t *testing.T) {
+	ds, tab := solverTestInstance(60)
+	baseline := runtime.NumGoroutine()
+
+	sv := NewSolver(WithParallelism(2))
+	st := sv.NewStream()
+	const n = 8
+	submitted := make(chan struct{})
+	go func() {
+		defer close(submitted)
+		for i := 0; i < n; i++ {
+			if _, err := st.Submit(Request{FDs: ds, Table: tab}); err != nil {
+				t.Errorf("Submit %d: %v", i, err)
+				return
+			}
+		}
+		st.Close()
+	}()
+	// Give the early requests time to complete and park on the results
+	// send (buffer = 2 slots at parallelism 2) before consuming.
+	time.Sleep(50 * time.Millisecond)
+	got := 0
+	for range st.Results() {
+		got++
+	}
+	<-submitted
+	if got != n {
+		t.Fatalf("drained %d results, want %d", got, n)
+	}
+	if err := sv.Close(context.Background()); err != nil {
+		t.Fatalf("Solver.Close: %v", err)
+	}
+
+	assertNoGoroutineLeak(t, baseline)
+}

@@ -1,3 +1,9 @@
 module repro
 
 go 1.24
+
+// Vendored from the Go toolchain's own copy
+// ($GOROOT/src/cmd/vendor/golang.org/x/tools, the subset go vet is
+// built from) because the build environment is offline. Only the
+// go/analysis framework packages needed by internal/lint are carried.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,187 @@
+// Package ciguard is a meta-test over .github/workflows/ci.yml: the
+// solver-lifecycle and chaos jobs select their suites with
+// hand-maintained `-run` regexes, which can silently drift as suites
+// are added or renamed. These tests extract the regexes from the
+// workflow and cross-check them against the Test functions that
+// actually exist in the covered packages.
+package ciguard
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// selector is one extracted `-run` regex together with the package
+// trees its `go test` invocation covers.
+type selector struct {
+	re   *regexp.Regexp
+	dirs []string
+}
+
+// sentinels are invariant families that must never drop out of the CI
+// regexes: each maps to a suite the optimality or robustness contract
+// depends on.
+var sentinels = []string{
+	"Cancel", "Scope", "Sticky", "Stream", "Batch", "Steal", // lifecycle
+	"Panic", "Failpoint", "Close", "Drain", "Shed", "Deadline", // chaos
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// runSelectors extracts every alternation-style `-run '...'` regex from
+// the workflow file, paired with the package patterns of its go test
+// line (`./...` means the whole module).
+func runSelectors(t *testing.T) []selector {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(repoRoot(t), ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Fatalf("read workflow: %v", err)
+	}
+	lineRe := regexp.MustCompile(`-run '([^']+)'((?: \./\S+)*)`)
+	var out []selector
+	for _, m := range lineRe.FindAllStringSubmatch(string(data), -1) {
+		if !strings.Contains(m[1], "|") {
+			continue // single-suite selectors (DaemonE2E, ^$) are not drift-prone
+		}
+		re, err := regexp.Compile(m[1])
+		if err != nil {
+			t.Fatalf("workflow -run regex %q does not compile: %v", m[1], err)
+		}
+		var dirs []string
+		for _, pat := range strings.Fields(m[2]) {
+			pat = strings.TrimPrefix(pat, "./")
+			pat = strings.TrimSuffix(pat, "/...")
+			if pat == "..." || pat == "" {
+				pat = "."
+			}
+			dirs = append(dirs, pat)
+		}
+		if len(dirs) == 0 {
+			dirs = []string{"."} // bare `./...` or no explicit packages
+		}
+		out = append(out, selector{re: re, dirs: dirs})
+	}
+	if len(out) < 2 {
+		t.Fatalf("expected the solver-lifecycle and chaos -run regexes in ci.yml, found %d alternation regexes", len(out))
+	}
+	return out
+}
+
+// testNames parses the _test.go files under the given repo-relative
+// trees and returns every Test function name.
+func testNames(t *testing.T, dirs []string) []string {
+	t.Helper()
+	root := repoRoot(t)
+	fset := token.NewFileSet()
+	var names []string
+	for _, dir := range dirs {
+		err := filepath.WalkDir(filepath.Join(root, dir), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				switch d.Name() {
+				case "testdata", "vendor", ".git":
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			if err != nil {
+				return err
+			}
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if ok && fn.Recv == nil && strings.HasPrefix(fn.Name.Name, "Test") {
+					names = append(names, fn.Name.Name)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walk %s: %v", dir, err)
+		}
+	}
+	if len(names) == 0 {
+		t.Fatalf("no Test functions found under %v", dirs)
+	}
+	return names
+}
+
+// TestSentinelFamiliesPresent fails if a load-bearing suite family is
+// removed from every CI regex.
+func TestSentinelFamiliesPresent(t *testing.T) {
+	selectors := runSelectors(t)
+	for _, fam := range sentinels {
+		present := false
+		for _, s := range selectors {
+			for _, alt := range strings.Split(s.re.String(), "|") {
+				if alt == fam {
+					present = true
+				}
+			}
+		}
+		if !present {
+			t.Errorf("invariant family %q is in no CI -run regex: its suites would only run in the plain test job", fam)
+		}
+	}
+}
+
+// TestNoDeadAlternatives fails when a regex alternative matches no
+// existing test in the packages its job runs: the suite it selected was
+// renamed or deleted, and the regex is silently stale.
+func TestNoDeadAlternatives(t *testing.T) {
+	for _, s := range runSelectors(t) {
+		names := testNames(t, s.dirs)
+		for _, alt := range strings.Split(s.re.String(), "|") {
+			altRe, err := regexp.Compile(alt)
+			if err != nil {
+				t.Fatalf("alternative %q does not compile: %v", alt, err)
+			}
+			alive := false
+			for _, n := range names {
+				if altRe.MatchString(n) {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				t.Errorf("CI -run alternative %q matches no Test function in %v: stale after a rename?", alt, s.dirs)
+			}
+		}
+	}
+}
+
+// TestFamilyTestsMatchRegex asserts that every Test function whose name
+// contains one of a regex's family keywords is matched by that full
+// regex — anchoring or escaping mistakes in the hand-edited pattern
+// would silently drop suites from the race jobs.
+func TestFamilyTestsMatchRegex(t *testing.T) {
+	for _, s := range runSelectors(t) {
+		names := testNames(t, s.dirs)
+		for _, alt := range strings.Split(s.re.String(), "|") {
+			for _, n := range names {
+				if strings.Contains(n, alt) && !s.re.MatchString(n) {
+					t.Errorf("test %s contains family %q but does not match CI regex %q", n, alt, s.re)
+				}
+			}
+		}
+	}
+}

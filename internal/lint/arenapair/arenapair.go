@@ -1,0 +1,437 @@
+// Package arenapair checks, flow-sensitively, that scratch acquired
+// from the solve arena is returned to it on every path. The arena
+// contract (solve.Ctx): every Int32s / Int32Slices / Float64s /
+// GetScratch must reach a matching PutInt32s / PutInt32Slices /
+// PutFloat64s / PutScratch — otherwise the pooled buffer is lost and
+// the >99.9% arena hit rate decays into steady-state allocation.
+//
+// The check walks the function's control-flow graph (go/cfg) from each
+// acquire site. An obligation is discharged by any ownership-affecting
+// use of the acquired value: the matching Put, handing the value to
+// another function, storing it into a field, composite literal or
+// return value (ownership transfer — e.g. a codeIndex keeping its
+// dense scratch until release()), or rebinding. Element reads/writes,
+// range, len/cap/clear/copy and comparisons are neutral: a path from
+// the acquire to a return along which the value is only used neutrally
+// means the buffer leaks — the classic miss is an early error return
+// between Get and Put. A defer whose body releases the value covers
+// every path.
+package arenapair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/cfg"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "arenapair",
+	Doc:      "arena Get/Put must pair on all control-flow paths, including error returns",
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Run:      run,
+}
+
+// pairs maps acquire method name (on *solve.Ctx) to its release.
+var pairs = map[string]string{
+	"Int32s":      "PutInt32s",
+	"Int32Slices": "PutInt32Slices",
+	"Float64s":    "PutFloat64s",
+	"GetScratch":  "PutScratch",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body, cfgs.FuncDecl(fn))
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body, cfgs.FuncLit(fn))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// acquire is one arena Get call and the state needed to track it.
+type acquire struct {
+	call    *ast.CallExpr
+	method  string       // Int32s, GetScratch, ...
+	put     string       // matching release method
+	v       *types.Var   // variable bound to the result; nil if unused/discarded
+	recv    types.Object // the Ctx variable the acquire was called on, if an identifier
+	keyed   bool         // GetScratch/PutScratch: key-typed pairing
+	keyType types.Type   // type of the GetScratch key argument
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
+	if g == nil {
+		return
+	}
+	acquires := findAcquires(pass, body)
+	for _, ac := range acquires {
+		if deferCovers(pass, body, ac) {
+			continue
+		}
+		if leaks(pass, g, ac) {
+			what := "c." + ac.method
+			pass.Reportf(ac.call.Pos(),
+				"arena scratch from %s may leak: some path to return neither calls %s nor hands the buffer off — release it on early returns or use a defer",
+				what, ac.put)
+		}
+	}
+}
+
+// findAcquires locates arena Get calls in body, skipping nested
+// function literals (they have their own CFGs and defer scopes).
+func findAcquires(pass *analysis.Pass, body *ast.BlockStmt) []*acquire {
+	var out []*acquire
+	var stack []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false // nested literals have their own CFG and defers
+			}
+			stack = append(stack, m)
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, recvOK := arenaMethod(pass, call)
+			put, isGet := pairs[method]
+			if !recvOK || !isGet {
+				return true
+			}
+			ac := &acquire{call: call, method: method, put: put, keyed: method == "GetScratch"}
+			if ac.keyed && len(call.Args) > 0 {
+				ac.keyType = pass.TypesInfo.TypeOf(call.Args[0])
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				ac.recv = lintutil.ObjOf(pass.TypesInfo, sel.X)
+			}
+			ac.v = boundVar(pass, stack)
+			if ac.v == nil && transferredAtBirth(stack) {
+				return true // result handed off inside the acquiring expression
+			}
+			out = append(out, ac)
+			return true
+		})
+	}
+	walk(body)
+	return out
+}
+
+// transferredAtBirth reports whether an unbound acquire's result is
+// consumed by the enclosing expression (return value, call argument,
+// composite literal ...), which transfers ownership immediately. A bare
+// expression statement or an assignment that bound no variable (e.g.
+// `_ = c.Int32s(n)`) discards the buffer and stays tracked.
+func transferredAtBirth(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ParenExpr, *ast.TypeAssertExpr:
+			continue
+		case *ast.ExprStmt, *ast.AssignStmt, *ast.ValueSpec:
+			return false
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// arenaMethod returns the method name if call is a method on a
+// *solve.Ctx receiver.
+func arenaMethod(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil || !lintutil.IsCtxPtr(t) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// boundVar walks the enclosing-node stack outward from an acquire call
+// to the variable its result is bound to: `s := c.Int32s(n)` or
+// `scr, _ := c.GetScratch(k).(*T)`. Intervening parens and type
+// assertions are looked through; anything else (the call used as an
+// argument, a bare expression statement) yields nil.
+func boundVar(pass *analysis.Pass, stack []ast.Node) *types.Var {
+	child := ast.Node(stack[len(stack)-1])
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = p
+			continue
+		case *ast.TypeAssertExpr:
+			child = p
+			continue
+		case *ast.AssignStmt:
+			for j, rhs := range p.Rhs {
+				if ast.Node(rhs) == child && j < len(p.Lhs) {
+					if id, ok := p.Lhs[j].(*ast.Ident); ok {
+						if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+							return v
+						}
+						if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+							return v
+						}
+					}
+				}
+			}
+			return nil
+		case *ast.ValueSpec:
+			for j, rhs := range p.Values {
+				if ast.Node(rhs) == child && j < len(p.Names) {
+					if v, ok := pass.TypesInfo.Defs[p.Names[j]].(*types.Var); ok {
+						return v
+					}
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// deferCovers reports whether some defer in the function releases the
+// acquire: its subtree contains the matching Put (for keyed acquires,
+// with an identical key type) or any ownership-affecting use of the
+// bound variable.
+func deferCovers(pass *analysis.Pass, body *ast.BlockStmt, ac *acquire) bool {
+	covered := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if covered {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if subtreeDischarges(pass, d, ac) {
+			covered = true
+		}
+		return false
+	})
+	return covered
+}
+
+// leaks walks the CFG from the acquire and reports whether a path
+// reaches an exit without discharging the obligation.
+func leaks(pass *analysis.Pass, g *cfg.CFG, ac *acquire) bool {
+	startBlock, startIdx := locate(g, ac.call)
+	if startBlock == nil {
+		return false // not reachable in the CFG (dead code)
+	}
+	// Scan the remainder of the acquire's own block first.
+	for i := startIdx + 1; i < len(startBlock.Nodes); i++ {
+		if subtreeDischarges(pass, startBlock.Nodes[i], ac) {
+			return false
+		}
+	}
+	if len(startBlock.Succs) == 0 {
+		return !panicExit(pass, startBlock)
+	}
+	seen := map[*cfg.Block]bool{startBlock: true}
+	var dfs func(b *cfg.Block) bool
+	dfs = func(b *cfg.Block) bool {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			if subtreeDischarges(pass, n, ac) {
+				return false
+			}
+		}
+		if len(b.Succs) == 0 {
+			// A panic exit unwinds the whole solve (the arena shard is
+			// discarded with it), so only plain returns count as leaks.
+			return !panicExit(pass, b)
+		}
+		for _, s := range succsWithObligation(pass, b, ac) {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range succsWithObligation(pass, startBlock, ac) {
+		if dfs(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// succsWithObligation narrows a conditional block's successors when its
+// condition proves the scratch was never acquired: a branch on which
+// the bound value — or the Ctx the acquire was called through — is nil
+// owes no Put (GetScratch returns nil on a pool miss, and the arena
+// methods degrade to no-ops on a nil Ctx).
+func succsWithObligation(pass *analysis.Pass, b *cfg.Block, ac *acquire) []*cfg.Block {
+	if len(b.Succs) != 2 || len(b.Nodes) == 0 {
+		return b.Succs
+	}
+	cond, ok := b.Nodes[len(b.Nodes)-1].(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.EQL && cond.Op != token.NEQ) {
+		return b.Succs
+	}
+	var x ast.Expr
+	switch {
+	case isNilExpr(pass, cond.X):
+		x = cond.Y
+	case isNilExpr(pass, cond.Y):
+		x = cond.X
+	default:
+		return b.Succs
+	}
+	obj := lintutil.ObjOf(pass.TypesInfo, x)
+	if obj == nil || (obj != types.Object(ac.v) && obj != ac.recv) {
+		return b.Succs
+	}
+	if cond.Op == token.EQL {
+		return b.Succs[1:2] // x == nil: only the false branch still owes
+	}
+	return b.Succs[0:1] // x != nil: only the true branch still owes
+}
+
+func isNilExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// panicExit reports whether the exit block ends by panicking.
+func panicExit(pass *analysis.Pass, b *cfg.Block) bool {
+	for _, n := range b.Nodes {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Builtin); ok && fn.Name() == "panic" {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// locate finds the CFG node containing the acquire call.
+func locate(g *cfg.CFG, call *ast.CallExpr) (*cfg.Block, int) {
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n.Pos() <= call.Pos() && call.End() <= n.End() {
+				return b, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// subtreeDischarges reports whether node n contains an
+// ownership-affecting use of the acquire: the matching Put, a
+// key-type-matching PutScratch for variable-less keyed acquires, or a
+// non-neutral use of the bound variable.
+func subtreeDischarges(pass *analysis.Pass, n ast.Node, ac *acquire) bool {
+	found := false
+	var stack []ast.Node
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if found {
+			return false
+		}
+		stack = append(stack, m)
+		// Key-typed PutScratch matches even without a tracked variable.
+		if call, ok := m.(*ast.CallExpr); ok && ac.keyed && ac.keyType != nil {
+			if name, recvOK := arenaMethod(pass, call); recvOK && name == "PutScratch" && len(call.Args) > 0 {
+				kt := pass.TypesInfo.TypeOf(call.Args[0])
+				if kt != nil && types.Identical(kt, ac.keyType) {
+					found = true
+					return false
+				}
+			}
+		}
+		if ac.v == nil {
+			return true
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != ac.v {
+			return true
+		}
+		if !neutralUse(pass, stack, id) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// neutralUse classifies a use of the tracked variable: true when the
+// use neither releases nor transfers ownership (element access, range,
+// len/cap/clear/copy/min/max, comparisons, rebinding on the LHS).
+func neutralUse(pass *analysis.Pass, stack []ast.Node, id *ast.Ident) bool {
+	if len(stack) < 2 {
+		// The identifier is the whole CFG node (the cfg package hoists
+		// range X and condition expressions out of their statements): a
+		// bare mention transfers nothing.
+		return true
+	}
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.IndexExpr:
+		return p.X == ast.Expr(id)
+	case *ast.RangeStmt:
+		return p.X == ast.Expr(id)
+	case *ast.SelectorExpr:
+		// scr.field reads/writes on a keyed scratch struct are how the
+		// scratch is used; they transfer nothing.
+		return p.X == ast.Expr(id)
+	case *ast.BinaryExpr:
+		return true // comparisons (scr == nil) and arithmetic on elements
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == ast.Expr(id) {
+				return true // rebinding: the old buffer's obligation is judged conservatively neutral
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if fn, ok := typeutil.Callee(pass.TypesInfo, p).(*types.Builtin); ok {
+			switch fn.Name() {
+			case "len", "cap", "clear", "copy", "min", "max":
+				return true
+			}
+		}
+		return false // any other call takes the buffer: release or hand-off
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package arenapair_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/arenapair"
+	"repro/internal/lint/linttest"
+)
+
+func TestArenaPair(t *testing.T) {
+	linttest.Run(t, arenapair.Analyzer, "arenauser")
+}

@@ -1,0 +1,141 @@
+package arenauser
+
+import (
+	"errors"
+
+	"repro/internal/solve"
+)
+
+// LeakOnError forgets the buffer on the early error return — the
+// classic miss the analyzer exists for.
+func LeakOnError(c *solve.Ctx, n int) ([]int32, error) {
+	buf := c.Int32s(n) // want `arena scratch from c.Int32s may leak`
+	for i := range buf {
+		buf[i] = int32(i)
+	}
+	if n > 1024 {
+		return nil, errors.New("block too large")
+	}
+	out := make([]int32, n)
+	copy(out, buf)
+	c.PutInt32s(buf)
+	return out, nil
+}
+
+// DeferRelease covers every path with a defer.
+func DeferRelease(c *solve.Ctx, n int) (int32, error) {
+	buf := c.Int32s(n)
+	defer c.PutInt32s(buf)
+	if n == 0 {
+		return 0, errors.New("empty")
+	}
+	var acc int32
+	for i := range buf {
+		acc += buf[i]
+	}
+	return acc, nil
+}
+
+// ReleaseBothPaths puts explicitly on the error path too.
+func ReleaseBothPaths(c *solve.Ctx, n int) ([]float64, error) {
+	buf := c.Float64s(n)
+	if n > 1<<20 {
+		c.PutFloat64s(buf)
+		return nil, errors.New("too large")
+	}
+	out := make([]float64, n)
+	copy(out, buf)
+	c.PutFloat64s(buf)
+	return out, nil
+}
+
+// Discard drops the buffer outright.
+func Discard(c *solve.Ctx, n int) {
+	_ = c.Int32s(n) // want `arena scratch from c.Int32s may leak`
+}
+
+// index takes ownership of its dense scratch until release() — the
+// acquire inside the composite literal is a hand-off, not a leak.
+type index struct {
+	codes []int32
+	c     *solve.Ctx
+}
+
+func NewIndex(c *solve.Ctx, n int) *index {
+	return &index{codes: c.Int32s(n), c: c}
+}
+
+func (ix *index) release() {
+	ix.c.PutInt32s(ix.codes)
+	ix.codes = nil
+}
+
+type scratchKey struct{}
+
+type scratch struct {
+	rows []int32
+}
+
+// KeyedLeak drops the keyed scratch on the error path.
+func KeyedLeak(c *solve.Ctx, n int) error {
+	scr, _ := c.GetScratch(scratchKey{}).(*scratch) // want `arena scratch from c.GetScratch may leak`
+	if scr == nil {
+		scr = &scratch{}
+	}
+	if n < 0 {
+		return errors.New("negative")
+	}
+	c.PutScratch(scratchKey{}, scr)
+	return nil
+}
+
+// PanicPath only loses its buffer by panicking, which unwinds the
+// whole solve and discards the arena shard with it: not a leaking
+// return.
+func PanicPath(c *solve.Ctx, n int) int32 {
+	buf := c.Int32s(n)
+	if n == 0 {
+		panic("empty component")
+	}
+	v := buf[0]
+	c.PutInt32s(buf)
+	return v
+}
+
+// GetOrMake is the pool-miss idiom: a nil result means nothing was
+// acquired, so the fallthrough path owes no Put; the hit path hands
+// ownership to the caller.
+func GetOrMake(c *solve.Ctx, n int) *scratch {
+	if v := c.GetScratch(scratchKey{}); v != nil {
+		return v.(*scratch)
+	}
+	return &scratch{rows: make([]int32, n)}
+}
+
+// NilCtxGuard acquires through a possibly nil Ctx: the c == nil path
+// acquired nothing and owes nothing.
+func NilCtxGuard(c *solve.Ctx, n int) []int32 {
+	scr, _ := c.GetScratch(scratchKey{}).(*scratch)
+	if scr == nil {
+		scr = &scratch{}
+	}
+	scr.rows = append(scr.rows[:0], make([]int32, n)...)
+	if c == nil {
+		return scr.rows
+	}
+	c.PutScratch(scratchKey{}, scr)
+	return nil
+}
+
+// KeyedDefer releases through a defer keyed by the same type.
+func KeyedDefer(c *solve.Ctx, n int) error {
+	scr, _ := c.GetScratch(scratchKey{}).(*scratch)
+	if scr == nil {
+		scr = &scratch{}
+	}
+	defer c.PutScratch(scratchKey{}, scr)
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}

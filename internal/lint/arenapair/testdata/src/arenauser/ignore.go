@@ -1,0 +1,11 @@
+package arenauser
+
+import "repro/internal/solve"
+
+// PinnedProbe deliberately drops its buffer: it measures arena
+// pressure, and the pinning directive records why that is sound.
+func PinnedProbe(c *solve.Ctx, n int) int {
+	//lint:ignore fdlint/arenapair probe measures arena pressure; dropping the buffer is the point
+	buf := c.Int32s(n)
+	return len(buf)
+}

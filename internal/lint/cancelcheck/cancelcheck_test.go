@@ -1,0 +1,12 @@
+package cancelcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/cancelcheck"
+	"repro/internal/lint/linttest"
+)
+
+func TestCancelCheck(t *testing.T) {
+	linttest.Run(t, cancelcheck.Analyzer, "repro/internal/srepair")
+}

@@ -1,0 +1,18 @@
+package srepair
+
+import "repro/internal/solve"
+
+// PinnedScan is pinned: the scan is bounded by the 64-code block cap
+// and finishes in microseconds, so polling would be pure overhead.
+func PinnedScan(c *solve.Ctx, rows [][]int) int {
+	acc := 0
+	//lint:ignore fdlint/cancelcheck bounded 64x64 scan finishes in microseconds
+	for _, r := range rows {
+		for _, x := range r {
+			for _, y := range r {
+				acc += x * y
+			}
+		}
+	}
+	return acc
+}

@@ -1,0 +1,104 @@
+package srepair
+
+import "repro/internal/solve"
+
+// heavyWork does per-block work and never polls.
+func heavyWork(c *solve.Ctx, b int) int {
+	return b * c.Workers()
+}
+
+// pollingWork polls before working: calling it counts as a poll.
+func pollingWork(c *solve.Ctx, b int) (int, error) {
+	if err := c.Err(); err != nil {
+		return 0, err
+	}
+	return b, nil
+}
+
+// BadDispatch hands the ctx to heavy work every iteration and never
+// polls anywhere beneath the loop.
+func BadDispatch(c *solve.Ctx, blocks []int) int {
+	total := 0
+	for _, b := range blocks { // want `never polls Ctx.Err`
+		total += heavyWork(c, b)
+	}
+	return total
+}
+
+// GoodDispatchInline polls in the loop body.
+func GoodDispatchInline(c *solve.Ctx, blocks []int) (int, error) {
+	total := 0
+	for _, b := range blocks {
+		if err := c.Err(); err != nil {
+			return 0, err
+		}
+		total += heavyWork(c, b)
+	}
+	return total, nil
+}
+
+// GoodDispatchCallee delegates to a callee that polls.
+func GoodDispatchCallee(c *solve.Ctx, blocks []int) (int, error) {
+	total := 0
+	for _, b := range blocks {
+		n, err := pollingWork(c, b)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// GoodBlocks fans out through ForEachBlock, which polls per dispatch.
+func GoodBlocks(c *solve.Ctx, nb int) error {
+	for round := 0; round < 3; round++ {
+		if err := c.ForEachBlock(nb, func(wc *solve.Ctx, b int) error { return nil }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BadPhases is the JV shape: a ctx in hand, three levels of pure
+// scanning, and no poll on the outermost phase loop.
+func BadPhases(c *solve.Ctx, n int) int {
+	acc := 0
+	for i := 0; i < n; i++ { // want `deeply nested solve loop never polls Ctx.Err`
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				acc += i * j * k
+			}
+		}
+	}
+	return acc
+}
+
+// GoodPhases carries the every-32-phases check on the outer loop.
+func GoodPhases(c *solve.Ctx, n int) (int, error) {
+	acc := 0
+	for i := 0; i < n; i++ {
+		if i%32 == 31 {
+			if err := c.Err(); err != nil {
+				return 0, err
+			}
+		}
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				acc += i * j * k
+			}
+		}
+	}
+	return acc, nil
+}
+
+// ShallowScan nests only two deep: below the JV threshold, no finding.
+func ShallowScan(c *solve.Ctx, rows [][]int) int {
+	acc := 0
+	for _, r := range rows {
+		for _, x := range r {
+			acc += x
+		}
+	}
+	return acc
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, determinism.Analyzer, "repro/internal/srepair", "plainpkg")
+}

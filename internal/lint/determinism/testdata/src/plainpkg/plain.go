@@ -1,0 +1,20 @@
+// Package plainpkg sits off the solve path: wall clocks and ambient
+// randomness are allowed here, so the analyzer must stay silent.
+package plainpkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Timestamp() int64 { return time.Now().UnixNano() }
+
+func Jitter(n int) int { return rand.Intn(n) }
+
+func Keys(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

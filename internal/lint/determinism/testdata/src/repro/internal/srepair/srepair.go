@@ -1,0 +1,53 @@
+package srepair
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func WallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in solve-path code`
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in solve-path code`
+}
+
+func AmbientRand(n int) int {
+	return rand.Intn(n) // want `package-level math/rand.Intn is seeded per process`
+}
+
+// SeededRand is the blessed pattern: an explicitly seeded generator.
+func SeededRand(n int) int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(n)
+}
+
+// BadOrder lets map iteration order leak into a result slice.
+func BadOrder(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `map iteration order feeds slice "out" without a subsequent sort`
+		out = append(out, v)
+	}
+	return out
+}
+
+// SortedOrder restores determinism with a sort after the loop.
+func SortedOrder(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Aggregate is order-insensitive: no slice is built, no finding.
+func Aggregate(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,415 @@
+// Package driver loads Go packages and runs go/analysis analyzers over
+// them without the go/packages machinery (which is not vendored with
+// the toolchain). Package metadata and dependency export data come from
+// `go list -deps -export -json`; the listed target packages are then
+// re-parsed and type-checked from source so analyzers see full syntax
+// trees, while their imports resolve through the compiler's export
+// data. Everything works offline against the local build cache.
+//
+// The driver implements the subset of the analysis contract fdlint
+// needs: syntax, types, and the Requires graph (inspect, ctrlflow).
+// Facts are not supported — fdlint's analyzers are package-local by
+// design — and a registered analyzer declaring fact types is rejected.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	GoFiles []string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Diagnostic is a finding from one analyzer, positioned and resolved
+// (suppressions already applied by Run).
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (fdlint/%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// listedPkg is the slice of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns (plus dependencies) from dir, parses and
+// type-checks every matched target package, and returns them sorted by
+// import path.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-deps", "-export", "-e",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Standard,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listedPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		p, err := typecheck(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, t listedPkg) (*Package, error) {
+	var files []*ast.File
+	var names []string
+	for _, f := range t.GoFiles {
+		name := t.Dir + string(os.PathSeparator) + f
+		af, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, af)
+		names = append(names, name)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // collect the first error below instead
+	}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", t.ImportPath, err)
+	}
+	return &Package{
+		PkgPath: t.ImportPath,
+		Name:    t.Name,
+		Dir:     t.Dir,
+		GoFiles: names,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers may consult
+// populated. Shared with the linttest loader so test packages are
+// checked identically to real ones.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+}
+
+// Run executes analyzers (and, transitively, their Requires) over each
+// package and returns the surviving diagnostics: suppression directives
+// (`//lint:ignore fdlint/<name> <reason>`) filter matching findings,
+// and malformed directives — no reason, unknown analyzer — are
+// themselves reported as findings of the pseudo-analyzer "directive".
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	for _, a := range analyzers {
+		if err := validate(a); err != nil {
+			return nil, err
+		}
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := runPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// validate rejects registered analyzers that depend on cross-package
+// facts for their own findings. Required sub-analyzers (e.g. ctrlflow,
+// which exports noReturn facts) are allowed: they run against the
+// stubbed fact API and degrade to their package-local precision.
+func validate(a *analysis.Analyzer) error {
+	if len(a.FactTypes) > 0 {
+		return fmt.Errorf("analyzer %s declares facts; the fdlint driver is package-local", a.Name)
+	}
+	return nil
+}
+
+// RunPackage executes analyzers over one already-loaded package. Used
+// by the linttest golden runner; Run is the multi-package entry point.
+func RunPackage(pkg *Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	return runPackage(pkg, analyzers)
+}
+
+func runPackage(pkg *Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	sup, supDiags := parseDirectives(pkg)
+	diags := supDiags
+
+	results := make(map[*analysis.Analyzer]any)
+	var exec func(a *analysis.Analyzer) error
+	exec = func(a *analysis.Analyzer) error {
+		if _, done := results[a]; done {
+			return nil
+		}
+		for _, req := range a.Requires {
+			if err := exec(req); err != nil {
+				return err
+			}
+		}
+		resultOf := make(map[*analysis.Analyzer]any, len(a.Requires))
+		for _, req := range a.Requires {
+			resultOf[req] = results[req]
+		}
+		pass := &analysis.Pass{
+			Analyzer:          a,
+			Fset:              pkg.Fset,
+			Files:             pkg.Files,
+			Pkg:               pkg.Types,
+			TypesInfo:         pkg.Info,
+			TypesSizes:        types.SizesFor("gc", "amd64"),
+			ResultOf:          resultOf,
+			ReadFile:          os.ReadFile,
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			if sup.suppressed(a.Name, d.Pos) {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: a.Name,
+				Pos:      pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		if a.ResultType != nil {
+			results[a] = res
+		} else {
+			results[a] = nil
+		}
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := exec(a); err != nil {
+			return nil, err
+		}
+	}
+	// Keep only diagnostics from the requested analyzers (plus directive
+	// findings); required sub-analyzers run silently.
+	want := make(map[string]bool, len(analyzers)+1)
+	want["directive"] = true
+	for _, a := range analyzers {
+		want[a.Name] = true
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if want[d.Analyzer] {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// ---- Suppression directives ----
+
+// A directive `//lint:ignore fdlint/<name> <reason>` suppresses
+// diagnostics of analyzer <name>:
+//
+//   - as a trailing comment: on its own line;
+//   - on a line of its own: within the statement or declaration that
+//     begins on the next code line (so one directive above a function
+//     can pin a whole-function finding, and one above a loop pins the
+//     loop).
+//
+// The reason is mandatory: a bare directive is itself a finding.
+type suppressions struct {
+	fset *token.FileSet
+	// byName maps analyzer name to suppressed position ranges.
+	ranges map[string][]posRange
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func (s *suppressions) suppressed(name string, pos token.Pos) bool {
+	for _, r := range s.ranges[name] {
+		if pos >= r.lo && pos <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+const directivePrefix = "//lint:ignore fdlint/"
+
+func parseDirectives(pkg *Package) (*suppressions, []Diagnostic) {
+	sup := &suppressions{fset: pkg.Fset, ranges: make(map[string][]posRange)}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := pkg.Fset.Position(c.Pos())
+				if name == "" || strings.TrimSpace(reason) == "" {
+					diags = append(diags, Diagnostic{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  "lint:ignore directive requires an analyzer name and a reason: //lint:ignore fdlint/<name> <reason>",
+					})
+					continue
+				}
+				lo, hi := directiveTarget(pkg, f, c)
+				sup.ranges[name] = append(sup.ranges[name], posRange{lo, hi})
+			}
+		}
+	}
+	return sup, diags
+}
+
+// directiveTarget returns the source range a directive comment governs.
+func directiveTarget(pkg *Package, f *ast.File, c *ast.Comment) (lo, hi token.Pos) {
+	line := pkg.Fset.Position(c.Pos()).Line
+	// Trailing directive: govern the statement it trails.
+	if n := nodeStartingOnLine(pkg, f, line); n != nil {
+		return n.Pos(), n.End()
+	}
+	// Stand-alone directive (possibly inside a doc comment): govern the
+	// outermost statement or declaration beginning on the next code
+	// line, skipping any remaining comment lines. The scan is bounded so
+	// a dangling directive never governs distant code.
+	last := min(line+10, pkg.Fset.File(f.Pos()).LineCount())
+	for next := line + 1; next <= last; next++ {
+		if n := nodeStartingOnLine(pkg, f, next); n != nil {
+			return n.Pos(), n.End()
+		}
+	}
+	return lineRange(pkg, f, line)
+}
+
+// nodeStartingOnLine returns the outermost statement or declaration
+// whose first token is on the given line, or nil.
+func nodeStartingOnLine(pkg *Package, f *ast.File, line int) ast.Node {
+	var found ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || found != nil {
+			return false
+		}
+		switch n.(type) {
+		case ast.Decl, ast.Stmt:
+			if pkg.Fset.Position(n.Pos()).Line == line {
+				found = n
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func lineRange(pkg *Package, f *ast.File, line int) (lo, hi token.Pos) {
+	tf := pkg.Fset.File(f.Pos())
+	lo = tf.LineStart(line)
+	if line+1 <= tf.LineCount() {
+		hi = tf.LineStart(line+1) - 1
+	} else {
+		hi = token.Pos(tf.Base() + tf.Size())
+	}
+	return lo, hi
+}

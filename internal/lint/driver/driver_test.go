@@ -1,0 +1,139 @@
+package driver
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// loadSrc typechecks a single import-free source file into a Package.
+func loadSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	conf := types.Config{}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{
+		PkgPath: "p", Name: "p", GoFiles: []string{"p.go"},
+		Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info,
+	}
+}
+
+// markAnalyzer reports one diagnostic at every call to a function
+// literally named "mark".
+var markAnalyzer = &analysis.Analyzer{
+	Name: "mark",
+	Doc:  "flags calls to mark() — a suppression test fixture",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+						pass.Reportf(call.Pos(), "mark called")
+					}
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func runMark(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	diags, err := RunPackage(loadSrc(t, src), []*analysis.Analyzer{markAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestTrailingDirectiveSuppressesStatement(t *testing.T) {
+	diags := runMark(t, `package p
+func mark() {}
+func f() {
+	mark() //lint:ignore fdlint/mark this call is under test
+	mark()
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 surviving diagnostic, got %d: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 5 {
+		t.Errorf("surviving diagnostic on line %d, want 5 (the unsuppressed call)", diags[0].Pos.Line)
+	}
+}
+
+func TestStandaloneDirectiveGovernsNextDeclaration(t *testing.T) {
+	diags := runMark(t, `package p
+func mark() {}
+
+//lint:ignore fdlint/mark whole function is exempt for the fixture
+func f() {
+	mark()
+	mark()
+}
+
+func g() {
+	mark()
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 surviving diagnostic (g's), got %d: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 11 {
+		t.Errorf("surviving diagnostic on line %d, want 11", diags[0].Pos.Line)
+	}
+}
+
+func TestReasonlessDirectiveIsAFinding(t *testing.T) {
+	diags := runMark(t, `package p
+func mark() {}
+func f() {
+	//lint:ignore fdlint/mark
+	mark()
+}
+`)
+	var directive, mark int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "directive":
+			directive++
+			if !strings.Contains(d.Message, "requires an analyzer name and a reason") {
+				t.Errorf("directive finding message = %q", d.Message)
+			}
+		case "mark":
+			mark++
+		}
+	}
+	if directive != 1 {
+		t.Errorf("want 1 directive finding for the reasonless ignore, got %d: %v", directive, diags)
+	}
+	if mark != 1 {
+		t.Errorf("reasonless directive must not suppress: want the mark finding to survive, got %d", mark)
+	}
+}
+
+func TestDirectiveForOtherAnalyzerDoesNotSuppress(t *testing.T) {
+	diags := runMark(t, `package p
+func mark() {}
+func f() {
+	mark() //lint:ignore fdlint/other a reason that names the wrong analyzer
+}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "mark" {
+		t.Fatalf("want the mark finding to survive a mismatched directive, got %v", diags)
+	}
+}

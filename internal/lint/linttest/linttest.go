@@ -1,0 +1,273 @@
+// Package linttest is the golden-diagnostic harness for the fdlint
+// analyzers (the role analysistest plays upstream, reimplemented here
+// because the toolchain does not vendor it or go/packages).
+//
+// Test packages live under the analyzer's testdata/src/<importpath>/
+// in GOPATH-style layout; import paths that resolve under testdata
+// shadow real ones, so a fixture can reimplement repro/internal/solve
+// with a miniature Ctx/Stats and defect files can sit in a fake
+// repro/internal/srepair. Remaining imports resolve to the real
+// standard library through the compiler's export data (offline, via
+// the local build cache).
+//
+// Expectations are `// want` comments carrying one or more quoted
+// regular expressions; every diagnostic on that comment's line must
+// match one, and every expectation must be consumed:
+//
+//	for k := range m { // want `map iteration order`
+//
+// Suppression directives are honored before matching, so fixtures can
+// assert both that a reasoned //lint:ignore silences a finding and
+// that a reasonless one is itself reported.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint/driver"
+)
+
+// Run loads each test package from testdata/src (relative to the
+// caller's directory) and checks the analyzer's diagnostics against
+// the `// want` expectations in its files.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLoader(root)
+	for _, path := range pkgPaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		diags, err := driver.RunPackage(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, path, err)
+		}
+		match(t, pkg, diags)
+	}
+}
+
+// ---- expectation matching ----
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func match(t *testing.T, pkg *driver.Package, diags []driver.Diagnostic) {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimLeft(text, " \t")
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, raw := range quotedStrings(strings.TrimPrefix(text, "want ")) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", name, line, raw, err)
+					}
+					expects = append(expects, &expectation{file: name, line: line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if !e.hit && e.file == d.Pos.Filename && e.line == d.Pos.Line && e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s (fdlint/%s)",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("no diagnostic at %s:%d matching %q",
+				filepath.Base(e.file), e.line, e.raw)
+		}
+	}
+}
+
+// quotedStrings parses a sequence of Go-quoted strings ("..." or
+// `...`) separated by spaces.
+func quotedStrings(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" || (s[0] != '"' && s[0] != '`') {
+			return out
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return out
+		}
+		u, err := strconv.Unquote(q)
+		if err != nil {
+			return out
+		}
+		out = append(out, u)
+		s = s[len(q):]
+	}
+}
+
+// ---- testdata package loading ----
+
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*driver.Package
+	std  types.Importer
+}
+
+func newLoader(root string) *loader {
+	l := &loader{root: root, fset: token.NewFileSet(), pkgs: make(map[string]*driver.Package)}
+	l.std = stdImporter(l.fset)
+	return l
+}
+
+// Import implements types.Importer: testdata packages shadow real
+// import paths; everything else is standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, path); dirExists(dir) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*driver.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		names = append(names, name)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool { return names[i] < names[j] })
+	sort.Strings(names)
+
+	info := driver.NewInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	p := &driver.Package{
+		PkgPath: path,
+		Name:    tpkg.Name(),
+		Dir:     dir,
+		GoFiles: names,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// ---- standard library via export data ----
+
+var (
+	stdOnce    sync.Once
+	stdExports map[string]string
+	stdErr     error
+)
+
+// stdImporter returns a gc-importer over `go list -export std` output,
+// so testdata fixtures can import real standard-library packages
+// without network access or source re-typechecking.
+func stdImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		stdOnce.Do(func() {
+			stdExports = make(map[string]string)
+			out, err := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", "std").Output()
+			if err != nil {
+				stdErr = fmt.Errorf("go list -export std: %v", err)
+				return
+			}
+			dec := json.NewDecoder(bytes.NewReader(out))
+			for dec.More() {
+				var m struct{ ImportPath, Export string }
+				if err := dec.Decode(&m); err != nil {
+					stdErr = err
+					return
+				}
+				if m.Export != "" {
+					stdExports[m.ImportPath] = m.Export
+				}
+			}
+		})
+		if stdErr != nil {
+			return nil, stdErr
+		}
+		f, ok := stdExports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not in std?)", path)
+		}
+		return os.Open(f)
+	})
+}

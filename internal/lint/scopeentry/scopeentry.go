@@ -1,0 +1,147 @@
+// Package scopeentry enforces the per-solve scope discipline: every
+// exported solve entry point — an exported function with a *solve.Ctx
+// parameter in one of the engine packages (srepair, urepair, cfd,
+// denial, cqa, priority) — must begin a fresh scope with
+// Ctx.BeginSolve before doing work, directly or by delegating its Ctx
+// to a same-package function that does.
+//
+// The invariant exists because size hints recorded on a scope pre-size
+// scratch arenas: an entry point that skips BeginSolve inherits the
+// hints of whatever solve its caller ran last, so a 100-row solve
+// after a 100k-row one allocates at the big table's shape (the PR 5
+// sticky-hints bug, ~456× amplification). Entry points that are
+// deliberately spliced into a caller-managed scope (session dirty-block
+// re-solves) carry a reasoned //lint:ignore.
+package scopeentry
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "scopeentry",
+	Doc:  "exported solve entry points must call Ctx.BeginSolve (sticky-hints protection)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.EntryPkgs[pass.Pkg.Path()] {
+		return nil, nil
+	}
+
+	// One node per function that receives a Ctx: does it call
+	// BeginSolve on its own Ctx, and to which same-package functions
+	// does it forward that Ctx?
+	type funcInfo struct {
+		decl     *ast.FuncDecl
+		begins   bool
+		forwards []*types.Func
+	}
+	infos := make(map[*types.Func]*funcInfo)
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			ctx := lintutil.CtxParam(fn)
+			if ctx == nil {
+				continue
+			}
+			fi := &funcInfo{decl: decl}
+			infos[fn] = fi
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := typeutil.Callee(pass.TypesInfo, call)
+				if callee == nil {
+					return true
+				}
+				if isBeginSolve(callee) && receiverIsVar(pass.TypesInfo, call, ctx) {
+					fi.begins = true
+					return true
+				}
+				// Forwarding: the Ctx parameter passed as an argument to
+				// a same-package function (delegation to a shared
+				// implementation that begins the scope itself).
+				if cf, ok := callee.(*types.Func); ok && cf.Pkg() == pass.Pkg {
+					for _, arg := range call.Args {
+						if lintutil.ObjOf(pass.TypesInfo, arg) == ctx {
+							fi.forwards = append(fi.forwards, cf)
+							break
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Propagate "begins a solve" backwards over forwarding edges to a
+	// fixed point: a function that hands its Ctx to a beginning
+	// delegate is itself covered.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range infos {
+			if fi.begins {
+				continue
+			}
+			for _, callee := range fi.forwards {
+				if ci, ok := infos[callee]; ok && ci.begins {
+					fi.begins = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for fn, fi := range infos {
+		if fi.begins || !fn.Exported() || fn.Type().(*types.Signature).Recv() != nil {
+			continue
+		}
+		pass.Reportf(fi.decl.Name.Pos(),
+			"exported solve entry point %s takes a *solve.Ctx but never calls BeginSolve (directly or via a same-package delegate): hints from the caller's previous solve would leak into this one",
+			fn.Name())
+	}
+	return nil, nil
+}
+
+func isBeginSolve(callee types.Object) bool {
+	fn, ok := callee.(*types.Func)
+	if !ok || fn.Name() != "BeginSolve" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && lintutil.IsCtxPtr(sig.Recv().Type())
+}
+
+// receiverIsVar reports whether the method call's receiver expression
+// resolves to v (the tracked Ctx parameter) — or to a local rebinding
+// of it, which we accept: any *solve.Ctx-typed receiver counts, since
+// rebinding chains (wc := c.Scoped(...)) still begin a scope on the
+// request's context family.
+func receiverIsVar(info *types.Info, call *ast.CallExpr, v *types.Var) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if lintutil.ObjOf(info, sel.X) == v {
+		return true
+	}
+	t := info.TypeOf(sel.X)
+	return t != nil && lintutil.IsCtxPtr(t)
+}

@@ -1,0 +1,12 @@
+package scopeentry_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/scopeentry"
+)
+
+func TestScopeEntry(t *testing.T) {
+	linttest.Run(t, scopeentry.Analyzer, "repro/internal/srepair")
+}

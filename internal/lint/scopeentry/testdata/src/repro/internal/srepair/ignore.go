@@ -1,0 +1,10 @@
+package srepair
+
+import "repro/internal/solve"
+
+// SplicedEntry is deliberately spliced into a caller-managed scope.
+//
+//lint:ignore fdlint/scopeentry dirty-block re-solve runs inside the session's scope by design
+func SplicedEntry(c *solve.Ctx, rows int) int {
+	return rows * c.Workers()
+}

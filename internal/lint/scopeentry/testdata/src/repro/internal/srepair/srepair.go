@@ -1,0 +1,35 @@
+package srepair
+
+import "repro/internal/solve"
+
+// BadEntry is an exported entry point that skips BeginSolve: it would
+// inherit the caller's previous solve's size hints.
+func BadEntry(c *solve.Ctx, rows int) int { // want `BadEntry takes a \*solve.Ctx but never calls BeginSolve`
+	return rows * c.Workers()
+}
+
+// GoodEntry begins its own scope.
+func GoodEntry(c *solve.Ctx, rows int) int {
+	c = c.BeginSolve()
+	c.SetHints(rows, rows)
+	return rows
+}
+
+// DelegatedEntry hands its Ctx to a same-package delegate that begins
+// the scope, which covers the entry point.
+func DelegatedEntry(c *solve.Ctx, rows int) int {
+	return impl(c, rows)
+}
+
+func impl(c *solve.Ctx, rows int) int {
+	c = c.BeginSolve()
+	return rows
+}
+
+// helper is unexported: not an entry point, no finding.
+func helper(c *solve.Ctx) int { return c.Workers() }
+
+type engine struct{}
+
+// Solve is a method: methods are not entry points.
+func (e *engine) Solve(c *solve.Ctx) int { return c.Workers() + helper(c) }

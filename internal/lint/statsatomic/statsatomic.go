@@ -1,0 +1,101 @@
+// Package statsatomic enforces the access discipline of solve.Stats:
+// one Stats value sinks counters from many concurrent solves, so every
+// field is an atomic.Int64 and the only sound accesses outside the
+// owning package are
+//
+//   - counting through the Stats methods (Node, Planner, Merge, ...),
+//   - field.Load() and field.Add(n) on a field selector, and
+//   - whole-struct reads through Snapshot().
+//
+// Everything else is flagged: Store/Swap/CompareAndSwap on a field
+// (clobbers concurrent aggregation — zeroing goes through Reset),
+// copying a field's atomic.Int64 value, taking a field's address, and
+// passing or assigning a Stats by value (which go vet's copylocks also
+// rejects, but this analyzer anchors the diagnostic to the invariant).
+// The defining package repro/internal/solve is exempt: its methods are
+// the blessed accessors.
+package statsatomic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "statsatomic",
+	Doc:      "fields of solve.Stats may only be read/added through their atomic methods",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// allowedMethods are the atomic.Int64 methods callable on a Stats
+// field outside the owning package.
+var allowedMethods = map[string]bool{"Load": true, "Add": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() == lintutil.SolvePkg {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{(*ast.SelectorExpr)(nil)}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		sel := n.(*ast.SelectorExpr)
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		if !lintutil.IsStats(selection.Recv()) {
+			return true
+		}
+		// The only blessed shape: the field selector is immediately the
+		// receiver of an allowed atomic method call, i.e. the stack is
+		// ... CallExpr > SelectorExpr(method) > this SelectorExpr.
+		if len(stack) >= 3 {
+			if msel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && msel.X == sel {
+				if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == msel {
+					if allowedMethods[msel.Sel.Name] {
+						return true
+					}
+					pass.Reportf(sel.Pos(),
+						"%s on field %s of solve.Stats outside its owning package: mutating a shared sink clobbers concurrent aggregation (zero through Reset, combine through Merge)",
+						msel.Sel.Name, sel.Sel.Name)
+					return true
+				}
+			}
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s of solve.Stats accessed non-atomically: use .Load()/.Add(n) on the field or the Stats counting methods",
+			sel.Sel.Name)
+		return true
+	})
+
+	// By-value Stats: copies tear the atomics. Catch value-typed
+	// assignments/arguments/returns at their source: any expression of
+	// type solve.Stats (not a pointer) that is a dereference or a
+	// plain identifier being copied.
+	ins.Preorder([]ast.Node{(*ast.StarExpr)(nil)}, func(n ast.Node) {
+		star := n.(*ast.StarExpr)
+		t := pass.TypesInfo.TypeOf(star)
+		if t == nil {
+			return
+		}
+		if n, ok := t.(*types.Named); ok {
+			if obj := n.Obj(); obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == lintutil.SolvePkg && obj.Name() == "Stats" {
+				pass.Reportf(star.Pos(),
+					"dereferencing a *solve.Stats copies its atomic counters non-atomically: read a consistent view with Snapshot()")
+			}
+		}
+	})
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package statsatomic_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/statsatomic"
+)
+
+func TestStatsAtomic(t *testing.T) {
+	linttest.Run(t, statsatomic.Analyzer, "statsuser")
+}

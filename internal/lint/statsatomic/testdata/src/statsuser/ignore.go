@@ -1,0 +1,8 @@
+package statsuser
+
+import "repro/internal/solve"
+
+// Pinned exercises the raw store path under a reasoned suppression.
+func Pinned(st *solve.Stats) {
+	st.Steals.Store(7) //lint:ignore fdlint/statsatomic fixture exercises the raw store path
+}

@@ -1,0 +1,35 @@
+package statsuser
+
+import "repro/internal/solve"
+
+// Good uses only the blessed shapes: Load/Add on fields, counting
+// methods, Snapshot for a consistent view.
+func Good(st *solve.Stats) int64 {
+	st.Nodes.Add(1)
+	st.Node()
+	return st.Nodes.Load() + st.Steals.Load() + st.Snapshot().Nodes
+}
+
+func StoreBad(st *solve.Stats) {
+	st.Nodes.Store(0) // want `Store on field Nodes of solve.Stats`
+}
+
+func SwapBad(st *solve.Stats) int64 {
+	return st.Steals.Swap(0) // want `Swap on field Steals of solve.Stats`
+}
+
+func CopyBad(st *solve.Stats) int64 {
+	n := st.Nodes // want `field Nodes of solve.Stats accessed non-atomically`
+	return n.Load()
+}
+
+func AddrBad(st *solve.Stats) *int64 {
+	p := &st.Steals // want `field Steals of solve.Stats accessed non-atomically`
+	_ = p
+	return nil
+}
+
+func DerefBad(st *solve.Stats) int64 {
+	snap := *st // want `dereferencing a \*solve.Stats copies its atomic counters`
+	return snap.Nodes.Load()
+}

@@ -367,6 +367,7 @@ func (c *Ctx) ForEachBlock(n int, size func(i int) int, fn func(c *Ctx, i int) e
 	j := &join{fn: fn, errs: make([]error, n), sc: c.sc, stats: c.Stats(), done: make(chan struct{})}
 	j.pending.Store(1) // producer guard: keeps done from closing mid-enqueue
 	var inline, tiny int64
+	//lint:ignore fdlint/cancelcheck the fan-out polls through j.sc.err() before every inline dispatch; workers poll per dequeued task
 	for i := 0; i < n; i++ {
 		if size(i) >= MinParallelBlock {
 			j.pending.Add(1)

@@ -447,6 +447,9 @@ func ExactCtx(c *solve.Ctx, ds *fd.Set, t *table.Table) (*table.Table, error) {
 	if !ds.Schema().SameAs(t.Schema()) {
 		return nil, fmt.Errorf("srepair: FD set and table have different schemas")
 	}
+	// Fresh per-solve scope: without it the cover search would pre-size
+	// its scratch from whatever solve this Ctx ran last.
+	c = c.BeginSolve()
 	if err := c.Err(); err != nil {
 		return nil, err
 	}
@@ -473,6 +476,8 @@ func Approx2Ctx(c *solve.Ctx, ds *fd.Set, t *table.Table) (*table.Table, error) 
 	if !ds.Schema().SameAs(t.Schema()) {
 		return nil, fmt.Errorf("srepair: FD set and table have different schemas")
 	}
+	// Fresh per-solve scope, as in OptSRepairCtx and ExactCtx.
+	c = c.BeginSolve()
 	if err := c.Err(); err != nil {
 		return nil, err
 	}

@@ -137,6 +137,11 @@ func repairFull(c *solve.Ctx, ds *fd.Set, t *table.Table) (Result, error) {
 		return Result{}, err
 	}
 	for i, comp := range comps {
+		// The merge scans every changed row of a component per
+		// iteration; honor cancellation between components.
+		if err := c.Err(); err != nil {
+			return Result{}, err
+		}
 		r := results[i]
 		// Merge the component's cell changes (its attributes are disjoint
 		// from every other component and from the consensus attributes).
